@@ -1,0 +1,160 @@
+"""Ablation — incremental DBSCAN's insertion/deletion cost asymmetry.
+
+§3.2.4 justifies GEMM over the direct add+delete route partly because
+"the cost incurred by incremental DBSCAN to maintain the set of
+clusters when a tuple is deleted is higher than that when a tuple is
+inserted" (Ester et al.).  This benchmark measures both directions on
+the same clustered point stream and contrasts a GEMM-windowed DBSCAN
+(insert-only) with a direct add+delete window.
+
+Run:  pytest benchmarks/bench_ablation_dbscan.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_table
+from repro.clustering.dbscan import IncrementalDBSCAN, IncrementalDBSCANMaintainer
+from repro.core.blocks import make_block
+from repro.core.gemm import GEMM
+
+EPS = 1.5
+MIN_PTS = 4
+N_POINTS = 600
+
+
+def clustered_points(n, seed=0):
+    rng = random.Random(seed)
+    centers = [(0.0, 0.0), (8.0, 0.0), (0.0, 8.0), (8.0, 8.0)]
+    points = []
+    for _ in range(n):
+        cx, cy = centers[rng.randrange(4)]
+        points.append((cx + rng.gauss(0, 1.0), cy + rng.gauss(0, 1.0)))
+    return points
+
+
+def measure_costs():
+    """Per-operation times and query counts for inserts then deletes."""
+    points = clustered_points(N_POINTS, seed=1)
+    clustering = IncrementalDBSCAN(eps=EPS, min_pts=MIN_PTS, dim=2)
+    insert_times, insert_queries, ids = [], [], []
+    for point in points:
+        start = time.perf_counter()
+        ids.append(clustering.insert(point))
+        insert_times.append(time.perf_counter() - start)
+        insert_queries.append(clustering.last_cost.neighbor_queries)
+    rng = random.Random(2)
+    rng.shuffle(ids)
+    delete_times, delete_queries = [], []
+    for point_id in ids[: N_POINTS // 3]:
+        start = time.perf_counter()
+        clustering.delete(point_id)
+        delete_times.append(time.perf_counter() - start)
+        delete_queries.append(clustering.last_cost.neighbor_queries)
+    return insert_times, insert_queries, delete_times, delete_queries
+
+
+def test_insertions(benchmark):
+    points = clustered_points(200, seed=3)
+
+    def run():
+        clustering = IncrementalDBSCAN(eps=EPS, min_pts=MIN_PTS, dim=2)
+        for point in points:
+            clustering.insert(point)
+        return clustering
+
+    clustering = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(clustering) == 200
+
+
+def test_deletions(benchmark):
+    points = clustered_points(200, seed=4)
+
+    def run():
+        clustering = IncrementalDBSCAN(eps=EPS, min_pts=MIN_PTS, dim=2)
+        ids = [clustering.insert(p) for p in points]
+        for point_id in ids[:60]:
+            clustering.delete(point_id)
+        return clustering
+
+    clustering = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(clustering) == 140
+
+
+def test_asymmetry_table_and_shape(benchmark):
+    insert_times, insert_queries, delete_times, delete_queries = (
+        benchmark.pedantic(measure_costs, rounds=1, iterations=1)
+    )
+    rows = [
+        [
+            "insert",
+            f"{np.mean(insert_times) * 1e6:.0f}",
+            f"{np.mean(insert_queries):.1f}",
+        ],
+        [
+            "delete",
+            f"{np.mean(delete_times) * 1e6:.0f}",
+            f"{np.mean(delete_queries):.1f}",
+        ],
+    ]
+    print_table(
+        "Ablation: incremental DBSCAN per-operation cost "
+        "(mean us / mean eps-queries)",
+        ["operation", "time (us)", "eps-queries"],
+        rows,
+    )
+    # §3.2.4's premise: deletion is the expensive direction.
+    assert np.mean(delete_queries) > np.mean(insert_queries) * 1.5
+    assert np.mean(delete_times) > np.mean(insert_times)
+
+
+def test_gemm_vs_direct_window(benchmark):
+    """GEMM keeps DBSCAN windows insert-only; the direct route eats the
+    deletion cost every slide."""
+
+    def run():
+        blocks = [
+            make_block(i + 1, clustered_points(150, seed=10 + i))
+            for i in range(6)
+        ]
+        w = 3
+        gemm_maintainer = IncrementalDBSCANMaintainer(EPS, MIN_PTS, dim=2)
+        gemm = GEMM(gemm_maintainer, w=w)
+        gemm_critical = []
+        for block in blocks:
+            report = gemm.observe(block)
+            if gemm.is_warmed_up:
+                gemm_critical.append(report.critical_seconds)
+
+        direct_maintainer = IncrementalDBSCANMaintainer(EPS, MIN_PTS, dim=2)
+        model = direct_maintainer.build(blocks[:1])
+        direct_times = []
+        for t, block in enumerate(blocks[1:], start=2):
+            start = time.perf_counter()
+            model = direct_maintainer.add_block(model, block)
+            expired = t - w
+            if expired >= 1:
+                model = direct_maintainer.delete_block(model, blocks[expired - 1])
+            if t > w:
+                direct_times.append(time.perf_counter() - start)
+        return gemm_critical, direct_times, gemm, model
+
+    gemm_critical, direct_times, gemm, direct_model = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table(
+        "GEMM vs direct add+delete for windowed DBSCAN (ms per slide)",
+        ["route", "mean response"],
+        [
+            ["GEMM (insert-only)", f"{np.mean(gemm_critical) * 1e3:.1f}"],
+            ["direct add+delete", f"{np.mean(direct_times) * 1e3:.1f}"],
+        ],
+    )
+    # Both cover the same window in the end.
+    assert sorted(gemm.current_selection()) == direct_model.selected_block_ids
+    assert np.mean(gemm_critical) < np.mean(direct_times)

@@ -1,0 +1,149 @@
+"""Figure 8 — BIRCH+ vs non-incremental BIRCH vs new-block size.
+
+Paper setup: a base block 1M.50c.5d is clustered; a second block of
+100K–800K points (same 50-cluster structure, 2% uniform noise) arrives.
+BIRCH+ resumes phase 1 on the live CF-tree and re-runs the cheap
+phase 2; the baseline re-runs BIRCH over base + new from scratch.
+
+Expected shape (paper): BIRCH+'s time grows only with the *new block*,
+the re-run's with the *total* data, so BIRCH+ wins by a widening
+margin; the phase-2 time is negligible throughout.
+
+Run:  pytest benchmarks/bench_fig8_birch.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import (
+    cluster_points,
+    fmt_ms,
+    points_block,
+    print_table,
+    scaled,
+)
+from repro.clustering.birch import birch_cluster
+from repro.clustering.birch_plus import BirchPlusMaintainer
+from repro.clustering.model import match_clusters
+
+DATASET = "1M.50c.5d"
+K = 50
+THRESHOLD = 1.5
+MAX_LEAF_ENTRIES = 1024
+BASE_POINTS = scaled(1_000_000)
+NEW_SIZES = tuple(scaled(n) for n in (100_000, 200_000, 400_000, 800_000))
+
+_base_state = None
+
+
+def maintainer() -> BirchPlusMaintainer:
+    return BirchPlusMaintainer(
+        k=K, threshold=THRESHOLD, max_leaf_entries=MAX_LEAF_ENTRIES
+    )
+
+
+def base_state():
+    """BIRCH+ state over the base block, built once."""
+    global _base_state
+    if _base_state is None:
+        block = points_block(DATASET, BASE_POINTS, block_id=1, seed=0)
+        _base_state = maintainer().build([block])
+    return _base_state
+
+
+def run_birch_plus(new_size: int):
+    """Clone the live state and absorb the new block; return timings."""
+    m = maintainer()
+    state = m.clone(base_state())
+    new_block = points_block(DATASET, new_size, block_id=2, seed=1)
+    start = time.perf_counter()
+    state = m.add_block(state, new_block)
+    elapsed = time.perf_counter() - start
+    return state, elapsed, m.last_timings
+
+
+def run_birch_rerun(new_size: int):
+    """Non-incremental baseline: recluster everything from scratch."""
+    base = cluster_points(DATASET, BASE_POINTS, seed=0)
+    fresh = cluster_points(DATASET, new_size, seed=1)
+    start = time.perf_counter()
+    model, _tree, timings = birch_cluster(
+        list(base) + list(fresh),
+        k=K,
+        threshold=THRESHOLD,
+        max_leaf_entries=MAX_LEAF_ENTRIES,
+        block_ids=[1, 2],
+    )
+    elapsed = time.perf_counter() - start
+    return model, elapsed, timings
+
+
+@pytest.mark.parametrize("new_size", [NEW_SIZES[0], NEW_SIZES[-1]])
+def test_fig8_birch_plus(benchmark, new_size):
+    state, _elapsed, _timings = benchmark.pedantic(
+        run_birch_plus, args=(new_size,), rounds=1, iterations=1
+    )
+    assert state.clusters.k == K
+
+
+@pytest.mark.parametrize("new_size", [NEW_SIZES[0], NEW_SIZES[-1]])
+def test_fig8_birch_rerun(benchmark, new_size):
+    model, _elapsed, _timings = benchmark.pedantic(
+        run_birch_rerun, args=(new_size,), rounds=1, iterations=1
+    )
+    assert model.k == K
+
+
+def test_fig8_table_and_shape(benchmark):
+    """Print the Figure 8 series and assert its shape."""
+
+    def sweep():
+        results = {}
+        for new_size in NEW_SIZES:
+            state, plus_time, plus_timings = run_birch_plus(new_size)
+            model, rerun_time, _timings = run_birch_rerun(new_size)
+            results[new_size] = (
+                plus_time,
+                rerun_time,
+                plus_timings.phase2_seconds,
+                state,
+                model,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            size,
+            fmt_ms(results[size][1]),
+            fmt_ms(results[size][0]),
+            fmt_ms(results[size][2]),
+            f"{results[size][1] / results[size][0]:.1f}x",
+        ]
+        for size in NEW_SIZES
+    ]
+    print_table(
+        f"Figure 8: {DATASET} base={BASE_POINTS} pts + new block "
+        "(times in ms)",
+        ["new block", "BIRCH", "BIRCH+", "BIRCH+ phase2", "speedup"],
+        rows,
+    )
+
+    for size in NEW_SIZES:
+        plus_time, rerun_time, phase2, state, model = results[size]
+        # BIRCH+ beats the full re-run at every size.
+        assert plus_time < rerun_time, f"size={size}"
+        # Phase 2 is a small share of the incremental cost.
+        assert phase2 < max(plus_time, 1e-4)
+        # Both routes find essentially the same clusters.
+        matches = match_clusters(state.clusters, model)
+        close = sum(1 for _, _, d in matches if d < 3.0)
+        assert close >= int(0.8 * K), f"only {close}/{K} centroids matched"
+    # The paper's regime: the smaller the new block relative to the
+    # base, the larger BIRCH+'s advantage — assert a solid margin where
+    # it is widest (the smallest new block).
+    assert results[NEW_SIZES[0]][1] > results[NEW_SIZES[0]][0] * 2.0

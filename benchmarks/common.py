@@ -1,0 +1,117 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of DEMON's §5 at laptop
+scale.  Dataset *structure* (items, patterns, transaction length,
+block-size *ratios*, support thresholds) follows the paper; absolute
+sizes are scaled down by :data:`SCALE` (see DESIGN.md, substitutions).
+Datasets are generated once per pytest session and cached here.
+
+Set the environment variable ``DEMON_BENCH_SCALE`` to change the scale
+(e.g. ``DEMON_BENCH_SCALE=0.01`` doubles the default dataset sizes).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import lru_cache
+
+from repro.core.blocks import Block, make_block
+from repro.datagen.clusters import ClusterDataGenerator, ClusterDataParams
+from repro.datagen.quest import QuestGenerator, QuestParams
+
+#: Fraction of the paper's dataset sizes used by default (2M -> 10K).
+SCALE = float(os.environ.get("DEMON_BENCH_SCALE", "0.005"))
+
+
+def scaled(n_paper: int) -> int:
+    """Scale one of the paper's absolute sizes."""
+    return max(int(n_paper * SCALE), 10)
+
+
+@lru_cache(maxsize=None)
+def quest_blocks(
+    name: str,
+    n_blocks: int,
+    seed: int = 0,
+    first_block_id: int = 1,
+) -> tuple[Block, ...]:
+    """Blocks drawn from one Quest configuration, sizes already scaled.
+
+    ``name`` is a paper-style dataset name; the named transaction count
+    is split evenly across ``n_blocks`` blocks.
+    """
+    params = QuestParams.from_name(name, scale=SCALE)
+    generator = QuestGenerator(params, seed=seed)
+    per_block = max(params.n_transactions // n_blocks, 10)
+    return tuple(
+        generator.block(first_block_id + i, count=per_block)
+        for i in range(n_blocks)
+    )
+
+
+@lru_cache(maxsize=None)
+def quest_increment(
+    name: str, count: int, block_id: int, seed: int = 1
+) -> Block:
+    """One additional block with its own distribution parameters."""
+    params = QuestParams.from_name(name, scale=SCALE)
+    generator = QuestGenerator(params, seed=seed)
+    return generator.block(block_id, count=count)
+
+
+@lru_cache(maxsize=None)
+def cluster_points(name: str, count: int, seed: int = 0, noise: float = 0.02):
+    """Points from one cluster-data configuration (tuple, cached)."""
+    params = ClusterDataParams.from_name(name, scale=SCALE, noise_fraction=noise)
+    generator = ClusterDataGenerator(params, seed=seed)
+    return tuple(generator.points(count))
+
+
+def points_block(name: str, count: int, block_id: int, seed: int = 0) -> Block:
+    """A block of cluster points."""
+    return make_block(block_id, cluster_points(name, count, seed=seed))
+
+
+#: File every paper-style table is appended to (the benchmark run's
+#: primary artifact — pytest captures stdout, so stdout alone would
+#: lose the tables).  Override with DEMON_BENCH_TABLES; truncated at
+#: the start of each pytest session by benchmarks/conftest.py.
+TABLES_PATH = os.environ.get(
+    "DEMON_BENCH_TABLES",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "bench_tables.txt"),
+)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Emit one paper-style results table.
+
+    The table goes to stdout (visible with ``pytest -s``) *and* is
+    appended to :data:`TABLES_PATH` — these rows are the benchmark's
+    deliverable, and pytest's default capture must not swallow them.
+    """
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    rendered = [
+        f"\n{title}",
+        "=" * len(line),
+        line,
+        "-" * len(line),
+    ]
+    rendered.extend(
+        "  ".join(str(v).ljust(w) for v, w in zip(row, widths)) for row in rows
+    )
+    text = "\n".join(rendered)
+    print(text)
+    with open(TABLES_PATH, "a") as sink:
+        sink.write(text + "\n")
+
+
+def fmt_ms(seconds: float) -> str:
+    """Milliseconds with one decimal, as a string."""
+    return f"{seconds * 1e3:.1f}"

@@ -1,0 +1,21 @@
+"""Benchmark-session setup: start each run with a fresh tables artifact."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_tables_file():
+    """Truncate bench_tables.txt so one run's tables don't mix with the
+    next run's (print_table appends)."""
+    from benchmarks.common import TABLES_PATH
+
+    with open(TABLES_PATH, "w") as sink:
+        sink.write(
+            "# Paper-style result tables from the latest benchmark run\n"
+            "# (regenerate with: pytest benchmarks/ --benchmark-only)\n"
+        )
+    yield
+    if os.path.exists(TABLES_PATH):
+        print(f"\npaper-style tables written to {TABLES_PATH}")

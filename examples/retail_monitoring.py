@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The Demons'R Us toy store (paper §2.2–2.3): MRW + window-relative BSS.
+
+A marketing analyst wants the frequent itemsets of *the same weekday as
+today within the last four weeks*.  Blocks arrive daily; the monitor
+runs GEMM over a 28-day most recent window with the window-relative BSS
+``<1 0 0 0 0 0 0  1 0 ... >`` (every 7th day starting at the window's
+first day), so the selection slides with the window.
+
+The example also contrasts the unrestricted-window model with the MRW
+model: the toy fad planted in the last week is visible only in the
+windowed model — the paper's "dilution" argument.
+
+Run:  python examples/retail_monitoring.py
+"""
+
+from repro import DemonMonitor, MostRecentWindow, WindowRelativeBSS
+from repro.datagen import QuestGenerator, QuestParams
+from repro.itemsets import BordersMaintainer
+
+#: Item ids reserved for the planted "new toy" fad.
+FAD = (900, 901)
+
+
+def daily_block(generator, day, fad_active):
+    """One day's transactions; fad days plant a hot new item pair."""
+    block = generator.block(day, count=400, label=f"day {day:02d}")
+    if not fad_active:
+        return block
+    boosted = tuple(
+        tuple(sorted(set(t) | set(FAD))) if i % 3 == 0 else t
+        for i, t in enumerate(block.tuples)
+    )
+    return type(block)(
+        block_id=block.block_id, tuples=boosted, label=block.label,
+        metadata=block.metadata,
+    )
+
+
+def main() -> None:
+    params = QuestParams(
+        n_transactions=400,
+        avg_transaction_length=6,
+        n_items=150,
+        n_patterns=30,
+        avg_pattern_length=3,
+    )
+    generator = QuestGenerator(params, seed=11)
+
+    weekly_bss = WindowRelativeBSS.every_kth(28, 7)
+    windowed = DemonMonitor(
+        BordersMaintainer(minsup=0.05, counter="ecut"),
+        span=MostRecentWindow(28),
+        bss=weekly_bss,
+    )
+    unrestricted = DemonMonitor(BordersMaintainer(minsup=0.05, counter="ecut"))
+
+    print("Demons'R Us: same-weekday mining over the past 28 days")
+    print("=" * 60)
+    total_days = 35
+    for day in range(1, total_days + 1):
+        fad_active = day > total_days - 7  # the fad starts in the last week
+        block = daily_block(generator, day, fad_active)
+        windowed.observe(block)
+        unrestricted.observe(block)
+
+    print(f"\nwindowed selection (blocks): {windowed.current_selection()}")
+    windowed_model = windowed.current_model()
+    full_model = unrestricted.current_model()
+
+    fad_pair = tuple(sorted(FAD))
+    print(f"\nfad pair {fad_pair}:")
+    print(f"  support in same-weekday window: "
+          f"{windowed_model.support(fad_pair):.3f} "
+          f"(frequent: {windowed_model.is_frequent(fad_pair)})")
+    print(f"  support over entire history:    "
+          f"{full_model.support(fad_pair):.3f} "
+          f"(frequent: {full_model.is_frequent(fad_pair)})")
+    print("\nThe recent fad is prominent in the windowed model and diluted "
+          "in the unrestricted one — the data span dimension at work.")
+
+
+if __name__ == "__main__":
+    main()

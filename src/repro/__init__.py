@@ -1,0 +1,72 @@
+"""repro — a full reproduction of DEMON (Ganti, Gehrke & Ramakrishnan,
+ICDE 2000): mining and monitoring systematically evolving data.
+
+Public API overview
+-------------------
+
+Core (``repro.core``)
+    :class:`Block`, :class:`Snapshot`, the data span dimension
+    (:class:`UnrestrictedWindow` / :class:`MostRecentWindow`), block
+    selection sequences (:class:`WindowIndependentBSS` /
+    :class:`WindowRelativeBSS`), the generic most-recent-window
+    maintainer :class:`GEMM`, and the one-stop :class:`DemonMonitor`.
+
+Frequent itemsets (``repro.itemsets``)
+    Apriori, the BORDERS incremental maintainer with PT-Scan / ECUT /
+    ECUT+ support counters, per-block TID-lists, and the FUP baseline.
+
+Clustering (``repro.clustering``)
+    Cluster features, the CF-tree, BIRCH, and incremental BIRCH+.
+
+Deviation & patterns (``repro.deviation``, ``repro.patterns``)
+    The FOCUS deviation framework, statistical significance, the
+    M-similarity predicate, and compact-sequence pattern discovery.
+
+Data generators (``repro.datagen``)
+    Quest transactions (AS94), Gaussian cluster data (AGGR98), and the
+    synthetic 21-day web-proxy trace.
+
+Quickstart
+----------
+
+>>> from repro import DemonMonitor, MostRecentWindow, WindowRelativeBSS
+>>> from repro.itemsets import BordersMaintainer
+>>> monitor = DemonMonitor(
+...     BordersMaintainer(minsup=0.02, counter="ecut"),
+...     span=MostRecentWindow(w=7),
+...     bss=WindowRelativeBSS([1, 0, 1, 0, 1, 0, 1]),
+... )
+"""
+
+from repro.core import (
+    GEMM,
+    Block,
+    DemonMonitor,
+    GEMMUpdateReport,
+    MonitorReport,
+    MostRecentWindow,
+    Snapshot,
+    UnrestrictedWindow,
+    UnrestrictedWindowMaintainer,
+    WindowIndependentBSS,
+    WindowRelativeBSS,
+    make_block,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Block",
+    "Snapshot",
+    "make_block",
+    "WindowIndependentBSS",
+    "WindowRelativeBSS",
+    "UnrestrictedWindow",
+    "MostRecentWindow",
+    "UnrestrictedWindowMaintainer",
+    "GEMM",
+    "GEMMUpdateReport",
+    "DemonMonitor",
+    "MonitorReport",
+]

@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands:
+
+* ``generate`` — write a synthetic dataset (Quest transactions, cluster
+  points, or the 21-day proxy trace) as JSON lines, one block per line.
+* ``monitor`` — stream a Quest workload through a DemonMonitor and
+  print per-block model summaries (UW or MRW, optional BSS bits).
+* ``patterns`` — run compact-sequence discovery over the proxy trace at
+  a chosen granularity and print the discovered selection sequences.
+* ``info`` — print the library's subsystem inventory.
+
+The CLI is a thin veneer over the public API; anything here is three
+lines of library code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import __version__
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="write a synthetic dataset as JSON lines"
+    )
+    parser.add_argument(
+        "kind", choices=["quest", "clusters", "trace"], help="generator to run"
+    )
+    parser.add_argument("--blocks", type=int, default=4, help="number of blocks")
+    parser.add_argument(
+        "--block-size", type=int, default=1000, help="tuples per block"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--name",
+        default="2M.20L.1I.4pats.4plen",
+        help="paper-style dataset name (quest/clusters kinds)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.005, help="scale for --name parsing"
+    )
+    parser.add_argument(
+        "--granularity", type=int, default=24, help="trace block hours"
+    )
+    parser.add_argument(
+        "--output", default="-", help="output path ('-' for stdout)"
+    )
+
+
+def _add_monitor(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "monitor", help="stream a Quest workload through DemonMonitor"
+    )
+    parser.add_argument("--blocks", type=int, default=6)
+    parser.add_argument("--block-size", type=int, default=800)
+    parser.add_argument("--minsup", type=float, default=0.02)
+    parser.add_argument(
+        "--counter", choices=["ptscan", "ecut", "ecut+"], default="ecut"
+    )
+    parser.add_argument(
+        "--window", type=int, default=0,
+        help="most-recent-window size (0 = unrestricted window)",
+    )
+    parser.add_argument(
+        "--bss", default="",
+        help="BSS bits, e.g. '101' (window-relative under --window, "
+        "window-independent prefix otherwise)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_patterns(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "patterns", help="compact-sequence discovery on the proxy trace"
+    )
+    parser.add_argument("--granularity", type=int, default=24)
+    parser.add_argument("--trace-scale", type=float, default=0.03)
+    parser.add_argument("--minsup", type=float, default=0.02)
+    parser.add_argument("--alpha", type=float, default=0.95)
+    parser.add_argument("--min-length", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DEMON (ICDE 2000) reproduction — mining and "
+        "monitoring systematically evolving data",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_monitor(subparsers)
+    _add_patterns(subparsers)
+    subparsers.add_parser("info", help="print the subsystem inventory")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_generate(args, out) -> int:
+    from repro.datagen import (
+        ClusterDataGenerator,
+        ClusterDataParams,
+        ProxyTraceGenerator,
+        QuestGenerator,
+        QuestParams,
+    )
+
+    if args.kind == "quest":
+        generator = QuestGenerator(
+            QuestParams.from_name(args.name, scale=args.scale), seed=args.seed
+        )
+        blocks = [
+            generator.block(i + 1, count=args.block_size)
+            for i in range(args.blocks)
+        ]
+    elif args.kind == "clusters":
+        name = args.name if args.name.endswith("d") else "1M.50c.5d"
+        generator = ClusterDataGenerator(
+            ClusterDataParams.from_name(name, scale=args.scale), seed=args.seed
+        )
+        blocks = [
+            generator.block(i + 1, count=args.block_size)
+            for i in range(args.blocks)
+        ]
+    else:
+        blocks = ProxyTraceGenerator(
+            scale=args.scale * 10, seed=args.seed
+        ).blocks(args.granularity)
+
+    sink = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        for block in blocks:
+            record = {
+                "block_id": block.block_id,
+                "label": block.label,
+                "tuples": [list(t) for t in block.tuples],
+            }
+            print(json.dumps(record), file=sink)
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+    print(f"wrote {len(blocks)} blocks", file=out)
+    return 0
+
+
+def cmd_monitor(args, out) -> int:
+    from repro import DemonMonitor, MostRecentWindow
+    from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+    from repro.datagen import QuestGenerator, QuestParams
+    from repro.itemsets import BordersMaintainer
+
+    span = MostRecentWindow(args.window) if args.window else None
+    bss = None
+    if args.bss:
+        bits = [int(b) for b in args.bss]
+        if args.window:
+            if len(bits) != args.window:
+                raise SystemExit("--bss length must equal --window")
+            bss = WindowRelativeBSS(bits)
+        else:
+            bss = WindowIndependentBSS(bits, default=1)
+
+    monitor = DemonMonitor(
+        BordersMaintainer(args.minsup, counter=args.counter), span=span, bss=bss
+    )
+    params = QuestParams(
+        n_transactions=args.block_size,
+        avg_transaction_length=8,
+        n_items=200,
+        n_patterns=50,
+        avg_pattern_length=3,
+    )
+    generator = QuestGenerator(params, seed=args.seed)
+    for block_id in range(1, args.blocks + 1):
+        monitor.observe(generator.block(block_id, count=args.block_size))
+        model = monitor.current_model()
+        print(
+            f"block {block_id}: selection={monitor.current_selection()} "
+            f"|L|={len(model.frequent)} |NB-|={len(model.border)} "
+            f"N={model.n_transactions}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_patterns(args, out) -> int:
+    from repro.datagen import ProxyTraceGenerator
+    from repro.deviation import BlockSimilarity, ItemsetDeviation
+    from repro.patterns import CompactSequenceMiner, extract_cyclic, period_of
+
+    blocks = ProxyTraceGenerator(scale=args.trace_scale, seed=args.seed).blocks(
+        args.granularity
+    )
+    miner = CompactSequenceMiner(
+        BlockSimilarity(
+            ItemsetDeviation(minsup=args.minsup, max_size=2),
+            alpha=args.alpha,
+            method="chi2",
+        )
+    )
+    for block in blocks:
+        miner.observe(block)
+    sequences = miner.distinct_sequences(min_length=args.min_length)
+    print(f"{len(sequences)} compact sequences "
+          f"(granularity {args.granularity}h):", file=out)
+    for sequence in sequences:
+        labels = [blocks[i - 1].label for i in sequence.block_ids[:3]]
+        print(f"  blocks {sequence.block_ids}", file=out)
+        print(f"    starts: {labels}", file=out)
+        cyclic = extract_cyclic(sequence)
+        if cyclic and period_of(cyclic.block_ids):
+            print(
+                f"    cyclic: {cyclic.block_ids} "
+                f"(period {period_of(cyclic.block_ids)})",
+                file=out,
+            )
+    return 0
+
+
+def cmd_info(out) -> int:
+    lines = [
+        f"repro {__version__} — DEMON (ICDE 2000) reproduction",
+        "",
+        "subsystems:",
+        "  repro.core        data span, BSS, GEMM, DemonMonitor",
+        "  repro.itemsets    Apriori, BORDERS, PT-Scan/ECUT/ECUT+, FUP, rules",
+        "  repro.clustering  BIRCH(+), CF-tree, K-Means, incremental DBSCAN",
+        "  repro.trees       decision trees, incremental maintainers",
+        "  repro.deviation   FOCUS, significance, block similarity",
+        "  repro.patterns    compact sequences, cyclic post-processing",
+        "  repro.datagen     Quest, cluster data, proxy trace",
+        "  repro.storage     metered block store, model vault",
+        "",
+        "experiments: pytest benchmarks/ --benchmark-only -s",
+    ]
+    print("\n".join(lines), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return cmd_generate(args, out)
+    if args.command == "monitor":
+        return cmd_monitor(args, out)
+    if args.command == "patterns":
+        return cmd_patterns(args, out)
+    return cmd_info(out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Clustering substrate: CFs, the CF-tree, BIRCH, and incremental BIRCH+."""
+
+from repro.clustering.birch import (
+    BirchTimings,
+    birch_cluster,
+    build_model,
+    global_cluster,
+)
+from repro.clustering.birch_plus import BirchPlusMaintainer, BirchState
+from repro.clustering.cf import (
+    ClusterFeature,
+    DISTANCE_METRICS,
+    Point,
+    distance_d0,
+    distance_d1,
+    distance_d2,
+    distance_d4,
+    get_metric,
+)
+from repro.clustering.cftree import CFTree
+from repro.clustering.dbscan import (
+    DBSCANModel,
+    GridIndex,
+    IncrementalDBSCAN,
+    IncrementalDBSCANMaintainer,
+    NOISE,
+    dbscan,
+)
+from repro.clustering.hierarchical import agglomerate
+from repro.clustering.kmeans import KMeansResult, weighted_kmeans
+from repro.clustering.model import Cluster, ClusterModel, match_clusters
+
+__all__ = [
+    "Point",
+    "ClusterFeature",
+    "distance_d0",
+    "distance_d1",
+    "distance_d2",
+    "distance_d4",
+    "DISTANCE_METRICS",
+    "get_metric",
+    "CFTree",
+    "dbscan",
+    "NOISE",
+    "GridIndex",
+    "IncrementalDBSCAN",
+    "IncrementalDBSCANMaintainer",
+    "DBSCANModel",
+    "agglomerate",
+    "weighted_kmeans",
+    "KMeansResult",
+    "Cluster",
+    "ClusterModel",
+    "match_clusters",
+    "BirchTimings",
+    "birch_cluster",
+    "build_model",
+    "global_cluster",
+    "BirchPlusMaintainer",
+    "BirchState",
+]

@@ -1,0 +1,119 @@
+"""BIRCH (Zhang, Ramakrishnan & Livny 1996): two-phase clustering.
+
+Phase 1 scans the data once, summarizing it into a CF-tree of
+sub-clusters (the "tennis balls" of the paper's marble analogy).
+Phase 2 runs a global clustering algorithm — agglomerative merging or
+weighted K-Means — over the sub-cluster CFs, which fit in memory, to
+produce the user-specified ``K`` clusters.
+
+This module provides the non-incremental baseline used in Figure 8:
+``birch_cluster`` re-runs both phases over the entire dataset.  The
+incremental variant that resumes phase 1 per arriving block lives in
+:mod:`repro.clustering.birch_plus`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.clustering.cf import ClusterFeature
+from repro.clustering.cftree import CFTree
+from repro.clustering.hierarchical import agglomerate
+from repro.clustering.kmeans import weighted_kmeans
+from repro.clustering.model import Cluster, ClusterModel
+
+
+@dataclass
+class BirchTimings:
+    """Wall-clock breakdown of one BIRCH run (Figure 8 reports phase 2
+    separately because it is negligible)."""
+
+    phase1_seconds: float = 0.0
+    phase2_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phase1_seconds + self.phase2_seconds
+
+
+def global_cluster(
+    subclusters: Sequence[ClusterFeature],
+    k: int,
+    method: str = "agglomerative",
+    seed: int = 0,
+) -> list[ClusterFeature]:
+    """Phase 2: merge sub-cluster CFs into ``k`` cluster CFs.
+
+    Args:
+        subclusters: Leaf entries of the CF-tree.
+        k: Required number of clusters.
+        method: ``"agglomerative"`` (default, exact CF merging) or
+            ``"kmeans"`` (weighted Lloyd over centroids).
+        seed: RNG seed for the K-Means option.
+    """
+    if not subclusters:
+        return []
+    if method == "agglomerative":
+        clusters, _assignment = agglomerate(subclusters, k)
+        return clusters
+    if method == "kmeans":
+        centroids = [cf.centroid() for cf in subclusters]
+        weights = [cf.n for cf in subclusters]
+        result = weighted_kmeans(centroids, weights, k=k, seed=seed)
+        merged = [ClusterFeature() for _ in range(len(result.centers))]
+        for cf, label in zip(subclusters, result.labels):
+            merged[int(label)].merge(cf)
+        return [cf for cf in merged if not cf.is_empty()]
+    raise ValueError(f"unknown phase-2 method {method!r}")
+
+
+def build_model(
+    subclusters: Sequence[ClusterFeature],
+    k: int,
+    block_ids: Sequence[int],
+    method: str = "agglomerative",
+    seed: int = 0,
+) -> ClusterModel:
+    """Wrap phase-2 output into a :class:`ClusterModel`."""
+    cluster_cfs = global_cluster(subclusters, k, method=method, seed=seed)
+    clusters = [Cluster(cf, cluster_id=i) for i, cf in enumerate(cluster_cfs)]
+    return ClusterModel(
+        clusters=clusters,
+        n_points=sum(cf.n for cf in cluster_cfs),
+        selected_block_ids=sorted(block_ids),
+    )
+
+
+def birch_cluster(
+    points: Iterable[Sequence[float]],
+    k: int,
+    threshold: float = 0.5,
+    branching_factor: int = 8,
+    leaf_capacity: int = 8,
+    max_leaf_entries: int = 512,
+    method: str = "agglomerative",
+    seed: int = 0,
+    block_ids: Sequence[int] = (),
+) -> tuple[ClusterModel, CFTree, BirchTimings]:
+    """Run both BIRCH phases over a dataset from scratch.
+
+    Returns the model, the phase-1 CF-tree (so callers can continue
+    inserting), and the phase timing breakdown.
+    """
+    timings = BirchTimings()
+    tree = CFTree(
+        threshold=threshold,
+        branching_factor=branching_factor,
+        leaf_capacity=leaf_capacity,
+        max_leaf_entries=max_leaf_entries,
+    )
+    start = time.perf_counter()
+    tree.insert_points(points)
+    timings.phase1_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    model = build_model(tree.leaf_entries(), k, block_ids, method=method, seed=seed)
+    timings.phase2_seconds = time.perf_counter() - start
+    return model, tree, timings

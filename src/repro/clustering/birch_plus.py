@@ -1,0 +1,125 @@
+"""BIRCH+ — incremental clustering for systematically evolving data (§3.1.2).
+
+BIRCH+ exploits two facts: BIRCH is insensitive to input order, and its
+phase-1 sub-cluster set is incrementally maintainable.  The CF-tree is
+kept alive between blocks; when block ``D_{t+1}`` arrives, phase 1
+*resumes* — the new block is scanned once into the existing tree — and
+the fast in-memory phase 2 re-derives the ``K`` clusters from the
+updated sub-clusters.  At any time the clusters equal those of running
+non-incremental BIRCH on the whole selected history.
+
+The sub-cluster set cannot be maintained under deletions (§3.2.4), so
+the maintainer implements only the additive interface — exactly why
+GEMM, rather than an add+delete scheme, is needed for the most recent
+window with this model class.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+
+from repro.clustering.birch import BirchTimings, build_model
+from repro.clustering.cf import Point
+from repro.clustering.cftree import CFTree
+from repro.clustering.model import ClusterModel
+from repro.core.blocks import Block
+from repro.core.maintainer import IncrementalModelMaintainer
+
+
+@dataclass
+class BirchState:
+    """The maintainable model: the live CF-tree plus derived clusters.
+
+    Attributes:
+        tree: Phase-1 CF-tree, resumed on each block arrival.
+        clusters: Phase-2 output over the tree's current sub-clusters.
+        selected_block_ids: Blocks summarized into the tree.
+    """
+
+    tree: CFTree
+    clusters: ClusterModel = field(default_factory=ClusterModel)
+    selected_block_ids: list[int] = field(default_factory=list)
+
+
+class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
+    """Incremental BIRCH+ as a GEMM-instantiable maintainer.
+
+    Args:
+        k: Required number of clusters.
+        threshold: Initial CF-tree absorption threshold.
+        branching_factor: CF-tree internal fanout bound.
+        leaf_capacity: CF-tree leaf entry bound.
+        max_leaf_entries: Sub-cluster budget before a rebuild.
+        method: Phase-2 algorithm (``"agglomerative"`` or ``"kmeans"``).
+        seed: RNG seed for the K-Means phase-2 option.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        threshold: float = 0.5,
+        branching_factor: int = 8,
+        leaf_capacity: int = 8,
+        max_leaf_entries: int = 512,
+        method: str = "agglomerative",
+        seed: int = 0,
+    ):
+        if k < 1:
+            raise ValueError(f"number of clusters must be >= 1, got {k}")
+        self.k = k
+        self.threshold = threshold
+        self.branching_factor = branching_factor
+        self.leaf_capacity = leaf_capacity
+        self.max_leaf_entries = max_leaf_entries
+        self.method = method
+        self.seed = seed
+        self.last_timings = BirchTimings()
+
+    def _new_tree(self) -> CFTree:
+        return CFTree(
+            threshold=self.threshold,
+            branching_factor=self.branching_factor,
+            leaf_capacity=self.leaf_capacity,
+            max_leaf_entries=self.max_leaf_entries,
+        )
+
+    def empty_model(self) -> BirchState:
+        return BirchState(tree=self._new_tree())
+
+    def build(self, blocks) -> BirchState:
+        """``A_M(D, φ)``: run BIRCH on the given blocks."""
+        state = self.empty_model()
+        for block in blocks:
+            state = self.add_block(state, block)
+        return state
+
+    def add_block(self, state: BirchState, block: Block[Point]) -> BirchState:
+        """Resume phase 1 on the new block, then re-run phase 2."""
+        timings = BirchTimings()
+        start = time.perf_counter()
+        state.tree.insert_points(block.tuples)
+        timings.phase1_seconds = time.perf_counter() - start
+        state.selected_block_ids.append(block.block_id)
+        state.selected_block_ids.sort()
+
+        start = time.perf_counter()
+        state.clusters = build_model(
+            state.tree.leaf_entries(),
+            self.k,
+            state.selected_block_ids,
+            method=self.method,
+            seed=self.seed,
+        )
+        timings.phase2_seconds = time.perf_counter() - start
+        self.last_timings = timings
+        return state
+
+    def clone(self, state: BirchState) -> BirchState:
+        """Deep-copy the tree so divergent GEMM slots stay independent."""
+        return BirchState(
+            tree=copy.deepcopy(state.tree),
+            clusters=state.clusters.copy(),
+            selected_block_ids=list(state.selected_block_ids),
+        )

@@ -1,0 +1,92 @@
+"""Agglomerative clustering of cluster features (BIRCH phase-2 option).
+
+Merges the two closest sub-clusters repeatedly — under any of the CF
+distance metrics — until the requested number of clusters remains.
+Because the inputs are CFs, a merge is exact (additivity), not an
+approximation, and the variance-increase metric D4 makes this a
+Ward-style agglomeration over the summarized data.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.clustering.cf import ClusterFeature, get_metric
+
+
+def agglomerate(
+    cfs: Sequence[ClusterFeature],
+    k: int,
+    metric: str = "d4",
+) -> tuple[list[ClusterFeature], list[int]]:
+    """Merge CFs until ``k`` clusters remain.
+
+    Args:
+        cfs: Input sub-cluster features (all non-empty).
+        k: Target number of clusters; clamped to ``len(cfs)``.
+        metric: CF distance metric name (default ``d4``).
+
+    Returns:
+        ``(clusters, assignment)`` where ``clusters`` is the list of
+        merged CFs and ``assignment[i]`` is the cluster index of input
+        ``cfs[i]``.
+    """
+    if not cfs:
+        return [], []
+    for cf in cfs:
+        if cf.is_empty():
+            raise ValueError("cannot agglomerate an empty cluster feature")
+    distance = get_metric(metric)
+    k = max(1, min(k, len(cfs)))
+
+    # Lazy-deletion binary heap of candidate merges.  ``version[i]``
+    # invalidates stale heap entries after cluster i changes.
+    active: dict[int, ClusterFeature] = {i: cf.copy() for i, cf in enumerate(cfs)}
+    members: dict[int, list[int]] = {i: [i] for i in range(len(cfs))}
+    version = {i: 0 for i in range(len(cfs))}
+    next_id = len(cfs)
+
+    heap: list[tuple[float, int, int, int, int]] = []
+    ids = list(active)
+    for a_pos, a in enumerate(ids):
+        for b in ids[a_pos + 1 :]:
+            heapq.heappush(
+                heap, (distance(active[a], active[b]), a, b, version[a], version[b])
+            )
+
+    while len(active) > k and heap:
+        dist, a, b, va, vb = heapq.heappop(heap)
+        if a not in active or b not in active:
+            continue
+        if version[a] != va or version[b] != vb:
+            continue
+        merged = active[a].merged(active[b])
+        merged_members = members[a] + members[b]
+        for stale in (a, b):
+            del active[stale]
+            del members[stale]
+            del version[stale]
+        new_id = next_id
+        next_id += 1
+        version[new_id] = 0
+        members[new_id] = merged_members
+        for other, other_cf in active.items():
+            heapq.heappush(
+                heap,
+                (
+                    distance(merged, other_cf),
+                    new_id,
+                    other,
+                    0,
+                    version[other],
+                ),
+            )
+        active[new_id] = merged
+
+    clusters = list(active.values())
+    assignment = [0] * len(cfs)
+    for cluster_index, cluster_id in enumerate(active):
+        for original in members[cluster_id]:
+            assignment[original] = cluster_index
+    return clusters, assignment

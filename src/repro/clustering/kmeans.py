@@ -1,0 +1,121 @@
+"""Weighted K-Means — one of BIRCH's phase-2 global clustering options.
+
+Phase 2 clusters the CF-tree's sub-cluster summaries rather than raw
+points, so the algorithm runs on *weighted* centroids: each sub-cluster
+contributes its centroid with weight ``N``.  Seeding is k-means++ style
+with a caller-provided RNG seed so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Output of one weighted K-Means run.
+
+    Attributes:
+        centers: ``(k, d)`` array of cluster centers.
+        labels: Cluster index assigned to each input vector.
+        inertia: Weighted within-cluster sum of squared distances.
+        iterations: Lloyd iterations until convergence (or the cap).
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _seed_centers(
+    vectors: np.ndarray, weights: np.ndarray, k: int, rng: random.Random
+) -> np.ndarray:
+    """k-means++ seeding over weighted vectors."""
+    n = len(vectors)
+    first = rng.choices(range(n), weights=weights.tolist(), k=1)[0]
+    centers = [vectors[first]]
+    squared = np.full(n, np.inf)
+    for _ in range(1, k):
+        delta = vectors - centers[-1]
+        squared = np.minimum(squared, (delta * delta).sum(axis=1))
+        mass = squared * weights
+        total = float(mass.sum())
+        if total <= 0:
+            # All remaining vectors coincide with chosen centers; pick
+            # uniformly to keep k centers.
+            centers.append(vectors[rng.randrange(n)])
+            continue
+        pick = rng.choices(range(n), weights=(mass / total).tolist(), k=1)[0]
+        centers.append(vectors[pick])
+    return np.asarray(centers)
+
+
+def weighted_kmeans(
+    vectors: Sequence[Sequence[float]],
+    weights: Sequence[float] | None = None,
+    k: int = 2,
+    max_iterations: int = 100,
+    seed: int = 0,
+    tolerance: float = 1e-7,
+) -> KMeansResult:
+    """Lloyd's algorithm over weighted vectors with k-means++ seeding.
+
+    Args:
+        vectors: Input vectors (e.g. sub-cluster centroids).
+        weights: Per-vector weights (sub-cluster sizes); ones if omitted.
+        k: Number of clusters; clamped to the number of vectors.
+        max_iterations: Cap on Lloyd iterations.
+        seed: RNG seed for the k-means++ seeding.
+        tolerance: Stop when no center moves more than this (L2).
+
+    Returns:
+        A :class:`KMeansResult`.
+    """
+    data = np.asarray(vectors, dtype=float)
+    if data.ndim != 2 or len(data) == 0:
+        raise ValueError("vectors must be a non-empty 2-D array-like")
+    w = (
+        np.ones(len(data))
+        if weights is None
+        else np.asarray(weights, dtype=float)
+    )
+    if len(w) != len(data):
+        raise ValueError("weights must align with vectors")
+    if np.any(w <= 0):
+        raise ValueError("weights must be positive")
+    k = max(1, min(k, len(data)))
+    rng = random.Random(seed)
+    centers = _seed_centers(data, w, k, rng)
+
+    labels = np.zeros(len(data), dtype=int)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # Assignment step.
+        distances = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        # Update step.
+        new_centers = centers.copy()
+        for j in range(k):
+            mask = labels == j
+            if not mask.any():
+                # Re-seed an empty cluster at the weighted-farthest vector.
+                farthest = int((distances.min(axis=1) * w).argmax())
+                new_centers[j] = data[farthest]
+                continue
+            new_centers[j] = np.average(data[mask], axis=0, weights=w[mask])
+        shift = float(np.sqrt(((new_centers - centers) ** 2).sum(axis=1)).max())
+        centers = new_centers
+        if shift <= tolerance:
+            break
+
+    distances = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    labels = distances.argmin(axis=1)
+    inertia = float((distances[np.arange(len(data)), labels] * w).sum())
+    return KMeansResult(
+        centers=centers, labels=labels, inertia=inertia, iterations=iterations
+    )

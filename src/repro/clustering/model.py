@@ -1,0 +1,134 @@
+"""The cluster model: the clusters BIRCH's phase 2 produces.
+
+A cluster model is the set of clusters discovered in the data (paper
+§3).  Each cluster is summarized by its CF, so centroid, size, radius,
+and the usual distance-based criterion function are all available
+without the raw points.  Labeling a dataset (the optional second scan
+the paper mentions for all summary-based algorithms) is a nearest-
+centroid assignment.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clustering.cf import ClusterFeature, Point
+
+
+@dataclass
+class Cluster:
+    """One discovered cluster, summarized by its cluster feature."""
+
+    cf: ClusterFeature
+    cluster_id: int
+
+    @property
+    def size(self) -> int:
+        return self.cf.n
+
+    def centroid(self) -> np.ndarray:
+        return self.cf.centroid()
+
+    def radius(self) -> float:
+        return self.cf.radius()
+
+
+@dataclass
+class ClusterModel:
+    """A set of clusters plus model-level quality measures.
+
+    Attributes:
+        clusters: The discovered clusters.
+        n_points: Total points summarized across clusters.
+        selected_block_ids: Blocks the model was extracted from.
+    """
+
+    clusters: list[Cluster] = field(default_factory=list)
+    n_points: int = 0
+    selected_block_ids: list[int] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return len(self.clusters)
+
+    def centroids(self) -> np.ndarray:
+        """``(k, d)`` array of cluster centroids."""
+        if not self.clusters:
+            raise ValueError("model has no clusters")
+        return np.asarray([c.centroid() for c in self.clusters])
+
+    def assign(self, point: Sequence[float]) -> int:
+        """Label one point with its nearest cluster's id."""
+        if not self.clusters:
+            raise ValueError("model has no clusters")
+        vec = np.asarray(point, dtype=float)
+        best_id, best_distance = -1, float("inf")
+        for cluster in self.clusters:
+            diff = cluster.centroid() - vec
+            distance = float(diff @ diff)
+            if distance < best_distance:
+                best_distance = distance
+                best_id = cluster.cluster_id
+        return best_id
+
+    def label_dataset(self, points: Iterable[Sequence[float]]) -> list[int]:
+        """The second scan: label every point by nearest centroid."""
+        centroids = self.centroids()
+        ids = [c.cluster_id for c in self.clusters]
+        labels: list[int] = []
+        for point in points:
+            vec = np.asarray(point, dtype=float)
+            distances = ((centroids - vec) ** 2).sum(axis=1)
+            labels.append(ids[int(distances.argmin())])
+        return labels
+
+    def weighted_total_radius(self) -> float:
+        """Distance-based criterion: size-weighted RMS cluster radius.
+
+        A standard clustering criterion function (paper §3: "weighted
+        total or average distance between pairs of points in clusters").
+        Lower is tighter.
+        """
+        if self.n_points == 0:
+            return 0.0
+        total = sum(c.size * c.radius() ** 2 for c in self.clusters)
+        return math.sqrt(total / self.n_points)
+
+    def copy(self) -> "ClusterModel":
+        return ClusterModel(
+            clusters=[Cluster(c.cf.copy(), c.cluster_id) for c in self.clusters],
+            n_points=self.n_points,
+            selected_block_ids=list(self.selected_block_ids),
+        )
+
+
+def match_clusters(
+    model_a: ClusterModel, model_b: ClusterModel
+) -> list[tuple[int, int, float]]:
+    """Greedy centroid matching between two models' clusters.
+
+    Used by tests and the BIRCH-vs-BIRCH+ benchmark to check that the
+    incremental and from-scratch models found essentially the same
+    clusters.  Returns ``(id_a, id_b, centroid_distance)`` triples.
+    """
+    pairs: list[tuple[float, int, int]] = []
+    for a in model_a.clusters:
+        for b in model_b.clusters:
+            diff = a.centroid() - b.centroid()
+            pairs.append((float(np.sqrt(diff @ diff)), a.cluster_id, b.cluster_id))
+    pairs.sort()
+    used_a: set[int] = set()
+    used_b: set[int] = set()
+    matches: list[tuple[int, int, float]] = []
+    for distance, id_a, id_b in pairs:
+        if id_a in used_a or id_b in used_b:
+            continue
+        used_a.add(id_a)
+        used_b.add(id_b)
+        matches.append((id_a, id_b, distance))
+    return matches

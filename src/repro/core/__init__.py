@@ -1,0 +1,41 @@
+"""DEMON core: block evolution, data span, BSS, GEMM, and the monitor."""
+
+from repro.core.blocks import Block, Snapshot, make_block, merge_blocks
+from repro.core.bss import (
+    WindowIndependentBSS,
+    WindowRelativeBSS,
+    bits_key,
+    weekday_bss,
+)
+from repro.core.gemm import GEMM, GEMMUpdateReport
+from repro.core.hierarchy import HierarchicalStream, TimeHierarchy
+from repro.core.maintainer import (
+    DeletableModelMaintainer,
+    IncrementalModelMaintainer,
+    UnrestrictedWindowMaintainer,
+)
+from repro.core.monitor import DemonMonitor, MonitorReport
+from repro.core.windows import BlockRange, MostRecentWindow, UnrestrictedWindow
+
+__all__ = [
+    "Block",
+    "Snapshot",
+    "make_block",
+    "merge_blocks",
+    "WindowIndependentBSS",
+    "WindowRelativeBSS",
+    "weekday_bss",
+    "bits_key",
+    "BlockRange",
+    "UnrestrictedWindow",
+    "MostRecentWindow",
+    "IncrementalModelMaintainer",
+    "DeletableModelMaintainer",
+    "UnrestrictedWindowMaintainer",
+    "GEMM",
+    "GEMMUpdateReport",
+    "TimeHierarchy",
+    "HierarchicalStream",
+    "DemonMonitor",
+    "MonitorReport",
+]

@@ -1,0 +1,135 @@
+"""Systematic block evolution: blocks, snapshots, and the evolving database.
+
+DEMON (§2.1) models the database ``D`` as a conceptually infinite
+sequence of blocks ``D1, D2, ...`` where each block is a set of tuples
+added simultaneously, identifiers increase in arrival order, and the
+*current database snapshot* is the prefix ``D[1, t]`` ending at the
+latest block ``Dt``.  Blocks may span irregular time intervals; an
+optional timestamp label carries that metadata for pattern reporting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Block(Generic[T]):
+    """One block of tuples added to the database at the same time.
+
+    Attributes:
+        block_id: Positive identifier; identifiers increase in arrival
+            order (paper §2.1).
+        tuples: The records in the block.  For itemset mining each tuple
+            is a transaction (sequence of item ids); for clustering each
+            tuple is a d-dimensional point.
+        label: Optional human-readable label (e.g. "Mon 09:00-15:00")
+            used when reporting discovered patterns.
+        metadata: Free-form attributes, e.g. ``{"weekday": 0, "hour": 8}``
+            for calendar-aware block selection predicates.
+    """
+
+    block_id: int
+    tuples: tuple[T, ...]
+    label: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.block_id < 1:
+            raise ValueError(f"block identifiers start at 1, got {self.block_id}")
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.tuples)
+
+
+def make_block(
+    block_id: int,
+    tuples: Iterable[T],
+    label: str = "",
+    metadata: dict[str, Any] | None = None,
+) -> Block[T]:
+    """Construct a :class:`Block`, materializing ``tuples`` into a tuple."""
+    return Block(
+        block_id=block_id,
+        tuples=tuple(tuples),
+        label=label,
+        metadata=dict(metadata) if metadata else {},
+    )
+
+
+class Snapshot(Generic[T]):
+    """The current database snapshot ``D[1, t]`` (paper §2.1).
+
+    A snapshot is an ordered prefix of the block sequence.  It is
+    append-only: :meth:`extend` adds block ``t+1``.  Indexing is by the
+    paper's 1-based block identifier.
+    """
+
+    def __init__(self, blocks: Sequence[Block[T]] = ()):
+        self._blocks: list[Block[T]] = []
+        for block in blocks:
+            self.extend(block)
+
+    @property
+    def t(self) -> int:
+        """Identifier of the latest block (0 when the snapshot is empty)."""
+        return len(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block[T]]:
+        return iter(self._blocks)
+
+    def extend(self, block: Block[T]) -> None:
+        """Append the next block; its id must be exactly ``t + 1``."""
+        expected = self.t + 1
+        if block.block_id != expected:
+            raise ValueError(
+                f"systematic evolution requires block id {expected}, "
+                f"got {block.block_id}"
+            )
+        self._blocks.append(block)
+
+    def block(self, block_id: int) -> Block[T]:
+        """Return block ``D_{block_id}`` (1-based)."""
+        if not 1 <= block_id <= self.t:
+            raise IndexError(f"block id {block_id} outside snapshot D[1, {self.t}]")
+        return self._blocks[block_id - 1]
+
+    def blocks(self, lo: int, hi: int) -> list[Block[T]]:
+        """Return blocks ``D[lo, hi]`` inclusive (the paper's D[lo, hi])."""
+        if lo < 1 or hi > self.t or lo > hi:
+            raise IndexError(f"range D[{lo}, {hi}] outside snapshot D[1, {self.t}]")
+        return self._blocks[lo - 1 : hi]
+
+    def tuple_count(self, lo: int | None = None, hi: int | None = None) -> int:
+        """Total number of tuples in ``D[lo, hi]`` (default: whole snapshot)."""
+        lo = 1 if lo is None else lo
+        hi = self.t if hi is None else hi
+        if lo > hi:
+            return 0
+        return sum(len(b) for b in self.blocks(lo, hi))
+
+
+def merge_blocks(blocks: Sequence[Block[T]], block_id: int, label: str = "") -> Block[T]:
+    """Merge several blocks into one coarser block.
+
+    The paper (§2.1) notes that hierarchies on the time dimension are
+    handled by merging all blocks that fall under the same parent; this
+    helper performs that merge.  Tuples are concatenated in block order.
+    """
+    if not blocks:
+        raise ValueError("cannot merge an empty sequence of blocks")
+    tuples: list[T] = []
+    for block in blocks:
+        tuples.extend(block.tuples)
+    merged_meta: dict[str, Any] = {"merged_from": [b.block_id for b in blocks]}
+    return Block(block_id=block_id, tuples=tuple(tuples), label=label, metadata=merged_meta)

@@ -1,0 +1,286 @@
+"""GEMM — the GEneric Model Maintainer for the most recent window (§3.2).
+
+GEMM turns any unrestricted-window incremental maintainer ``A_M`` into a
+most-recent-window maintainer under either kind of block selection
+sequence.  The idea (Algorithm 3.1): the window ``D[t-w+1, t]`` of size
+``w`` evolves in ``w`` steps, so alongside the *current* model GEMM
+keeps one model for the overlapping prefix of each of the ``w - 1``
+*future* windows.  When block ``D_{t+1}`` arrives:
+
+* every kept model is extended with the new block if its (projected or
+  right-shifted) BSS selects it, otherwise it carries over unchanged;
+* the model that covered the full old window is retired;
+* a fresh model covering only ``D_{t+1}`` joins as the prefix of the
+  farthest future window.
+
+The only *time-critical* update is the one that yields the new current
+model — the rest can happen off-line (§3.2.3) — so :meth:`GEMM.observe`
+reports which updates were on the critical path and how many ``A_M``
+invocations each category cost.
+
+Deduplication: models whose effective selected-block sets coincide are
+stored once (the paper notes the actual number of distinct models may
+be less than ``w``).  GEMM keys its slot table by the frozen set of
+selected global block identifiers, cloning only when two slots that
+shared a model diverge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar, Union
+
+from repro.core.blocks import Block
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+from repro.core.maintainer import IncrementalModelMaintainer
+
+TModel = TypeVar("TModel")
+T = TypeVar("T")
+
+BSSType = Union[WindowIndependentBSS, WindowRelativeBSS]
+
+ModelKey = frozenset  # frozen set of global block ids selected into a model
+
+EMPTY_KEY: ModelKey = frozenset()
+
+
+@dataclass
+class GEMMUpdateReport:
+    """Accounting for one :meth:`GEMM.observe` call.
+
+    Attributes:
+        t: Identifier of the block that was just added.
+        critical_invocations: ``A_M`` invocations on the response-time
+            critical path (producing the new current model); 0 or 1.
+        offline_invocations: ``A_M`` invocations that can run off-line.
+        distinct_models: Number of distinct models stored after the
+            update (≤ w thanks to deduplication).
+        critical_seconds: Wall-clock spent on the critical path.
+        offline_seconds: Wall-clock spent on off-line updates.
+    """
+
+    t: int
+    critical_invocations: int = 0
+    offline_invocations: int = 0
+    distinct_models: int = 0
+    critical_seconds: float = 0.0
+    offline_seconds: float = 0.0
+
+
+@dataclass
+class _SlotPlan:
+    """Where new slot k's model comes from during one window slide."""
+
+    source_key: ModelKey
+    extend: bool  # whether the new block is selected into this slot
+    new_key: ModelKey = field(default=EMPTY_KEY)
+
+
+class GEMM(Generic[TModel, T]):
+    """Most-recent-window model maintenance via Algorithm 3.1.
+
+    Args:
+        maintainer: The unrestricted-window incremental algorithm
+            ``A_M`` instantiating GEMM.
+        w: Window size in blocks.
+        bss: Block selection sequence — either window-independent
+            (projection operation applies) or window-relative
+            (right-shift operation applies).  Defaults to selecting
+            every block in the window.
+    """
+
+    def __init__(
+        self,
+        maintainer: IncrementalModelMaintainer[TModel, T],
+        w: int,
+        bss: BSSType | None = None,
+        vault=None,
+    ):
+        if w < 1:
+            raise ValueError(f"window size must be >= 1, got {w}")
+        if isinstance(bss, WindowRelativeBSS) and bss.w != w:
+            raise ValueError(
+                f"window-relative BSS has length {bss.w} but window size is {w}"
+            )
+        self.maintainer = maintainer
+        self.w = w
+        self.bss = bss if bss is not None else WindowIndependentBSS.select_all()
+        #: Optional :class:`~repro.storage.persist.ModelVault`.  When
+        #: set, only the current model (and the empty model) stay in
+        #: memory; the other future-window models live serialized in
+        #: the vault — the paper's §3.2.3 disk-resident collection.
+        self.vault = vault
+        self._t = 0
+        # Slot k holds the model for the overlapping prefix of future
+        # window f_k; slot 0 is the current model.  Slots store keys into
+        # the dedup table ``_models`` (or the vault).
+        self._slots: list[ModelKey] = [EMPTY_KEY] * w
+        self._models: dict[ModelKey, TModel] = {EMPTY_KEY: maintainer.empty_model()}
+
+    @property
+    def t(self) -> int:
+        """Identifier of the latest observed block."""
+        return self._t
+
+    @property
+    def window_start(self) -> int:
+        """Identifier of the oldest block in the current window."""
+        return max(1, self._t - self.w + 1)
+
+    @property
+    def is_warmed_up(self) -> bool:
+        """Whether the window has reached its full size ``w``."""
+        return self._t >= self.w
+
+    def current_model(self) -> TModel:
+        """The required model on the current window w.r.t. the BSS."""
+        return self._models[self._slots[0]]
+
+    def current_selection(self) -> ModelKey:
+        """Global block identifiers the current model was extracted from."""
+        return self._slots[0]
+
+    def model_for_slot(self, k: int) -> TModel:
+        """The model kept for the prefix of future window ``f_k``.
+
+        With a vault configured, non-current models are fetched from it
+        (each fetch yields a private deserialized copy).
+        """
+        if not 0 <= k < self.w:
+            raise IndexError(f"slot index {k} outside 0..{self.w - 1}")
+        return self._load(self._slots[k])
+
+    def _load(self, key: ModelKey) -> TModel:
+        """A model by key — from memory, falling back to the vault."""
+        if key in self._models:
+            return self._models[key]
+        if self.vault is not None and key in self.vault:
+            return self.vault.get(key)
+        raise KeyError(f"no model stored for key {sorted(key)}")
+
+    def distinct_model_count(self) -> int:
+        """Number of distinct (deduplicated) models currently stored."""
+        return len(set(self._slots))
+
+    def _bit_for_slot(self, k: int, new_block_id: int, window_start: int) -> bool:
+        """Whether the arriving block is selected into slot ``k``'s model.
+
+        Slot ``k``'s model covers the prefix of the future window that
+        starts at ``window_start + k``.  For a window-independent BSS the
+        global bit of the new block applies to every slot (the
+        projection operation never re-indexes bits, §3.2.1).  For a
+        window-relative BSS the new block sits at position
+        ``new_block_id - (window_start + k) + 1`` within that future
+        window, which is exactly what the k-right-shift computes
+        (§3.2.2).
+        """
+        if isinstance(self.bss, WindowIndependentBSS):
+            return self.bss.selects(new_block_id)
+        position = new_block_id - (window_start + k) + 1
+        if not 1 <= position <= self.w:
+            return False
+        return self.bss.selects(position)
+
+    def observe(self, block: Block[T]) -> GEMMUpdateReport:
+        """Process the arrival of the next block (Algorithm 3.1).
+
+        Returns a :class:`GEMMUpdateReport`; the new current model is
+        available via :meth:`current_model` immediately afterwards.
+        """
+        expected = self._t + 1
+        if block.block_id != expected:
+            raise ValueError(
+                f"systematic evolution requires block id {expected}, "
+                f"got {block.block_id}"
+            )
+        new_t = block.block_id
+        sliding = self._t >= self.w  # window slides only once it is full
+        # Window start used for position arithmetic is that of the *new*
+        # snapshot (the windows the slots will describe after this step).
+        new_window_start = max(1, new_t - self.w + 1)
+
+        plans = self._plan_slots(block, sliding, new_window_start)
+        report = GEMMUpdateReport(t=new_t)
+        new_models: dict[ModelKey, TModel] = {EMPTY_KEY: self._models[EMPTY_KEY]}
+
+        # Execute the time-critical update (new slot 0) first, then the
+        # off-line ones, metering each category separately (§3.2.3).
+        start = time.perf_counter()
+        invocations = self._realize(plans[0], block, new_models)
+        report.critical_seconds = time.perf_counter() - start
+        report.critical_invocations = invocations
+
+        start = time.perf_counter()
+        for plan in plans[1:]:
+            report.offline_invocations += self._realize(plan, block, new_models)
+        report.offline_seconds = time.perf_counter() - start
+
+        self._t = new_t
+        self._slots = [plan.new_key for plan in plans]
+        live_keys = set(self._slots) | {EMPTY_KEY}
+        if self.vault is None:
+            self._models = {key: new_models[key] for key in live_keys}
+        else:
+            # §3.2.3: only the current model stays in memory; the rest
+            # of the collection goes to (simulated) disk.
+            memory_keys = {self._slots[0], EMPTY_KEY}
+            spilled = live_keys - memory_keys
+            for key in spilled:
+                self.vault.put(key, new_models[key])
+            self.vault.retain_only(spilled)
+            self._models = {key: new_models[key] for key in memory_keys}
+        report.distinct_models = self.distinct_model_count()
+        return report
+
+    def _plan_slots(
+        self, block: Block[T], sliding: bool, new_window_start: int
+    ) -> list[_SlotPlan]:
+        """Decide, per new slot, its source model and whether to extend it."""
+        new_id = block.block_id
+        plans: list[_SlotPlan] = []
+        for k in range(self.w):
+            if sliding:
+                # New slot k descends from old slot k+1; the last slot is
+                # the fresh model covering only the new block.
+                source = self._slots[k + 1] if k + 1 < self.w else EMPTY_KEY
+            else:
+                # Warm-up: the window grows instead of sliding, so slots
+                # keep their index and are extended in place.
+                source = self._slots[k]
+            future_start = new_window_start + k
+            covers_new_block = future_start <= new_id
+            extend = covers_new_block and self._bit_for_slot(k, new_id, new_window_start)
+            new_key = source | {new_id} if extend else source
+            plans.append(_SlotPlan(source_key=source, extend=extend, new_key=new_key))
+        return plans
+
+    def _realize(
+        self,
+        plan: _SlotPlan,
+        block: Block[T],
+        new_models: dict[ModelKey, TModel],
+    ) -> int:
+        """Materialize one slot plan into ``new_models``.
+
+        Returns the number of ``A_M`` invocations performed (0 when the
+        model carries over or was already built for an identical key).
+        """
+        if plan.new_key in new_models:
+            return 0
+        if not plan.extend:
+            # Unchanged model: share the existing object (or revive it
+            # from the vault — the copy is private by construction).
+            new_models[plan.new_key] = self._load(plan.source_key)
+            return 0
+        if plan.source_key == EMPTY_KEY:
+            new_models[plan.new_key] = self.maintainer.build([block])
+            return 1
+        source = self._load(plan.source_key)
+        if plan.source_key in self._models:
+            # In-memory models may feed several slots; clone before the
+            # (possibly mutating) update.  Vault fetches are already
+            # private copies.
+            source = self.maintainer.clone(source)
+        new_models[plan.new_key] = self.maintainer.add_block(source, block)
+        return 1

@@ -1,0 +1,124 @@
+"""Time hierarchies over blocks (paper §2.1).
+
+"The lack of constraints on the time spanned by any block also allows
+us to incorporate hierarchies on the time dimension.  (We just merge
+all blocks that fall under the same parent.)"  This module implements
+that merge: a :class:`TimeHierarchy` groups a fine-grained block stream
+into coarser blocks by a user key (hour → day → week ...), re-numbering
+the coarse blocks sequentially so they form a valid systematic
+evolution of their own.
+
+It also provides :class:`HierarchicalStream`, a push-style adapter that
+feeds one incoming fine stream to consumers at several granularities at
+once — how an analyst would run the same monitor at the day and week
+levels simultaneously.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Sequence
+
+from repro.core.blocks import Block, merge_blocks
+
+
+class TimeHierarchy:
+    """Groups consecutive fine blocks that share a parent key.
+
+    Args:
+        parent_key: Maps a fine block to its parent's identity (e.g.
+            ``lambda b: b.metadata["day"]``).  Fine blocks must arrive
+            grouped by parent (systematic evolution guarantees time
+            order, so calendar keys satisfy this).
+        label: Optional parent label builder from the first fine block.
+    """
+
+    def __init__(
+        self,
+        parent_key: Callable[[Block], Hashable],
+        label: Callable[[Block], str] | None = None,
+    ):
+        self.parent_key = parent_key
+        self.label = label if label is not None else (lambda block: block.label)
+
+    def merge_stream(self, blocks: Sequence[Block]) -> list[Block]:
+        """Merge a complete fine stream into coarse blocks."""
+        coarse: list[Block] = []
+        group: list[Block] = []
+        current_key: Hashable = None
+        for block in blocks:
+            key = self.parent_key(block)
+            if group and key != current_key:
+                coarse.append(self._finish(group, len(coarse) + 1))
+                group = []
+            current_key = key
+            group.append(block)
+        if group:
+            coarse.append(self._finish(group, len(coarse) + 1))
+        return coarse
+
+    def _finish(self, group: list[Block], coarse_id: int) -> Block:
+        merged = merge_blocks(group, block_id=coarse_id, label=self.label(group[0]))
+        merged.metadata.update(
+            {
+                key: value
+                for key, value in group[0].metadata.items()
+                if key != "merged_from"
+            }
+        )
+        merged.metadata["fine_block_ids"] = [b.block_id for b in group]
+        return merged
+
+
+class HierarchicalStream:
+    """Feeds one fine stream to per-granularity consumers.
+
+    Consumers are objects with an ``observe(block)`` method (monitors,
+    pattern miners, GEMM instances).  The fine-level consumer sees every
+    block as it arrives; a coarse consumer sees a merged block whenever
+    its parent key changes (i.e. its period closes).  Call
+    :meth:`flush` at end of stream to close the last open period.
+
+    Args:
+        hierarchy: The grouping rule.
+        fine_consumer: Optional consumer of the raw fine blocks.
+        coarse_consumer: Optional consumer of the merged blocks.
+    """
+
+    def __init__(
+        self,
+        hierarchy: TimeHierarchy,
+        fine_consumer=None,
+        coarse_consumer=None,
+    ):
+        self.hierarchy = hierarchy
+        self.fine_consumer = fine_consumer
+        self.coarse_consumer = coarse_consumer
+        self._open_group: list[Block] = []
+        self._open_key: Hashable = None
+        self._coarse_count = 0
+
+    @property
+    def coarse_blocks_emitted(self) -> int:
+        return self._coarse_count
+
+    def observe(self, block: Block) -> None:
+        """Process the next fine block."""
+        if self.fine_consumer is not None:
+            self.fine_consumer.observe(block)
+        key = self.hierarchy.parent_key(block)
+        if self._open_group and key != self._open_key:
+            self._emit()
+        self._open_key = key
+        self._open_group.append(block)
+
+    def flush(self) -> None:
+        """Close the trailing period (call once, at end of stream)."""
+        if self._open_group:
+            self._emit()
+
+    def _emit(self) -> None:
+        self._coarse_count += 1
+        merged = self.hierarchy._finish(self._open_group, self._coarse_count)
+        self._open_group = []
+        if self.coarse_consumer is not None:
+            self.coarse_consumer.observe(merged)

@@ -1,0 +1,96 @@
+"""The data span dimension (paper §2.2): unrestricted and most recent windows.
+
+The data span dimension gives the analyst two options for which temporal
+subset of the snapshot is mined:
+
+* **Unrestricted window (UW)** — ``D[1, t]``, everything collected so far.
+* **Most recent window (MRW)** — ``D[t-w+1, t]``, the latest ``w``
+  blocks (or ``D[1, t]`` while ``t < w``).
+
+A window object resolves, for a given latest block identifier ``t``, the
+inclusive block-identifier range it spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockRange:
+    """An inclusive range of block identifiers ``D[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 1 or self.hi < self.lo:
+            raise ValueError(f"invalid block range D[{self.lo}, {self.hi}]")
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __contains__(self, block_id: int) -> bool:
+        return self.lo <= block_id <= self.hi
+
+    def ids(self) -> range:
+        """Iterate the identifiers in the range."""
+        return range(self.lo, self.hi + 1)
+
+
+class UnrestrictedWindow:
+    """The UW option: all blocks collected so far."""
+
+    def span(self, t: int) -> BlockRange:
+        """Resolve ``D[1, t]`` for latest block ``t``."""
+        if t < 1:
+            raise ValueError(f"snapshot must contain at least one block, got t={t}")
+        return BlockRange(1, t)
+
+    def __repr__(self) -> str:
+        return "UnrestrictedWindow()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UnrestrictedWindow)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class MostRecentWindow:
+    """The MRW option: the latest ``w`` blocks.
+
+    Args:
+        w: Window size in blocks; application-dependent and chosen by
+            the analyst (paper §2.2).
+    """
+
+    def __init__(self, w: int):
+        if w < 1:
+            raise ValueError(f"window size must be >= 1, got {w}")
+        self.w = w
+
+    def span(self, t: int) -> BlockRange:
+        """Resolve ``D[max(1, t-w+1), t]`` for latest block ``t``.
+
+        While ``t < w`` the window is the whole snapshot ``D[1, t]``
+        (paper §2.2).
+        """
+        if t < 1:
+            raise ValueError(f"snapshot must contain at least one block, got t={t}")
+        return BlockRange(max(1, t - self.w + 1), t)
+
+    def is_full(self, t: int) -> bool:
+        """Whether the window has reached its full size ``w``."""
+        return t >= self.w
+
+    def __repr__(self) -> str:
+        return f"MostRecentWindow(w={self.w})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MostRecentWindow):
+            return NotImplemented
+        return self.w == other.w
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.w))

@@ -1,0 +1,32 @@
+"""Synthetic data generators behind the paper's experiments."""
+
+from repro.datagen.clusters import ClusterDataGenerator, ClusterDataParams
+from repro.datagen.proxytrace import (
+    ANOMALY_DAY,
+    GRANULARITIES,
+    HOLIDAY_DAY,
+    N_DAYS,
+    ProxyTraceGenerator,
+    is_weekend,
+    is_working_day,
+    regime_for,
+    weekday,
+)
+from repro.datagen.quest import QuestGenerator, QuestParams, generate_named_dataset
+
+__all__ = [
+    "QuestGenerator",
+    "QuestParams",
+    "generate_named_dataset",
+    "ClusterDataGenerator",
+    "ClusterDataParams",
+    "ProxyTraceGenerator",
+    "weekday",
+    "is_weekend",
+    "is_working_day",
+    "regime_for",
+    "N_DAYS",
+    "HOLIDAY_DAY",
+    "ANOMALY_DAY",
+    "GRANULARITIES",
+]

@@ -1,0 +1,237 @@
+"""Synthetic web-proxy request trace — substitute for the DEC traces (§5.3).
+
+The paper's pattern-detection experiments run on 21 days of DEC web
+proxy traces (Sep 2 – Sep 22, 1996), where each request carries a
+timestamp, an object type (10 classes) and a response size discretized
+into 10 000-byte buckets; each request is treated as the 2-item
+transaction ``{type, size-bucket}`` and blocks are cut at 4/6/8/12/24
+hour granularities.
+
+The traces are no longer a redistributable download, so this module
+generates a synthetic trace that plants exactly the regime structure
+the paper discovered, giving the compact-sequence miner the same ground
+truth to recover:
+
+* distinct *working-day* daytime/afternoon/evening request mixtures
+  (Mon–Fri), with Tuesday and Thursday evenings sharing their own
+  mixture — the paper's "4PM–12PM on all Tuesdays and Thursdays";
+* a *weekend* mixture that late-night weekday blocks also drift into;
+* day 0 is Labor-Day Monday (behaves like a weekend) and day 7 — the
+  paper's anomalous Monday 9-9-1996 — follows a one-off mixture unlike
+  anything else.
+
+Calendar convention: day 0 is Monday 1996-09-02; hours are 0–23.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.blocks import Block, make_block
+from repro.itemsets.itemset import Transaction
+
+#: Object type item identifiers occupy 0..9.
+N_TYPES = 10
+#: Size buckets are offset so they never collide with type ids.
+BUCKET_BASE = 100
+N_BUCKETS = 1000
+
+#: Number of simulated days (day 0 = Monday 1996-09-02).
+N_DAYS = 21
+HOLIDAY_DAY = 0
+ANOMALY_DAY = 7
+
+#: The paper's five block granularities, in hours.
+GRANULARITIES = (4, 6, 8, 12, 24)
+
+
+def weekday(day: int) -> int:
+    """Day of week for a trace day (0 = Monday .. 6 = Sunday)."""
+    return day % 7
+
+
+def is_weekend(day: int) -> bool:
+    """Whether the trace day is Saturday or Sunday."""
+    return weekday(day) >= 5
+
+
+def is_working_day(day: int) -> bool:
+    """Mon–Fri and not the Labor-Day holiday."""
+    return not is_weekend(day) and day != HOLIDAY_DAY
+
+
+@dataclass(frozen=True)
+class _Regime:
+    """One request mixture: type probabilities and per-type size means.
+
+    ``type_weights`` is a length-10 categorical; ``size_means[t]`` is
+    the mean size bucket of type ``t`` (sizes are geometric around it).
+    """
+
+    name: str
+    type_weights: tuple[float, ...]
+    size_means: tuple[float, ...]
+    rate_per_hour: float
+
+
+def _mk_regime(name: str, hot_types: dict[int, float], base_mean: float,
+               hot_means: dict[int, float], rate: float) -> _Regime:
+    weights = [0.02] * N_TYPES
+    for type_id, weight in hot_types.items():
+        weights[type_id] = weight
+    total = sum(weights)
+    means = [base_mean] * N_TYPES
+    for type_id, mean in hot_means.items():
+        means[type_id] = mean
+    return _Regime(
+        name=name,
+        type_weights=tuple(w / total for w in weights),
+        size_means=tuple(means),
+        rate_per_hour=rate,
+    )
+
+
+#: The planted mixtures.  Types loosely: 0=html 1=gif 2=jpg 3=cgi 4=text
+#: 5=video 6=audio 7=zip 8=exe 9=other.
+REGIMES = {
+    "work_morning": _mk_regime(
+        "work_morning", {0: 0.40, 1: 0.25, 2: 0.12, 3: 0.08}, 3.0,
+        {0: 2.0, 1: 4.0, 2: 9.0}, rate=600,
+    ),
+    "work_afternoon": _mk_regime(
+        "work_afternoon", {0: 0.35, 1: 0.22, 2: 0.15, 3: 0.12}, 3.5,
+        {0: 2.0, 1: 4.5, 2: 10.0}, rate=700,
+    ),
+    "work_evening": _mk_regime(
+        "work_evening", {0: 0.22, 1: 0.18, 2: 0.22, 5: 0.14}, 6.0,
+        {2: 12.0, 5: 40.0}, rate=300,
+    ),
+    "tuethu_evening": _mk_regime(
+        "tuethu_evening", {0: 0.12, 2: 0.18, 5: 0.30, 6: 0.18}, 10.0,
+        {5: 60.0, 6: 30.0, 2: 14.0}, rate=350,
+    ),
+    "night": _mk_regime(
+        "night", {7: 0.25, 8: 0.20, 5: 0.18, 9: 0.12}, 20.0,
+        {7: 80.0, 8: 60.0, 5: 50.0}, rate=80,
+    ),
+    "weekend": _mk_regime(
+        "weekend", {2: 0.25, 5: 0.22, 1: 0.15, 6: 0.12}, 12.0,
+        {2: 15.0, 5: 55.0, 6: 25.0}, rate=150,
+    ),
+    "anomaly": _mk_regime(
+        "anomaly", {3: 0.45, 9: 0.25, 4: 0.15}, 1.0,
+        {3: 1.0, 9: 2.0, 4: 1.0}, rate=900,
+    ),
+}
+
+
+def regime_for(day: int, hour: int) -> _Regime:
+    """The planted mixture in force on a given day and hour."""
+    if day == ANOMALY_DAY:
+        return REGIMES["anomaly"]
+    if is_weekend(day) or day == HOLIDAY_DAY:
+        if hour < 8:
+            return REGIMES["night"]
+        return REGIMES["weekend"]
+    # Working day.
+    if hour < 8:
+        return REGIMES["night"]
+    if hour < 12:
+        return REGIMES["work_morning"]
+    if hour < 16:
+        return REGIMES["work_afternoon"]
+    if weekday(day) in (1, 3):  # Tuesday, Thursday
+        return REGIMES["tuethu_evening"]
+    return REGIMES["work_evening"]
+
+
+class ProxyTraceGenerator:
+    """Deterministic synthetic trace over the 21-day calendar.
+
+    Args:
+        scale: Multiplier on per-hour request rates (1.0 ≈ a few
+            hundred requests per working hour; benchmarks typically use
+            0.05–0.2).
+        seed: RNG seed.
+    """
+
+    def __init__(self, scale: float = 0.1, seed: int = 0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.seed = seed
+
+    def _hour_requests(self, day: int, hour: int) -> list[Transaction]:
+        """All requests of one simulated hour."""
+        regime = regime_for(day, hour)
+        # Per-hour RNG keyed by (seed, day, hour): regenerating a block
+        # at a different granularity yields the identical requests.
+        rng = random.Random(f"{self.seed}:{day}:{hour}")
+        count = self._poisson(rng, regime.rate_per_hour * self.scale)
+        requests: list[Transaction] = []
+        types = range(N_TYPES)
+        for _ in range(count):
+            type_id = rng.choices(types, weights=regime.type_weights)[0]
+            mean = regime.size_means[type_id]
+            # Geometric size bucket with the regime/type mean.
+            bucket = min(int(rng.expovariate(1.0 / max(mean, 0.5))), N_BUCKETS - 1)
+            requests.append((type_id, BUCKET_BASE + bucket))
+        return requests
+
+    @staticmethod
+    def _poisson(rng: random.Random, mean: float) -> int:
+        if mean <= 0:
+            return 0
+        if mean > 50:
+            # Normal approximation keeps large blocks cheap.
+            return max(0, int(round(rng.gauss(mean, math.sqrt(mean)))))
+        limit = math.exp(-mean)
+        k = 0
+        product = rng.random()
+        while product > limit:
+            k += 1
+            product *= rng.random()
+        return k
+
+    def blocks(self, granularity_hours: int = 6) -> list[Block[Transaction]]:
+        """Segment the whole trace into blocks of the given granularity.
+
+        Block ids start at 1; labels look like ``"day03 Mon 12-18h"``
+        and metadata carries ``day``, ``weekday``, ``start_hour`` and
+        ``granularity`` for calendar-aware reporting.
+        """
+        if 24 % granularity_hours != 0:
+            raise ValueError(
+                f"granularity must divide 24 hours, got {granularity_hours}"
+            )
+        day_names = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+        blocks: list[Block[Transaction]] = []
+        block_id = 1
+        for day in range(N_DAYS):
+            for start_hour in range(0, 24, granularity_hours):
+                requests: list[Transaction] = []
+                for hour in range(start_hour, start_hour + granularity_hours):
+                    requests.extend(self._hour_requests(day, hour))
+                label = (
+                    f"day{day:02d} {day_names[weekday(day)]} "
+                    f"{start_hour:02d}-{start_hour + granularity_hours:02d}h"
+                )
+                blocks.append(
+                    make_block(
+                        block_id,
+                        requests,
+                        label=label,
+                        metadata={
+                            "day": day,
+                            "weekday": weekday(day),
+                            "start_hour": start_hour,
+                            "granularity": granularity_hours,
+                            "holiday": day == HOLIDAY_DAY,
+                            "anomaly": day == ANOMALY_DAY,
+                        },
+                    )
+                )
+                block_id += 1
+        return blocks

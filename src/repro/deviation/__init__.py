@@ -1,0 +1,24 @@
+"""FOCUS deviation framework, significance estimation, block similarity."""
+
+from repro.deviation.focus import (
+    ClusterDeviation,
+    DeviationFunction,
+    DeviationResult,
+    ItemsetDeviation,
+)
+from repro.deviation.significance import (
+    bootstrap_significance,
+    chi2_region_significance,
+)
+from repro.deviation.similarity import BlockSimilarity, SimilarityResult
+
+__all__ = [
+    "DeviationFunction",
+    "DeviationResult",
+    "ItemsetDeviation",
+    "ClusterDeviation",
+    "bootstrap_significance",
+    "chi2_region_significance",
+    "BlockSimilarity",
+    "SimilarityResult",
+]

@@ -1,0 +1,133 @@
+"""Apriori (Agrawal & Srikant 1994) with negative-border tracking.
+
+This is the from-scratch miner that bootstraps the BORDERS maintainer:
+one run over the initial data yields both the set of frequent itemsets
+``L(D, κ)`` *and* the negative border ``NB⁻(D, κ)`` — the infrequent
+itemsets all of whose proper subsets are frequent.  Apriori enumerates
+the border for free: its level-``k`` candidates are exactly the
+itemsets whose ``(k-1)``-subsets are all frequent, so the candidates
+that fail the support test at each level are the border members.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.itemsets.itemset import (
+    Itemset,
+    Transaction,
+    generate_candidates,
+    minimum_count,
+)
+from repro.itemsets.prefix_tree import PrefixTree
+
+
+@dataclass
+class MiningResult:
+    """Output of one Apriori run.
+
+    Attributes:
+        frequent: ``L(D, κ)`` with absolute support counts.
+        border: ``NB⁻(D, κ)`` with absolute support counts.
+        n_transactions: ``|D|``, the denominator for support fractions.
+        minsup: The minimum support threshold ``κ`` used.
+        passes: Number of dataset scans performed (one per level).
+    """
+
+    frequent: dict[Itemset, int] = field(default_factory=dict)
+    border: dict[Itemset, int] = field(default_factory=dict)
+    n_transactions: int = 0
+    minsup: float = 0.0
+    passes: int = 0
+
+    def support(self, itemset: Itemset) -> float:
+        """Support fraction of a tracked itemset (0.0 if untracked)."""
+        count = self.frequent.get(itemset)
+        if count is None:
+            count = self.border.get(itemset, 0)
+        if self.n_transactions == 0:
+            return 0.0
+        return count / self.n_transactions
+
+    def frequent_of_size(self, size: int) -> dict[Itemset, int]:
+        """The frequent itemsets with exactly ``size`` items."""
+        return {x: c for x, c in self.frequent.items() if len(x) == size}
+
+
+def _scan_items(transactions: Iterable[Transaction]) -> tuple[dict[int, int], int]:
+    """One pass: per-item counts and the number of transactions."""
+    counts: dict[int, int] = {}
+    total = 0
+    for transaction in transactions:
+        total += 1
+        for item in transaction:
+            counts[item] = counts.get(item, 0) + 1
+    return counts, total
+
+
+def apriori(
+    transactions_factory,
+    minsup: float,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Mine frequent itemsets and the negative border.
+
+    Args:
+        transactions_factory: Zero-argument callable returning a fresh
+            iterable of canonical transactions; it is invoked once per
+            level (Apriori is a multi-pass algorithm, and the dataset
+            may live in a metered :class:`~repro.storage.BlockStore`).
+        minsup: Minimum support threshold ``κ`` in ``(0, 1)``.
+        max_size: Optional cap on itemset size (mainly for tests).
+
+    Returns:
+        A :class:`MiningResult` with ``L``, ``NB⁻``, and scan counts.
+    """
+    item_counts, total = _scan_items(transactions_factory())
+    result = MiningResult(n_transactions=total, minsup=minsup, passes=1)
+    if total == 0:
+        return result
+    mincount = minimum_count(minsup, total)
+
+    current_level: dict[Itemset, int] = {}
+    for item, count in item_counts.items():
+        itemset: Itemset = (item,)
+        if count >= mincount:
+            current_level[itemset] = count
+            result.frequent[itemset] = count
+        else:
+            result.border[itemset] = count
+
+    size = 1
+    while current_level:
+        if max_size is not None and size >= max_size:
+            break
+        candidates = generate_candidates(current_level.keys())
+        if not candidates:
+            break
+        tree = PrefixTree(candidates)
+        tree.count_dataset(transactions_factory())
+        result.passes += 1
+        counted = tree.counts()
+        next_level: dict[Itemset, int] = {}
+        for candidate, count in counted.items():
+            if count >= mincount:
+                next_level[candidate] = count
+                result.frequent[candidate] = count
+            else:
+                result.border[candidate] = count
+        current_level = next_level
+        size += 1
+    return result
+
+
+def mine_blocks(blocks, minsup: float, max_size: int | None = None) -> MiningResult:
+    """Apriori over a list of :class:`~repro.core.blocks.Block` objects."""
+    block_list = list(blocks)
+
+    def factory():
+        for block in block_list:
+            yield from block.tuples
+
+    return apriori(factory, minsup, max_size=max_size)

@@ -1,0 +1,96 @@
+"""Negative-border computation and maintenance rules.
+
+``NB⁻(D, κ)`` is the set of infrequent itemsets all of whose proper
+subsets are frequent (paper §3).  BORDERS' detection phase relies on
+the invariant that any itemset newly becoming frequent must itself — or
+one of its subsets — sit in the current negative border, so keeping the
+border consistent is what makes incremental maintenance sound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Set
+
+from repro.itemsets.itemset import Itemset, generate_candidates, proper_subsets
+
+
+def border_candidates(frequent: Collection[Itemset]) -> set[Itemset]:
+    """Every itemset that could sit on the negative border of ``frequent``.
+
+    These are (a) single items not in the frequent set, and (b) the
+    Apriori candidates generated from the frequent itemsets that are not
+    themselves frequent.  Caller supplies the universe of single items
+    separately via :func:`negative_border` when (a) matters.
+    """
+    frequent_set = set(frequent)
+    by_size: dict[int, set[Itemset]] = {}
+    for itemset in frequent_set:
+        by_size.setdefault(len(itemset), set()).add(itemset)
+    result: set[Itemset] = set()
+    for size, level in by_size.items():
+        for candidate in generate_candidates(level):
+            if candidate not in frequent_set:
+                result.add(candidate)
+    return result
+
+
+def negative_border(
+    frequent: Collection[Itemset], items: Iterable[int]
+) -> set[Itemset]:
+    """Compute ``NB⁻`` given the frequent itemsets and the item universe.
+
+    Args:
+        frequent: The frequent itemsets (canonical tuples).
+        items: Every item that occurs in the dataset; infrequent single
+            items belong to the border (their only proper subset is the
+            empty set, which is frequent by convention).
+    """
+    frequent_set = set(frequent)
+    border = border_candidates(frequent_set)
+    for item in items:
+        singleton: Itemset = (item,)
+        if singleton not in frequent_set:
+            border.add(singleton)
+    return border
+
+
+def is_on_border(itemset: Itemset, frequent: Set[Itemset]) -> bool:
+    """Whether ``itemset`` satisfies the border membership condition.
+
+    True iff the itemset is not frequent while all its proper subsets
+    are (singletons qualify whenever they are infrequent).
+    """
+    if itemset in frequent:
+        return False
+    if len(itemset) == 1:
+        return True
+    return all(subset in frequent for subset in proper_subsets(itemset))
+
+
+def check_border_invariant(
+    frequent: Set[Itemset], border: Set[Itemset]
+) -> list[str]:
+    """Validate the L/NB⁻ invariants; returns human-readable violations.
+
+    Used by property-based tests and by the BORDERS maintainer's debug
+    assertions.  The invariants checked:
+
+    1. ``L`` is downward closed (every subset of a frequent itemset is
+       frequent).
+    2. Border members are not frequent and have all subsets frequent.
+    3. ``L`` and ``NB⁻`` are disjoint.
+    """
+    problems: list[str] = []
+    overlap = frequent & border
+    if overlap:
+        problems.append(f"L and NB- overlap on {sorted(overlap)[:5]}")
+    for itemset in frequent:
+        for subset in proper_subsets(itemset):
+            if subset and subset not in frequent:
+                problems.append(
+                    f"L not downward closed: {itemset} frequent but {subset} is not"
+                )
+    for itemset in border:
+        if not is_on_border(itemset, frequent):
+            problems.append(f"{itemset} in NB- violates border condition")
+    return problems

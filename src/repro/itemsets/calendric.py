@@ -1,0 +1,206 @@
+"""Calendric association rules (Ramaswamy et al., VLDB 1998) — §6.
+
+The related-work system DEMON positions itself against: RMS98 segment a
+*static* database into time units and discover the association rules
+that *belong to a calendar* — rules meeting the minimum support and
+confidence **on every segment** the calendar selects.  DEMON §6 draws
+the contrast explicitly: RMS98 mine one rule set per time unit over a
+static database, DEMON maintains a single combined model as the
+database evolves.
+
+This module implements the RMS98 side so the contrast is executable:
+
+* a :class:`Calendar` is a named set of block identifiers (possibly
+  overlapping with other calendars — RMS98 allow that);
+* :func:`calendric_rules` mines each selected block independently and
+  intersects the per-block rule sets, keeping the rules that hold
+  everywhere (reporting their *weakest* support/confidence across the
+  calendar, the natural belt measure);
+* :func:`belongs_to_calendar` tests a single rule the same way.
+
+The per-block models are mined with the library's own Apriori, and the
+per-block rule sets with :mod:`repro.itemsets.rules` — no new mining
+machinery, just the RMS98 combination semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.blocks import Block
+from repro.itemsets.apriori import mine_blocks
+from repro.itemsets.itemset import Itemset
+from repro.itemsets.model import FrequentItemsetModel
+from repro.itemsets.rules import AssociationRule, generate_rules
+
+
+@dataclass(frozen=True)
+class Calendar:
+    """A named selection of block identifiers (RMS98's calendar).
+
+    Attributes:
+        name: Human-readable label ("every Monday", "first of month").
+        block_ids: The time units (blocks) the calendar selects.
+    """
+
+    name: str
+    block_ids: frozenset[int]
+
+    @classmethod
+    def from_ids(cls, name: str, ids: Iterable[int]) -> "Calendar":
+        return cls(name=name, block_ids=frozenset(ids))
+
+    @classmethod
+    def from_predicate(
+        cls, name: str, blocks: Sequence[Block], predicate
+    ) -> "Calendar":
+        """Build a calendar by filtering blocks with a predicate."""
+        return cls(
+            name=name,
+            block_ids=frozenset(
+                b.block_id for b in blocks if predicate(b)
+            ),
+        )
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+
+@dataclass(frozen=True)
+class CalendricRule:
+    """A rule that belongs to a calendar, with its weakest measures.
+
+    Attributes:
+        antecedent: Rule body.
+        consequent: Rule head.
+        calendar: The calendar the rule belongs to.
+        min_support: The smallest per-segment support across segments.
+        min_confidence: The smallest per-segment confidence.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    calendar: str
+    min_support: float
+    min_confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{set(self.antecedent)} => {set(self.consequent)} on "
+            f"'{self.calendar}' (sup>={self.min_support:.3f}, "
+            f"conf>={self.min_confidence:.3f})"
+        )
+
+
+class SegmentModelCache:
+    """Per-block models and rule sets, mined once per block.
+
+    RMS98 evaluate many (possibly overlapping) calendars over the same
+    segments; caching the per-segment work makes that affordable.
+    """
+
+    def __init__(self, minsup: float, min_confidence: float):
+        if not 0 < minsup < 1:
+            raise ValueError(f"minimum support must be in (0, 1), got {minsup}")
+        if not 0 < min_confidence <= 1:
+            raise ValueError(
+                f"minimum confidence must be in (0, 1], got {min_confidence}"
+            )
+        self.minsup = minsup
+        self.min_confidence = min_confidence
+        self._models: dict[int, FrequentItemsetModel] = {}
+        self._rules: dict[int, dict[tuple, AssociationRule]] = {}
+
+    def model_for(self, block: Block) -> FrequentItemsetModel:
+        if block.block_id not in self._models:
+            result = mine_blocks([block], self.minsup)
+            self._models[block.block_id] = FrequentItemsetModel.from_mining_result(
+                result, [block.block_id]
+            )
+        return self._models[block.block_id]
+
+    def rules_for(self, block: Block) -> Mapping[tuple, AssociationRule]:
+        if block.block_id not in self._rules:
+            rules = generate_rules(
+                self.model_for(block), min_confidence=self.min_confidence
+            )
+            self._rules[block.block_id] = {
+                (r.antecedent, r.consequent): r for r in rules
+            }
+        return self._rules[block.block_id]
+
+
+def calendric_rules(
+    blocks: Sequence[Block],
+    calendar: Calendar,
+    minsup: float = 0.01,
+    min_confidence: float = 0.5,
+    cache: SegmentModelCache | None = None,
+) -> list[CalendricRule]:
+    """All rules that belong to ``calendar`` (RMS98 semantics).
+
+    A rule belongs iff it meets ``minsup`` and ``min_confidence`` on
+    *every* block the calendar selects.
+
+    Args:
+        blocks: The segmented database (block ids are 1-based).
+        calendar: Which segments the rules must hold on.
+        minsup: Per-segment minimum support.
+        min_confidence: Per-segment minimum confidence.
+        cache: Optional shared per-segment cache (reused across
+            calendars).
+
+    Returns:
+        Rules sorted by descending weakest confidence.
+    """
+    selected = [b for b in blocks if b.block_id in calendar.block_ids]
+    if not selected:
+        return []
+    cache = cache if cache is not None else SegmentModelCache(
+        minsup, min_confidence
+    )
+    per_segment = [cache.rules_for(block) for block in selected]
+    shared_keys = set(per_segment[0])
+    for segment in per_segment[1:]:
+        shared_keys &= set(segment)
+        if not shared_keys:
+            return []
+    results = []
+    for key in shared_keys:
+        supports = [segment[key].support for segment in per_segment]
+        confidences = [segment[key].confidence for segment in per_segment]
+        results.append(
+            CalendricRule(
+                antecedent=key[0],
+                consequent=key[1],
+                calendar=calendar.name,
+                min_support=min(supports),
+                min_confidence=min(confidences),
+            )
+        )
+    results.sort(key=lambda r: (-r.min_confidence, -r.min_support,
+                                r.antecedent, r.consequent))
+    return results
+
+
+def belongs_to_calendar(
+    rule_antecedent: Itemset,
+    rule_consequent: Itemset,
+    blocks: Sequence[Block],
+    calendar: Calendar,
+    minsup: float = 0.01,
+    min_confidence: float = 0.5,
+    cache: SegmentModelCache | None = None,
+) -> bool:
+    """Whether one specific rule holds on every calendar segment."""
+    cache = cache if cache is not None else SegmentModelCache(
+        minsup, min_confidence
+    )
+    key = (tuple(rule_antecedent), tuple(rule_consequent))
+    for block in blocks:
+        if block.block_id not in calendar.block_ids:
+            continue
+        if key not in cache.rules_for(block):
+            return False
+    return True

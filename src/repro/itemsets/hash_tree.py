@@ -1,0 +1,173 @@
+"""Hash tree for candidate support counting (AMS+96 — paper footnote 7).
+
+The original Apriori counts candidate supports through a *hash tree*:
+interior nodes hash the next item into a fixed number of buckets; a
+leaf holds up to ``leaf_capacity`` candidates and splits into an
+interior node when it overflows (until the depth exhausts the itemset
+length).  Counting a transaction descends every bucket its items hash
+into, then subset-checks the candidates in the reached leaves.
+
+DEMON's BORDERS uses the prefix tree instead (footnote 7 notes the hash
+tree as the alternative); this implementation exists so the choice is
+testable — both structures must produce identical counts — and so the
+structural trade-off can be measured.  The counting interface matches
+:class:`~repro.itemsets.prefix_tree.PrefixTree`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+from repro.itemsets.itemset import Itemset, Transaction, contains
+
+
+class _Node:
+    """Interior node (buckets) or leaf (candidate list)."""
+
+    __slots__ = ("buckets", "candidates", "is_leaf")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, _Node] = {}
+        self.candidates: list[list] = []  # [itemset, count] pairs
+        self.is_leaf = True
+
+
+class HashTree:
+    """A hash tree over a fixed collection of canonical itemsets.
+
+    Args:
+        itemsets: Candidates to count (canonical tuples, non-empty).
+        fanout: Hash buckets per interior node.
+        leaf_capacity: Candidates per leaf before it splits.
+    """
+
+    def __init__(
+        self,
+        itemsets: Iterable[Itemset] = (),
+        fanout: int = 8,
+        leaf_capacity: int = 8,
+    ):
+        if fanout < 2 or leaf_capacity < 1:
+            raise ValueError("fanout must be >= 2 and leaf capacity >= 1")
+        self.fanout = fanout
+        self.leaf_capacity = leaf_capacity
+        self._root = _Node()
+        self._size = 0
+        self._seen: set[Itemset] = set()
+        for itemset in itemsets:
+            self.insert(itemset)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _hash(self, item: int) -> int:
+        return item % self.fanout
+
+    def insert(self, itemset: Itemset) -> None:
+        """Add one candidate (idempotent)."""
+        if not itemset:
+            raise ValueError("cannot count the empty itemset")
+        if itemset in self._seen:
+            return
+        self._seen.add(itemset)
+        self._size += 1
+        self._insert(self._root, itemset, depth=0)
+
+    def _insert(self, node: _Node, itemset: Itemset, depth: int) -> None:
+        if node.is_leaf:
+            node.candidates.append([itemset, 0])
+            # Split when over capacity and there are items left to hash.
+            if len(node.candidates) > self.leaf_capacity and depth < len(
+                min((c[0] for c in node.candidates), key=len)
+            ):
+                entries = node.candidates
+                node.candidates = []
+                node.is_leaf = False
+                for entry in entries:
+                    self._insert_entry(node, entry, depth)
+            return
+        self._insert_entry(node, [itemset, 0], depth)
+
+    def _insert_entry(self, node: _Node, entry: list, depth: int) -> None:
+        itemset = entry[0]
+        if depth >= len(itemset):
+            # Cannot hash further; keep on this interior node's overflow
+            # leaf (bucket -1).
+            overflow = node.buckets.setdefault(-1, _Node())
+            overflow.candidates.append(entry)
+            return
+        bucket = self._hash(itemset[depth])
+        child = node.buckets.get(bucket)
+        if child is None:
+            child = _Node()
+            node.buckets[bucket] = child
+        if child.is_leaf:
+            child.candidates.append(entry)
+            if len(child.candidates) > self.leaf_capacity:
+                shortest = min(len(c[0]) for c in child.candidates)
+                if depth + 1 < shortest:
+                    entries = child.candidates
+                    child.candidates = []
+                    child.is_leaf = False
+                    for moved in entries:
+                        self._insert_entry(child, moved, depth + 1)
+        else:
+            self._insert_entry(child, entry, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
+
+    def count_transaction(self, transaction: Transaction) -> None:
+        """Increment every stored candidate contained in the transaction."""
+        self._descend(self._root, transaction, start=0)
+
+    def _descend(self, node: _Node, transaction: Transaction, start: int) -> None:
+        if node.is_leaf:
+            for entry in node.candidates:
+                if contains(transaction, entry[0]):
+                    entry[1] += 1
+            return
+        overflow = node.buckets.get(-1)
+        if overflow is not None:
+            for entry in overflow.candidates:
+                if contains(transaction, entry[0]):
+                    entry[1] += 1
+        visited: set[int] = set()
+        for position in range(start, len(transaction)):
+            bucket = self._hash(transaction[position])
+            if bucket in visited:
+                continue
+            visited.add(bucket)
+            child = node.buckets.get(bucket)
+            if child is not None:
+                self._descend(child, transaction, position + 1)
+
+    def count_dataset(self, transactions: Iterable[Transaction]) -> None:
+        """Count every candidate against a stream of transactions."""
+        for transaction in transactions:
+            self.count_transaction(transaction)
+
+    def counts(self) -> dict[Itemset, int]:
+        """The accumulated count of every stored candidate."""
+        result: dict[Itemset, int] = {}
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for itemset, count in node.candidates:
+                    result[itemset] = count
+            else:
+                stack.extend(node.buckets.values())
+        return result
+
+
+def count_supports_hash(
+    itemsets: Collection[Itemset], transactions: Iterable[Transaction]
+) -> dict[Itemset, int]:
+    """One-shot hash-tree counting (PrefixTree-compatible helper)."""
+    if not itemsets:
+        return {}
+    tree = HashTree(itemsets)
+    tree.count_dataset(transactions)
+    return tree.counts()

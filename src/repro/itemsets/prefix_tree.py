@@ -1,0 +1,112 @@
+"""Prefix tree for counting candidate itemset supports (Mueller 95).
+
+BORDERS organizes the itemsets whose supports it must count in a prefix
+tree and scans the dataset once, incrementing the count of every stored
+itemset contained in each transaction (the paper calls this counting
+procedure *PT-Scan*).  Items along any root-to-node path are strictly
+increasing, so a transaction (also sorted) is matched by a bounded
+recursive descent rather than by enumerating its subsets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+from repro.itemsets.itemset import Itemset, Transaction
+
+
+class _Node:
+    """One prefix-tree node; terminal nodes carry a support counter."""
+
+    __slots__ = ("children", "count", "terminal")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _Node] = {}
+        self.count = 0
+        self.terminal = False
+
+
+class PrefixTree:
+    """A prefix tree over a fixed collection of canonical itemsets.
+
+    Args:
+        itemsets: The itemsets whose supports will be counted.  They
+            must be canonical (sorted, duplicate-free); the empty
+            itemset is rejected.
+    """
+
+    def __init__(self, itemsets: Iterable[Itemset] = ()):
+        self._root = _Node()
+        self._size = 0
+        self._max_depth = 0
+        for itemset in itemsets:
+            self.insert(itemset)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, itemset: Itemset) -> None:
+        """Add one itemset to the tree (idempotent)."""
+        if not itemset:
+            raise ValueError("cannot count the empty itemset")
+        node = self._root
+        for item in itemset:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node()
+                node.children[item] = child
+            node = child
+        if not node.terminal:
+            node.terminal = True
+            self._size += 1
+            self._max_depth = max(self._max_depth, len(itemset))
+
+    def count_transaction(self, transaction: Transaction) -> None:
+        """Increment the count of every stored itemset ``⊆ transaction``."""
+        self._descend(self._root, transaction, 0)
+
+    def _descend(self, node: _Node, transaction: Transaction, start: int) -> None:
+        if node.terminal:
+            node.count += 1
+        if not node.children:
+            return
+        for i in range(start, len(transaction)):
+            child = node.children.get(transaction[i])
+            if child is not None:
+                self._descend(child, transaction, i + 1)
+
+    def count_dataset(self, transactions: Iterable[Transaction]) -> None:
+        """Count every stored itemset against a stream of transactions."""
+        for transaction in transactions:
+            self.count_transaction(transaction)
+
+    def counts(self) -> dict[Itemset, int]:
+        """Return the accumulated count of every stored itemset."""
+        result: dict[Itemset, int] = {}
+        stack: list[tuple[_Node, Itemset]] = [(self._root, ())]
+        while stack:
+            node, path = stack.pop()
+            if node.terminal:
+                result[path] = node.count
+            for item, child in node.children.items():
+                stack.append((child, path + (item,)))
+        return result
+
+    def reset_counts(self) -> None:
+        """Zero every stored itemset's count."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            node.count = 0
+            stack.extend(node.children.values())
+
+
+def count_supports(
+    itemsets: Collection[Itemset], transactions: Iterable[Transaction]
+) -> dict[Itemset, int]:
+    """Convenience one-shot: counts of ``itemsets`` over ``transactions``."""
+    if not itemsets:
+        return {}
+    tree = PrefixTree(itemsets)
+    tree.count_dataset(transactions)
+    return tree.counts()

@@ -1,0 +1,41 @@
+"""Automatic block-selection-sequence discovery via compact sequences."""
+
+from repro.patterns.compact import (
+    CompactSequence,
+    CompactSequenceMiner,
+    PatternUpdateReport,
+)
+from repro.patterns.calendar import (
+    CalendarRule,
+    RuleFit,
+    infer_calendar_rule,
+    report_patterns,
+)
+from repro.patterns.granularity import (
+    GranularityScore,
+    evaluate_granularity,
+    select_granularity,
+)
+from repro.patterns.cyclic import (
+    extract_cyclic,
+    filter_by_calendar,
+    longest_cyclic_subsequence,
+    period_of,
+)
+
+__all__ = [
+    "CompactSequence",
+    "CompactSequenceMiner",
+    "PatternUpdateReport",
+    "CalendarRule",
+    "RuleFit",
+    "infer_calendar_rule",
+    "report_patterns",
+    "GranularityScore",
+    "evaluate_granularity",
+    "select_granularity",
+    "extract_cyclic",
+    "filter_by_calendar",
+    "longest_cyclic_subsequence",
+    "period_of",
+]

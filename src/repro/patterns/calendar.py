@@ -1,0 +1,153 @@
+"""Calendar interpretation of discovered block selection sequences.
+
+The paper's Figure 9 reports discovered patterns as calendar rules —
+"8 AM–4 PM on all working days except 9-9-1996", "4 PM–12 PM on all
+Tuesdays and Thursdays".  This module turns a discovered
+:class:`~repro.patterns.compact.CompactSequence` back into such a rule
+by examining the member blocks' calendar metadata (``weekday``,
+``start_hour``, ``granularity`` — as attached by the trace generator or
+any user pipeline), and scores how well the rule separates members from
+non-members.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.blocks import Block
+from repro.patterns.compact import CompactSequence
+
+_DAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+@dataclass(frozen=True)
+class CalendarRule:
+    """A calendar slice: a weekday set × an hour range.
+
+    Attributes:
+        weekdays: Days of week covered (0 = Monday).
+        hour_lo: First hour covered (inclusive).
+        hour_hi: Last hour covered (exclusive).
+        exceptions: Block ids that match the slice but are *not* in the
+            sequence (the paper's "except 9-9-1996").
+    """
+
+    weekdays: frozenset[int]
+    hour_lo: int
+    hour_hi: int
+    exceptions: frozenset[int] = frozenset()
+
+    def matches(self, block: Block) -> bool:
+        """Whether a block's metadata falls inside the slice."""
+        meta = block.metadata
+        if "weekday" not in meta or "start_hour" not in meta:
+            return False
+        granularity = meta.get("granularity", 1)
+        overlaps = (
+            meta["start_hour"] < self.hour_hi
+            and meta["start_hour"] + granularity > self.hour_lo
+        )
+        return meta["weekday"] in self.weekdays and overlaps
+
+    def describe(self) -> str:
+        """Human-readable rendering in the paper's Figure 9 style."""
+        days = sorted(self.weekdays)
+        if days == [0, 1, 2, 3, 4]:
+            day_part = "all working days"
+        elif days == [5, 6]:
+            day_part = "weekends"
+        elif days == list(range(7)):
+            day_part = "all days"
+        else:
+            day_part = "all " + "/".join(_DAY_NAMES[d] for d in days) + "s"
+        hour_part = f"{self.hour_lo:02d}:00-{self.hour_hi:02d}:00"
+        text = f"{hour_part} on {day_part}"
+        if self.exceptions:
+            text += f" except blocks {sorted(self.exceptions)}"
+        return text
+
+
+@dataclass
+class RuleFit:
+    """How well a calendar rule explains a sequence.
+
+    Attributes:
+        rule: The inferred rule.
+        precision: Fraction of rule-matching blocks in the sequence.
+        recall: Fraction of sequence blocks the rule matches.
+    """
+
+    rule: CalendarRule
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def infer_calendar_rule(
+    blocks: Sequence[Block], sequence: CompactSequence
+) -> RuleFit | None:
+    """Fit the tightest calendar slice around a discovered sequence.
+
+    The slice is the cross product of the member blocks' weekday set
+    and the hull of their hour ranges; slice-matching blocks missing
+    from the sequence become the rule's exceptions (precision is
+    computed before exceptions are applied, so a rule that needs many
+    exceptions scores low).
+
+    Returns ``None`` when the member blocks carry no calendar metadata.
+    """
+    members = [blocks[i - 1] for i in sequence.block_ids]
+    with_meta = [
+        b for b in members if "weekday" in b.metadata and "start_hour" in b.metadata
+    ]
+    if not with_meta:
+        return None
+    weekdays = frozenset(b.metadata["weekday"] for b in with_meta)
+    hour_lo = min(b.metadata["start_hour"] for b in with_meta)
+    hour_hi = max(
+        b.metadata["start_hour"] + b.metadata.get("granularity", 1)
+        for b in with_meta
+    )
+    rule = CalendarRule(weekdays=weekdays, hour_lo=hour_lo, hour_hi=hour_hi)
+
+    member_ids = set(sequence.block_ids)
+    matching = [b.block_id for b in blocks if rule.matches(b)]
+    if not matching:
+        return None
+    hits = sum(1 for block_id in matching if block_id in member_ids)
+    precision = hits / len(matching)
+    recall = (
+        sum(1 for block_id in member_ids if block_id in set(matching))
+        / len(member_ids)
+    )
+    exceptions = frozenset(
+        block_id for block_id in matching if block_id not in member_ids
+    )
+    fitted = CalendarRule(
+        weekdays=weekdays,
+        hour_lo=hour_lo,
+        hour_hi=hour_hi,
+        exceptions=exceptions,
+    )
+    return RuleFit(rule=fitted, precision=precision, recall=recall)
+
+
+def report_patterns(
+    blocks: Sequence[Block],
+    sequences: Sequence[CompactSequence],
+    min_f1: float = 0.0,
+) -> list[tuple[CompactSequence, RuleFit]]:
+    """Pair each sequence with its calendar rule, best fits first."""
+    fitted = []
+    for sequence in sequences:
+        fit = infer_calendar_rule(blocks, sequence)
+        if fit is not None and fit.f1 >= min_f1:
+            fitted.append((sequence, fit))
+    fitted.sort(key=lambda pair: -pair[1].f1)
+    return fitted

@@ -1,0 +1,126 @@
+"""Human-readable summaries of models and monitors.
+
+Convenience formatting used by the CLI and the examples: each function
+renders one model class (or a whole monitor) as a short plain-text
+report.  Nothing here computes — it only reads what the models already
+track.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+import numpy as np
+
+from repro.clustering.model import ClusterModel
+from repro.core.gemm import GEMM
+from repro.itemsets.model import FrequentItemsetModel
+from repro.itemsets.rules import generate_rules
+
+
+def summarize_itemset_model(
+    model: FrequentItemsetModel,
+    top: int = 10,
+    min_size: int = 2,
+    with_rules: bool = False,
+) -> str:
+    """A short report on a frequent-itemset model.
+
+    Args:
+        model: The maintained model.
+        top: How many itemsets to list.
+        min_size: Smallest itemset size worth listing (singletons are
+            usually noise in a report).
+        with_rules: Append the strongest association rules.
+    """
+    out = StringIO()
+    out.write(
+        f"frequent-itemset model: |L|={len(model.frequent)} "
+        f"|NB-|={len(model.border)} N={model.n_transactions} "
+        f"minsup={model.minsup} blocks={model.selected_block_ids}\n"
+    )
+    candidates = sorted(
+        (
+            (count, itemset)
+            for itemset, count in model.frequent.items()
+            if len(itemset) >= min_size
+        ),
+        reverse=True,
+    )
+    for count, itemset in candidates[:top]:
+        out.write(
+            f"  {itemset}  count={count}  "
+            f"support={model.support(itemset):.3f}\n"
+        )
+    if not candidates:
+        out.write(f"  (no frequent itemsets of size >= {min_size})\n")
+    if with_rules and model.n_transactions:
+        rules = generate_rules(model, min_confidence=0.5)[: top // 2 or 1]
+        for rule in rules:
+            out.write(f"  rule {rule}\n")
+    return out.getvalue().rstrip()
+
+
+def summarize_cluster_model(model: ClusterModel, top: int = 10) -> str:
+    """A short report on a cluster model (largest clusters first)."""
+    out = StringIO()
+    out.write(
+        f"cluster model: k={model.k} points={model.n_points} "
+        f"blocks={model.selected_block_ids} "
+        f"weighted-radius={model.weighted_total_radius():.3f}\n"
+    )
+    ranked = sorted(model.clusters, key=lambda c: -c.size)
+    for cluster in ranked[:top]:
+        centroid = np.round(cluster.centroid(), 2)
+        out.write(
+            f"  cluster {cluster.cluster_id}: size={cluster.size} "
+            f"centroid={centroid.tolist()} radius={cluster.radius():.2f}\n"
+        )
+    return out.getvalue().rstrip()
+
+
+def summarize_tree(tree, max_lines: int = 40) -> str:
+    """An indented rendering of a decision tree's structure."""
+    lines: list[str] = []
+
+    def walk(node, depth):
+        if len(lines) >= max_lines:
+            return
+        indent = "  " * depth
+        if node.is_leaf:
+            lines.append(
+                f"{indent}leaf -> class {node.majority_label()} "
+                f"(n={node.size}, counts={dict(sorted(node.class_counts.items()))})"
+            )
+        else:
+            lines.append(
+                f"{indent}if x[{node.feature}] < {node.threshold:.3f}:"
+            )
+            walk(node.left, depth + 1)
+            lines.append(f"{indent}else:")
+            walk(node.right, depth + 1)
+
+    if tree.root is None:
+        return "decision tree: (unfitted)"
+    walk(tree.root, 0)
+    header = (
+        f"decision tree: depth={tree.depth()} leaves={tree.n_leaves()}\n"
+    )
+    if len(lines) >= max_lines:
+        lines.append("  ... (truncated)")
+    return header + "\n".join(lines)
+
+
+def summarize_gemm(gemm: GEMM) -> str:
+    """A report on GEMM's slot table — which models it maintains."""
+    out = StringIO()
+    out.write(
+        f"GEMM: w={gemm.w} t={gemm.t} window_start={gemm.window_start} "
+        f"distinct_models={gemm.distinct_model_count()} "
+        f"vault={'yes' if gemm.vault is not None else 'no'}\n"
+    )
+    for k in range(gemm.w):
+        selection = sorted(gemm._slots[k])
+        role = "current" if k == 0 else f"future window f_{k} prefix"
+        out.write(f"  slot {k} ({role}): blocks {selection}\n")
+    return out.getvalue().rstrip()

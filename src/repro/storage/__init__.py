@@ -1,0 +1,41 @@
+"""Simulated storage layer with logical I/O accounting.
+
+DEMON's efficiency arguments are about bytes fetched from disk.  This
+package provides an in-memory :class:`BlockStore` that charges every
+scan to an :class:`IOStats` counter so benchmarks can report the same
+shapes the paper does.
+"""
+
+from repro.storage.blockstore import (
+    BlockStore,
+    FLOAT_BYTES,
+    INT_BYTES,
+    StoredBlock,
+    point_nbytes,
+    tidlist_nbytes,
+    transaction_nbytes,
+)
+from repro.storage.iostats import GLOBAL_IO_REGISTRY, IOStats, IOStatsRegistry
+from repro.storage.persist import (
+    ModelVault,
+    VaultFullError,
+    load_model,
+    save_model,
+)
+
+__all__ = [
+    "BlockStore",
+    "StoredBlock",
+    "IOStats",
+    "IOStatsRegistry",
+    "GLOBAL_IO_REGISTRY",
+    "INT_BYTES",
+    "FLOAT_BYTES",
+    "transaction_nbytes",
+    "tidlist_nbytes",
+    "point_nbytes",
+    "ModelVault",
+    "VaultFullError",
+    "save_model",
+    "load_model",
+]

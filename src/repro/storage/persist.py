@@ -1,0 +1,124 @@
+"""Disk-resident model storage for GEMM's non-current models (§3.2.3).
+
+The paper: "the collection of models except [the current one] can be
+stored on disk and retrieved when necessary.  Thus main memory is not a
+limitation as long as a single model fits in-memory ... the additional
+disk space required for these models is negligible."
+
+:class:`ModelVault` simulates that disk: it stores serialized model
+bytes keyed by an arbitrary hashable key, charging every store and
+fetch to an :class:`~repro.storage.iostats.IOStats` counter so
+benchmarks can report the (small) model footprint next to the (large)
+data footprint.  GEMM accepts a vault and then keeps only the current
+model and the empty model live in memory.
+
+Serialization uses :mod:`pickle`; an optional size budget rejects
+models that would not plausibly "fit on the disk" of the simulation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Hashable
+
+from repro.storage.iostats import IOStats, IOStatsRegistry
+
+
+class VaultFullError(RuntimeError):
+    """Raised when a put would exceed the vault's size budget."""
+
+
+class ModelVault:
+    """A byte-accounted store of serialized models.
+
+    Args:
+        registry: I/O registry to charge stores/fetches to; a private
+            one is created when omitted.
+        counter_name: Counter name within the registry.
+        budget_bytes: Optional total-size budget; ``None`` = unbounded.
+    """
+
+    def __init__(
+        self,
+        registry: IOStatsRegistry | None = None,
+        counter_name: str = "model_vault",
+        budget_bytes: int | None = None,
+    ):
+        self.registry = registry if registry is not None else IOStatsRegistry()
+        self._stats = self.registry.get(counter_name)
+        self.budget_bytes = budget_bytes
+        self._slots: dict[Hashable, bytes] = {}
+
+    @property
+    def stats(self) -> IOStats:
+        """The counter stores and fetches are charged to."""
+        return self._stats
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def keys(self) -> list[Hashable]:
+        """All stored keys."""
+        return list(self._slots)
+
+    def total_nbytes(self) -> int:
+        """Total serialized bytes currently stored."""
+        return sum(len(blob) for blob in self._slots.values())
+
+    def nbytes(self, key: Hashable) -> int:
+        """Serialized size of one stored model."""
+        return len(self._slots[key])
+
+    def put(self, key: Hashable, model: Any) -> int:
+        """Serialize and store a model; returns its byte size.
+
+        Overwrites any previous model under the same key.
+
+        Raises:
+            VaultFullError: if the budget would be exceeded.
+        """
+        blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.budget_bytes is not None:
+            projected = (
+                self.total_nbytes()
+                - len(self._slots.get(key, b""))
+                + len(blob)
+            )
+            if projected > self.budget_bytes:
+                raise VaultFullError(
+                    f"storing {len(blob)} bytes under {key!r} would exceed "
+                    f"the vault budget of {self.budget_bytes} bytes"
+                )
+        self._slots[key] = blob
+        self._stats.record_write(len(blob))
+        return len(blob)
+
+    def get(self, key: Hashable) -> Any:
+        """Fetch and deserialize one model (a fresh private copy)."""
+        blob = self._slots[key]
+        self._stats.record_read(len(blob))
+        return pickle.loads(blob)
+
+    def delete(self, key: Hashable) -> None:
+        """Drop one stored model (idempotent)."""
+        self._slots.pop(key, None)
+
+    def retain_only(self, keys) -> None:
+        """Drop every stored model whose key is not in ``keys``."""
+        wanted = set(keys)
+        for key in list(self._slots):
+            if key not in wanted:
+                del self._slots[key]
+
+
+def save_model(model: Any) -> bytes:
+    """Serialize one model to bytes (convenience wrapper)."""
+    return pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_model(blob: bytes) -> Any:
+    """Deserialize one model from bytes."""
+    return pickle.loads(blob)

@@ -1,0 +1,33 @@
+"""Decision-tree model class: classifier, maintainers, FOCUS instantiation.
+
+The paper's third model class.  DEMON itself defers incremental tree
+construction to BOAT; here a from-scratch Gini tree plus two ``A_M``
+implementations (leaf-refinement and naive rebuild) make the class
+available to GEMM and the deviation framework.
+"""
+
+from repro.trees.deviation import TreeDeviation
+from repro.trees.dtree import (
+    DecisionTree,
+    LabelledPoint,
+    Region,
+    TreeNode,
+    gini,
+)
+from repro.trees.maintain import (
+    LeafRefinementTreeMaintainer,
+    RebuildingTreeMaintainer,
+    TreeModel,
+)
+
+__all__ = [
+    "DecisionTree",
+    "TreeNode",
+    "Region",
+    "LabelledPoint",
+    "gini",
+    "TreeModel",
+    "LeafRefinementTreeMaintainer",
+    "RebuildingTreeMaintainer",
+    "TreeDeviation",
+]

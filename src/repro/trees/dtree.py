@@ -1,0 +1,251 @@
+"""A from-scratch decision-tree classifier over numeric features.
+
+DEMON treats decision trees as one of its three model classes: the
+FOCUS deviation framework is instantiable with them (§4), and GEMM can
+wrap any incremental tree maintainer (the paper defers the maintenance
+algorithm itself to the authors' BOAT work).  This module provides the
+substrate: a binary-split tree grown greedily on the Gini criterion,
+whose leaves expose the (hyper-rectangle, class-histogram) structure
+FOCUS needs.
+
+Tuples are ``(features, label)`` pairs where ``features`` is a tuple of
+floats and ``label`` a small non-negative integer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: One labelled example: (feature vector, class label).
+LabelledPoint = tuple[tuple[float, ...], int]
+
+
+def gini(counts: Sequence[int]) -> float:
+    """Gini impurity of a class histogram."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    return 1.0 - sum((c / total) ** 2 for c in counts)
+
+
+@dataclass
+class Region:
+    """An axis-aligned hyper-rectangle (the FOCUS structural unit).
+
+    Bounds are half-open per dimension: ``lo[d] <= x[d] < hi[d]``, with
+    ``±inf`` for unbounded sides.
+    """
+
+    lo: tuple[float, ...]
+    hi: tuple[float, ...]
+
+    def contains(self, features: Sequence[float]) -> bool:
+        return all(
+            self.lo[d] <= features[d] < self.hi[d]
+            for d in range(len(self.lo))
+        )
+
+    def intersect(self, other: "Region") -> "Region | None":
+        """The overlap of two regions, or ``None`` when empty."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(a >= b for a, b in zip(lo, hi)):
+            return None
+        return Region(lo, hi)
+
+
+@dataclass
+class TreeNode:
+    """One tree node; leaves carry class counts, internal nodes a split.
+
+    ``sample`` is a bounded reservoir of the examples a leaf absorbed,
+    used only by the leaf-refinement maintainer (kept on the node so
+    clones and serialized copies stay self-contained).
+    """
+
+    class_counts: dict[int, int] = field(default_factory=dict)
+    feature: int | None = None
+    threshold: float | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    sample: list = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    @property
+    def size(self) -> int:
+        return sum(self.class_counts.values())
+
+    def majority_label(self) -> int:
+        if not self.class_counts:
+            return 0
+        return max(self.class_counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+
+class DecisionTree:
+    """Greedy Gini-split decision tree.
+
+    Args:
+        max_depth: Depth cap (root is depth 0).
+        min_leaf_size: Do not split nodes smaller than this.
+        min_impurity_decrease: Required Gini gain for a split.
+        max_thresholds: Candidate thresholds evaluated per feature
+            (quantile-spaced; keeps fitting near-linear).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_leaf_size: int = 5,
+        min_impurity_decrease: float = 1e-3,
+        max_thresholds: int = 16,
+    ):
+        if max_depth < 0 or min_leaf_size < 1:
+            raise ValueError("invalid tree growth parameters")
+        self.max_depth = max_depth
+        self.min_leaf_size = min_leaf_size
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_thresholds = max_thresholds
+        self.root: TreeNode | None = None
+        self.n_features = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, data: Sequence[LabelledPoint]) -> "DecisionTree":
+        """Grow the tree on labelled examples; returns ``self``."""
+        if not data:
+            raise ValueError("cannot fit a decision tree on no data")
+        self.n_features = len(data[0][0])
+        features = np.asarray([d[0] for d in data], dtype=float)
+        labels = np.asarray([d[1] for d in data], dtype=int)
+        self.root = self._grow(features, labels, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> TreeNode:
+        node = TreeNode(class_counts=self._histogram(labels))
+        if (
+            depth >= self.max_depth
+            or len(labels) < 2 * self.min_leaf_size
+            or len(set(labels.tolist())) == 1
+        ):
+            return node
+        split = self._best_split(features, labels)
+        if split is None:
+            return node
+        feature, threshold, _gain = split
+        mask = features[:, feature] < threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], labels[mask], depth + 1)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    @staticmethod
+    def _histogram(labels: np.ndarray) -> dict[int, int]:
+        values, counts = np.unique(labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def _best_split(self, features: np.ndarray, labels: np.ndarray):
+        """The (feature, threshold) with the largest Gini gain."""
+        parent = gini(list(self._histogram(labels).values()))
+        total = len(labels)
+        best = None
+        best_gain = self.min_impurity_decrease
+        for feature in range(features.shape[1]):
+            column = features[:, feature]
+            thresholds = np.unique(
+                np.quantile(
+                    column,
+                    np.linspace(0.05, 0.95, self.max_thresholds),
+                    method="nearest",
+                )
+            )
+            for threshold in thresholds:
+                mask = column < threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_leaf_size or total - n_left < self.min_leaf_size:
+                    continue
+                left = gini(list(self._histogram(labels[mask]).values()))
+                right = gini(list(self._histogram(labels[~mask]).values()))
+                weighted = (n_left * left + (total - n_left) * right) / total
+                gain = parent - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold), gain)
+        return best
+
+    # ------------------------------------------------------------------
+    # Prediction & structure
+    # ------------------------------------------------------------------
+
+    def _require_fit(self) -> TreeNode:
+        if self.root is None:
+            raise ValueError("decision tree has not been fitted")
+        return self.root
+
+    def predict(self, features: Sequence[float]) -> int:
+        """Class label for one feature vector."""
+        node = self._require_fit()
+        while not node.is_leaf:
+            node = node.left if features[node.feature] < node.threshold else node.right
+        return node.majority_label()
+
+    def predict_many(self, rows: Sequence[Sequence[float]]) -> list[int]:
+        """Class labels for many feature vectors."""
+        return [self.predict(row) for row in rows]
+
+    def accuracy(self, data: Sequence[LabelledPoint]) -> float:
+        """Fraction of examples classified correctly."""
+        if not data:
+            return 0.0
+        hits = sum(1 for x, y in data if self.predict(x) == y)
+        return hits / len(data)
+
+    def leaf_regions(self) -> list[tuple[Region, dict[int, int]]]:
+        """Every leaf as (hyper-rectangle, class histogram) — the FOCUS
+        structural + measure components."""
+        root = self._require_fit()
+        result: list[tuple[Region, dict[int, int]]] = []
+        lo = tuple(-np.inf for _ in range(self.n_features))
+        hi = tuple(np.inf for _ in range(self.n_features))
+        stack = [(root, lo, hi)]
+        while stack:
+            node, node_lo, node_hi = stack.pop()
+            if node.is_leaf:
+                result.append((Region(node_lo, node_hi), dict(node.class_counts)))
+                continue
+            d, threshold = node.feature, node.threshold
+            left_hi = tuple(
+                threshold if i == d else v for i, v in enumerate(node_hi)
+            )
+            right_lo = tuple(
+                threshold if i == d else v for i, v in enumerate(node_lo)
+            )
+            stack.append((node.left, node_lo, left_hi))
+            stack.append((node.right, right_lo, node_hi))
+        return result
+
+    def depth(self) -> int:
+        """Maximum depth of any leaf (root = 0)."""
+        root = self._require_fit()
+        best = 0
+        stack = [(root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_leaf:
+                best = max(best, depth)
+            else:
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))
+        return best
+
+    def n_leaves(self) -> int:
+        """Number of leaves."""
+        return len(self.leaf_regions())

@@ -1,0 +1,229 @@
+"""Incremental maintenance of decision-tree models.
+
+The paper's footnote: "In prior work, we developed an algorithm for
+incremental decision tree construction [BOAT]. Hence we do not address
+this problem here."  What DEMON *does* require is that some ``A_M``
+exists so that GEMM can lift it to the most recent window.  Two
+maintainers are provided:
+
+* :class:`LeafRefinementTreeMaintainer` — a practical single-pass
+  incremental scheme: new blocks are routed to the existing leaves,
+  leaf class histograms are updated exactly, and a leaf that has grown
+  large and impure is re-split locally from a bounded reservoir sample
+  of the points it absorbed (VFDT-flavored, far simpler than BOAT).
+  Leaf histograms stay exact; only the *structure* is refined lazily.
+* :class:`RebuildingTreeMaintainer` — the naive baseline ``A_M`` that
+  refits from all selected blocks on every addition (it keeps the
+  blocks in a store).  Slow, but exactly equal to a from-scratch fit —
+  useful as ground truth in tests and as GEMM's worst-case guest.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+
+from repro.core.blocks import Block
+from repro.core.maintainer import IncrementalModelMaintainer
+from repro.trees.dtree import DecisionTree, LabelledPoint, TreeNode, gini
+
+
+@dataclass
+class TreeModel:
+    """A maintainable decision-tree model.
+
+    Attributes:
+        tree: The current classifier (``None`` until data arrives).
+        selected_block_ids: Blocks the model was trained on.
+    """
+
+    tree: DecisionTree | None = None
+    selected_block_ids: list[int] = field(default_factory=list)
+
+
+def _route_to_leaf(node: TreeNode, features) -> TreeNode:
+    while not node.is_leaf:
+        node = node.left if features[node.feature] < node.threshold else node.right
+    return node
+
+
+def _redistribute_counts(node: TreeNode) -> None:
+    """Push a node's exact class histogram down to its descendants.
+
+    Children carry sample-based counts; scale them per class so each
+    level's children sum exactly to the parent.  Classes the sample
+    never routed go to the (sample-)larger child.
+    """
+    if node.is_leaf:
+        return
+    left_sample = dict(node.left.class_counts)
+    right_sample = dict(node.right.class_counts)
+    left_total = sum(left_sample.values())
+    right_total = sum(right_sample.values())
+    new_left: dict[int, int] = {}
+    new_right: dict[int, int] = {}
+    for label, exact in node.class_counts.items():
+        in_left = left_sample.get(label, 0)
+        in_right = right_sample.get(label, 0)
+        denominator = in_left + in_right
+        if denominator == 0:
+            share = exact if left_total >= right_total else 0
+        else:
+            share = round(exact * in_left / denominator)
+        if share:
+            new_left[label] = share
+        if exact - share:
+            new_right[label] = exact - share
+    node.left.class_counts = new_left
+    node.right.class_counts = new_right
+    _redistribute_counts(node.left)
+    _redistribute_counts(node.right)
+
+
+class LeafRefinementTreeMaintainer(
+    IncrementalModelMaintainer[TreeModel, LabelledPoint]
+):
+    """Incremental tree maintenance by exact leaf statistics + lazy splits.
+
+    Args:
+        max_depth: Depth cap for initial fit and refinements.
+        min_leaf_size: Minimum examples per leaf.
+        reservoir_size: Bounded per-leaf sample used for re-splitting.
+        split_impurity: A leaf is re-split when its Gini impurity
+            exceeds this and it holds at least ``2 * min_leaf_size``
+            sampled points.
+        seed: Reservoir-sampling RNG seed.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_leaf_size: int = 5,
+        reservoir_size: int = 128,
+        split_impurity: float = 0.15,
+        seed: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_leaf_size = min_leaf_size
+        self.reservoir_size = reservoir_size
+        self.split_impurity = split_impurity
+        self.seed = seed
+
+    def _new_tree(self) -> DecisionTree:
+        return DecisionTree(
+            max_depth=self.max_depth, min_leaf_size=self.min_leaf_size
+        )
+
+    def empty_model(self) -> TreeModel:
+        return TreeModel()
+
+    def build(self, blocks) -> TreeModel:
+        model = self.empty_model()
+        for block in blocks:
+            model = self.add_block(model, block)
+        return model
+
+    def add_block(self, model: TreeModel, block: Block[LabelledPoint]) -> TreeModel:
+        rng = random.Random(f"{self.seed}:{block.block_id}")
+        if model.tree is None:
+            model.tree = self._new_tree().fit(list(block.tuples))
+            for point in block.tuples:
+                leaf = _route_to_leaf(model.tree.root, point[0])
+                self._reservoir_add(leaf, point, rng)
+            model.selected_block_ids.append(block.block_id)
+            return model
+
+        touched: list[TreeNode] = []
+        seen: set[int] = set()
+        for point in block.tuples:
+            features, label = point
+            leaf = _route_to_leaf(model.tree.root, features)
+            leaf.class_counts[label] = leaf.class_counts.get(label, 0) + 1
+            self._reservoir_add(leaf, point, rng)
+            if id(leaf) not in seen:
+                seen.add(id(leaf))
+                touched.append(leaf)
+        for leaf in touched:
+            self._maybe_split(leaf)
+        model.selected_block_ids.append(block.block_id)
+        return model
+
+    def clone(self, model: TreeModel) -> TreeModel:
+        return copy.deepcopy(model)
+
+    # ------------------------------------------------------------------
+    # Reservoirs and lazy splitting
+    # ------------------------------------------------------------------
+
+    def _reservoir_add(self, leaf: TreeNode, point: LabelledPoint, rng) -> None:
+        if len(leaf.sample) < self.reservoir_size:
+            leaf.sample.append(point)
+        elif rng.random() < self.reservoir_size / max(leaf.size, 1):
+            leaf.sample[rng.randrange(self.reservoir_size)] = point
+
+    def _maybe_split(self, leaf: TreeNode) -> None:
+        if not leaf.is_leaf:
+            return
+        impurity = gini(list(leaf.class_counts.values()))
+        if impurity < self.split_impurity or len(leaf.sample) < 2 * self.min_leaf_size:
+            return
+        subtree = self._new_tree().fit(leaf.sample)
+        if subtree.root.is_leaf:
+            return
+        # Graft the refit subtree in place.  The subtree's node counts
+        # reflect only the reservoir sample; redistribute the leaf's
+        # *exact* histogram down the graft (proportionally to the
+        # sample routing) so total leaf mass stays exact.
+        sample = leaf.sample
+        leaf.feature = subtree.root.feature
+        leaf.threshold = subtree.root.threshold
+        leaf.left = subtree.root.left
+        leaf.right = subtree.root.right
+        leaf.sample = []
+        _redistribute_counts(leaf)
+        for point in sample:
+            child = _route_to_leaf(leaf, point[0])
+            child.sample.append(point)
+
+
+class RebuildingTreeMaintainer(IncrementalModelMaintainer[TreeModel, LabelledPoint]):
+    """The naive ``A_M``: refit from every selected block on each add.
+
+    Keeps the blocks it has seen (like any maintainer whose storage
+    layer retains the data); ``add_block`` therefore costs a full
+    retrain — the baseline that motivates real incremental schemes.
+    """
+
+    def __init__(self, max_depth: int = 6, min_leaf_size: int = 5):
+        self.max_depth = max_depth
+        self.min_leaf_size = min_leaf_size
+        self._blocks: dict[int, Block[LabelledPoint]] = {}
+
+    def empty_model(self) -> TreeModel:
+        return TreeModel()
+
+    def build(self, blocks) -> TreeModel:
+        model = self.empty_model()
+        for block in blocks:
+            model = self.add_block(model, block)
+        return model
+
+    def add_block(self, model: TreeModel, block: Block[LabelledPoint]) -> TreeModel:
+        self._blocks[block.block_id] = block
+        model.selected_block_ids.append(block.block_id)
+        data = [
+            point
+            for block_id in model.selected_block_ids
+            for point in self._blocks[block_id].tuples
+        ]
+        model.tree = DecisionTree(
+            max_depth=self.max_depth, min_leaf_size=self.min_leaf_size
+        ).fit(data)
+        return model
+
+    def clone(self, model: TreeModel) -> TreeModel:
+        return TreeModel(
+            tree=copy.deepcopy(model.tree),
+            selected_block_ids=list(model.selected_block_ids),
+        )

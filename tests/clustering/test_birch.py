@@ -1,0 +1,104 @@
+"""Tests for two-phase BIRCH and the cluster model."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.birch import birch_cluster, build_model, global_cluster
+from repro.clustering.cf import ClusterFeature
+from repro.clustering.model import ClusterModel, match_clusters
+from tests.conftest import gaussian_point_blocks
+
+
+CENTERS = ((0.0, 0.0), (10.0, 0.0), (0.0, 10.0))
+
+
+def all_points():
+    blocks = gaussian_point_blocks(2, 300, centers=CENTERS, seed=9)
+    return [p for b in blocks for p in b.tuples]
+
+
+class TestBirchCluster:
+    def test_recovers_planted_centers(self):
+        model, _tree, _timings = birch_cluster(all_points(), k=3, threshold=1.0)
+        found = sorted(tuple(np.round(c.centroid(), 0)) for c in model.clusters)
+        assert found == sorted((float(x), float(y)) for x, y in CENTERS)
+
+    def test_cluster_sizes_sum_to_n(self):
+        points = all_points()
+        model, _tree, _timings = birch_cluster(points, k=3, threshold=1.0)
+        assert sum(c.size for c in model.clusters) == len(points)
+        assert model.n_points == len(points)
+
+    def test_timings_split_phases(self):
+        _model, _tree, timings = birch_cluster(all_points(), k=3, threshold=1.0)
+        assert timings.phase1_seconds > 0
+        assert timings.phase2_seconds >= 0
+        assert timings.total_seconds == pytest.approx(
+            timings.phase1_seconds + timings.phase2_seconds
+        )
+
+    def test_kmeans_phase2(self):
+        model, _tree, _timings = birch_cluster(
+            all_points(), k=3, threshold=1.0, method="kmeans", seed=1
+        )
+        assert model.k == 3
+
+    def test_unknown_phase2_method(self):
+        with pytest.raises(ValueError):
+            global_cluster([ClusterFeature.from_point((0.0,))], k=1, method="magic")
+
+    def test_block_ids_recorded(self):
+        model, _tree, _timings = birch_cluster(
+            all_points(), k=3, threshold=1.0, block_ids=[2, 1]
+        )
+        assert model.selected_block_ids == [1, 2]
+
+
+class TestGlobalCluster:
+    def test_empty_input(self):
+        assert global_cluster([], k=3) == []
+
+    def test_build_model_ids(self):
+        cfs = [ClusterFeature.from_point((0.0,)), ClusterFeature.from_point((9.0,))]
+        model = build_model(cfs, k=2, block_ids=[1])
+        assert sorted(c.cluster_id for c in model.clusters) == [0, 1]
+
+
+class TestClusterModel:
+    def model(self):
+        model, _tree, _timings = birch_cluster(all_points(), k=3, threshold=1.0)
+        return model
+
+    def test_assign_nearest(self):
+        model = self.model()
+        label_near_origin = model.assign((0.5, -0.2))
+        centroid = next(
+            c.centroid() for c in model.clusters if c.cluster_id == label_near_origin
+        )
+        assert np.linalg.norm(centroid) < 2.0
+
+    def test_label_dataset_second_scan(self):
+        model = self.model()
+        points = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]
+        labels = model.label_dataset(points)
+        assert len(set(labels)) == 3
+
+    def test_assign_on_empty_model(self):
+        with pytest.raises(ValueError):
+            ClusterModel().assign((0.0,))
+
+    def test_weighted_total_radius(self):
+        model = self.model()
+        assert 0 < model.weighted_total_radius() < 3.0
+
+    def test_copy_independent(self):
+        model = self.model()
+        duplicate = model.copy()
+        duplicate.clusters[0].cf.add_point((100.0, 100.0))
+        assert model.clusters[0].size != duplicate.clusters[0].size
+
+    def test_match_clusters_pairs_by_distance(self):
+        model = self.model()
+        matches = match_clusters(model, model.copy())
+        assert len(matches) == 3
+        assert all(d == pytest.approx(0.0) for _, _, d in matches)

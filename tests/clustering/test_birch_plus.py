@@ -1,0 +1,120 @@
+"""Tests for incremental BIRCH+ (§3.1.2).
+
+The headline property: at any time t, BIRCH+'s clusters equal those of
+running non-incremental BIRCH over the whole selected history (the
+paper's inductive argument — resuming phase 1 block by block inserts
+exactly the same point stream into the same tree).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.birch import birch_cluster
+from repro.clustering.birch_plus import BirchPlusMaintainer
+from repro.clustering.model import match_clusters
+from tests.conftest import gaussian_point_blocks
+
+
+CENTERS = ((0.0, 0.0), (10.0, 0.0), (0.0, 10.0))
+
+
+def make_blocks(n_blocks=3, block_size=200, seed=13):
+    return gaussian_point_blocks(n_blocks, block_size, centers=CENTERS, seed=seed)
+
+
+class TestEquivalenceWithBirch:
+    def test_incremental_equals_scratch_exactly(self):
+        """Identical insertion order ⇒ identical CF-tree ⇒ identical model."""
+        blocks = make_blocks()
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        state = maintainer.build(blocks[:1])
+        for block in blocks[1:]:
+            state = maintainer.add_block(state, block)
+
+        points = [p for b in blocks for p in b.tuples]
+        scratch, _tree, _timings = birch_cluster(points, k=3, threshold=1.0)
+
+        incremental = sorted(
+            (c.size, tuple(np.round(c.centroid(), 6))) for c in state.clusters.clusters
+        )
+        from_scratch = sorted(
+            (c.size, tuple(np.round(c.centroid(), 6))) for c in scratch.clusters
+        )
+        assert incremental == from_scratch
+
+    def test_equivalence_after_every_block(self):
+        blocks = make_blocks(4, 150)
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        state = maintainer.empty_model()
+        consumed = []
+        for block in blocks:
+            state = maintainer.add_block(state, block)
+            consumed.extend(block.tuples)
+            scratch, _tree, _timings = birch_cluster(consumed, k=3, threshold=1.0)
+            matches = match_clusters(state.clusters, scratch)
+            assert len(matches) == 3
+            assert all(d == pytest.approx(0.0, abs=1e-9) for _, _, d in matches)
+
+
+class TestMaintainerBehaviour:
+    def test_selected_blocks_tracked(self):
+        blocks = make_blocks()
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        state = maintainer.build(blocks)
+        assert state.selected_block_ids == [1, 2, 3]
+        assert state.clusters.selected_block_ids == [1, 2, 3]
+
+    def test_tree_survives_across_blocks(self):
+        blocks = make_blocks()
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        state = maintainer.build(blocks[:1])
+        entries_before = state.tree.n_leaf_entries
+        state = maintainer.add_block(state, blocks[1])
+        assert state.tree.n_points == len(blocks[0]) + len(blocks[1])
+        assert state.tree.n_leaf_entries >= entries_before
+
+    def test_phase2_time_is_small_fraction(self):
+        """§3.1.2: the second phase takes a negligible amount of time."""
+        blocks = make_blocks(2, 800)
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        state = maintainer.build(blocks[:1])
+        maintainer.add_block(state, blocks[1])
+        timings = maintainer.last_timings
+        assert timings.phase2_seconds < max(timings.phase1_seconds, 1e-4) * 5
+
+    def test_clone_isolates_tree(self):
+        blocks = make_blocks()
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        state = maintainer.build(blocks[:1])
+        snapshot = maintainer.clone(state)
+        maintainer.add_block(state, blocks[1])
+        assert snapshot.tree.n_points == len(blocks[0])
+        assert state.tree.n_points == len(blocks[0]) + len(blocks[1])
+
+    def test_empty_model(self):
+        maintainer = BirchPlusMaintainer(k=2)
+        state = maintainer.empty_model()
+        assert state.tree.n_points == 0
+        assert state.clusters.k == 0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            BirchPlusMaintainer(k=0)
+
+    def test_order_insensitivity_of_discovered_centers(self):
+        """BIRCH's robustness claim: permuted block order finds the same
+        cluster centers (up to small tolerance), even if tree internals
+        differ."""
+        blocks = make_blocks(3, 250, seed=23)
+        forward = BirchPlusMaintainer(k=3, threshold=1.0)
+        state_f = forward.build(blocks)
+
+        reversed_points = [
+            p for b in reversed(blocks) for p in b.tuples
+        ]
+        backward, _tree, _timings = birch_cluster(
+            reversed_points, k=3, threshold=1.0
+        )
+        matches = match_clusters(state_f.clusters, backward)
+        assert len(matches) == 3
+        assert all(d < 1.0 for _, _, d in matches)

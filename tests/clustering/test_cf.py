@@ -1,0 +1,143 @@
+"""Tests for cluster features and CF distance metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clustering.cf import (
+    ClusterFeature,
+    distance_d0,
+    distance_d1,
+    distance_d2,
+    distance_d4,
+    get_metric,
+)
+
+
+POINTS_A = [(0.0, 0.0), (2.0, 0.0), (0.0, 2.0), (2.0, 2.0)]
+POINTS_B = [(10.0, 10.0), (12.0, 12.0)]
+
+
+class TestClusterFeature:
+    def test_from_point(self):
+        cf = ClusterFeature.from_point((3.0, 4.0))
+        assert cf.n == 1
+        assert cf.ls.tolist() == [3.0, 4.0]
+        assert cf.ss == pytest.approx(25.0)
+
+    def test_from_points(self):
+        cf = ClusterFeature.from_points(POINTS_A)
+        assert cf.n == 4
+        assert cf.ls.tolist() == [4.0, 4.0]
+        assert cf.ss == pytest.approx(0 + 4 + 4 + 8)
+
+    def test_centroid(self):
+        cf = ClusterFeature.from_points(POINTS_A)
+        assert cf.centroid().tolist() == [1.0, 1.0]
+
+    def test_empty_cf(self):
+        cf = ClusterFeature()
+        assert cf.is_empty()
+        with pytest.raises(ValueError):
+            cf.centroid()
+        with pytest.raises(ValueError):
+            cf.radius()
+
+    def test_additivity(self):
+        """CF(A ∪ B) = CF(A) + CF(B) — the property BIRCH+ rests on."""
+        cf_a = ClusterFeature.from_points(POINTS_A)
+        cf_b = ClusterFeature.from_points(POINTS_B)
+        merged = cf_a.merged(cf_b)
+        direct = ClusterFeature.from_points(POINTS_A + POINTS_B)
+        assert merged.n == direct.n
+        np.testing.assert_allclose(merged.ls, direct.ls)
+        assert merged.ss == pytest.approx(direct.ss)
+
+    def test_merge_into_empty(self):
+        cf = ClusterFeature()
+        cf.merge(ClusterFeature.from_point((1.0,)))
+        assert cf.n == 1
+
+    def test_merge_empty_is_noop(self):
+        cf = ClusterFeature.from_point((1.0,))
+        cf.merge(ClusterFeature())
+        assert cf.n == 1
+
+    def test_radius_against_definition(self):
+        cf = ClusterFeature.from_points(POINTS_A)
+        centroid = np.array([1.0, 1.0])
+        expected = math.sqrt(
+            np.mean([np.sum((np.array(p) - centroid) ** 2) for p in POINTS_A])
+        )
+        assert cf.radius() == pytest.approx(expected)
+
+    def test_diameter_against_definition(self):
+        cf = ClusterFeature.from_points(POINTS_A)
+        distances = [
+            np.sum((np.array(a) - np.array(b)) ** 2)
+            for i, a in enumerate(POINTS_A)
+            for b in POINTS_A[i + 1 :]
+        ]
+        expected = math.sqrt(sum(2 * d for d in distances) / (4 * 3))
+        assert cf.diameter() == pytest.approx(expected)
+
+    def test_diameter_of_single_point_is_zero(self):
+        assert ClusterFeature.from_point((5.0, 5.0)).diameter() == 0.0
+
+    def test_radius_of_single_point_is_zero(self):
+        assert ClusterFeature.from_point((5.0, 5.0)).radius() == pytest.approx(0.0)
+
+    def test_copy_is_independent(self):
+        cf = ClusterFeature.from_point((1.0, 2.0))
+        duplicate = cf.copy()
+        duplicate.add_point((3.0, 4.0))
+        assert cf.n == 1
+
+    def test_numerical_stability_clamps(self):
+        """Radius of many identical points must not go NaN from a tiny
+        negative variance."""
+        cf = ClusterFeature.from_points([(0.1, 0.7)] * 1000)
+        assert cf.radius() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDistances:
+    def test_d0_is_centroid_euclidean(self):
+        a = ClusterFeature.from_point((0.0, 0.0))
+        b = ClusterFeature.from_point((3.0, 4.0))
+        assert distance_d0(a, b) == pytest.approx(5.0)
+
+    def test_d1_is_centroid_manhattan(self):
+        a = ClusterFeature.from_point((0.0, 0.0))
+        b = ClusterFeature.from_point((3.0, 4.0))
+        assert distance_d1(a, b) == pytest.approx(7.0)
+
+    def test_d2_against_definition(self):
+        """D2² is the mean squared inter-cluster point distance."""
+        cf_a = ClusterFeature.from_points(POINTS_A)
+        cf_b = ClusterFeature.from_points(POINTS_B)
+        pairwise = [
+            np.sum((np.array(a) - np.array(b)) ** 2)
+            for a in POINTS_A
+            for b in POINTS_B
+        ]
+        expected = math.sqrt(np.mean(pairwise))
+        assert distance_d2(cf_a, cf_b) == pytest.approx(expected)
+
+    def test_d4_variance_increase(self):
+        """D4 equals the increase in within-cluster SSQ after merging."""
+        cf_a = ClusterFeature.from_points(POINTS_A)
+        cf_b = ClusterFeature.from_points(POINTS_B)
+
+        def ssq(points):
+            arr = np.asarray(points)
+            return float(np.sum((arr - arr.mean(axis=0)) ** 2))
+
+        expected = ssq(POINTS_A + POINTS_B) - ssq(POINTS_A) - ssq(POINTS_B)
+        assert distance_d4(cf_a, cf_b) == pytest.approx(expected)
+
+    def test_metric_lookup(self):
+        assert get_metric("D0") is distance_d0
+        assert get_metric("d4") is distance_d4
+        with pytest.raises(ValueError):
+            get_metric("d9")

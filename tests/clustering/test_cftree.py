@@ -1,0 +1,117 @@
+"""Tests for the CF-tree."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.clustering.cf import ClusterFeature
+from repro.clustering.cftree import CFTree
+
+
+def gaussian_points(n, centers, sigma=0.5, seed=0):
+    rng = random.Random(seed)
+    points = []
+    for _ in range(n):
+        cx, cy = centers[rng.randrange(len(centers))]
+        points.append((cx + rng.gauss(0, sigma), cy + rng.gauss(0, sigma)))
+    return points
+
+
+class TestInsertion:
+    def test_point_count_tracked(self):
+        tree = CFTree(threshold=1.0)
+        tree.insert_points([(0.0, 0.0), (0.1, 0.1), (5.0, 5.0)])
+        assert tree.n_points == 3
+
+    def test_close_points_absorbed_into_one_entry(self):
+        tree = CFTree(threshold=2.0)
+        tree.insert_points([(0.0, 0.0), (0.1, 0.0), (0.0, 0.1)])
+        assert tree.n_leaf_entries == 1
+
+    def test_distant_points_create_entries(self):
+        tree = CFTree(threshold=0.5)
+        tree.insert_points([(0.0, 0.0), (10.0, 10.0), (-10.0, 5.0)])
+        assert tree.n_leaf_entries == 3
+
+    def test_total_cf_preserves_sufficient_statistics(self):
+        """Whatever the tree shape, the sum of leaf CFs is exact."""
+        points = gaussian_points(500, [(0, 0), (8, 8)], seed=1)
+        tree = CFTree(threshold=0.8, max_leaf_entries=64)
+        tree.insert_points(points)
+        total = tree.total_cf()
+        direct = ClusterFeature.from_points(points)
+        assert total.n == direct.n == 500
+        np.testing.assert_allclose(total.ls, direct.ls, rtol=1e-9)
+        assert total.ss == pytest.approx(direct.ss)
+
+    def test_insert_cf_directly(self):
+        tree = CFTree(threshold=1.0)
+        tree.insert_cf(ClusterFeature.from_points([(0.0, 0.0), (0.2, 0.2)]))
+        assert tree.n_points == 2
+
+    def test_insert_empty_cf_is_noop(self):
+        tree = CFTree()
+        tree.insert_cf(ClusterFeature())
+        assert tree.n_points == 0
+
+
+class TestStructure:
+    def test_invariants_after_many_inserts(self):
+        points = gaussian_points(800, [(0, 0), (10, 0), (0, 10), (10, 10)], seed=2)
+        tree = CFTree(
+            threshold=0.6, branching_factor=4, leaf_capacity=4, max_leaf_entries=256
+        )
+        tree.insert_points(points)
+        assert tree.check_invariants() == []
+
+    def test_height_grows_under_splits(self):
+        # Widely scattered points with a tiny threshold force splits.
+        rng = random.Random(3)
+        points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(200)]
+        tree = CFTree(threshold=0.01, branching_factor=3, leaf_capacity=3,
+                      max_leaf_entries=10_000)
+        tree.insert_points(points)
+        assert tree.height() > 1
+        assert tree.check_invariants() == []
+
+    def test_leaf_entries_enumeration(self):
+        tree = CFTree(threshold=0.1)
+        tree.insert_points([(0.0, 0.0), (50.0, 50.0)])
+        entries = tree.leaf_entries()
+        assert len(entries) == 2
+        assert sum(e.n for e in entries) == 2
+
+
+class TestRebuild:
+    def test_rebuild_triggers_on_entry_budget(self):
+        rng = random.Random(4)
+        points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(300)]
+        tree = CFTree(threshold=0.01, max_leaf_entries=32)
+        tree.insert_points(points)
+        assert tree.rebuilds >= 1
+        assert tree.n_leaf_entries <= 32
+        assert tree.threshold > 0.01
+
+    def test_rebuild_preserves_statistics(self):
+        rng = random.Random(5)
+        points = [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(400)]
+        tree = CFTree(threshold=0.01, max_leaf_entries=24)
+        tree.insert_points(points)
+        direct = ClusterFeature.from_points(points)
+        total = tree.total_cf()
+        assert total.n == 400
+        np.testing.assert_allclose(total.ls, direct.ls, rtol=1e-9)
+        assert tree.check_invariants() == []
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CFTree(threshold=-1)
+        with pytest.raises(ValueError):
+            CFTree(branching_factor=1)
+        with pytest.raises(ValueError):
+            CFTree(leaf_capacity=1)
+        with pytest.raises(ValueError):
+            CFTree(max_leaf_entries=1)

@@ -1,0 +1,212 @@
+"""Tests for batch and incremental DBSCAN.
+
+Incremental correctness is verified against batch DBSCAN via
+``check_against_batch`` (identical core partitions + consistent border
+attachment) after randomized insertion/deletion sequences.
+"""
+
+import random
+
+import pytest
+
+from repro.clustering.dbscan import (
+    GridIndex,
+    IncrementalDBSCAN,
+    IncrementalDBSCANMaintainer,
+    NOISE,
+    dbscan,
+)
+from repro.core.blocks import make_block
+
+
+def two_blobs(n=30, seed=0, centers=((0.0, 0.0), (10.0, 10.0)), spread=0.8):
+    rng = random.Random(seed)
+    points = []
+    for _ in range(n):
+        cx, cy = centers[rng.randrange(len(centers))]
+        points.append((cx + rng.uniform(-spread, spread),
+                       cy + rng.uniform(-spread, spread)))
+    return points
+
+
+class TestGridIndex:
+    def test_neighbors_within_eps(self):
+        index = GridIndex(eps=1.0, dim=2)
+        index.add(0, (0.0, 0.0))
+        index.add(1, (0.5, 0.5))
+        index.add(2, (5.0, 5.0))
+        assert sorted(index.neighbors((0.0, 0.0))) == [0, 1]
+
+    def test_neighbors_across_cells(self):
+        index = GridIndex(eps=1.0, dim=2)
+        index.add(0, (0.99, 0.0))
+        index.add(1, (1.01, 0.0))
+        assert sorted(index.neighbors((0.99, 0.0))) == [0, 1]
+
+    def test_remove(self):
+        index = GridIndex(eps=1.0, dim=2)
+        index.add(0, (0.0, 0.0))
+        index.remove(0)
+        assert index.neighbors((0.0, 0.0)) == []
+        assert len(index) == 0
+
+    def test_duplicate_id_rejected(self):
+        index = GridIndex(eps=1.0, dim=1)
+        index.add(0, (0.0,))
+        with pytest.raises(ValueError):
+            index.add(0, (1.0,))
+
+    def test_dimension_mismatch(self):
+        index = GridIndex(eps=1.0, dim=2)
+        with pytest.raises(ValueError):
+            index.add(0, (0.0,))
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex(eps=0, dim=2)
+
+
+class TestBatchDBSCAN:
+    def test_two_blobs_found(self):
+        points = two_blobs(40, seed=1)
+        labels = dbscan(points, eps=1.5, min_pts=4)
+        assert len({l for l in labels if l != NOISE}) == 2
+
+    def test_isolated_points_are_noise(self):
+        points = two_blobs(40, seed=2) + [(100.0, 100.0)]
+        labels = dbscan(points, eps=1.5, min_pts=4)
+        assert labels[-1] == NOISE
+
+    def test_all_noise_when_sparse(self):
+        points = [(float(i * 100), 0.0) for i in range(10)]
+        labels = dbscan(points, eps=1.0, min_pts=2)
+        assert all(l == NOISE for l in labels)
+
+    def test_single_dense_cluster(self):
+        points = [(0.0 + i * 0.1, 0.0) for i in range(20)]
+        labels = dbscan(points, eps=0.5, min_pts=3)
+        assert set(labels) == {0}
+
+    def test_empty_input(self):
+        assert dbscan([], eps=1.0, min_pts=3) == []
+
+    def test_min_pts_validation(self):
+        with pytest.raises(ValueError):
+            dbscan([(0.0,)], eps=1.0, min_pts=0)
+
+
+class TestIncrementalInsertion:
+    def test_matches_batch_after_insertions(self):
+        points = two_blobs(50, seed=3)
+        inc = IncrementalDBSCAN(eps=1.5, min_pts=4, dim=2)
+        for point in points:
+            inc.insert(point)
+        assert inc.check_against_batch() == []
+
+    def test_cluster_forms_when_density_reached(self):
+        inc = IncrementalDBSCAN(eps=1.0, min_pts=3, dim=2)
+        a = inc.insert((0.0, 0.0))
+        b = inc.insert((0.3, 0.0))
+        assert inc.label(a) == NOISE and inc.label(b) == NOISE
+        c = inc.insert((0.0, 0.3))
+        assert inc.label(a) == inc.label(b) == inc.label(c) != NOISE
+
+    def test_bridge_point_merges_clusters(self):
+        inc = IncrementalDBSCAN(eps=1.1, min_pts=3, dim=2)
+        left = [(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)]
+        right = [(3.0, 0.0), (3.5, 0.0), (4.0, 0.0)]
+        for point in left + right:
+            inc.insert(point)
+        assert len(inc.clusters()) == 2
+        inc.insert((2.0, 0.0))  # bridges 1.0 and 3.0
+        assert len(inc.clusters()) == 1
+        assert inc.check_against_batch() == []
+
+    def test_randomized_insertions_match_batch(self):
+        rng = random.Random(7)
+        inc = IncrementalDBSCAN(eps=1.2, min_pts=4, dim=2)
+        for i in range(120):
+            point = (rng.uniform(0, 12), rng.uniform(0, 12))
+            inc.insert(point)
+            if i % 30 == 29:
+                assert inc.check_against_batch() == [], f"after {i + 1} inserts"
+
+
+class TestIncrementalDeletion:
+    def test_deletion_can_split_cluster(self):
+        inc = IncrementalDBSCAN(eps=1.1, min_pts=3, dim=2)
+        chain = [(float(i), 0.0) for i in range(7)]
+        ids = [inc.insert(p) for p in chain]
+        assert len(inc.clusters()) == 1
+        inc.delete(ids[3])  # break the chain in the middle
+        assert inc.check_against_batch() == []
+        assert len(inc.clusters()) == 2
+
+    def test_deleting_everything(self):
+        inc = IncrementalDBSCAN(eps=1.0, min_pts=2, dim=2)
+        ids = [inc.insert((float(i) * 0.1, 0.0)) for i in range(5)]
+        for point_id in ids:
+            inc.delete(point_id)
+        assert len(inc) == 0
+        assert inc.clusters() == {}
+
+    def test_randomized_insert_delete_matches_batch(self):
+        rng = random.Random(11)
+        inc = IncrementalDBSCAN(eps=1.3, min_pts=4, dim=2)
+        alive = []
+        for step in range(150):
+            if alive and rng.random() < 0.35:
+                victim = alive.pop(rng.randrange(len(alive)))
+                inc.delete(victim)
+            else:
+                point = (rng.uniform(0, 10), rng.uniform(0, 10))
+                alive.append(inc.insert(point))
+            if step % 25 == 24:
+                assert inc.check_against_batch() == [], f"after step {step}"
+
+    def test_deletion_cost_exceeds_insertion_cost(self):
+        """§3.2.4: maintaining DBSCAN under deletion is dearer than
+        under insertion (re-clustering vs local expansion)."""
+        points = two_blobs(80, seed=5, spread=1.2)
+        inc = IncrementalDBSCAN(eps=1.5, min_pts=4, dim=2)
+        insert_queries = []
+        ids = []
+        for point in points:
+            ids.append(inc.insert(point))
+            insert_queries.append(inc.last_cost.neighbor_queries)
+        delete_queries = []
+        for point_id in ids[:20]:
+            inc.delete(point_id)
+            delete_queries.append(inc.last_cost.neighbor_queries)
+        assert sum(delete_queries) / len(delete_queries) > (
+            sum(insert_queries) / len(insert_queries)
+        )
+
+
+class TestDBSCANMaintainer:
+    def test_block_add_and_delete_round_trip(self):
+        maintainer = IncrementalDBSCANMaintainer(eps=1.5, min_pts=4, dim=2)
+        block1 = make_block(1, two_blobs(40, seed=6))
+        block2 = make_block(2, two_blobs(40, seed=7))
+        model = maintainer.build([block1, block2])
+        assert model.selected_block_ids == [1, 2]
+        assert model.clustering.check_against_batch() == []
+        model = maintainer.delete_block(model, block1)
+        assert model.selected_block_ids == [2]
+        assert model.clustering.check_against_batch() == []
+        assert len(model.clustering) == len(block2)
+
+    def test_delete_unknown_block_rejected(self):
+        maintainer = IncrementalDBSCANMaintainer(eps=1.0, min_pts=3, dim=2)
+        model = maintainer.empty_model()
+        with pytest.raises(ValueError):
+            maintainer.delete_block(model, make_block(1, []))
+
+    def test_clone_is_independent(self):
+        maintainer = IncrementalDBSCANMaintainer(eps=1.5, min_pts=4, dim=2)
+        block = make_block(1, two_blobs(30, seed=8))
+        model = maintainer.build([block])
+        snapshot = maintainer.clone(model)
+        maintainer.add_block(model, make_block(2, two_blobs(30, seed=9)))
+        assert len(snapshot.clustering) == 30
+        assert len(model.clustering) == 60

@@ -1,0 +1,72 @@
+"""Tests for the DBSCAN → ClusterModel bridge and its FOCUS usage."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import IncrementalDBSCANMaintainer
+from repro.core.blocks import make_block
+from repro.deviation.focus import ClusterDeviation
+from tests.clustering.test_dbscan import two_blobs
+
+
+def build_model(seed, centers=((0.0, 0.0), (10.0, 10.0))):
+    maintainer = IncrementalDBSCANMaintainer(eps=1.5, min_pts=4, dim=2)
+    block = make_block(1, two_blobs(60, seed=seed, centers=centers))
+    return maintainer.build([block])
+
+
+class TestToClusterModel:
+    def test_cluster_count_and_mass(self):
+        model = build_model(seed=1)
+        summary = model.to_cluster_model()
+        assert summary.k == 2
+        clustered = sum(
+            len(m) for m in model.clustering.clusters().values()
+        )
+        assert summary.n_points == clustered
+
+    def test_centroids_near_blob_centers(self):
+        model = build_model(seed=2)
+        summary = model.to_cluster_model()
+        centroids = sorted(tuple(np.round(c.centroid(), 0)) for c in summary.clusters)
+        assert centroids == [(0.0, 0.0), (10.0, 10.0)]
+
+    def test_noise_excluded(self):
+        maintainer = IncrementalDBSCANMaintainer(eps=1.0, min_pts=4, dim=2)
+        points = two_blobs(50, seed=3) + [(100.0, 100.0)]
+        model = maintainer.build([make_block(1, points)])
+        summary = model.to_cluster_model()
+        assert summary.n_points == len(points) - len(
+            model.clustering.noise_ids()
+        )
+
+    def test_selected_blocks_carried(self):
+        model = build_model(seed=4)
+        assert model.to_cluster_model().selected_block_ids == [1]
+
+    def test_usable_by_cluster_deviation(self):
+        """A DBSCAN summary feeds FOCUS like a BIRCH model does."""
+        fn = ClusterDeviation(k=2, threshold=1.0)
+        model_a = build_model(seed=5)
+        model_b = build_model(seed=6)
+        shifted = build_model(
+            seed=7, centers=((50.0, 50.0), (60.0, 60.0))
+        )
+        block_a = make_block(1, two_blobs(60, seed=5))
+        block_b = make_block(2, two_blobs(60, seed=6))
+        block_c = make_block(
+            3, two_blobs(60, seed=7, centers=((50.0, 50.0), (60.0, 60.0)))
+        )
+        same = fn.deviation(
+            block_a, model_a.to_cluster_model(),
+            block_b, model_b.to_cluster_model(),
+        )
+        different = fn.deviation(
+            block_a, model_a.to_cluster_model(),
+            block_c, shifted.to_cluster_model(),
+        )
+        assert different.value > same.value
+
+    def test_weighted_radius_available(self):
+        summary = build_model(seed=8).to_cluster_model()
+        assert summary.weighted_total_radius() > 0

@@ -1,0 +1,73 @@
+"""Tests for agglomerative clustering over CFs."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.cf import ClusterFeature
+from repro.clustering.hierarchical import agglomerate
+
+
+def cf_at(x, y, n=1):
+    cf = ClusterFeature()
+    for _ in range(n):
+        cf.add_point((x, y))
+    return cf
+
+
+class TestAgglomerate:
+    def test_merges_to_k(self):
+        cfs = [cf_at(0, 0), cf_at(0.1, 0), cf_at(10, 10), cf_at(10.1, 10)]
+        clusters, assignment = agglomerate(cfs, k=2)
+        assert len(clusters) == 2
+        assert assignment[0] == assignment[1]
+        assert assignment[2] == assignment[3]
+        assert assignment[0] != assignment[2]
+
+    def test_merged_cfs_are_exact(self):
+        cfs = [cf_at(0, 0, n=2), cf_at(1, 1, n=3)]
+        clusters, _ = agglomerate(cfs, k=1)
+        assert clusters[0].n == 5
+        np.testing.assert_allclose(clusters[0].centroid(), [0.6, 0.6])
+
+    def test_k_equal_to_input_is_identity(self):
+        cfs = [cf_at(0, 0), cf_at(5, 5)]
+        clusters, assignment = agglomerate(cfs, k=2)
+        assert len(clusters) == 2
+        assert sorted(assignment) == [0, 1]
+
+    def test_k_clamped(self):
+        cfs = [cf_at(0, 0)]
+        clusters, _ = agglomerate(cfs, k=5)
+        assert len(clusters) == 1
+
+    def test_empty_input(self):
+        clusters, assignment = agglomerate([], k=3)
+        assert clusters == []
+        assert assignment == []
+
+    def test_empty_cf_rejected(self):
+        with pytest.raises(ValueError):
+            agglomerate([ClusterFeature()], k=1)
+
+    def test_assignment_covers_all_inputs(self):
+        cfs = [cf_at(i, 0) for i in range(7)]
+        clusters, assignment = agglomerate(cfs, k=3)
+        assert len(assignment) == 7
+        assert set(assignment) == set(range(3))
+
+    def test_ward_metric_prefers_small_merges(self):
+        """Under D4 a tiny outlier pair merges before two big clusters."""
+        big_a = cf_at(0, 0, n=100)
+        big_b = cf_at(4, 0, n=100)
+        small_a = cf_at(20, 0, n=1)
+        small_b = cf_at(24, 0, n=1)
+        clusters, assignment = agglomerate(
+            [big_a, big_b, small_a, small_b], k=3, metric="d4"
+        )
+        assert assignment[2] == assignment[3]
+        assert assignment[0] != assignment[1]
+
+    def test_total_mass_preserved(self):
+        cfs = [cf_at(i, i, n=i + 1) for i in range(6)]
+        clusters, _ = agglomerate(cfs, k=2)
+        assert sum(c.n for c in clusters) == sum(cf.n for cf in cfs)

@@ -1,0 +1,74 @@
+"""Tests for weighted K-Means."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import weighted_kmeans
+
+
+WELL_SEPARATED = (
+    [(0.0, 0.0), (0.5, 0.1), (0.1, 0.4)]
+    + [(10.0, 10.0), (10.2, 9.9), (9.8, 10.1)]
+    + [(20.0, 0.0), (20.1, 0.2)]
+)
+
+
+class TestBasics:
+    def test_recovers_separated_clusters(self):
+        result = weighted_kmeans(WELL_SEPARATED, k=3, seed=1)
+        centers = sorted(np.round(result.centers, 0).tolist())
+        assert centers == [[0.0, 0.0], [10.0, 10.0], [20.0, 0.0]]
+
+    def test_labels_partition_input(self):
+        result = weighted_kmeans(WELL_SEPARATED, k=3, seed=1)
+        assert len(result.labels) == len(WELL_SEPARATED)
+        assert set(result.labels) == {0, 1, 2}
+
+    def test_deterministic_given_seed(self):
+        first = weighted_kmeans(WELL_SEPARATED, k=3, seed=7)
+        second = weighted_kmeans(WELL_SEPARATED, k=3, seed=7)
+        np.testing.assert_array_equal(first.centers, second.centers)
+
+    def test_single_cluster_is_weighted_mean(self):
+        vectors = [(0.0,), (10.0,)]
+        weights = [3.0, 1.0]
+        result = weighted_kmeans(vectors, weights, k=1, seed=0)
+        assert result.centers[0][0] == pytest.approx(2.5)
+
+    def test_k_clamped_to_input_size(self):
+        result = weighted_kmeans([(0.0,), (1.0,)], k=10, seed=0)
+        assert len(result.centers) == 2
+
+    def test_weights_pull_centers(self):
+        """A heavy vector dominates its cluster's center."""
+        vectors = [(0.0,), (1.0,), (100.0,)]
+        weights = [100.0, 1.0, 1.0]
+        result = weighted_kmeans(vectors, weights, k=2, seed=0)
+        low_center = min(c[0] for c in result.centers)
+        assert low_center < 0.1
+
+    def test_inertia_non_negative_and_zero_when_exact(self):
+        result = weighted_kmeans([(0.0,), (5.0,)], k=2, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_iterations_reported(self):
+        result = weighted_kmeans(WELL_SEPARATED, k=3, seed=1)
+        assert 1 <= result.iterations <= 100
+
+
+class TestValidation:
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            weighted_kmeans([], k=2)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_kmeans([(0.0,)], weights=[1.0, 2.0], k=1)
+
+    def test_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            weighted_kmeans([(0.0,)], weights=[0.0], k=1)
+
+    def test_identical_points(self):
+        result = weighted_kmeans([(1.0, 1.0)] * 5, k=2, seed=0)
+        assert result.inertia == pytest.approx(0.0)

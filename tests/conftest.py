@@ -1,0 +1,73 @@
+"""Shared fixtures: small deterministic datasets for fast tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.blocks import Block, make_block
+from repro.itemsets.itemset import normalize_transaction
+
+
+def random_transactions(
+    count: int,
+    n_items: int = 40,
+    seed: int = 0,
+    planted: tuple[tuple[int, ...], float] | None = ((1, 2, 3), 0.3),
+) -> list[tuple[int, ...]]:
+    """Random transactions with an optional planted frequent pattern."""
+    rng = random.Random(seed)
+    transactions = []
+    for _ in range(count):
+        items: list[int] = []
+        if planted is not None and rng.random() < planted[1]:
+            items.extend(planted[0])
+        items.extend(rng.sample(range(n_items), rng.randint(2, 6)))
+        transactions.append(normalize_transaction(items))
+    return transactions
+
+
+def transaction_blocks(
+    n_blocks: int = 4,
+    block_size: int = 250,
+    n_items: int = 40,
+    seed: int = 0,
+) -> list[Block]:
+    """A list of consecutive transaction blocks."""
+    return [
+        make_block(
+            i + 1,
+            random_transactions(block_size, n_items=n_items, seed=seed + i),
+        )
+        for i in range(n_blocks)
+    ]
+
+
+def gaussian_point_blocks(
+    n_blocks: int = 3,
+    block_size: int = 300,
+    centers: tuple[tuple[float, float], ...] = ((0.0, 0.0), (10.0, 0.0), (0.0, 10.0)),
+    sigma: float = 0.7,
+    seed: int = 0,
+) -> list[Block]:
+    """Blocks of 2-D points around fixed cluster centers."""
+    rng = random.Random(seed)
+    blocks = []
+    for i in range(n_blocks):
+        points = []
+        for _ in range(block_size):
+            cx, cy = centers[rng.randrange(len(centers))]
+            points.append((cx + rng.gauss(0, sigma), cy + rng.gauss(0, sigma)))
+        blocks.append(make_block(i + 1, points))
+    return blocks
+
+
+@pytest.fixture
+def tx_blocks() -> list[Block]:
+    return transaction_blocks()
+
+
+@pytest.fixture
+def point_blocks() -> list[Block]:
+    return gaussian_point_blocks()

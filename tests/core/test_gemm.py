@@ -1,0 +1,198 @@
+"""Tests for GEMM (Algorithm 3.1) under both BSS types.
+
+The BagMaintainer model is an exact multiset, so every test can check
+the *precise* set of blocks each maintained model covers against a
+brute-force reference.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+from repro.core.gemm import GEMM
+from tests.core.test_maintainer import BagMaintainer
+
+
+def block(i):
+    """Block i containing the single tuple (i,), so models read as id sets."""
+    return make_block(i, [(i,)])
+
+
+def model_ids(model: Counter) -> set[int]:
+    return {t[0] for t in model}
+
+
+def run_gemm(w, bss, n_blocks):
+    gemm = GEMM(BagMaintainer(), w=w, bss=bss)
+    reports = []
+    for i in range(1, n_blocks + 1):
+        reports.append(gemm.observe(block(i)))
+    return gemm, reports
+
+
+def expected_window_relative(bss_bits, t, w):
+    """Brute-force selection of a window-relative BSS at time t."""
+    start = max(1, t - w + 1)
+    return {
+        start + offset
+        for offset in range(min(w, t))
+        if start + offset <= t and bss_bits[offset] == 1
+    }
+
+
+class TestGEMMSelectAll:
+    def test_sliding_window_contents(self):
+        gemm, _ = run_gemm(w=3, bss=None, n_blocks=6)
+        assert model_ids(gemm.current_model()) == {4, 5, 6}
+
+    def test_warmup_contents(self):
+        gemm, _ = run_gemm(w=4, bss=None, n_blocks=2)
+        assert model_ids(gemm.current_model()) == {1, 2}
+        assert not gemm.is_warmed_up
+
+    def test_window_start(self):
+        gemm, _ = run_gemm(w=3, bss=None, n_blocks=6)
+        assert gemm.window_start == 4
+
+    def test_every_slide_is_correct(self):
+        gemm = GEMM(BagMaintainer(), w=3)
+        for i in range(1, 10):
+            gemm.observe(block(i))
+            expected = set(range(max(1, i - 2), i + 1))
+            assert model_ids(gemm.current_model()) == expected
+
+
+class TestGEMMWindowIndependent:
+    def test_paper_example_sequence(self):
+        """BSS <10110...>, w=3: after D4 the model covers {D3, D4}."""
+        bss = WindowIndependentBSS([1, 0, 1, 1, 0])
+        gemm, _ = run_gemm(w=3, bss=bss, n_blocks=4)
+        assert model_ids(gemm.current_model()) == {3, 4}
+
+    def test_selection_at_every_step(self):
+        bits = [1, 0, 1, 1, 0, 1, 0, 0, 1, 1]
+        bss = WindowIndependentBSS(bits)
+        gemm = GEMM(BagMaintainer(), w=4, bss=bss)
+        for i in range(1, 11):
+            gemm.observe(block(i))
+            window = range(max(1, i - 3), i + 1)
+            expected = {j for j in window if bits[j - 1] == 1}
+            assert model_ids(gemm.current_model()) == expected, f"at t={i}"
+
+    def test_future_window_slots_cover_prefixes(self):
+        bits = [1, 0, 1, 1, 0, 1]
+        bss = WindowIndependentBSS(bits)
+        gemm, _ = run_gemm(w=3, bss=bss, n_blocks=4)
+        # Slot k covers the prefix D[window_start + k .. t] of future
+        # window f_k, filtered by the global bits.
+        for k in range(3):
+            lo = gemm.window_start + k
+            expected = {j for j in range(lo, 5) if bits[j - 1] == 1}
+            assert model_ids(gemm.model_for_slot(k)) == expected
+
+    def test_dedup_of_identical_models(self):
+        """The paper's example: two of the three models on D[1,3] with
+        BSS <101...> coincide, so fewer than w distinct models exist."""
+        bss = WindowIndependentBSS([1, 0, 1, 1, 0])
+        gemm, _ = run_gemm(w=3, bss=bss, n_blocks=3)
+        assert gemm.distinct_model_count() == 2
+
+
+class TestGEMMWindowRelative:
+    def test_paper_example_sequence(self):
+        """Window-relative <101>, w=3: on D[1,3] model={1,3}; after D4
+        the window is D[2,4] and the model is {2,4}."""
+        bss = WindowRelativeBSS([1, 0, 1])
+        gemm = GEMM(BagMaintainer(), w=3, bss=bss)
+        for i in (1, 2, 3):
+            gemm.observe(block(i))
+        assert model_ids(gemm.current_model()) == {1, 3}
+        gemm.observe(block(4))
+        assert model_ids(gemm.current_model()) == {2, 4}
+
+    def test_selection_at_every_step(self):
+        bits = (1, 0, 0, 1, 1)
+        bss = WindowRelativeBSS(bits)
+        gemm = GEMM(BagMaintainer(), w=5, bss=bss)
+        for i in range(1, 13):
+            gemm.observe(block(i))
+            expected = expected_window_relative(bits, i, 5)
+            assert model_ids(gemm.current_model()) == expected, f"at t={i}"
+
+    def test_alternating_bss_disjoint_shift(self):
+        """The §3.2.4 worst case for A^u_M: <10101...> flips the whole
+        selection every slide; GEMM handles it with one A_M call on the
+        critical path regardless."""
+        bss = WindowRelativeBSS([1, 0, 1, 0, 1])
+        gemm = GEMM(BagMaintainer(), w=5, bss=bss)
+        for i in range(1, 11):
+            report = gemm.observe(block(i))
+            assert report.critical_invocations <= 1
+        assert model_ids(gemm.current_model()) == {6, 8, 10}
+        gemm.observe(block(11))
+        assert model_ids(gemm.current_model()) == {7, 9, 11}
+
+    def test_bss_length_must_match_window(self):
+        with pytest.raises(ValueError, match="length"):
+            GEMM(BagMaintainer(), w=4, bss=WindowRelativeBSS([1, 0]))
+
+
+class TestGEMMAccounting:
+    def test_critical_path_is_single_invocation(self):
+        gemm = GEMM(BagMaintainer(), w=4)
+        for i in range(1, 9):
+            report = gemm.observe(block(i))
+            assert report.critical_invocations <= 1
+
+    def test_offline_invocations_bounded_by_w(self):
+        gemm = GEMM(BagMaintainer(), w=5)
+        for i in range(1, 12):
+            report = gemm.observe(block(i))
+            assert report.offline_invocations <= 5
+
+    def test_distinct_models_never_exceed_w(self):
+        bss = WindowIndependentBSS([1, 0] * 10)
+        gemm = GEMM(BagMaintainer(), w=4, bss=bss)
+        for i in range(1, 20):
+            report = gemm.observe(block(i))
+            assert report.distinct_models <= 4
+
+    def test_zero_bit_blocks_cost_nothing(self):
+        """A block with bit 0 everywhere requires no A_M invocations."""
+        bss = WindowIndependentBSS.from_predicate(lambda i: i != 3)
+        gemm = GEMM(BagMaintainer(), w=3, bss=bss)
+        gemm.observe(block(1))
+        gemm.observe(block(2))
+        report = gemm.observe(block(3))
+        assert report.critical_invocations == 0
+        assert report.offline_invocations == 0
+
+    def test_out_of_order_rejected(self):
+        gemm = GEMM(BagMaintainer(), w=2)
+        gemm.observe(block(1))
+        with pytest.raises(ValueError, match="requires block id 2"):
+            gemm.observe(block(3))
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ValueError):
+            GEMM(BagMaintainer(), w=0)
+
+    def test_slot_index_bounds(self):
+        gemm = GEMM(BagMaintainer(), w=3)
+        gemm.observe(block(1))
+        with pytest.raises(IndexError):
+            gemm.model_for_slot(3)
+
+
+class TestGEMMIsolation:
+    def test_slot_models_do_not_alias_after_divergence(self):
+        """Two slots sharing a model must diverge safely once their BSS
+        bits differ (copy-on-extend)."""
+        bss = WindowRelativeBSS([1, 1, 0])
+        gemm = GEMM(BagMaintainer(), w=3, bss=bss)
+        for i in range(1, 7):
+            gemm.observe(block(i))
+            expected = expected_window_relative((1, 1, 0), i, 3)
+            assert model_ids(gemm.current_model()) == expected

@@ -1,0 +1,110 @@
+"""Tests for time hierarchies over blocks (§2.1's merging note)."""
+
+from collections import Counter
+
+from repro.core.blocks import make_block
+from repro.core.hierarchy import HierarchicalStream, TimeHierarchy
+from repro.core.maintainer import UnrestrictedWindowMaintainer
+from tests.core.test_maintainer import BagMaintainer
+
+
+def hourly_blocks(days=3, hours_per_day=4):
+    """Fine blocks: one per "hour", metadata carries the day."""
+    blocks = []
+    block_id = 1
+    for day in range(days):
+        for hour in range(hours_per_day):
+            blocks.append(
+                make_block(
+                    block_id,
+                    [(day, hour)],
+                    label=f"d{day}h{hour}",
+                    metadata={"day": day, "hour": hour},
+                )
+            )
+            block_id += 1
+    return blocks
+
+
+DAY_HIERARCHY = TimeHierarchy(parent_key=lambda block: block.metadata["day"])
+
+
+class TestTimeHierarchy:
+    def test_merge_groups_by_parent(self):
+        coarse = DAY_HIERARCHY.merge_stream(hourly_blocks(days=3))
+        assert len(coarse) == 3
+        assert [b.block_id for b in coarse] == [1, 2, 3]
+
+    def test_merged_tuples_concatenate_in_order(self):
+        coarse = DAY_HIERARCHY.merge_stream(hourly_blocks(days=2))
+        assert coarse[0].tuples == ((0, 0), (0, 1), (0, 2), (0, 3))
+
+    def test_fine_ids_recorded(self):
+        coarse = DAY_HIERARCHY.merge_stream(hourly_blocks(days=2))
+        assert coarse[1].metadata["fine_block_ids"] == [5, 6, 7, 8]
+
+    def test_metadata_inherited_from_first_fine_block(self):
+        coarse = DAY_HIERARCHY.merge_stream(hourly_blocks(days=2))
+        assert coarse[0].metadata["day"] == 0
+
+    def test_empty_stream(self):
+        assert DAY_HIERARCHY.merge_stream([]) == []
+
+    def test_custom_label(self):
+        hierarchy = TimeHierarchy(
+            parent_key=lambda b: b.metadata["day"],
+            label=lambda b: f"day-{b.metadata['day']}",
+        )
+        coarse = hierarchy.merge_stream(hourly_blocks(days=2))
+        assert coarse[0].label == "day-0"
+
+
+class TestHierarchicalStream:
+    def test_both_levels_fed(self):
+        fine_monitor = UnrestrictedWindowMaintainer(BagMaintainer())
+        coarse_monitor = UnrestrictedWindowMaintainer(BagMaintainer())
+        stream = HierarchicalStream(
+            DAY_HIERARCHY,
+            fine_consumer=fine_monitor,
+            coarse_consumer=coarse_monitor,
+        )
+        blocks = hourly_blocks(days=3)
+        for block in blocks:
+            stream.observe(block)
+        stream.flush()
+        # Fine consumer saw every hour; coarse consumer saw 3 days.
+        assert fine_monitor.t == 12
+        assert coarse_monitor.t == 3
+        assert stream.coarse_blocks_emitted == 3
+        # Same total content at both levels.
+        assert fine_monitor.model == coarse_monitor.model
+
+    def test_coarse_emitted_only_when_period_closes(self):
+        coarse_monitor = UnrestrictedWindowMaintainer(BagMaintainer())
+        stream = HierarchicalStream(DAY_HIERARCHY, coarse_consumer=coarse_monitor)
+        blocks = hourly_blocks(days=2)
+        for block in blocks[:5]:  # day 0 complete + first hour of day 1
+            stream.observe(block)
+        assert coarse_monitor.t == 1
+        stream.flush()
+        assert coarse_monitor.t == 2
+
+    def test_flush_idempotent_on_empty(self):
+        stream = HierarchicalStream(DAY_HIERARCHY)
+        stream.flush()
+        assert stream.coarse_blocks_emitted == 0
+
+    def test_coarse_equals_offline_merge(self):
+        collected = []
+
+        class Collector:
+            def observe(self, block):
+                collected.append(block)
+
+        stream = HierarchicalStream(DAY_HIERARCHY, coarse_consumer=Collector())
+        blocks = hourly_blocks(days=3)
+        for block in blocks:
+            stream.observe(block)
+        stream.flush()
+        offline = DAY_HIERARCHY.merge_stream(blocks)
+        assert [b.tuples for b in collected] == [b.tuples for b in offline]

@@ -1,0 +1,108 @@
+"""Tests for the A_M interface and the UW driver."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.core.bss import WindowIndependentBSS
+from repro.core.maintainer import (
+    DeletableModelMaintainer,
+    UnrestrictedWindowMaintainer,
+)
+
+
+class BagMaintainer(DeletableModelMaintainer):
+    """Trivial maintainer whose model is a multiset of tuples.
+
+    Exact and order-independent, so tests can verify precisely which
+    blocks a driver fed to the model.
+    """
+
+    def empty_model(self):
+        return Counter()
+
+    def build(self, blocks):
+        model = Counter()
+        for block in blocks:
+            model.update(block.tuples)
+        return model
+
+    def add_block(self, model, block):
+        model.update(block.tuples)
+        return model
+
+    def delete_block(self, model, block):
+        model.subtract(block.tuples)
+        return +model  # drop zero entries
+
+    def clone(self, model):
+        return Counter(model)
+
+
+def blocks_of(*contents):
+    return [make_block(i + 1, tuples) for i, tuples in enumerate(contents)]
+
+
+class TestBagMaintainer:
+    def test_build_equals_incremental(self):
+        blocks = blocks_of([(1,)], [(2,), (2,)], [(3,)])
+        maintainer = BagMaintainer()
+        built = maintainer.build(blocks)
+        incremental = maintainer.empty_model()
+        for block in blocks:
+            incremental = maintainer.add_block(incremental, block)
+        assert built == incremental
+
+    def test_delete_inverts_add(self):
+        blocks = blocks_of([(1,), (2,)], [(2,)])
+        maintainer = BagMaintainer()
+        model = maintainer.build(blocks)
+        model = maintainer.delete_block(model, blocks[1])
+        assert model == Counter({(1,): 1, (2,): 1})
+
+
+class TestUnrestrictedWindowMaintainer:
+    def test_selects_every_block_by_default(self):
+        blocks = blocks_of([(1,)], [(2,)], [(3,)])
+        driver = UnrestrictedWindowMaintainer(BagMaintainer())
+        for block in blocks:
+            driver.observe(block)
+        assert driver.model == Counter({(1,): 1, (2,): 1, (3,): 1})
+        assert driver.selected_block_ids == [1, 2, 3]
+
+    def test_zero_bits_carry_model_over(self):
+        blocks = blocks_of([(1,)], [(2,)], [(3,)])
+        driver = UnrestrictedWindowMaintainer(
+            BagMaintainer(), bss=WindowIndependentBSS([1, 0, 1])
+        )
+        for block in blocks:
+            driver.observe(block)
+        assert driver.model == Counter({(1,): 1, (3,): 1})
+        assert driver.selected_block_ids == [1, 3]
+
+    def test_observe_returns_current_model(self):
+        driver = UnrestrictedWindowMaintainer(BagMaintainer())
+        model = driver.observe(make_block(1, [(7,)]))
+        assert model == Counter({(7,): 1})
+
+    def test_out_of_order_blocks_rejected(self):
+        driver = UnrestrictedWindowMaintainer(BagMaintainer())
+        driver.observe(make_block(1, []))
+        with pytest.raises(ValueError, match="requires block id 2"):
+            driver.observe(make_block(3, []))
+
+    def test_t_tracks_latest_block(self):
+        driver = UnrestrictedWindowMaintainer(BagMaintainer())
+        assert driver.t == 0
+        driver.observe(make_block(1, []))
+        assert driver.t == 1
+
+    def test_predicate_bss(self):
+        driver = UnrestrictedWindowMaintainer(
+            BagMaintainer(),
+            bss=WindowIndependentBSS.from_predicate(lambda i: i % 2 == 0),
+        )
+        for block in blocks_of([(1,)], [(2,)], [(3,)], [(4,)]):
+            driver.observe(block)
+        assert driver.selected_block_ids == [2, 4]

@@ -1,0 +1,49 @@
+"""Tests for DemonMonitor's disk-resident MRW mode (vault wiring)."""
+
+from collections import Counter
+
+from repro.core.blocks import make_block
+from repro.core.monitor import DemonMonitor
+from repro.core.windows import MostRecentWindow
+from repro.storage.persist import ModelVault
+from tests.core.test_maintainer import BagMaintainer
+
+
+def block(i):
+    return make_block(i, [(i,)])
+
+
+def model_ids(model: Counter) -> set[int]:
+    return {t[0] for t in model}
+
+
+class TestMonitorVault:
+    def test_vault_used_under_mrw(self):
+        vault = ModelVault()
+        monitor = DemonMonitor(
+            BagMaintainer(), span=MostRecentWindow(3), vault=vault
+        )
+        for i in range(1, 8):
+            monitor.observe(block(i))
+        assert model_ids(monitor.current_model()) == {5, 6, 7}
+        assert vault.stats.bytes_written > 0
+
+    def test_vault_ignored_under_uw(self):
+        vault = ModelVault()
+        monitor = DemonMonitor(BagMaintainer(), vault=vault)
+        for i in range(1, 5):
+            monitor.observe(block(i))
+        assert len(vault) == 0
+        assert model_ids(monitor.current_model()) == {1, 2, 3, 4}
+
+    def test_results_identical_with_and_without_vault(self):
+        plain = DemonMonitor(BagMaintainer(), span=MostRecentWindow(4))
+        vaulted = DemonMonitor(
+            BagMaintainer(), span=MostRecentWindow(4), vault=ModelVault()
+        )
+        for i in range(1, 10):
+            plain.observe(block(i))
+            vaulted.observe(block(i))
+            assert model_ids(plain.current_model()) == model_ids(
+                vaulted.current_model()
+            )

@@ -1,0 +1,64 @@
+"""Tests for the data span dimension (UW / MRW)."""
+
+import pytest
+
+from repro.core.windows import BlockRange, MostRecentWindow, UnrestrictedWindow
+
+
+class TestBlockRange:
+    def test_len_and_contains(self):
+        block_range = BlockRange(3, 7)
+        assert len(block_range) == 5
+        assert 3 in block_range
+        assert 7 in block_range
+        assert 8 not in block_range
+
+    def test_ids(self):
+        assert list(BlockRange(2, 4).ids()) == [2, 3, 4]
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            BlockRange(0, 3)
+        with pytest.raises(ValueError):
+            BlockRange(5, 4)
+
+
+class TestUnrestrictedWindow:
+    def test_span_is_whole_snapshot(self):
+        window = UnrestrictedWindow()
+        assert window.span(5) == BlockRange(1, 5)
+        assert window.span(1) == BlockRange(1, 1)
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            UnrestrictedWindow().span(0)
+
+    def test_equality(self):
+        assert UnrestrictedWindow() == UnrestrictedWindow()
+
+
+class TestMostRecentWindow:
+    def test_full_window(self):
+        window = MostRecentWindow(3)
+        assert window.span(5) == BlockRange(3, 5)
+        assert window.is_full(5)
+
+    def test_warmup_window_clamps_to_start(self):
+        """While t < w the window is the whole snapshot (§2.2)."""
+        window = MostRecentWindow(5)
+        assert window.span(2) == BlockRange(1, 2)
+        assert not window.is_full(2)
+
+    def test_boundary(self):
+        window = MostRecentWindow(4)
+        assert window.span(4) == BlockRange(1, 4)
+        assert window.is_full(4)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MostRecentWindow(0)
+
+    def test_equality_and_hash(self):
+        assert MostRecentWindow(3) == MostRecentWindow(3)
+        assert MostRecentWindow(3) != MostRecentWindow(4)
+        assert hash(MostRecentWindow(3)) == hash(MostRecentWindow(3))

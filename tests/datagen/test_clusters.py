@@ -1,0 +1,76 @@
+"""Tests for the cluster data generator."""
+
+import math
+
+import pytest
+
+from repro.datagen.clusters import ClusterDataGenerator, ClusterDataParams
+
+
+class TestNameParsing:
+    def test_paper_name(self):
+        params = ClusterDataParams.from_name("1M.50c.5d")
+        assert params.n_points == 1_000_000
+        assert params.n_clusters == 50
+        assert params.dim == 5
+
+    def test_scaled(self):
+        params = ClusterDataParams.from_name("1M.50c.5d", scale=0.001)
+        assert params.n_points == 1000
+
+    def test_noise_passthrough(self):
+        params = ClusterDataParams.from_name("1M.50c.5d", noise_fraction=0.02)
+        assert params.noise_fraction == 0.02
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            ClusterDataParams.from_name("50clusters")
+
+
+class TestGeneration:
+    def params(self, **overrides):
+        defaults = dict(n_points=500, n_clusters=4, dim=2, sigma=0.5)
+        defaults.update(overrides)
+        return ClusterDataParams(**defaults)
+
+    def test_deterministic_given_seed(self):
+        a = ClusterDataGenerator(self.params(), seed=3).points(50)
+        b = ClusterDataGenerator(self.params(), seed=3).points(50)
+        assert a == b
+
+    def test_point_dimensionality(self):
+        for point in ClusterDataGenerator(self.params(dim=5), seed=0).points(20):
+            assert len(point) == 5
+
+    def test_points_near_some_center(self):
+        generator = ClusterDataGenerator(self.params(), seed=1)
+        for point in generator.points(100):
+            nearest = min(
+                math.dist(point, center) for center in generator.centers
+            )
+            assert nearest < 5 * 0.5  # within 5 sigma of a center
+
+    def test_noise_points_spread_out(self):
+        generator = ClusterDataGenerator(
+            self.params(noise_fraction=1.0, domain=100.0), seed=2
+        )
+        points = generator.points(200)
+        xs = [p[0] for p in points]
+        assert max(xs) - min(xs) > 50
+
+    def test_centers_are_separated(self):
+        generator = ClusterDataGenerator(self.params(n_clusters=5), seed=4)
+        centers = generator.centers
+        for i, a in enumerate(centers):
+            for b in centers[i + 1 :]:
+                assert math.dist(a, b) > 1.0
+
+    def test_block_helper(self):
+        generator = ClusterDataGenerator(self.params(), seed=0)
+        block = generator.block(2, count=30)
+        assert block.block_id == 2
+        assert len(block) == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterDataGenerator(self.params(n_clusters=0))

@@ -1,0 +1,107 @@
+"""Tests for the synthetic web-proxy trace."""
+
+import pytest
+
+from repro.datagen.proxytrace import (
+    ANOMALY_DAY,
+    BUCKET_BASE,
+    HOLIDAY_DAY,
+    N_DAYS,
+    N_TYPES,
+    ProxyTraceGenerator,
+    is_weekend,
+    is_working_day,
+    regime_for,
+    weekday,
+)
+
+
+class TestCalendar:
+    def test_weekday_cycle(self):
+        assert weekday(0) == 0  # Monday 1996-09-02
+        assert weekday(5) == 5  # Saturday
+        assert weekday(7) == 0  # next Monday
+
+    def test_weekend(self):
+        assert is_weekend(5) and is_weekend(6)
+        assert not is_weekend(0)
+
+    def test_working_day_excludes_holiday(self):
+        assert not is_working_day(HOLIDAY_DAY)
+        assert is_working_day(1)
+        assert not is_working_day(5)
+
+
+class TestRegimes:
+    def test_holiday_behaves_like_weekend(self):
+        assert regime_for(HOLIDAY_DAY, 12) is regime_for(5, 12)
+
+    def test_anomaly_day_is_unique(self):
+        anomaly = regime_for(ANOMALY_DAY, 12)
+        assert anomaly.name == "anomaly"
+        assert regime_for(14, 12).name != "anomaly"  # the following Monday
+
+    def test_tuethu_evening_special(self):
+        assert regime_for(1, 20).name == "tuethu_evening"  # Tuesday
+        assert regime_for(3, 20).name == "tuethu_evening"  # Thursday
+        assert regime_for(2, 20).name == "work_evening"  # Wednesday
+
+    def test_night_shared_across_day_types(self):
+        assert regime_for(1, 3).name == "night"
+        assert regime_for(5, 3).name == "night"
+
+
+class TestBlocks:
+    def test_block_count_per_granularity(self):
+        generator = ProxyTraceGenerator(scale=0.01, seed=0)
+        assert len(generator.blocks(24)) == N_DAYS
+        assert len(generator.blocks(6)) == N_DAYS * 4
+        assert len(generator.blocks(4)) == N_DAYS * 6
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            ProxyTraceGenerator(scale=0.01).blocks(5)
+
+    def test_block_ids_sequential(self):
+        blocks = ProxyTraceGenerator(scale=0.01, seed=0).blocks(12)
+        assert [b.block_id for b in blocks] == list(range(1, len(blocks) + 1))
+
+    def test_metadata(self):
+        blocks = ProxyTraceGenerator(scale=0.01, seed=0).blocks(6)
+        first = blocks[0]
+        assert first.metadata["day"] == 0
+        assert first.metadata["holiday"] is True
+        assert first.metadata["start_hour"] == 0
+        anomaly_blocks = [b for b in blocks if b.metadata["anomaly"]]
+        assert len(anomaly_blocks) == 4
+
+    def test_transactions_are_type_bucket_pairs(self):
+        blocks = ProxyTraceGenerator(scale=0.02, seed=0).blocks(24)
+        for transaction in blocks[1].tuples[:50]:
+            assert len(transaction) == 2
+            type_id, bucket = transaction
+            assert 0 <= type_id < N_TYPES
+            assert bucket >= BUCKET_BASE
+
+    def test_deterministic_given_seed(self):
+        a = ProxyTraceGenerator(scale=0.02, seed=9).blocks(12)
+        b = ProxyTraceGenerator(scale=0.02, seed=9).blocks(12)
+        assert [blk.tuples for blk in a] == [blk.tuples for blk in b]
+
+    def test_granularities_consistent(self):
+        """The same hours produce the same requests at any granularity."""
+        generator = ProxyTraceGenerator(scale=0.02, seed=1)
+        coarse = generator.blocks(24)
+        fine = generator.blocks(6)
+        day0_fine = [t for b in fine[:4] for t in b.tuples]
+        assert list(coarse[0].tuples) == day0_fine
+
+    def test_working_hours_busier_than_weekend(self):
+        blocks = ProxyTraceGenerator(scale=0.05, seed=0).blocks(24)
+        tuesday = blocks[1]
+        saturday = blocks[5]
+        assert len(tuesday) > len(saturday)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ProxyTraceGenerator(scale=0)

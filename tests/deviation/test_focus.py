@@ -1,0 +1,130 @@
+"""Tests for the FOCUS deviation framework."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import make_block
+from repro.deviation.focus import ClusterDeviation, ItemsetDeviation
+from tests.conftest import gaussian_point_blocks, random_transactions
+
+
+def tx_block(block_id, seed, planted=((1, 2, 3), 0.3)):
+    return make_block(
+        block_id, random_transactions(300, n_items=30, seed=seed, planted=planted)
+    )
+
+
+class TestItemsetDeviation:
+    def test_identical_blocks_have_zero_deviation(self):
+        block = tx_block(1, seed=0)
+        same = make_block(2, block.tuples)
+        fn = ItemsetDeviation(minsup=0.05)
+        result = fn.deviation(block, fn.model(block), same, fn.model(same))
+        assert result.value == pytest.approx(0.0)
+
+    def test_same_process_small_deviation(self):
+        fn = ItemsetDeviation(minsup=0.05)
+        a, b = tx_block(1, seed=1), tx_block(2, seed=2)
+        result = fn.deviation(a, fn.model(a), b, fn.model(b))
+        assert result.value < 0.05
+
+    def test_different_process_larger_deviation(self):
+        fn = ItemsetDeviation(minsup=0.05)
+        a = tx_block(1, seed=1)
+        b = make_block(
+            2,
+            random_transactions(300, n_items=30, seed=3, planted=((7, 8, 9), 0.9)),
+        )
+        same_result = fn.deviation(a, fn.model(a), tx_block(2, seed=2),
+                                   fn.model(tx_block(2, seed=2)))
+        diff_result = fn.deviation(a, fn.model(a), b, fn.model(b))
+        assert diff_result.value > same_result.value
+
+    def test_deviation_is_symmetric(self):
+        fn = ItemsetDeviation(minsup=0.05)
+        a, b = tx_block(1, seed=4), tx_block(2, seed=5)
+        ma, mb = fn.model(a), fn.model(b)
+        assert fn.deviation(a, ma, b, mb).value == pytest.approx(
+            fn.deviation(b, mb, a, ma).value
+        )
+
+    def test_gcr_is_union_of_frequent_sets(self):
+        fn = ItemsetDeviation(minsup=0.05)
+        a, b = tx_block(1, seed=6), tx_block(2, seed=7)
+        ma, mb = fn.model(a), fn.model(b)
+        gcr = set(fn.gcr(ma, mb))
+        assert gcr == set(ma.frequent) | set(mb.frequent)
+
+    def test_measures_use_tracked_counts_without_scanning(self):
+        """Regions tracked by the model must not require a scan."""
+        fn = ItemsetDeviation(minsup=0.05)
+        block = tx_block(1, seed=8)
+        model = fn.model(block)
+        regions = sorted(model.frequent)
+        measures = fn.measures(regions, block, model)
+        for region, measure in zip(regions, measures):
+            assert measure == pytest.approx(model.support(region))
+
+    def test_scan_count_zero_for_identical_models(self):
+        fn = ItemsetDeviation(minsup=0.05)
+        block = tx_block(1, seed=9)
+        same = make_block(2, block.tuples)
+        result = fn.deviation(block, fn.model(block), same, fn.model(same))
+        assert result.scans == 0
+
+    def test_scan_count_positive_for_divergent_models(self):
+        fn = ItemsetDeviation(minsup=0.05)
+        a = tx_block(1, seed=1)
+        b = make_block(
+            2, random_transactions(300, n_items=30, seed=2, planted=((7, 8), 0.9))
+        )
+        result = fn.deviation(a, fn.model(a), b, fn.model(b))
+        assert result.scans >= 1
+
+    def test_measures_on_empty_block(self):
+        fn = ItemsetDeviation(minsup=0.05)
+        empty = make_block(1, [])
+        assert fn.measures([(1,)], empty, None).tolist() == [0.0]
+
+    def test_max_size_caps_model(self):
+        fn = ItemsetDeviation(minsup=0.01, max_size=2)
+        model = fn.model(tx_block(1, seed=10))
+        assert max(len(x) for x in model.frequent) <= 2
+
+
+class TestClusterDeviation:
+    def test_identical_blocks_have_zero_deviation(self):
+        blocks = gaussian_point_blocks(1, 300, seed=31)
+        a = blocks[0]
+        b = make_block(2, a.tuples)
+        fn = ClusterDeviation(k=3, threshold=1.0)
+        result = fn.deviation(a, fn.model(a), b, fn.model(b))
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_clusters_have_positive_deviation(self):
+        a = gaussian_point_blocks(1, 300, seed=32)[0]
+        shifted = gaussian_point_blocks(
+            1, 300, centers=((50.0, 50.0), (60.0, 50.0), (50.0, 60.0)), seed=33
+        )[0]
+        b = make_block(2, shifted.tuples)
+        fn = ClusterDeviation(k=3, threshold=1.0)
+        same_blocks = gaussian_point_blocks(2, 300, seed=34)
+        baseline = fn.deviation(
+            same_blocks[0], fn.model(same_blocks[0]),
+            same_blocks[1], fn.model(same_blocks[1]),
+        )
+        result = fn.deviation(a, fn.model(a), b, fn.model(b))
+        assert result.value > baseline.value
+
+    def test_region_count(self):
+        a = gaussian_point_blocks(1, 200, seed=35)[0]
+        b = make_block(2, gaussian_point_blocks(1, 200, seed=36)[0].tuples)
+        fn = ClusterDeviation(k=3, threshold=1.0)
+        result = fn.deviation(a, fn.model(a), b, fn.model(b))
+        assert result.regions == 6  # k regions from each model
+
+    def test_measures_fraction_inside_ball(self):
+        fn = ClusterDeviation()
+        block = make_block(1, [(0.0, 0.0), (0.1, 0.0), (5.0, 5.0)])
+        regions = [(np.array([0.0, 0.0]), 1.0)]
+        assert fn.measures(regions, block, None)[0] == pytest.approx(2 / 3)

@@ -1,0 +1,98 @@
+"""Tests for significance estimation (bootstrap and χ² approximation)."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.deviation.focus import ItemsetDeviation
+from repro.deviation.significance import (
+    bootstrap_significance,
+    chi2_region_significance,
+)
+from tests.conftest import random_transactions
+
+
+def tx_block(block_id, seed, planted=((1, 2, 3), 0.3), count=250):
+    return make_block(
+        block_id,
+        random_transactions(count, n_items=25, seed=seed, planted=planted),
+    )
+
+
+class TestBootstrap:
+    def test_same_process_low_significance(self):
+        fn = ItemsetDeviation(minsup=0.05, max_size=2)
+        a, b = tx_block(1, seed=1), tx_block(2, seed=2)
+        significance = bootstrap_significance(
+            fn, a, b, fn.model(a), fn.model(b), resamples=20, seed=0
+        )
+        assert significance < 0.9
+
+    def test_different_process_high_significance(self):
+        fn = ItemsetDeviation(minsup=0.05, max_size=2)
+        a = tx_block(1, seed=1)
+        b = tx_block(2, seed=3, planted=((7, 8, 9), 0.95))
+        significance = bootstrap_significance(
+            fn, a, b, fn.model(a), fn.model(b), resamples=20, seed=0
+        )
+        assert significance > 0.9
+
+    def test_deterministic_given_seed(self):
+        fn = ItemsetDeviation(minsup=0.05, max_size=2)
+        a, b = tx_block(1, seed=4), tx_block(2, seed=5)
+        first = bootstrap_significance(
+            fn, a, b, fn.model(a), fn.model(b), resamples=10, seed=3
+        )
+        second = bootstrap_significance(
+            fn, a, b, fn.model(a), fn.model(b), resamples=10, seed=3
+        )
+        assert first == second
+
+    def test_in_unit_interval(self):
+        fn = ItemsetDeviation(minsup=0.05, max_size=2)
+        a, b = tx_block(1, seed=6), tx_block(2, seed=7)
+        significance = bootstrap_significance(
+            fn, a, b, fn.model(a), fn.model(b), resamples=10, seed=0
+        )
+        assert 0.0 <= significance <= 1.0
+
+    def test_resample_validation(self):
+        fn = ItemsetDeviation(minsup=0.05)
+        a, b = tx_block(1, seed=8), tx_block(2, seed=9)
+        with pytest.raises(ValueError):
+            bootstrap_significance(
+                fn, a, b, fn.model(a), fn.model(b), resamples=0
+            )
+
+
+class TestChi2:
+    def test_identical_counts_are_insignificant(self):
+        significance = chi2_region_significance(
+            [50, 30, 10], 100, [50, 30, 10], 100
+        )
+        assert significance < 0.05
+
+    def test_divergent_counts_are_significant(self):
+        significance = chi2_region_significance(
+            [90, 5, 5], 100, [5, 90, 5], 100
+        )
+        assert significance > 0.99
+
+    def test_scales_with_sample_size(self):
+        """The same proportions are more significant with more data."""
+        small = chi2_region_significance([12, 8], 20, [8, 12], 20)
+        large = chi2_region_significance([1200, 800], 2000, [800, 1200], 2000)
+        assert large > small
+
+    def test_empty_regions(self):
+        assert chi2_region_significance([], 10, [], 10) == 0.0
+
+    def test_empty_blocks(self):
+        assert chi2_region_significance([1], 0, [1], 5) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            chi2_region_significance([1, 2], 10, [1], 10)
+
+    def test_unequal_block_sizes_supported(self):
+        significance = chi2_region_significance([10, 10], 40, [100, 100], 400)
+        assert 0.0 <= significance <= 1.0

@@ -1,0 +1,81 @@
+"""Tests for the M-similarity predicate and model caching."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.deviation.focus import ItemsetDeviation
+from repro.deviation.similarity import BlockSimilarity
+from tests.conftest import random_transactions
+
+
+def tx_block(block_id, seed, planted=((1, 2, 3), 0.3)):
+    return make_block(
+        block_id,
+        random_transactions(300, n_items=25, seed=seed, planted=planted),
+    )
+
+
+@pytest.fixture(params=["chi2", "bootstrap"])
+def similarity(request):
+    return BlockSimilarity(
+        ItemsetDeviation(minsup=0.05, max_size=2),
+        alpha=0.95,
+        method=request.param,
+        resamples=15,
+    )
+
+
+class TestPredicate:
+    def test_same_process_blocks_are_similar(self, similarity):
+        assert similarity.similar(tx_block(1, seed=1), tx_block(2, seed=2))
+
+    def test_different_process_blocks_are_dissimilar(self, similarity):
+        anomalous = tx_block(2, seed=3, planted=((7, 8, 9), 0.95))
+        assert not similarity.similar(tx_block(1, seed=1), anomalous)
+
+    def test_compare_reports_fields(self, similarity):
+        result = similarity.compare(tx_block(1, seed=4), tx_block(2, seed=5))
+        assert 0.0 <= result.significance <= 1.0
+        assert result.deviation.regions > 0
+        assert result.seconds >= 0
+        assert result.similar == (result.significance < 0.95)
+
+
+class TestCaching:
+    def test_model_computed_once_per_block(self):
+        calls = []
+        fn = ItemsetDeviation(minsup=0.05, max_size=2)
+        original = fn.model
+
+        def counting_model(block):
+            calls.append(block.block_id)
+            return original(block)
+
+        fn.model = counting_model
+        similarity = BlockSimilarity(fn, method="chi2")
+        a, b, c = tx_block(1, seed=6), tx_block(2, seed=7), tx_block(3, seed=8)
+        similarity.compare(a, b)
+        similarity.compare(a, c)
+        similarity.compare(b, c)
+        assert sorted(calls) == [1, 2, 3]
+
+    def test_forget_evicts(self):
+        similarity = BlockSimilarity(
+            ItemsetDeviation(minsup=0.05, max_size=2), method="chi2"
+        )
+        block = tx_block(1, seed=9)
+        similarity.model_for(block)
+        similarity.forget(1)
+        assert 1 not in similarity._models
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            BlockSimilarity(ItemsetDeviation(), alpha=1.0)
+        with pytest.raises(ValueError):
+            BlockSimilarity(ItemsetDeviation(), alpha=0.0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            BlockSimilarity(ItemsetDeviation(), method="voodoo")

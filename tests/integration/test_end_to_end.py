@@ -1,0 +1,93 @@
+"""End-to-end scenarios through the DemonMonitor facade."""
+
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+from repro.core.monitor import DemonMonitor
+from repro.core.windows import MostRecentWindow
+from repro.datagen.proxytrace import ProxyTraceGenerator
+from repro.deviation.focus import ItemsetDeviation
+from repro.deviation.similarity import BlockSimilarity
+from repro.itemsets.apriori import mine_blocks
+from repro.itemsets.borders import BordersMaintainer
+from repro.patterns.compact import CompactSequenceMiner
+from tests.conftest import transaction_blocks
+
+
+class TestRetailScenario:
+    """The Demons'R Us use case: MRW + window-relative BSS (§2.3)."""
+
+    def test_mondays_within_four_weeks(self):
+        # Daily blocks, window = 14 days, select every 7th day starting
+        # at the window's first day.
+        blocks = transaction_blocks(20, 80, seed=1000)
+        bss = WindowRelativeBSS.every_kth(14, 7)
+        monitor = DemonMonitor(
+            BordersMaintainer(0.05, counter="ecut"),
+            span=MostRecentWindow(14),
+            bss=bss,
+        )
+        for block in blocks:
+            monitor.observe(block)
+        # Window D[7,20]; positions 1 and 8 -> blocks 7 and 14.
+        assert monitor.current_selection() == [7, 14]
+        truth = mine_blocks([blocks[6], blocks[13]], 0.05)
+        assert monitor.current_model().frequent == truth.frequent
+
+
+class TestDocumentScenario:
+    """The document-clustering use case: UW, every block (§2.2)."""
+
+    def test_unrestricted_window_accumulates(self):
+        blocks = transaction_blocks(5, 100, seed=1100)
+        monitor = DemonMonitor(BordersMaintainer(0.05, counter="ecut"))
+        for block in blocks:
+            monitor.observe(block)
+        truth = mine_blocks(blocks, 0.05)
+        assert monitor.current_model().frequent == truth.frequent
+        assert monitor.current_selection() == [1, 2, 3, 4, 5]
+
+
+class TestMondayAnalyst:
+    """UW + window-independent weekday predicate (§2.3, application 1)."""
+
+    def test_weekday_selection(self):
+        blocks = transaction_blocks(14, 80, seed=1200)
+        bss = WindowIndependentBSS.from_predicate(
+            lambda block_id: (block_id - 1) % 7 == 0
+        )
+        monitor = DemonMonitor(BordersMaintainer(0.05, counter="ecut"), bss=bss)
+        for block in blocks:
+            monitor.observe(block)
+        assert monitor.current_selection() == [1, 8]
+
+
+class TestMonitoringWithPatternDetection:
+    """Model maintenance and pattern detection running side by side —
+    the full Figure 11 matrix in one monitor."""
+
+    def test_proxy_trace_patterns_and_model(self):
+        blocks = ProxyTraceGenerator(scale=0.02, seed=2).blocks(24)[:10]
+        similarity = BlockSimilarity(
+            ItemsetDeviation(minsup=0.02, max_size=2), alpha=0.95, method="chi2"
+        )
+        monitor = DemonMonitor(
+            BordersMaintainer(0.02, counter="ecut"),
+            pattern_miner=CompactSequenceMiner(similarity),
+        )
+        for block in blocks:
+            report = monitor.observe(block)
+            assert report.patterns is not None
+        # The model is the UW itemset model over all 10 blocks.
+        truth = mine_blocks(blocks, 0.02)
+        assert monitor.current_model().frequent == truth.frequent
+        # Pattern detection found at least the working-day grouping.
+        patterns = monitor.discovered_patterns(min_length=3)
+        assert patterns
+        working_days = {
+            b.block_id for b in blocks
+            if not b.metadata["holiday"]
+            and not b.metadata["anomaly"]
+            and b.metadata["weekday"] < 5
+        }
+        assert any(
+            set(p.block_ids) <= working_days and len(p) >= 3 for p in patterns
+        )

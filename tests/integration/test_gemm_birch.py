@@ -1,0 +1,79 @@
+"""Integration: GEMM instantiated with BIRCH+ (a non-deletable model).
+
+BIRCH's sub-cluster set cannot be maintained under deletions (§3.2.4),
+so GEMM is the *only* way to run BIRCH+ on a most recent window — this
+is the composition that motivates GEMM's generality.
+"""
+
+import numpy as np
+
+from repro.clustering.birch import birch_cluster
+from repro.clustering.birch_plus import BirchPlusMaintainer
+from repro.clustering.model import match_clusters
+from repro.core.bss import WindowRelativeBSS
+from repro.core.gemm import GEMM
+from tests.conftest import gaussian_point_blocks
+
+
+CENTERS = ((0.0, 0.0), (12.0, 0.0), (0.0, 12.0))
+
+
+def scratch_model(blocks, ids):
+    points = [p for i in ids for p in blocks[i - 1].tuples]
+    model, _tree, _timings = birch_cluster(points, k=3, threshold=1.0)
+    return model
+
+
+class TestGEMMWithBirchPlus:
+    def test_sliding_window_equals_scratch(self):
+        blocks = gaussian_point_blocks(6, 150, centers=CENTERS, seed=600)
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        gemm = GEMM(maintainer, w=3)
+        for block in blocks:
+            gemm.observe(block)
+        state = gemm.current_model()
+        assert sorted(gemm.current_selection()) == [4, 5, 6]
+        truth = scratch_model(blocks, [4, 5, 6])
+        matches = match_clusters(state.clusters, truth)
+        assert len(matches) == 3
+        assert all(d < 1e-9 for _, _, d in matches)
+
+    def test_window_relative_bss_selection(self):
+        blocks = gaussian_point_blocks(5, 120, centers=CENTERS, seed=700)
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        gemm = GEMM(maintainer, w=3, bss=WindowRelativeBSS([1, 1, 0]))
+        for block in blocks:
+            gemm.observe(block)
+        assert sorted(gemm.current_selection()) == [3, 4]
+        truth = scratch_model(blocks, [3, 4])
+        state = gemm.current_model()
+        matches = match_clusters(state.clusters, truth)
+        assert all(d < 1e-9 for _, _, d in matches)
+
+    def test_models_diverge_without_aliasing(self):
+        """Slot trees are cloned, so point counts per slot stay exact."""
+        blocks = gaussian_point_blocks(5, 80, centers=CENTERS, seed=800)
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        gemm = GEMM(maintainer, w=3)
+        for block in blocks:
+            gemm.observe(block)
+        for k in range(3):
+            state = gemm.model_for_slot(k)
+            expected_ids = list(range(3 + k, 6))
+            expected_points = sum(len(blocks[i - 1]) for i in expected_ids)
+            assert state.tree.n_points == expected_points
+
+    def test_cluster_quality_preserved_across_slides(self):
+        blocks = gaussian_point_blocks(8, 120, centers=CENTERS, seed=900)
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        gemm = GEMM(maintainer, w=4)
+        for block in blocks:
+            gemm.observe(block)
+            state = gemm.current_model()
+            if state.clusters.k == 3:
+                found = sorted(
+                    tuple(np.round(c.centroid(), 0)) for c in state.clusters.clusters
+                )
+                assert found == sorted(
+                    (float(x), float(y)) for x, y in CENTERS
+                )

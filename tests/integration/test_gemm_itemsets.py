@@ -1,0 +1,84 @@
+"""Integration: GEMM instantiated with the BORDERS itemset maintainer.
+
+This is the paper's flagship composition (§3.2): most-recent-window
+frequent-itemset maintenance under both BSS types, checked against
+from-scratch Apriori over the blocks each window selects.
+"""
+
+import pytest
+
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+from repro.core.gemm import GEMM
+from repro.itemsets.apriori import mine_blocks
+from repro.itemsets.borders import BordersMaintainer, ItemsetMiningContext
+from tests.conftest import transaction_blocks
+
+
+MINSUP = 0.05
+
+
+def check_against_scratch(gemm, blocks):
+    selection = sorted(gemm.current_selection())
+    selected_blocks = [blocks[i - 1] for i in selection]
+    if not selected_blocks:
+        assert gemm.current_model().n_transactions == 0
+        return
+    truth = mine_blocks(selected_blocks, MINSUP)
+    model = gemm.current_model()
+    assert model.frequent == truth.frequent
+    assert set(model.border) == set(truth.border)
+
+
+@pytest.mark.parametrize("counter", ["ecut", "ptscan"])
+class TestGEMMWithBorders:
+    def test_select_all_window(self, counter):
+        blocks = transaction_blocks(6, 150, seed=100)
+        maintainer = BordersMaintainer(MINSUP, ItemsetMiningContext(), counter=counter)
+        gemm = GEMM(maintainer, w=3)
+        for block in blocks:
+            gemm.observe(block)
+            check_against_scratch(gemm, blocks)
+
+    def test_window_relative_bss(self, counter):
+        blocks = transaction_blocks(7, 120, seed=200)
+        maintainer = BordersMaintainer(MINSUP, ItemsetMiningContext(), counter=counter)
+        gemm = GEMM(maintainer, w=3, bss=WindowRelativeBSS([1, 0, 1]))
+        for block in blocks:
+            gemm.observe(block)
+        check_against_scratch(gemm, blocks)
+        assert sorted(gemm.current_selection()) == [5, 7]
+
+    def test_window_independent_bss(self, counter):
+        blocks = transaction_blocks(6, 120, seed=300)
+        bss = WindowIndependentBSS([1, 1, 0, 1, 0, 1])
+        maintainer = BordersMaintainer(MINSUP, ItemsetMiningContext(), counter=counter)
+        gemm = GEMM(maintainer, w=4, bss=bss)
+        for block in blocks:
+            gemm.observe(block)
+        assert sorted(gemm.current_selection()) == [4, 6]
+        check_against_scratch(gemm, blocks)
+
+
+class TestSharedStorage:
+    def test_blocks_registered_once_across_slots(self):
+        """GEMM updates w models per block, but each block's data and
+        TID-lists are stored exactly once (shared context)."""
+        blocks = transaction_blocks(5, 100, seed=400)
+        context = ItemsetMiningContext()
+        maintainer = BordersMaintainer(MINSUP, context, counter="ecut")
+        gemm = GEMM(maintainer, w=3)
+        for block in blocks:
+            gemm.observe(block)
+        assert len(context.block_store) == 5
+        assert all(context.tidlists.has_block(i) for i in range(1, 6))
+
+
+class TestResponseTimeContract:
+    def test_critical_work_bounded_by_single_update(self):
+        """§3.2.3: the response-critical path is at most one A_M call."""
+        blocks = transaction_blocks(8, 100, seed=500)
+        maintainer = BordersMaintainer(MINSUP, counter="ecut")
+        gemm = GEMM(maintainer, w=4, bss=WindowRelativeBSS([1, 0, 1, 0]))
+        for block in blocks:
+            report = gemm.observe(block)
+            assert report.critical_invocations <= 1

@@ -1,0 +1,104 @@
+"""Integration: time hierarchies + monitors + calendar reporting.
+
+Reproduces the paper's multi-granularity analysis workflow (§2.1's
+merge note and §5.3's per-granularity pattern tables) on a small slice
+of the synthetic trace.
+"""
+
+from repro.core.hierarchy import HierarchicalStream, TimeHierarchy
+from repro.core.monitor import DemonMonitor
+from repro.datagen.proxytrace import ProxyTraceGenerator
+from repro.deviation.focus import ItemsetDeviation
+from repro.deviation.similarity import BlockSimilarity
+from repro.itemsets.apriori import mine_blocks
+from repro.itemsets.borders import BordersMaintainer
+from repro.patterns.calendar import infer_calendar_rule, report_patterns
+from repro.patterns.compact import CompactSequenceMiner
+
+
+def trace_blocks(granularity, days=7, scale=0.02):
+    blocks = ProxyTraceGenerator(scale=scale, seed=6).blocks(granularity)
+    per_day = 24 // granularity
+    return blocks[: days * per_day]
+
+
+class TestHierarchyWithMonitors:
+    def test_fine_and_coarse_models_agree_on_content(self):
+        fine_blocks = trace_blocks(6, days=3)
+        hierarchy = TimeHierarchy(parent_key=lambda b: b.metadata["day"])
+        fine_monitor = DemonMonitor(BordersMaintainer(0.02, counter="ecut"))
+        coarse_monitor = DemonMonitor(BordersMaintainer(0.02, counter="ecut"))
+        stream = HierarchicalStream(
+            hierarchy, fine_consumer=fine_monitor, coarse_consumer=coarse_monitor
+        )
+        for block in fine_blocks:
+            stream.observe(block)
+        stream.flush()
+        # Both levels saw the same transactions, so the UW models match.
+        fine_model = fine_monitor.current_model()
+        coarse_model = coarse_monitor.current_model()
+        assert fine_model.frequent == coarse_model.frequent
+        assert coarse_monitor.t == 3
+
+    def test_coarse_blocks_equal_scratch_mining(self):
+        fine_blocks = trace_blocks(6, days=2)
+        hierarchy = TimeHierarchy(parent_key=lambda b: b.metadata["day"])
+        coarse = hierarchy.merge_stream(fine_blocks)
+        model = mine_blocks(coarse, 0.02)
+        direct = mine_blocks(fine_blocks, 0.02)
+        assert model.frequent == direct.frequent
+
+
+class TestCalendarReportingOnTrace:
+    def test_weekday_patterns_get_calendar_rules(self):
+        blocks = ProxyTraceGenerator(scale=0.02, seed=6).blocks(24)
+        miner = CompactSequenceMiner(
+            BlockSimilarity(
+                ItemsetDeviation(minsup=0.02, max_size=2),
+                alpha=0.95,
+                method="chi2",
+            )
+        )
+        for block in blocks:
+            miner.observe(block)
+        # Re-key trace metadata for the calendar module: block-level
+        # weekday/hour already present.
+        sequences = miner.distinct_sequences(min_length=4)
+        report = report_patterns(blocks, sequences, min_f1=0.0)
+        assert report, "no calendar rules inferred"
+        descriptions = [fit.rule.describe() for _seq, fit in report]
+        # Among the top rules there is a weekday-structured one.
+        assert any(
+            "working days" in d or "weekend" in d or "/" in d
+            for d in descriptions
+        )
+
+    def test_anomalous_monday_shows_as_exception(self):
+        """The paper's 'all working days except 9-9-1996' rendering."""
+        blocks = ProxyTraceGenerator(scale=0.02, seed=6).blocks(24)
+        miner = CompactSequenceMiner(
+            BlockSimilarity(
+                ItemsetDeviation(minsup=0.02, max_size=2),
+                alpha=0.95,
+                method="chi2",
+            )
+        )
+        for block in blocks:
+            miner.observe(block)
+        anomaly_id = next(b.block_id for b in blocks if b.metadata["anomaly"])
+        workday_sequences = [
+            s
+            for s in miner.distinct_sequences(min_length=4)
+            if all(
+                blocks[i - 1].metadata["weekday"] < 5 for i in s.block_ids
+            )
+            and anomaly_id not in s.block_ids
+        ]
+        assert workday_sequences
+        fits = [infer_calendar_rule(blocks, s) for s in workday_sequences]
+        # At least one inferred workday rule lists the anomalous Monday
+        # (and/or the holiday) among its exceptions.
+        assert any(
+            fit is not None and anomaly_id in fit.rule.exceptions
+            for fit in fits
+        )

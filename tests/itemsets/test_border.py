@@ -1,0 +1,67 @@
+"""Tests for negative-border computation and invariants."""
+
+from repro.itemsets.border import (
+    border_candidates,
+    check_border_invariant,
+    is_on_border,
+    negative_border,
+)
+
+
+class TestNegativeBorder:
+    def test_infrequent_singletons_are_on_border(self):
+        border = negative_border(frequent=[(1,), (2,)], items=[1, 2, 3])
+        assert (3,) in border
+
+    def test_candidate_pairs(self):
+        border = negative_border(frequent=[(1,), (2,)], items=[1, 2])
+        assert border == {(1, 2)}
+
+    def test_candidates_with_infrequent_subsets_excluded(self):
+        # (2,3) not frequent, so (1,2,3) is not on the border.
+        frequent = [(1,), (2,), (3,), (1, 2), (1, 3)]
+        border = negative_border(frequent, items=[1, 2, 3])
+        assert (2, 3) in border
+        assert (1, 2, 3) not in border
+
+    def test_closed_frequent_set_has_candidate_border(self):
+        frequent = [(1,), (2,), (3,), (1, 2), (1, 3), (2, 3), (1, 2, 3)]
+        border = negative_border(frequent, items=[1, 2, 3])
+        assert border == set()
+
+    def test_border_candidates_skips_frequent(self):
+        frequent = [(1,), (2,), (1, 2)]
+        assert (1, 2) not in border_candidates(frequent)
+
+
+class TestIsOnBorder:
+    def test_frequent_itemset_is_not_on_border(self):
+        assert not is_on_border((1,), frequent={(1,)})
+
+    def test_infrequent_singleton_is_on_border(self):
+        assert is_on_border((9,), frequent={(1,)})
+
+    def test_pair_with_frequent_subsets(self):
+        assert is_on_border((1, 2), frequent={(1,), (2,)})
+
+    def test_pair_with_infrequent_subset(self):
+        assert not is_on_border((1, 2), frequent={(1,)})
+
+
+class TestCheckBorderInvariant:
+    def test_clean_state(self):
+        frequent = {(1,), (2,)}
+        border = {(3,), (1, 2)}
+        assert check_border_invariant(frequent, border) == []
+
+    def test_detects_overlap(self):
+        problems = check_border_invariant({(1,)}, {(1,)})
+        assert any("overlap" in p for p in problems)
+
+    def test_detects_downward_closure_violation(self):
+        problems = check_border_invariant({(1, 2)}, set())
+        assert any("downward closed" in p for p in problems)
+
+    def test_detects_bad_border_member(self):
+        problems = check_border_invariant({(1,)}, {(1, 2)})
+        assert any("border condition" in p for p in problems)

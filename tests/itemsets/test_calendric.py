@@ -1,0 +1,123 @@
+"""Tests for RMS98 calendric association rules (related work, §6)."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.itemsets.calendric import (
+    Calendar,
+    CalendricRule,
+    SegmentModelCache,
+    belongs_to_calendar,
+    calendric_rules,
+)
+
+
+def weekday_stream():
+    """Six daily blocks: Mondays (1, 4) share a strong rule; other days
+    carry a different one."""
+    blocks = []
+    for day in range(1, 7):
+        is_monday = day in (1, 4)
+        if is_monday:
+            data = [(1, 2)] * 8 + [(5,)] * 2
+        else:
+            data = [(3, 4)] * 8 + [(5,)] * 2
+        blocks.append(make_block(day, data, metadata={"monday": is_monday}))
+    return blocks
+
+
+MONDAYS = Calendar.from_ids("every Monday", [1, 4])
+OTHERS = Calendar.from_ids("non-Mondays", [2, 3, 5, 6])
+
+
+class TestCalendar:
+    def test_from_predicate(self):
+        blocks = weekday_stream()
+        calendar = Calendar.from_predicate(
+            "mon", blocks, lambda b: b.metadata["monday"]
+        )
+        assert calendar.block_ids == frozenset({1, 4})
+        assert len(calendar) == 2
+
+
+class TestCalendricRules:
+    def test_rule_on_every_segment_found(self):
+        rules = calendric_rules(
+            weekday_stream(), MONDAYS, minsup=0.3, min_confidence=0.8
+        )
+        keys = {(r.antecedent, r.consequent) for r in rules}
+        assert ((1,), (2,)) in keys
+        assert ((3,), (4,)) not in keys
+
+    def test_disjoint_calendars_get_disjoint_rules(self):
+        blocks = weekday_stream()
+        monday_rules = calendric_rules(blocks, MONDAYS, 0.3, 0.8)
+        other_rules = calendric_rules(blocks, OTHERS, 0.3, 0.8)
+        monday_keys = {(r.antecedent, r.consequent) for r in monday_rules}
+        other_keys = {(r.antecedent, r.consequent) for r in other_rules}
+        assert ((3,), (4,)) in other_keys
+        assert not ({((1,), (2,))} & other_keys)
+        assert not ({((3,), (4,))} & monday_keys)
+
+    def test_rule_failing_one_segment_excluded(self):
+        """RMS98 semantics: one bad segment disqualifies the rule."""
+        blocks = weekday_stream()
+        # Calendar mixing a Monday and a non-Monday: neither rule holds
+        # on both segments.
+        mixed = Calendar.from_ids("mixed", [1, 2])
+        rules = calendric_rules(blocks, mixed, 0.3, 0.8)
+        keys = {(r.antecedent, r.consequent) for r in rules}
+        assert ((1,), (2,)) not in keys
+        assert ((3,), (4,)) not in keys
+
+    def test_weakest_measures_reported(self):
+        blocks = [
+            make_block(1, [(1, 2)] * 9 + [(9,)] * 1),   # sup 0.9
+            make_block(2, [(1, 2)] * 6 + [(9,)] * 4),   # sup 0.6
+        ]
+        calendar = Calendar.from_ids("both", [1, 2])
+        rules = calendric_rules(blocks, calendar, 0.3, 0.5)
+        rule = next(
+            r for r in rules if (r.antecedent, r.consequent) == ((1,), (2,))
+        )
+        assert rule.min_support == pytest.approx(0.6)
+
+    def test_empty_calendar(self):
+        assert calendric_rules(weekday_stream(), Calendar.from_ids("none", []),
+                               0.3, 0.8) == []
+
+    def test_sorted_by_weakest_confidence(self):
+        rules = calendric_rules(weekday_stream(), MONDAYS, 0.2, 0.2)
+        confidences = [r.min_confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_shared_cache_mines_each_block_once(self):
+        blocks = weekday_stream()
+        cache = SegmentModelCache(0.3, 0.8)
+        calendric_rules(blocks, MONDAYS, cache=cache)
+        models_before = dict(cache._models)
+        calendric_rules(blocks, Calendar.from_ids("mon-again", [1, 4]),
+                        cache=cache)
+        assert cache._models == models_before
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SegmentModelCache(0.0, 0.5)
+        with pytest.raises(ValueError):
+            SegmentModelCache(0.1, 0.0)
+
+
+class TestBelongsToCalendar:
+    def test_positive(self):
+        assert belongs_to_calendar(
+            (1,), (2,), weekday_stream(), MONDAYS, 0.3, 0.8
+        )
+
+    def test_negative(self):
+        assert not belongs_to_calendar(
+            (1,), (2,), weekday_stream(), OTHERS, 0.3, 0.8
+        )
+
+    def test_rendering(self):
+        rule = CalendricRule((1,), (2,), "mon", 0.5, 0.9)
+        assert "'mon'" in str(rule)

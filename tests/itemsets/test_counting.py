@@ -1,0 +1,143 @@
+"""Tests for the three support counters: agreement and I/O shape."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.itemsets.borders import ItemsetMiningContext, make_counter
+from repro.itemsets.counting import ECUTCounter, ECUTPlusCounter, PTScanCounter
+from repro.itemsets.itemset import contains
+from tests.conftest import random_transactions
+
+
+def build_context(blocks, pairs_with_supports=None):
+    """Register blocks into a fresh context, optionally with pairs."""
+    context = ItemsetMiningContext()
+    for block in blocks:
+        context.block_store.append(block.block_id, block.tuples)
+        context.tidlists.materialize_block(block)
+        if pairs_with_supports is not None:
+            context.pairs.materialize_block(
+                block,
+                list(pairs_with_supports),
+                pairs_with_supports,
+                base_tid=context.tidlists.base_tid(block.block_id),
+            )
+    return context
+
+
+def reference_counts(blocks, itemsets, block_ids):
+    selected = [b for b in blocks if b.block_id in block_ids]
+    return {
+        x: sum(1 for b in selected for t in b.tuples if contains(t, x))
+        for x in itemsets
+    }
+
+
+ITEMSETS = [(0,), (1, 2), (1, 2, 3), (0, 3), (2, 5, 7), (4, 9, 11, 13)]
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return [
+        make_block(i + 1, random_transactions(120, n_items=16, seed=i))
+        for i in range(3)
+    ]
+
+
+class TestCounterAgreement:
+    @pytest.mark.parametrize("block_ids", [[1], [1, 2], [1, 2, 3], [2]])
+    def test_ptscan_exact(self, blocks, block_ids):
+        context = build_context(blocks)
+        counter = PTScanCounter(context.block_store)
+        assert counter.count(ITEMSETS, block_ids) == reference_counts(
+            blocks, ITEMSETS, block_ids
+        )
+
+    @pytest.mark.parametrize("block_ids", [[1], [1, 3], [1, 2, 3]])
+    def test_ecut_exact(self, blocks, block_ids):
+        context = build_context(blocks)
+        counter = ECUTCounter(context.tidlists)
+        assert counter.count(ITEMSETS, block_ids) == reference_counts(
+            blocks, ITEMSETS, block_ids
+        )
+
+    @pytest.mark.parametrize("block_ids", [[1], [2, 3], [1, 2, 3]])
+    def test_ecut_plus_exact_with_pairs(self, blocks, block_ids):
+        pairs = {(1, 2): 100, (2, 5): 50, (0, 3): 40}
+        context = build_context(blocks, pairs_with_supports=pairs)
+        counter = ECUTPlusCounter(context.tidlists, context.pairs)
+        assert counter.count(ITEMSETS, block_ids) == reference_counts(
+            blocks, ITEMSETS, block_ids
+        )
+
+    def test_ecut_plus_without_pairs_degrades_to_ecut(self, blocks):
+        context = build_context(blocks)
+        plus = ECUTPlusCounter(context.tidlists, context.pairs)
+        ecut = ECUTCounter(context.tidlists)
+        assert plus.count(ITEMSETS, [1, 2]) == ecut.count(ITEMSETS, [1, 2])
+
+    def test_empty_itemset_list(self, blocks):
+        context = build_context(blocks)
+        assert PTScanCounter(context.block_store).count([], [1]) == {}
+
+
+class TestIOShape:
+    """The paper's core claim: ECUT touches far fewer bytes than a scan."""
+
+    def test_ecut_reads_less_than_ptscan_for_small_s(self, blocks):
+        context = build_context(blocks)
+        scan_stats = context.block_store.stats
+        tid_stats = context.tidlists.stats
+        scan_before = scan_stats.bytes_read
+        PTScanCounter(context.block_store).count([(1, 2, 3)], [1, 2, 3])
+        ptscan_bytes = scan_stats.bytes_read - scan_before
+
+        tid_before = tid_stats.bytes_read
+        ECUTCounter(context.tidlists).count([(1, 2, 3)], [1, 2, 3])
+        ecut_bytes = tid_stats.bytes_read - tid_before
+
+        assert ecut_bytes < ptscan_bytes
+
+    def test_ecut_plus_reads_no_more_than_ecut(self, blocks):
+        pairs = {(1, 2): 100}
+        context = build_context(blocks, pairs_with_supports=pairs)
+        targets = [(1, 2, 3)]
+
+        tid_before = context.tidlists.stats.bytes_read
+        ECUTCounter(context.tidlists).count(targets, [1, 2, 3])
+        ecut_bytes = context.tidlists.stats.bytes_read - tid_before
+
+        tid_before = context.tidlists.stats.bytes_read
+        pair_before = context.pairs.stats.bytes_read
+        ECUTPlusCounter(context.tidlists, context.pairs).count(targets, [1, 2, 3])
+        plus_bytes = (
+            context.tidlists.stats.bytes_read
+            - tid_before
+            + context.pairs.stats.bytes_read
+            - pair_before
+        )
+        assert plus_bytes <= ecut_bytes
+
+    def test_ptscan_cost_independent_of_itemset_count(self, blocks):
+        context = build_context(blocks)
+        stats = context.block_store.stats
+        before = stats.bytes_read
+        PTScanCounter(context.block_store).count([(1,)], [1, 2, 3])
+        one = stats.bytes_read - before
+        before = stats.bytes_read
+        PTScanCounter(context.block_store).count(ITEMSETS, [1, 2, 3])
+        many = stats.bytes_read - before
+        assert one == many
+
+
+class TestMakeCounter:
+    def test_names(self):
+        context = ItemsetMiningContext()
+        assert make_counter("ptscan", context).name == "PT-Scan"
+        assert make_counter("ecut", context).name == "ECUT"
+        assert make_counter("ECUT+", context).name == "ECUT+"
+        assert make_counter("ecut_plus", context).name == "ECUT+"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown counter"):
+            make_counter("fancy", ItemsetMiningContext())

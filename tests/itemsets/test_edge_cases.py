@@ -1,0 +1,108 @@
+"""Edge cases across the itemset stack: empty blocks, degenerate data,
+threshold boundaries, and GEMM corner behaviour."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.core.gemm import GEMM
+from repro.itemsets.apriori import mine_blocks
+from repro.itemsets.borders import BordersMaintainer, ItemsetMiningContext
+from repro.itemsets.model import FrequentItemsetModel
+
+
+class TestEmptyAndDegenerateBlocks:
+    def test_empty_block_added(self):
+        maintainer = BordersMaintainer(0.2, counter="ecut")
+        model = maintainer.build([make_block(1, [(1, 2)] * 10)])
+        model = maintainer.add_block(model, make_block(2, []))
+        assert model.n_transactions == 10
+        assert (1, 2) in model.frequent
+        assert model.selected_block_ids == [1, 2]
+
+    def test_empty_first_block(self):
+        maintainer = BordersMaintainer(0.2, counter="ecut")
+        model = maintainer.build([make_block(1, [])])
+        assert model.n_transactions == 0
+        model = maintainer.add_block(model, make_block(2, [(1,)] * 5))
+        assert (1,) in model.frequent
+
+    def test_single_transaction_blocks(self):
+        maintainer = BordersMaintainer(0.5, counter="ecut")
+        model = maintainer.build([make_block(1, [(1, 2, 3)])])
+        for i in range(2, 6):
+            model = maintainer.add_block(model, make_block(i, [(1, 2, 3)]))
+        assert model.frequent[(1, 2, 3)] == 5
+
+    def test_identical_transactions_everywhere(self):
+        blocks = [make_block(i, [(7, 8)] * 20) for i in range(1, 4)]
+        maintainer = BordersMaintainer(0.9, counter="ptscan")
+        model = maintainer.build(blocks[:1])
+        for block in blocks[1:]:
+            model = maintainer.add_block(model, block)
+        truth = mine_blocks(blocks, 0.9)
+        assert model.frequent == truth.frequent
+
+    def test_all_singleton_transactions(self):
+        blocks = [make_block(1, [(i,) for i in range(20)])]
+        maintainer = BordersMaintainer(0.04, counter="ecut")
+        model = maintainer.build(blocks)
+        # Each item appears once = support 0.05 >= 0.04.
+        assert len(model.frequent) == 20
+        assert all(len(x) == 1 for x in model.frequent)
+
+
+class TestThresholdBoundaries:
+    def test_support_exactly_at_threshold(self):
+        # 2 of 10 transactions = exactly 0.2.
+        block = make_block(1, [(1,)] * 2 + [(9,)] * 8)
+        maintainer = BordersMaintainer(0.2, counter="ecut")
+        model = maintainer.build([block])
+        assert (1,) in model.frequent
+
+    def test_support_just_below_threshold(self):
+        block = make_block(1, [(1,)] * 2 + [(9,)] * 9)  # 2/11 < 0.2
+        maintainer = BordersMaintainer(0.2, counter="ecut")
+        model = maintainer.build([block])
+        assert (1,) in model.border
+
+    def test_threshold_crossing_via_denominator_only(self):
+        """Adding transactions *without* an itemset can demote it."""
+        maintainer = BordersMaintainer(0.5, counter="ecut")
+        model = maintainer.build([make_block(1, [(1,)] * 5 + [(2,)] * 5)])
+        assert (1,) in model.frequent
+        model = maintainer.add_block(model, make_block(2, [(2,)] * 10))
+        assert (1,) not in model.frequent
+        assert (1,) in model.border
+
+
+class TestGEMMEdges:
+    def test_window_size_one(self):
+        maintainer = BordersMaintainer(0.3, ItemsetMiningContext(), counter="ecut")
+        gemm = GEMM(maintainer, w=1)
+        for i in range(1, 4):
+            gemm.observe(make_block(i, [(i,)] * 10))
+        model = gemm.current_model()
+        assert model.selected_block_ids == [3]
+        assert (3,) in model.frequent
+
+    def test_empty_blocks_through_gemm(self):
+        maintainer = BordersMaintainer(0.3, ItemsetMiningContext(), counter="ecut")
+        gemm = GEMM(maintainer, w=2)
+        gemm.observe(make_block(1, [(1,)] * 5))
+        gemm.observe(make_block(2, []))
+        gemm.observe(make_block(3, [(3,)] * 5))
+        model = gemm.current_model()
+        assert sorted(model.selected_block_ids) == [2, 3]
+        assert (3,) in model.frequent
+        assert (1,) not in model.frequent
+
+
+class TestModelAccessors:
+    def test_support_of_untracked_is_zero(self):
+        model = FrequentItemsetModel(minsup=0.5, n_transactions=10)
+        assert model.support((1, 2, 3)) == 0.0
+
+    def test_support_on_empty_model(self):
+        model = FrequentItemsetModel(minsup=0.5)
+        model.frequent[(1,)] = 0
+        assert model.support((1,)) == 0.0

@@ -1,0 +1,103 @@
+"""Tests for the hash tree (footnote 7) — must agree with the prefix tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.itemsets.hash_tree import HashTree, count_supports_hash
+from repro.itemsets.prefix_tree import count_supports
+from tests.conftest import random_transactions
+
+
+TRANSACTIONS = [
+    (1, 2, 3),
+    (1, 3),
+    (2, 3, 4),
+    (1, 2, 3, 4),
+    (4,),
+    (8, 9, 10, 11),
+]
+
+
+class TestHashTreeBasics:
+    def test_matches_prefix_tree_small(self):
+        itemsets = [(1,), (1, 2), (2, 3), (1, 2, 3), (3, 4), (9, 11), (5,)]
+        ours = count_supports_hash(itemsets, TRANSACTIONS)
+        theirs = count_supports(itemsets, TRANSACTIONS)
+        assert ours == theirs
+
+    def test_size_and_idempotent_insert(self):
+        tree = HashTree([(1, 2)])
+        tree.insert((1, 2))
+        assert len(tree) == 1
+
+    def test_empty_itemset_rejected(self):
+        with pytest.raises(ValueError):
+            HashTree([()])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HashTree(fanout=1)
+        with pytest.raises(ValueError):
+            HashTree(leaf_capacity=0)
+
+    def test_empty_candidates(self):
+        assert count_supports_hash([], TRANSACTIONS) == {}
+
+    def test_leaf_splitting_under_small_capacity(self):
+        """Many candidates with a tiny leaf capacity force deep splits;
+        counting stays exact."""
+        rng = random.Random(5)
+        itemsets = {
+            tuple(sorted(rng.sample(range(12), rng.randint(1, 4))))
+            for _ in range(60)
+        }
+        tree = HashTree(itemsets, fanout=3, leaf_capacity=2)
+        tree.count_dataset(TRANSACTIONS)
+        assert tree.counts() == count_supports(itemsets, TRANSACTIONS)
+
+    def test_colliding_hashes(self):
+        """Items congruent mod fanout share buckets; counts stay exact."""
+        itemsets = [(0, 8), (8, 16), (0, 16), (0, 8, 16)]
+        transactions = [(0, 8, 16), (0, 8), (8, 16), (0,)]
+        tree = HashTree(itemsets, fanout=8, leaf_capacity=1)
+        tree.count_dataset(transactions)
+        assert tree.counts() == count_supports(itemsets, transactions)
+
+
+class TestHashTreeRandomized:
+    def test_matches_prefix_tree_on_random_data(self):
+        rng = random.Random(9)
+        transactions = random_transactions(300, n_items=25, seed=9)
+        itemsets = {
+            tuple(sorted(rng.sample(range(25), rng.randint(1, 5))))
+            for _ in range(150)
+        }
+        ours = count_supports_hash(itemsets, transactions)
+        theirs = count_supports(itemsets, transactions)
+        assert ours == theirs
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sets(
+            st.sets(st.integers(0, 15), min_size=1, max_size=4).map(
+                lambda s: tuple(sorted(s))
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.lists(
+            st.sets(st.integers(0, 15), min_size=0, max_size=8).map(
+                lambda s: tuple(sorted(s))
+            ),
+            max_size=30,
+        ),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_property_agreement(self, itemsets, transactions, fanout, capacity):
+        tree = HashTree(itemsets, fanout=fanout, leaf_capacity=capacity)
+        tree.count_dataset(transactions)
+        assert tree.counts() == count_supports(itemsets, transactions)

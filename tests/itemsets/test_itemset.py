@@ -1,0 +1,123 @@
+"""Tests for itemset primitives."""
+
+import pytest
+
+from repro.itemsets.itemset import (
+    contains,
+    generate_candidates,
+    is_canonical,
+    make_itemset,
+    minimum_count,
+    normalize_transaction,
+    prefix_join,
+    proper_subsets,
+    all_subsets,
+    support_fraction,
+)
+
+
+class TestCanonicalization:
+    def test_make_itemset_sorts_and_dedups(self):
+        assert make_itemset([3, 1, 2, 1]) == (1, 2, 3)
+
+    def test_normalize_transaction(self):
+        assert normalize_transaction([5, 5, 2]) == (2, 5)
+
+    def test_is_canonical(self):
+        assert is_canonical((1, 2, 3))
+        assert not is_canonical((1, 1, 2))
+        assert not is_canonical((2, 1))
+        assert is_canonical(())
+
+
+class TestContains:
+    def test_positive(self):
+        assert contains((1, 2, 3, 4), (2, 4))
+
+    def test_negative(self):
+        assert not contains((1, 2, 3), (2, 5))
+
+    def test_empty_itemset_always_contained(self):
+        assert contains((1, 2), ())
+
+    def test_itemset_larger_than_transaction(self):
+        assert not contains((1,), (1, 2))
+
+    def test_exact_match(self):
+        assert contains((1, 2), (1, 2))
+
+
+class TestSubsets:
+    def test_proper_subsets(self):
+        assert set(proper_subsets((1, 2, 3))) == {(2, 3), (1, 3), (1, 2)}
+
+    def test_singleton_proper_subset_is_empty(self):
+        assert list(proper_subsets((1,))) == [()]
+
+    def test_all_subsets(self):
+        assert set(all_subsets((1, 2, 3))) == {
+            (1,), (2,), (3,), (1, 2), (1, 3), (2, 3),
+        }
+
+
+class TestPrefixJoin:
+    def test_joins_shared_prefix(self):
+        assert prefix_join((1, 2), (1, 3)) == (1, 2, 3)
+
+    def test_rejects_different_prefix(self):
+        assert prefix_join((1, 2), (2, 3)) is None
+
+    def test_rejects_wrong_order(self):
+        assert prefix_join((1, 3), (1, 2)) is None
+
+    def test_rejects_length_mismatch(self):
+        assert prefix_join((1,), (1, 2)) is None
+
+    def test_singletons(self):
+        assert prefix_join((1,), (2,)) == (1, 2)
+
+
+class TestGenerateCandidates:
+    def test_level_two(self):
+        candidates = generate_candidates([(1,), (2,), (3,)])
+        assert candidates == {(1, 2), (1, 3), (2, 3)}
+
+    def test_subset_pruning(self):
+        # (1,2), (1,3) join to (1,2,3) but (2,3) is not frequent.
+        assert generate_candidates([(1, 2), (1, 3)]) == set()
+
+    def test_full_level_three(self):
+        frequent = [(1, 2), (1, 3), (2, 3)]
+        assert generate_candidates(frequent) == {(1, 2, 3)}
+
+    def test_mixed_sizes_join_within_level(self):
+        frequent = [(1,), (2,), (1, 2)]
+        # The singleton level joins to (1,2) (already known to callers);
+        # the pair level alone cannot join.
+        assert (1, 2) in generate_candidates(frequent)
+
+    def test_empty_input(self):
+        assert generate_candidates([]) == set()
+
+
+class TestSupportMath:
+    def test_support_fraction(self):
+        assert support_fraction(3, 10) == pytest.approx(0.3)
+        assert support_fraction(0, 0) == 0.0
+
+    def test_minimum_count_basic(self):
+        assert minimum_count(0.5, 10) == 5
+        assert minimum_count(0.51, 10) == 6
+
+    def test_minimum_count_exact_boundary(self):
+        # 0.01 * 300 == 3.0 must give 3, not 4, despite float error.
+        assert minimum_count(0.01, 300) == 3
+
+    def test_minimum_count_floor_is_one(self):
+        assert minimum_count(0.001, 10) == 1
+
+    def test_minimum_count_validation(self):
+        with pytest.raises(ValueError):
+            minimum_count(0.0, 10)
+        with pytest.raises(ValueError):
+            minimum_count(1.0, 10)

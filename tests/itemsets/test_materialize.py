@@ -1,0 +1,106 @@
+"""Tests for ECUT+ pair materialization and cover planning."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.itemsets.materialize import PairTidListStore, plan_cover
+from repro.itemsets.tidlist import TID_BYTES
+
+
+BLOCK = make_block(1, [(1, 2, 3), (1, 2), (2, 3), (1, 3), (1, 2, 3)])
+#: Per-block pair counts: (1,2)->3, (1,3)->3, (2,3)->3.
+SUPPORTS = {(1, 2): 30, (1, 3): 20, (2, 3): 10}
+
+
+class TestMaterialization:
+    def test_unbounded_budget_materializes_all(self):
+        store = PairTidListStore()
+        chosen = store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS)
+        assert set(chosen) == set(SUPPORTS)
+
+    def test_pair_lists_are_correct(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS)
+        assert store.fetch(1, (1, 2)).tolist() == [0, 1, 4]
+        assert store.fetch(1, (2, 3)).tolist() == [0, 2, 4]
+
+    def test_base_tid_offsets(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS, base_tid=10)
+        assert store.fetch(1, (1, 2)).tolist() == [10, 11, 14]
+
+    def test_budget_prefers_high_overall_support(self):
+        """The paper's heuristic: under a tight budget, pairs with higher
+        overall support are materialized first."""
+        store = PairTidListStore()
+        budget = 2 * 3 * TID_BYTES  # room for exactly two pair lists
+        chosen = store.materialize_block(
+            BLOCK, SUPPORTS.keys(), SUPPORTS, budget_bytes=budget
+        )
+        assert chosen == [(1, 2), (1, 3)]
+
+    def test_zero_budget_materializes_nothing(self):
+        store = PairTidListStore()
+        chosen = store.materialize_block(
+            BLOCK, SUPPORTS.keys(), SUPPORTS, budget_bytes=0
+        )
+        assert chosen == []
+        assert store.available(1) == set()
+
+    def test_duplicate_block_rejected(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, [], {})
+        with pytest.raises(ValueError):
+            store.materialize_block(BLOCK, [], {})
+
+    def test_has_block_even_when_empty(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, [], {})
+        assert store.has_block(1)
+
+    def test_nbytes(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS)
+        assert store.nbytes(1) == 9 * TID_BYTES
+        assert store.total_nbytes() == 9 * TID_BYTES
+
+    def test_fetch_charges_io(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS)
+        store.fetch(1, (1, 2))
+        assert store.stats.bytes_read == 3 * TID_BYTES
+
+    def test_drop_block(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS)
+        store.drop_block(1)
+        assert not store.has_block(1)
+
+
+class TestPlanCover:
+    def test_pairs_preferred(self):
+        pairs, singles = plan_cover((1, 2, 3, 4), {(1, 2), (3, 4)})
+        assert pairs == [(1, 2), (3, 4)]
+        assert singles == []
+
+    def test_leftover_singles(self):
+        pairs, singles = plan_cover((1, 2, 3), {(1, 2)})
+        assert pairs == [(1, 2)]
+        assert singles == [3]
+
+    def test_no_pairs_available(self):
+        pairs, singles = plan_cover((1, 2, 3), set())
+        assert pairs == []
+        assert singles == [1, 2, 3]
+
+    def test_cover_is_exact_partition(self):
+        itemset = (1, 2, 3, 4, 5)
+        available = {(1, 3), (2, 4), (1, 2)}
+        pairs, singles = plan_cover(itemset, available)
+        covered = sorted([i for p in pairs for i in p] + singles)
+        assert covered == list(itemset)
+
+    def test_pairs_outside_itemset_ignored(self):
+        pairs, singles = plan_cover((1, 2), {(3, 4)})
+        assert pairs == []
+        assert singles == [1, 2]

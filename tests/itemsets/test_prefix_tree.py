@@ -1,0 +1,76 @@
+"""Tests for the PT-Scan prefix tree."""
+
+import pytest
+
+from repro.itemsets.itemset import contains
+from repro.itemsets.prefix_tree import PrefixTree, count_supports
+
+
+TRANSACTIONS = [
+    (1, 2, 3),
+    (1, 3),
+    (2, 3, 4),
+    (1, 2, 3, 4),
+    (4,),
+]
+
+
+class TestPrefixTree:
+    def test_counts_match_brute_force(self):
+        itemsets = [(1,), (1, 2), (1, 3), (2, 3), (1, 2, 3), (3, 4), (9,)]
+        tree = PrefixTree(itemsets)
+        tree.count_dataset(TRANSACTIONS)
+        counts = tree.counts()
+        for itemset in itemsets:
+            expected = sum(1 for t in TRANSACTIONS if contains(t, itemset))
+            assert counts[itemset] == expected, itemset
+
+    def test_size(self):
+        tree = PrefixTree([(1,), (1, 2)])
+        assert len(tree) == 2
+
+    def test_insert_idempotent(self):
+        tree = PrefixTree()
+        tree.insert((1, 2))
+        tree.insert((1, 2))
+        assert len(tree) == 1
+
+    def test_empty_itemset_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixTree([()])
+
+    def test_prefix_of_stored_itemset_not_counted(self):
+        """Only terminal nodes count: storing (1,2) must not report (1,)."""
+        tree = PrefixTree([(1, 2)])
+        tree.count_dataset([(1,), (1, 2)])
+        assert tree.counts() == {(1, 2): 1}
+
+    def test_shared_prefixes(self):
+        tree = PrefixTree([(1, 2), (1, 3), (1, 2, 3)])
+        tree.count_dataset([(1, 2, 3)])
+        assert tree.counts() == {(1, 2): 1, (1, 3): 1, (1, 2, 3): 1}
+
+    def test_reset_counts(self):
+        tree = PrefixTree([(1,)])
+        tree.count_dataset([(1,)])
+        tree.reset_counts()
+        assert tree.counts() == {(1,): 0}
+
+    def test_count_transaction_incrementally(self):
+        tree = PrefixTree([(2, 3)])
+        tree.count_transaction((1, 2, 3))
+        tree.count_transaction((2, 4))
+        assert tree.counts()[(2, 3)] == 1
+
+
+class TestCountSupports:
+    def test_one_shot_helper(self):
+        counts = count_supports([(1,), (2, 3)], TRANSACTIONS)
+        assert counts[(1,)] == 3
+        assert counts[(2, 3)] == 3
+
+    def test_empty_itemsets(self):
+        assert count_supports([], TRANSACTIONS) == {}
+
+    def test_empty_dataset(self):
+        assert count_supports([(1,)], []) == {(1,): 0}

@@ -1,0 +1,128 @@
+"""Tests for per-block TID-lists and ECUT-style intersection counting."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import make_block
+from repro.itemsets.itemset import contains
+from repro.itemsets.tidlist import TID_BYTES, TidListStore, intersect_sorted
+from repro.storage.iostats import IOStatsRegistry
+
+
+BLOCK1 = make_block(1, [(1, 2), (1, 3), (2, 3), (1, 2, 3)])
+BLOCK2 = make_block(2, [(1, 2, 3), (3,), (1, 2)])
+
+
+def store_with_blocks():
+    store = TidListStore()
+    store.materialize_block(BLOCK1)
+    store.materialize_block(BLOCK2)
+    return store
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        a = np.array([1, 3, 5, 7])
+        b = np.array([3, 4, 5])
+        assert intersect_sorted([a, b]).tolist() == [3, 5]
+
+    def test_empty_input(self):
+        assert len(intersect_sorted([])) == 0
+
+    def test_single_list(self):
+        assert intersect_sorted([np.array([1, 2])]).tolist() == [1, 2]
+
+    def test_disjoint(self):
+        assert len(intersect_sorted([np.array([1]), np.array([2])])) == 0
+
+    def test_three_way(self):
+        lists = [np.array([1, 2, 3, 4]), np.array([2, 3, 4]), np.array([3, 4, 9])]
+        assert intersect_sorted(lists).tolist() == [3, 4]
+
+
+class TestTidListStore:
+    def test_global_tids_continue_across_blocks(self):
+        store = store_with_blocks()
+        assert store.base_tid(1) == 0
+        assert store.base_tid(2) == 4
+
+    def test_item_lists(self):
+        store = store_with_blocks()
+        assert store.fetch(1, 1).tolist() == [0, 1, 3]
+        assert store.fetch(2, 3).tolist() == [4, 5]
+
+    def test_absent_item_gives_empty_list(self):
+        store = store_with_blocks()
+        assert len(store.fetch(1, 99)) == 0
+
+    def test_unknown_block_raises(self):
+        store = store_with_blocks()
+        with pytest.raises(KeyError):
+            store.fetch(9, 1)
+
+    def test_duplicate_materialization_rejected(self):
+        store = store_with_blocks()
+        with pytest.raises(ValueError):
+            store.materialize_block(BLOCK1)
+
+    def test_item_count_is_metadata(self):
+        store = store_with_blocks()
+        before = store.stats.bytes_read
+        assert store.item_count(1, 1) == 3
+        assert store.stats.bytes_read == before
+
+    def test_count_itemset_in_block(self):
+        store = store_with_blocks()
+        for itemset in [(1,), (1, 2), (2, 3), (1, 2, 3)]:
+            expected = sum(1 for t in BLOCK1.tuples if contains(t, itemset))
+            assert store.count_itemset_in_block(1, itemset) == expected
+
+    def test_count_itemset_additivity(self):
+        """Support over several blocks is the sum of per-block supports."""
+        store = store_with_blocks()
+        combined = store.count_itemset([1, 2], (1, 2))
+        per_block = store.count_itemset_in_block(1, (1, 2)) + (
+            store.count_itemset_in_block(2, (1, 2))
+        )
+        assert combined == per_block == 4
+
+    def test_empty_itemset_counts_block_size(self):
+        store = store_with_blocks()
+        assert store.count_itemset_in_block(1, ()) == 4
+
+    def test_fetch_charges_io(self):
+        registry = IOStatsRegistry()
+        store = TidListStore(registry=registry)
+        store.materialize_block(BLOCK1)
+        store.fetch(1, 1)
+        assert registry.get("tidlist_fetch").bytes_read == 3 * TID_BYTES
+
+    def test_nbytes_equals_transactional_size(self):
+        """§3.1.1: the TID-lists occupy the same space as the data in
+        transactional format (one integer per item occurrence)."""
+        store = store_with_blocks()
+        occurrences = sum(len(t) for t in BLOCK1.tuples)
+        assert store.nbytes(1) == occurrences * TID_BYTES
+
+    def test_total_nbytes(self):
+        store = store_with_blocks()
+        assert store.total_nbytes() == store.nbytes(1) + store.nbytes(2)
+
+    def test_drop_block(self):
+        store = store_with_blocks()
+        store.drop_block(1)
+        assert not store.has_block(1)
+        assert store.has_block(2)
+
+    def test_block_size(self):
+        store = store_with_blocks()
+        assert store.block_size(1) == 4
+        assert store.block_size(2) == 3
+
+    def test_missing_item_short_circuits_fetches(self):
+        """Rarest-first fetching stops once the intersection is empty."""
+        store = store_with_blocks()
+        before = store.stats.reads
+        assert store.count_itemset_in_block(1, (1, 99)) == 0
+        # Item 99 (empty list) is fetched first; item 1 is never read.
+        assert store.stats.reads == before + 1

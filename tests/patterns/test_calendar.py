@@ -1,0 +1,113 @@
+"""Tests for calendar-rule inference over discovered sequences."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.patterns.calendar import (
+    CalendarRule,
+    infer_calendar_rule,
+    report_patterns,
+)
+from repro.patterns.compact import CompactSequence
+
+
+def calendar_blocks(days=14, granularity=24):
+    """One block per day with weekday/hour metadata (day 0 = Monday)."""
+    blocks = []
+    for day in range(days):
+        blocks.append(
+            make_block(
+                day + 1,
+                [(day,)],
+                label=f"day{day}",
+                metadata={
+                    "weekday": day % 7,
+                    "start_hour": 0,
+                    "granularity": granularity,
+                },
+            )
+        )
+    return blocks
+
+
+class TestCalendarRule:
+    def test_matches_weekday_and_hours(self):
+        rule = CalendarRule(weekdays=frozenset({0}), hour_lo=0, hour_hi=24)
+        blocks = calendar_blocks()
+        assert rule.matches(blocks[0])  # Monday
+        assert not rule.matches(blocks[1])  # Tuesday
+        assert rule.matches(blocks[7])  # next Monday
+
+    def test_hour_overlap(self):
+        rule = CalendarRule(weekdays=frozenset({0}), hour_lo=8, hour_hi=16)
+        morning = make_block(
+            1, [], metadata={"weekday": 0, "start_hour": 6, "granularity": 6}
+        )
+        night = make_block(
+            2, [], metadata={"weekday": 0, "start_hour": 18, "granularity": 6}
+        )
+        assert rule.matches(morning)  # 6-12 overlaps 8-16
+        assert not rule.matches(night)
+
+    def test_no_metadata_never_matches(self):
+        rule = CalendarRule(weekdays=frozenset({0}), hour_lo=0, hour_hi=24)
+        assert not rule.matches(make_block(1, []))
+
+    def test_describe_named_day_sets(self):
+        assert "all working days" in CalendarRule(
+            frozenset(range(5)), 8, 16
+        ).describe()
+        assert "weekends" in CalendarRule(frozenset({5, 6}), 0, 24).describe()
+        assert "all days" in CalendarRule(frozenset(range(7)), 0, 24).describe()
+        assert "Tue/Thu" in CalendarRule(frozenset({1, 3}), 16, 24).describe()
+
+    def test_describe_exceptions(self):
+        rule = CalendarRule(frozenset({0}), 0, 24, exceptions=frozenset({8}))
+        assert "except blocks [8]" in rule.describe()
+
+
+class TestInference:
+    def test_perfect_weekly_pattern(self):
+        blocks = calendar_blocks(days=14)
+        mondays = CompactSequence([1, 8])
+        fit = infer_calendar_rule(blocks, mondays)
+        assert fit is not None
+        assert fit.rule.weekdays == frozenset({0})
+        assert fit.precision == 1.0
+        assert fit.recall == 1.0
+        assert fit.f1 == 1.0
+
+    def test_pattern_with_exception(self):
+        """Mondays except one — the paper's 9-9-1996 situation."""
+        blocks = calendar_blocks(days=21)
+        mondays_minus_one = CompactSequence([1, 15])  # skips Monday block 8
+        fit = infer_calendar_rule(blocks, mondays_minus_one)
+        assert fit is not None
+        assert fit.rule.exceptions == frozenset({8})
+        assert fit.precision == pytest.approx(2 / 3)
+        assert fit.recall == 1.0
+
+    def test_no_metadata_returns_none(self):
+        blocks = [make_block(i, [(i,)]) for i in range(1, 4)]
+        assert infer_calendar_rule(blocks, CompactSequence([1, 2])) is None
+
+    def test_workday_slice(self):
+        blocks = calendar_blocks(days=7)
+        workdays = CompactSequence([1, 2, 3, 4, 5])
+        fit = infer_calendar_rule(blocks, workdays)
+        assert "all working days" in fit.rule.describe()
+        assert fit.f1 == 1.0
+
+
+class TestReportPatterns:
+    def test_sorted_by_fit(self):
+        blocks = calendar_blocks(days=14)
+        clean = CompactSequence([1, 8])  # exact Mondays
+        messy = CompactSequence([2, 8])  # Tue + Mon: low precision slice
+        report = report_patterns(blocks, [messy, clean])
+        assert report[0][0] is clean
+
+    def test_min_f1_filter(self):
+        blocks = calendar_blocks(days=14)
+        messy = CompactSequence([2, 8])
+        assert report_patterns(blocks, [messy], min_f1=0.99) == []

@@ -1,0 +1,171 @@
+"""Tests for compact-sequence mining (Definition 4.1 and the §4 algorithm).
+
+Most tests drive the miner with a scripted similarity oracle so the
+expected compact sequences can be enumerated by hand, exactly as in the
+paper's worked example.
+"""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.deviation.focus import DeviationResult
+from repro.patterns.compact import CompactSequence, CompactSequenceMiner
+
+
+class OracleSimilarity:
+    """Scripted similarity: pairs listed in ``similar_pairs`` are similar."""
+
+    def __init__(self, similar_pairs):
+        self._pairs = {tuple(sorted(p)) for p in similar_pairs}
+
+    def forget(self, block_id):
+        """No cached models to evict (BlockSimilarity-compatible)."""
+
+    def compare(self, block_a, block_b):
+        key = tuple(sorted((block_a.block_id, block_b.block_id)))
+        similar = key in self._pairs
+
+        class Result:
+            pass
+
+        result = Result()
+        result.similar = similar
+        result.significance = 0.0 if similar else 1.0
+        result.deviation = DeviationResult(
+            value=0.0 if similar else 1.0,
+            regions=1,
+            scans=0 if similar else 2,
+            seconds=0.0,
+        )
+        result.seconds = 0.0
+        return result
+
+
+def run_miner(similar_pairs, n_blocks):
+    miner = CompactSequenceMiner(OracleSimilarity(similar_pairs))
+    reports = []
+    for i in range(1, n_blocks + 1):
+        reports.append(miner.observe(make_block(i, [(i,)])))
+    return miner, reports
+
+
+def sequences_of(miner):
+    return sorted(tuple(s.block_ids) for s in miner.sequences)
+
+
+class TestPaperExample:
+    """§4: blocks {D1..D4}, similar pairs (1,2),(1,3),(1,4),(2,4).
+
+    {D1, D2, D4} is compact; {D1, D2, D3} violates pairwise similarity;
+    {D1, D4} violates the no-hole condition (D2 is similar to D1).
+    """
+
+    def test_example_sequences(self):
+        miner, _ = run_miner([(1, 2), (1, 3), (1, 4), (2, 4)], 4)
+        assert (1, 2, 4) in sequences_of(miner)
+        assert (1, 2, 3) not in sequences_of(miner)
+        assert (1, 4) not in sequences_of(miner)
+
+    def test_all_sequences_verify(self):
+        miner, _ = run_miner([(1, 2), (1, 3), (1, 4), (2, 4)], 4)
+        assert miner.verify_all_compact() == []
+
+
+class TestAlgorithm:
+    def test_one_sequence_anchored_per_block(self):
+        miner, _ = run_miner([], 5)
+        assert len(miner.sequences) == 5
+        assert sequences_of(miner) == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_all_similar_yields_full_prefixes(self):
+        all_pairs = [(i, j) for i in range(1, 5) for j in range(i + 1, 5)]
+        miner, _ = run_miner(all_pairs, 4)
+        assert (1, 2, 3, 4) in sequences_of(miner)
+        assert (2, 3, 4) in sequences_of(miner)
+
+    def test_pairwise_similarity_required(self):
+        # 1~2, 2~3 but NOT 1~3: {1,2,3} must not form.
+        miner, _ = run_miner([(1, 2), (2, 3)], 3)
+        assert (1, 2, 3) not in sequences_of(miner)
+        assert (1, 2) in sequences_of(miner)
+        assert (2, 3) in sequences_of(miner)
+
+    def test_hole_blocks_extension(self):
+        # 1~3 and 1~2: after D3, extending {1} with 3 would leave the
+        # eligible D2 as a hole... but {1,2} grabbed D2 first, so the
+        # anchored-at-1 sequence is {1,2} and cannot take D3 (2 !~ 3).
+        miner, _ = run_miner([(1, 2), (1, 3)], 3)
+        assert (1, 2) in sequences_of(miner)
+        assert (1, 3) not in sequences_of(miner)
+
+    def test_gap_allowed_with_witness(self):
+        # 1~3, and 2 is dissimilar to 1: {1,3} is compact (2 has its
+        # dissimilarity witness).
+        miner, _ = run_miner([(1, 3)], 3)
+        assert (1, 3) in sequences_of(miner)
+
+    def test_incremental_matches_oracle_over_long_run(self):
+        similar = [(i, j) for i in range(1, 9) for j in range(i + 1, 9)
+                   if (j - i) % 2 == 0]
+        miner, _ = run_miner(similar, 8)
+        assert (1, 3, 5, 7) in sequences_of(miner)
+        assert (2, 4, 6, 8) in sequences_of(miner)
+        assert miner.verify_all_compact() == []
+
+    def test_out_of_order_rejected(self):
+        miner = CompactSequenceMiner(OracleSimilarity([]))
+        miner.observe(make_block(1, []))
+        with pytest.raises(ValueError):
+            miner.observe(make_block(3, []))
+
+
+class TestReports:
+    def test_comparisons_count_matrix_row(self):
+        _, reports = run_miner([], 4)
+        assert [r.comparisons for r in reports] == [0, 1, 2, 3]
+
+    def test_scans_accumulate_for_dissimilar_blocks(self):
+        _, reports = run_miner([], 3)
+        assert reports[2].scans == 4  # two dissimilar comparisons × 2 scans
+
+    def test_extended_counter(self):
+        _, reports = run_miner([(1, 2)], 2)
+        assert reports[1].extended == 1
+
+
+class TestDistinctSequences:
+    def test_subsumed_sequences_dropped(self):
+        all_pairs = [(i, j) for i in range(1, 5) for j in range(i + 1, 5)]
+        miner, _ = run_miner(all_pairs, 4)
+        distinct = [tuple(s.block_ids) for s in miner.distinct_sequences()]
+        assert distinct == [(1, 2, 3, 4)]
+
+    def test_min_length_filter(self):
+        miner, _ = run_miner([(1, 2)], 3)
+        assert all(len(s) >= 2 for s in miner.distinct_sequences(min_length=2))
+
+    def test_overlapping_patterns_coexist(self):
+        """The motivation for compact sequences over clustering: the
+        Monday pattern and the first-of-month pattern may overlap."""
+        similar = [(1, 3), (3, 5), (1, 5), (1, 2), (2, 5)]
+        miner, _ = run_miner(similar, 5)
+        distinct = {tuple(s.block_ids) for s in miner.distinct_sequences()}
+        # Block 5 participates in more than one reported pattern.
+        containing_five = [s for s in distinct if 5 in s]
+        assert len(containing_five) >= 2
+
+
+class TestCompactSequenceType:
+    def test_bits_rendering(self):
+        sequence = CompactSequence([1, 3, 4])
+        assert sequence.as_bss_bits(5) == [1, 0, 1, 1, 0]
+
+    def test_contains(self):
+        sequence = CompactSequence([2, 4])
+        assert 2 in sequence
+        assert 3 not in sequence
+
+    def test_pair_accessor(self):
+        miner, _ = run_miner([(1, 2)], 2)
+        assert miner.are_similar(1, 2)
+        assert miner.pair(2, 1).similar

@@ -1,0 +1,83 @@
+"""Tests for the most-recent-window compact-sequence miner (footnote 9)."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.patterns.compact import CompactSequenceMiner
+from tests.patterns.test_compact import OracleSimilarity
+
+
+def run_windowed(similar_pairs, n_blocks, window):
+    miner = CompactSequenceMiner(OracleSimilarity(similar_pairs), window=window)
+    for i in range(1, n_blocks + 1):
+        miner.observe(make_block(i, [(i,)]))
+    return miner
+
+
+def sequences_of(miner):
+    return sorted(tuple(s.block_ids) for s in miner.sequences)
+
+
+class TestWindowedMining:
+    def test_expired_anchors_dropped(self):
+        all_pairs = [(i, j) for i in range(1, 7) for j in range(i + 1, 7)]
+        miner = run_windowed(all_pairs, n_blocks=6, window=3)
+        # Only anchors 4, 5, 6 survive.
+        assert sequences_of(miner) == [(4, 5, 6), (5, 6), (6,)]
+
+    def test_matches_fresh_miner_on_window(self):
+        """Windowed mining equals running a fresh UW miner over just the
+        window's blocks (up to block renumbering, which the anchored
+        construction makes unnecessary here)."""
+        similar = [(1, 2), (2, 4), (3, 5), (4, 6), (2, 6), (4, 5), (5, 6)]
+        window = 4
+        miner = run_windowed(similar, n_blocks=6, window=window)
+
+        fresh = CompactSequenceMiner(OracleSimilarity(similar))
+        # Feed only the window's blocks, keeping original ids by
+        # observing placeholders first is not possible; instead verify
+        # each surviving sequence against the definition directly.
+        assert miner.verify_all_compact() == []
+        assert all(s.first >= 3 for s in miner.sequences)
+
+    def test_matrix_rows_pruned(self):
+        miner = run_windowed([], n_blocks=8, window=3)
+        assert all(key[0] >= 6 for key in miner._matrix)
+
+    def test_model_cache_pruned(self):
+        class CountingSimilarity(OracleSimilarity):
+            def __init__(self):
+                super().__init__([])
+                self._models = {}
+
+            def compare(self, a, b):
+                return super().compare(a, b)
+
+            def forget(self, block_id):
+                self._models.pop(block_id, None)
+                self.forgotten = getattr(self, "forgotten", [])
+                self.forgotten.append(block_id)
+
+        similarity = CountingSimilarity()
+        miner = CompactSequenceMiner(similarity, window=2)
+        for i in range(1, 5):
+            miner.observe(make_block(i, [(i,)]))
+        assert similarity.forgotten == [1, 2]
+
+    def test_window_of_one(self):
+        miner = run_windowed([(1, 2), (2, 3)], n_blocks=3, window=1)
+        assert sequences_of(miner) == [(3,)]
+
+    def test_uw_default_keeps_everything(self):
+        miner = run_windowed([], n_blocks=5, window=None)
+        assert len(miner.sequences) == 5
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            CompactSequenceMiner(OracleSimilarity([]), window=0)
+
+    def test_sequences_can_span_into_window_boundary(self):
+        # 2~3, 3~4: after the window slides past block 1, the sequence
+        # anchored at 2 keeps growing while 2 stays in the window.
+        miner = run_windowed([(2, 3), (2, 4), (3, 4)], n_blocks=4, window=3)
+        assert (2, 3, 4) in sequences_of(miner)

@@ -1,0 +1,113 @@
+"""Tests for automatic granularity selection (the paper's future work)."""
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.patterns.compact import CompactSequenceMiner
+from repro.patterns.granularity import evaluate_granularity, select_granularity
+from tests.patterns.test_compact import OracleSimilarity
+
+
+def calendar_blocks(n, period, granularity=24):
+    """Blocks whose metadata marks every ``period``-th block special."""
+    return [
+        make_block(
+            i + 1,
+            [(i,)],
+            metadata={
+                "weekday": i % 7,
+                "start_hour": 0,
+                "granularity": granularity,
+            },
+        )
+        for i in range(n)
+    ]
+
+
+def periodic_similarity(n, period):
+    """Blocks are similar iff congruent mod ``period``."""
+    return OracleSimilarity(
+        [
+            (i, j)
+            for i in range(1, n + 1)
+            for j in range(i + 1, n + 1)
+            if (i - j) % period == 0
+        ]
+    )
+
+
+class TestEvaluateGranularity:
+    def test_perfectly_periodic_stream(self):
+        blocks = calendar_blocks(14, period=7)
+        miner = CompactSequenceMiner(periodic_similarity(14, 7))
+        score = evaluate_granularity(24, blocks, miner)
+        assert score.n_blocks == 14
+        assert score.n_patterns == 7  # one pattern per weekday
+        assert score.coverage == 1.0
+        assert score.separation == pytest.approx(1.0)
+        assert score.mean_rule_f1 == pytest.approx(1.0)
+        assert score.score > 0.9
+
+    def test_structureless_stream_scores_low(self):
+        blocks = calendar_blocks(10, period=1)
+        miner = CompactSequenceMiner(OracleSimilarity([]))  # nothing similar
+        score = evaluate_granularity(24, blocks, miner)
+        assert score.n_patterns == 0
+        assert score.coverage == 0.0
+        assert score.score < 0.2
+
+    def test_comparisons_counted(self):
+        blocks = calendar_blocks(6, period=2)
+        miner = CompactSequenceMiner(periodic_similarity(6, 2))
+        score = evaluate_granularity(24, blocks, miner)
+        assert score.comparisons == 15  # 6 choose 2
+
+    def test_coverage_bounds(self):
+        blocks = calendar_blocks(8, period=3)
+        miner = CompactSequenceMiner(periodic_similarity(8, 3))
+        score = evaluate_granularity(24, blocks, miner)
+        assert 0.0 <= score.coverage <= 1.0
+
+
+class TestSelectGranularity:
+    def test_prefers_structured_granularity(self):
+        """A granularity with crisp periodic structure beats one where
+        nothing is similar."""
+        structured = calendar_blocks(14, period=7)
+        noisy = calendar_blocks(28, period=7, granularity=12)
+        candidates = {24: structured, 12: noisy}
+
+        def miner_factory():
+            # Shared factory: at 24h the stream is periodic; at "12h"
+            # (the 28-block stream) the oracle marks nothing similar.
+            return CompactSequenceMiner(
+                periodic_similarity(14, 7)
+                if miner_factory.calls == 0
+                else OracleSimilarity([])
+            )
+
+        miner_factory.calls = 0
+
+        def counting_factory():
+            miner = miner_factory()
+            miner_factory.calls += 1
+            return miner
+
+        best, scores = select_granularity(candidates, counting_factory)
+        assert best.granularity == 24
+        assert len(scores) == 2
+
+    def test_tie_breaks_toward_cheaper(self):
+        # Two identical structureless candidates with different sizes:
+        # the smaller (fewer comparisons) wins the tie.
+        small = calendar_blocks(4, period=1)
+        large = calendar_blocks(8, period=1, granularity=12)
+        best, _scores = select_granularity(
+            {24: small, 12: large},
+            lambda: CompactSequenceMiner(OracleSimilarity([])),
+        )
+        assert best.granularity == 24
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_granularity({}, lambda: None)

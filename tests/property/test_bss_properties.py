@@ -1,0 +1,102 @@
+"""Property-based tests for BSS window operations and GEMM slot algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+
+bits = st.integers(min_value=0, max_value=1)
+bit_lists = st.lists(bits, min_size=1, max_size=12)
+
+
+class TestProjectionProperties:
+    @settings(max_examples=100)
+    @given(bit_lists, st.data())
+    def test_projection_definition(self, prefix, data):
+        w = len(prefix)
+        t = data.draw(st.integers(min_value=w, max_value=w + 10))
+        k = data.draw(st.integers(min_value=0, max_value=w - 1))
+        bss = WindowIndependentBSS(prefix, default=1)
+        projected = bss.project(t, k, w)
+        assert len(projected) == w
+        # First k bits zeroed; the rest equal the global bits of the
+        # corresponding window positions.
+        for i in range(1, w + 1):
+            if i <= k:
+                assert projected[i - 1] == 0
+            else:
+                assert projected[i - 1] == bss.bit(t - w + i)
+
+    @settings(max_examples=50)
+    @given(bit_lists)
+    def test_zero_projection_is_window_bits(self, prefix):
+        w = len(prefix)
+        bss = WindowIndependentBSS(prefix)
+        assert bss.project(t=w, k=0, w=w) == tuple(prefix)
+
+    @settings(max_examples=50)
+    @given(bit_lists, st.data())
+    def test_projection_is_monotone_in_k(self, prefix, data):
+        """More projection can only clear bits, never set them."""
+        w = len(prefix)
+        k = data.draw(st.integers(min_value=0, max_value=w - 1))
+        bss = WindowIndependentBSS(prefix)
+        smaller = bss.project(t=w, k=k, w=w)
+        if k + 1 < w:
+            larger = bss.project(t=w, k=k + 1, w=w)
+            assert all(b <= a for a, b in zip(smaller, larger))
+
+
+class TestRightShiftProperties:
+    @settings(max_examples=100)
+    @given(bit_lists, st.data())
+    def test_shift_definition(self, raw_bits, data):
+        w = len(raw_bits)
+        k = data.draw(st.integers(min_value=0, max_value=w - 1))
+        bss = WindowRelativeBSS(raw_bits)
+        shifted = bss.right_shift(k)
+        assert len(shifted) == w
+        for i in range(1, w + 1):
+            if i <= k:
+                assert shifted[i - 1] == 0
+            else:
+                assert shifted[i - 1] == raw_bits[i - k - 1]
+
+    @settings(max_examples=50)
+    @given(bit_lists, st.data())
+    def test_shift_composes(self, raw_bits, data):
+        """Shifting by a then by b equals shifting once by a+b."""
+        w = len(raw_bits)
+        a = data.draw(st.integers(min_value=0, max_value=w - 1))
+        b = data.draw(st.integers(min_value=0, max_value=w - 1 - a))
+        bss = WindowRelativeBSS(raw_bits)
+        two_step = WindowRelativeBSS(bss.right_shift(a)).right_shift(b)
+        assert two_step == bss.right_shift(a + b)
+
+    @settings(max_examples=50)
+    @given(bit_lists)
+    def test_popcount_never_increases(self, raw_bits):
+        bss = WindowRelativeBSS(raw_bits)
+        base = sum(raw_bits)
+        for k in range(len(raw_bits)):
+            assert sum(bss.right_shift(k)) <= base
+
+
+class TestSelectionProperties:
+    @settings(max_examples=50)
+    @given(bit_lists, st.integers(min_value=1, max_value=30))
+    def test_window_relative_selection_size(self, raw_bits, start):
+        bss = WindowRelativeBSS(raw_bits)
+        selected = bss.selected_ids(window_start=start)
+        assert len(selected) == sum(raw_bits)
+        assert all(start <= i < start + bss.w for i in selected)
+
+    @settings(max_examples=50)
+    @given(bit_lists, st.data())
+    def test_window_independent_selection_consistency(self, prefix, data):
+        lo = data.draw(st.integers(min_value=1, max_value=len(prefix)))
+        hi = data.draw(st.integers(min_value=lo, max_value=len(prefix)))
+        bss = WindowIndependentBSS(prefix)
+        selected = bss.selected_ids(lo, hi)
+        for i in range(lo, hi + 1):
+            assert (i in selected) == (prefix[i - 1] == 1)

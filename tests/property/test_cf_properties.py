@@ -1,0 +1,100 @@
+"""Property-based tests for cluster features and the CF-tree."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.cf import (
+    ClusterFeature,
+    distance_d0,
+    distance_d2,
+    distance_d4,
+)
+from repro.clustering.cftree import CFTree
+
+coordinates = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+points_2d = st.lists(
+    st.tuples(coordinates, coordinates), min_size=1, max_size=40
+)
+
+
+class TestCFAdditivity:
+    @given(points_2d, points_2d)
+    def test_merge_equals_union(self, points_a, points_b):
+        merged = ClusterFeature.from_points(points_a).merged(
+            ClusterFeature.from_points(points_b)
+        )
+        direct = ClusterFeature.from_points(points_a + points_b)
+        assert merged.n == direct.n
+        np.testing.assert_allclose(merged.ls, direct.ls, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(merged.ss, direct.ss, rtol=1e-9, atol=1e-9)
+
+    @given(points_2d)
+    def test_merge_is_commutative(self, points):
+        half = len(points) // 2
+        a = ClusterFeature.from_points(points[:half] or [(0.0, 0.0)])
+        b = ClusterFeature.from_points(points[half:] or [(1.0, 1.0)])
+        ab = a.merged(b)
+        ba = b.merged(a)
+        assert ab.n == ba.n
+        np.testing.assert_allclose(ab.ls, ba.ls)
+        np.testing.assert_allclose(ab.ss, ba.ss)
+
+    @given(points_2d)
+    def test_centroid_is_mean(self, points):
+        cf = ClusterFeature.from_points(points)
+        np.testing.assert_allclose(
+            cf.centroid(), np.asarray(points).mean(axis=0), rtol=1e-9, atol=1e-9
+        )
+
+    @given(points_2d)
+    def test_radius_and_diameter_non_negative(self, points):
+        cf = ClusterFeature.from_points(points)
+        assert cf.radius() >= 0.0
+        assert cf.diameter() >= 0.0
+
+
+class TestDistanceProperties:
+    @given(points_2d, points_2d)
+    def test_symmetry(self, points_a, points_b):
+        a = ClusterFeature.from_points(points_a)
+        b = ClusterFeature.from_points(points_b)
+        for metric in (distance_d0, distance_d2, distance_d4):
+            assert metric(a, b) == metric(b, a)
+
+    @given(points_2d)
+    def test_self_distance_d0_zero(self, points):
+        cf = ClusterFeature.from_points(points)
+        assert distance_d0(cf, cf) == 0.0
+
+    @given(points_2d, points_2d)
+    def test_d4_non_negative(self, points_a, points_b):
+        a = ClusterFeature.from_points(points_a)
+        b = ClusterFeature.from_points(points_b)
+        assert distance_d4(a, b) >= 0.0
+
+
+class TestCFTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(points_2d, st.floats(min_value=0.1, max_value=10.0))
+    def test_tree_preserves_sufficient_statistics(self, points, threshold):
+        tree = CFTree(threshold=threshold, max_leaf_entries=64)
+        tree.insert_points(points)
+        total = tree.total_cf()
+        direct = ClusterFeature.from_points(points)
+        assert total.n == direct.n
+        np.testing.assert_allclose(total.ls, direct.ls, rtol=1e-7, atol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(points_2d, st.floats(min_value=0.1, max_value=5.0))
+    def test_tree_invariants(self, points, threshold):
+        tree = CFTree(
+            threshold=threshold,
+            branching_factor=3,
+            leaf_capacity=3,
+            max_leaf_entries=32,
+        )
+        tree.insert_points(points)
+        assert tree.check_invariants() == []

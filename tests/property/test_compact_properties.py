@@ -1,0 +1,121 @@
+"""Property tests: the incremental compact-sequence miner agrees with a
+straightforward from-definition reference on random similarity
+relations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import make_block
+from repro.deviation.focus import DeviationResult
+from repro.patterns.compact import CompactSequenceMiner
+
+
+class MatrixSimilarity:
+    """Similarity oracle backed by an explicit symmetric boolean matrix."""
+
+    def __init__(self, matrix):
+        self._matrix = matrix
+
+    def compare(self, block_a, block_b):
+        similar = self._matrix[block_a.block_id - 1][block_b.block_id - 1]
+
+        class Result:
+            pass
+
+        result = Result()
+        result.similar = similar
+        result.significance = 0.0 if similar else 1.0
+        result.deviation = DeviationResult(
+            value=0.0, regions=1, scans=0, seconds=0.0
+        )
+        result.seconds = 0.0
+        return result
+
+
+def reference_sequences(matrix, t):
+    """From-definition greedy construction, one sequence per anchor.
+
+    A sequence anchored at ``i`` absorbs each later block ``j`` when
+    (1) ``j`` is similar to every member and (2) every gap block left
+    behind has a dissimilarity witness among the members preceding it.
+    """
+
+    def similar(a, b):
+        return matrix[a - 1][b - 1]
+
+    sequences = []
+    for anchor in range(1, t + 1):
+        members = [anchor]
+        for candidate in range(anchor + 1, t + 1):
+            if not all(similar(m, candidate) for m in members):
+                continue
+            holes = False
+            for gap in range(members[-1] + 1, candidate):
+                if all(similar(m, gap) for m in members if m < gap):
+                    holes = True
+                    break
+            if not holes:
+                members.append(candidate)
+        sequences.append(members)
+    return sequences
+
+
+def symmetric_matrices(n):
+    """Strategy: n×n symmetric boolean matrices (reflexive)."""
+
+    def build(bits):
+        matrix = [[False] * n for _ in range(n)]
+        index = 0
+        for i in range(n):
+            matrix[i][i] = True
+            for j in range(i + 1, n):
+                matrix[i][j] = matrix[j][i] = bits[index]
+                index += 1
+        return matrix
+
+    return st.lists(
+        st.booleans(), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2
+    ).map(build)
+
+
+class TestMinerMatchesReference:
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(min_value=1, max_value=8).flatmap(
+        lambda n: st.tuples(st.just(n), symmetric_matrices(n))
+    ))
+    def test_all_anchored_sequences_match(self, case):
+        n, matrix = case
+        miner = CompactSequenceMiner(MatrixSimilarity(matrix))
+        for i in range(1, n + 1):
+            miner.observe(make_block(i, [(i,)]))
+        ours = [s.block_ids for s in miner.sequences]
+        expected = reference_sequences(matrix, n)
+        assert ours == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=2, max_value=7).flatmap(
+        lambda n: st.tuples(st.just(n), symmetric_matrices(n))
+    ))
+    def test_definition_holds_for_every_sequence(self, case):
+        n, matrix = case
+        miner = CompactSequenceMiner(MatrixSimilarity(matrix))
+        for i in range(1, n + 1):
+            miner.observe(make_block(i, [(i,)]))
+        assert miner.verify_all_compact() == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=2, max_value=7).flatmap(
+        lambda n: st.tuples(st.just(n), symmetric_matrices(n))
+    ))
+    def test_distinct_sequences_are_not_subsumed(self, case):
+        n, matrix = case
+        miner = CompactSequenceMiner(MatrixSimilarity(matrix))
+        for i in range(1, n + 1):
+            miner.observe(make_block(i, [(i,)]))
+        distinct = miner.distinct_sequences(min_length=1)
+        id_sets = [frozenset(s.block_ids) for s in distinct]
+        for i, a in enumerate(id_sets):
+            for j, b in enumerate(id_sets):
+                if i != j:
+                    assert not a < b
+        assert len(set(id_sets)) == len(id_sets)

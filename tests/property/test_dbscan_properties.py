@@ -1,0 +1,83 @@
+"""Property tests: incremental DBSCAN equals batch DBSCAN after random
+insert/delete workloads."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.dbscan import IncrementalDBSCAN
+
+coordinates = st.integers(min_value=0, max_value=8).map(float)
+points = st.tuples(coordinates, coordinates)
+# Operations: insert a point, or delete the k-th oldest surviving point.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), points),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=200)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestIncrementalEqualsBatch:
+    @settings(max_examples=60, deadline=None)
+    @given(operations, st.sampled_from([1.0, 1.5]), st.sampled_from([2, 3]))
+    def test_random_workloads(self, workload, eps, min_pts):
+        clustering = IncrementalDBSCAN(eps=eps, min_pts=min_pts, dim=2)
+        alive: list[int] = []
+        for op, payload in workload:
+            if op == "insert":
+                alive.append(clustering.insert(payload))
+            elif alive:
+                victim = alive.pop(payload % len(alive))
+                clustering.delete(victim)
+        assert clustering.check_against_batch() == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_insertion_order_invariance_of_core_partition(self, raw_points):
+        """Core-point partitions do not depend on insertion order."""
+        forward = IncrementalDBSCAN(eps=1.5, min_pts=3, dim=2)
+        for point in raw_points:
+            forward.insert(point)
+        backward = IncrementalDBSCAN(eps=1.5, min_pts=3, dim=2)
+        shuffled = list(raw_points)
+        random.Random(5).shuffle(shuffled)
+        for point in shuffled:
+            backward.insert(point)
+
+        def core_partition(clustering):
+            groups = {}
+            for point_id in range(len(clustering)):
+                try:
+                    if not clustering.is_core(point_id):
+                        continue
+                except KeyError:
+                    continue
+                label = clustering.label(point_id)
+                groups.setdefault(label, set()).add(clustering.point(point_id))
+            return {frozenset(g) for g in groups.values()}
+
+        assert core_partition(forward) == core_partition(backward)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(points, min_size=2, max_size=25), st.data())
+    def test_insert_then_delete_all_of_one_batch(self, raw_points, data):
+        """Deleting an inserted batch restores batch equivalence on the
+        remainder."""
+        clustering = IncrementalDBSCAN(eps=1.5, min_pts=3, dim=2)
+        keep = [clustering.insert(p) for p in raw_points]
+        extra_count = data.draw(st.integers(min_value=1, max_value=10))
+        extras = [
+            clustering.insert(
+                (float(data.draw(st.integers(0, 8))),
+                 float(data.draw(st.integers(0, 8))))
+            )
+            for _ in range(extra_count)
+        ]
+        for point_id in extras:
+            clustering.delete(point_id)
+        assert len(clustering) == len(keep)
+        assert clustering.check_against_batch() == []

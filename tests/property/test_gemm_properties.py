@@ -1,0 +1,66 @@
+"""Property-based tests: GEMM's current model always covers exactly the
+blocks a brute-force evaluation of the BSS over the current window
+selects — for random BSS bits, window sizes, and stream lengths."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import make_block
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+from repro.core.gemm import GEMM
+from tests.core.test_maintainer import BagMaintainer
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+def model_ids(model: Counter) -> set[int]:
+    return {t[0] for t in model}
+
+
+class TestWindowRelative:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(bits, min_size=1, max_size=6),
+        st.integers(min_value=1, max_value=14),
+    )
+    def test_selection_matches_brute_force(self, bss_bits, stream_length):
+        w = len(bss_bits)
+        gemm = GEMM(BagMaintainer(), w=w, bss=WindowRelativeBSS(bss_bits))
+        for t in range(1, stream_length + 1):
+            gemm.observe(make_block(t, [(t,)]))
+            start = max(1, t - w + 1)
+            expected = {
+                start + offset
+                for offset in range(w)
+                if start + offset <= t and bss_bits[offset] == 1
+            }
+            assert model_ids(gemm.current_model()) == expected, f"t={t}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(bits, min_size=1, max_size=5))
+    def test_distinct_models_bounded(self, bss_bits):
+        w = len(bss_bits)
+        gemm = GEMM(BagMaintainer(), w=w, bss=WindowRelativeBSS(bss_bits))
+        for t in range(1, 2 * w + 2):
+            report = gemm.observe(make_block(t, [(t,)]))
+            assert report.distinct_models <= w
+            assert report.critical_invocations <= 1
+
+
+class TestWindowIndependent:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(bits, min_size=6, max_size=16),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_selection_matches_brute_force(self, global_bits, w):
+        gemm = GEMM(
+            BagMaintainer(), w=w, bss=WindowIndependentBSS(global_bits, default=0)
+        )
+        for t in range(1, len(global_bits) + 1):
+            gemm.observe(make_block(t, [(t,)]))
+            window = range(max(1, t - w + 1), t + 1)
+            expected = {j for j in window if global_bits[j - 1] == 1}
+            assert model_ids(gemm.current_model()) == expected, f"t={t}"

@@ -1,0 +1,80 @@
+"""Property tests: GEMM with a vault is observationally identical to
+GEMM without one, for random BSS bits and window sizes."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import make_block
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+from repro.core.gemm import GEMM
+from repro.storage.persist import ModelVault
+from tests.core.test_maintainer import BagMaintainer
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+def model_ids(model: Counter) -> set[int]:
+    return {t[0] for t in model}
+
+
+class TestVaultTransparency:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(bits, min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_window_relative(self, bss_bits, stream_length):
+        bss_plain = WindowRelativeBSS(bss_bits)
+        plain = GEMM(BagMaintainer(), w=len(bss_bits), bss=bss_plain)
+        vaulted = GEMM(
+            BagMaintainer(),
+            w=len(bss_bits),
+            bss=WindowRelativeBSS(bss_bits),
+            vault=ModelVault(),
+        )
+        for t in range(1, stream_length + 1):
+            block = make_block(t, [(t,)])
+            plain.observe(block)
+            vaulted.observe(block)
+            assert model_ids(plain.current_model()) == model_ids(
+                vaulted.current_model()
+            ), f"t={t}"
+            # Every slot matches too (vault fetches revive correctly).
+            for k in range(len(bss_bits)):
+                assert model_ids(plain.model_for_slot(k)) == model_ids(
+                    vaulted.model_for_slot(k)
+                ), f"t={t}, slot={k}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(bits, min_size=4, max_size=10),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_window_independent(self, global_bits, w):
+        plain = GEMM(
+            BagMaintainer(), w=w, bss=WindowIndependentBSS(global_bits, default=0)
+        )
+        vaulted = GEMM(
+            BagMaintainer(),
+            w=w,
+            bss=WindowIndependentBSS(global_bits, default=0),
+            vault=ModelVault(),
+        )
+        for t in range(1, len(global_bits) + 1):
+            block = make_block(t, [(t,)])
+            plain.observe(block)
+            vaulted.observe(block)
+            assert model_ids(plain.current_model()) == model_ids(
+                vaulted.current_model()
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=3, max_value=12))
+    def test_memory_footprint_invariant(self, w, stream_length):
+        """With a vault, at most the current + empty models are live."""
+        vaulted = GEMM(BagMaintainer(), w=w, vault=ModelVault())
+        for t in range(1, stream_length + 1):
+            vaulted.observe(make_block(t, [(t,)]))
+            assert len(vaulted._models) <= 2

@@ -1,0 +1,96 @@
+"""Tests for the metered block store."""
+
+import pytest
+
+from repro.storage.blockstore import (
+    BlockStore,
+    INT_BYTES,
+    point_nbytes,
+    tidlist_nbytes,
+    transaction_nbytes,
+)
+from repro.storage.iostats import IOStatsRegistry
+
+
+class TestSizers:
+    def test_transaction_nbytes(self):
+        assert transaction_nbytes((1, 2, 3)) == 3 * INT_BYTES
+
+    def test_tidlist_nbytes(self):
+        assert tidlist_nbytes([10, 20]) == 2 * INT_BYTES
+
+    def test_point_nbytes(self):
+        assert point_nbytes((0.0, 1.0, 2.0)) == 24
+
+
+class TestBlockStore:
+    def test_append_and_scan(self):
+        store = BlockStore()
+        store.append(1, [(1, 2), (3,)])
+        assert list(store.scan(1)) == [(1, 2), (3,)]
+
+    def test_duplicate_append_rejected(self):
+        store = BlockStore()
+        store.append(1, [])
+        with pytest.raises(ValueError):
+            store.append(1, [])
+
+    def test_scan_charges_full_block(self):
+        registry = IOStatsRegistry()
+        store = BlockStore(registry=registry)
+        store.append(1, [(1, 2), (3,)])
+        before = registry.get("block_scan").bytes_read
+        list(store.scan(1))
+        assert registry.get("block_scan").bytes_read - before == 3 * INT_BYTES
+
+    def test_append_charges_write(self):
+        registry = IOStatsRegistry()
+        store = BlockStore(registry=registry)
+        store.append(1, [(1, 2)])
+        assert registry.get("block_scan").bytes_written == 2 * INT_BYTES
+
+    def test_scan_many_preserves_order(self):
+        store = BlockStore()
+        store.append(1, [(1,)])
+        store.append(2, [(2,)])
+        assert list(store.scan_many([2, 1])) == [(2,), (1,)]
+
+    def test_peek_does_not_charge(self):
+        store = BlockStore()
+        store.append(1, [(1, 2)])
+        before = store.stats.bytes_read
+        store.peek(1)
+        assert store.stats.bytes_read == before
+
+    def test_drop(self):
+        store = BlockStore()
+        store.append(1, [])
+        store.drop(1)
+        assert 1 not in store
+        with pytest.raises(KeyError):
+            store.drop(1)
+
+    def test_block_ids_sorted(self):
+        store = BlockStore()
+        for i in (3, 1, 2):
+            store.append(i, [])
+        assert store.block_ids() == [1, 2, 3]
+
+    def test_sizes(self):
+        store = BlockStore()
+        store.append(1, [(1, 2), (3,)])
+        store.append(2, [(4,)])
+        assert store.nbytes(1) == 3 * INT_BYTES
+        assert store.total_nbytes() == 4 * INT_BYTES
+
+    def test_len_and_contains(self):
+        store = BlockStore()
+        store.append(1, [])
+        assert len(store) == 1
+        assert 1 in store
+        assert 2 not in store
+
+    def test_custom_sizer(self):
+        store = BlockStore(sizer=point_nbytes)
+        store.append(1, [(0.0, 0.0)])
+        assert store.nbytes(1) == 16

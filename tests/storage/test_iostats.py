@@ -1,0 +1,79 @@
+"""Tests for I/O accounting."""
+
+import pytest
+
+from repro.storage.iostats import IOStats, IOStatsRegistry
+
+
+class TestIOStats:
+    def test_record_read(self):
+        stats = IOStats()
+        stats.record_read(100)
+        stats.record_read(50)
+        assert stats.bytes_read == 150
+        assert stats.reads == 2
+
+    def test_record_write(self):
+        stats = IOStats()
+        stats.record_write(64)
+        assert stats.bytes_written == 64
+        assert stats.writes == 1
+
+    def test_negative_sizes_rejected(self):
+        stats = IOStats()
+        with pytest.raises(ValueError):
+            stats.record_read(-1)
+        with pytest.raises(ValueError):
+            stats.record_write(-5)
+
+    def test_zero_byte_operations_counted(self):
+        stats = IOStats()
+        stats.record_read(0)
+        assert stats.reads == 1
+        assert stats.bytes_read == 0
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(10)
+        stats.reset()
+        assert stats.bytes_read == 0
+        assert stats.reads == 0
+
+    def test_snapshot_and_delta(self):
+        stats = IOStats()
+        stats.record_read(10)
+        snapshot = stats.snapshot()
+        stats.record_read(30)
+        delta = stats.delta_since(snapshot)
+        assert delta.bytes_read == 30
+        assert delta.reads == 1
+        # Snapshot is independent.
+        assert snapshot.bytes_read == 10
+
+
+class TestRegistry:
+    def test_get_creates_named_counters(self):
+        registry = IOStatsRegistry()
+        counter = registry.get("scan")
+        assert registry.get("scan") is counter
+
+    def test_totals(self):
+        registry = IOStatsRegistry()
+        registry.get("a").record_read(5)
+        registry.get("b").record_read(7)
+        registry.get("b").record_write(3)
+        assert registry.total_bytes_read() == 12
+        assert registry.total_bytes_written() == 3
+
+    def test_reset_all(self):
+        registry = IOStatsRegistry()
+        registry.get("a").record_read(5)
+        registry.reset()
+        assert registry.total_bytes_read() == 0
+
+    def test_report(self):
+        registry = IOStatsRegistry()
+        registry.get("scan").record_read(5)
+        report = registry.report()
+        assert report["scan"]["bytes_read"] == 5
+        assert report["scan"]["reads"] == 1

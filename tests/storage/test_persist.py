@@ -1,0 +1,131 @@
+"""Tests for the model vault and GEMM's disk-resident mode (§3.2.3)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.core.bss import WindowRelativeBSS
+from repro.core.gemm import GEMM
+from repro.storage.persist import ModelVault, VaultFullError, load_model, save_model
+from tests.core.test_maintainer import BagMaintainer
+
+
+class TestModelVault:
+    def test_round_trip(self):
+        vault = ModelVault()
+        vault.put("a", {"x": [1, 2, 3]})
+        assert vault.get("a") == {"x": [1, 2, 3]}
+
+    def test_get_returns_private_copy(self):
+        vault = ModelVault()
+        original = {"x": [1]}
+        vault.put("a", original)
+        copy_one = vault.get("a")
+        copy_one["x"].append(2)
+        assert vault.get("a") == {"x": [1]}
+
+    def test_overwrite(self):
+        vault = ModelVault()
+        vault.put("a", 1)
+        vault.put("a", 2)
+        assert vault.get("a") == 2
+        assert len(vault) == 1
+
+    def test_delete_idempotent(self):
+        vault = ModelVault()
+        vault.put("a", 1)
+        vault.delete("a")
+        vault.delete("a")
+        assert "a" not in vault
+
+    def test_retain_only(self):
+        vault = ModelVault()
+        for key in ("a", "b", "c"):
+            vault.put(key, key)
+        vault.retain_only({"b"})
+        assert vault.keys() == ["b"]
+
+    def test_io_charged(self):
+        vault = ModelVault()
+        size = vault.put("a", list(range(100)))
+        assert vault.stats.bytes_written == size
+        vault.get("a")
+        assert vault.stats.bytes_read == size
+
+    def test_budget_enforced(self):
+        vault = ModelVault(budget_bytes=64)
+        with pytest.raises(VaultFullError):
+            vault.put("big", list(range(1000)))
+
+    def test_budget_accounts_for_overwrite(self):
+        vault = ModelVault(budget_bytes=200)
+        vault.put("a", list(range(10)))
+        # Overwriting replaces, not accumulates.
+        vault.put("a", list(range(12)))
+        assert len(vault) == 1
+
+    def test_nbytes(self):
+        vault = ModelVault()
+        size = vault.put("a", "hello")
+        assert vault.nbytes("a") == size
+        assert vault.total_nbytes() == size
+
+    def test_save_load_helpers(self):
+        blob = save_model({"k": 1})
+        assert load_model(blob) == {"k": 1}
+
+
+class TestGEMMWithVault:
+    def block(self, i):
+        return make_block(i, [(i,)])
+
+    def model_ids(self, model: Counter) -> set[int]:
+        return {t[0] for t in model}
+
+    def test_only_current_model_in_memory(self):
+        vault = ModelVault()
+        gemm = GEMM(BagMaintainer(), w=4, vault=vault)
+        for i in range(1, 9):
+            gemm.observe(self.block(i))
+        # In memory: the current model plus the empty model.
+        assert len(gemm._models) <= 2
+        # The rest of the collection lives in the vault.
+        assert len(vault) >= 1
+
+    def test_selections_identical_with_and_without_vault(self):
+        bss = WindowRelativeBSS([1, 0, 1, 1])
+        plain = GEMM(BagMaintainer(), w=4, bss=bss)
+        vaulted = GEMM(BagMaintainer(), w=4, bss=bss, vault=ModelVault())
+        for i in range(1, 12):
+            plain.observe(self.block(i))
+            vaulted.observe(self.block(i))
+            assert self.model_ids(plain.current_model()) == self.model_ids(
+                vaulted.current_model()
+            ), f"t={i}"
+
+    def test_slot_models_revivable(self):
+        vault = ModelVault()
+        gemm = GEMM(BagMaintainer(), w=3, vault=vault)
+        for i in range(1, 7):
+            gemm.observe(self.block(i))
+        for k in range(3):
+            model = gemm.model_for_slot(k)
+            expected = set(range(4 + k, 7))
+            assert self.model_ids(model) == expected
+
+    def test_vault_io_accumulates(self):
+        vault = ModelVault()
+        gemm = GEMM(BagMaintainer(), w=3, vault=vault)
+        for i in range(1, 6):
+            gemm.observe(self.block(i))
+        assert vault.stats.bytes_written > 0
+        assert vault.stats.bytes_read > 0
+
+    def test_stale_models_evicted(self):
+        vault = ModelVault()
+        gemm = GEMM(BagMaintainer(), w=3, vault=vault)
+        for i in range(1, 10):
+            gemm.observe(self.block(i))
+        # Vault holds at most the non-current live models.
+        assert len(vault) <= 2

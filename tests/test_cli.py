@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestInfo:
+    def test_lists_subsystems(self):
+        code, output = run_cli(["info"])
+        assert code == 0
+        assert "repro.core" in output
+        assert "GEMM" in output
+
+
+class TestMonitor:
+    def test_unrestricted_window(self):
+        code, output = run_cli(
+            ["monitor", "--blocks", "3", "--block-size", "120"]
+        )
+        assert code == 0
+        assert output.count("block ") == 3
+        assert "selection=[1, 2, 3]" in output
+
+    def test_most_recent_window_with_bss(self):
+        code, output = run_cli(
+            [
+                "monitor",
+                "--blocks", "5",
+                "--block-size", "100",
+                "--window", "3",
+                "--bss", "101",
+            ]
+        )
+        assert code == 0
+        assert "selection=[3, 5]" in output
+
+    def test_bss_length_mismatch(self):
+        with pytest.raises(SystemExit):
+            run_cli(["monitor", "--window", "3", "--bss", "10"])
+
+
+class TestGenerate:
+    def test_quest_to_file(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        code, output = run_cli(
+            [
+                "generate", "quest",
+                "--blocks", "2",
+                "--block-size", "50",
+                "--output", str(path),
+            ]
+        )
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["block_id"] == 1
+        assert len(record["tuples"]) == 50
+
+    def test_clusters(self, tmp_path):
+        path = tmp_path / "points.jsonl"
+        code, _output = run_cli(
+            [
+                "generate", "clusters",
+                "--name", "1M.50c.5d",
+                "--blocks", "1",
+                "--block-size", "30",
+                "--output", str(path),
+            ]
+        )
+        assert code == 0
+        record = json.loads(path.read_text().strip())
+        assert len(record["tuples"][0]) == 5
+
+    def test_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _output = run_cli(
+            [
+                "generate", "trace",
+                "--granularity", "24",
+                "--scale", "0.001",
+                "--output", str(path),
+            ]
+        )
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 21
+
+
+class TestPatterns:
+    def test_daily_patterns(self):
+        code, output = run_cli(
+            ["patterns", "--granularity", "24", "--trace-scale", "0.02"]
+        )
+        assert code == 0
+        assert "compact sequences" in output
+        assert "blocks [" in output

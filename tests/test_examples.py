@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+These execute the real scripts as subprocesses (fresh interpreter, no
+test fixtures) and assert on their key printed claims — the closest
+thing to a user's first contact with the library.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "after day 5" in output
+        assert "Blocks mined so far: [1, 2, 3, 4, 5]" in output
+        assert "support=" in output
+
+    def test_retail_monitoring(self):
+        output = run_example("retail_monitoring.py")
+        assert "windowed selection (blocks): [8, 15, 22, 29]" in output
+        # The windowed fad support exceeds the diluted full-history one.
+        lines = [l for l in output.splitlines() if "support" in l]
+        windowed = float(lines[0].split(":")[1].split("(")[0])
+        full = float(lines[1].split(":")[1].split("(")[0])
+        assert windowed > full
+
+    def test_document_clustering(self):
+        output = run_example("document_clustering.py")
+        assert "clusters=6" in output
+        assert "full BIRCH re-run" in output
+        assert "routing new documents to concepts" in output
+
+    def test_rule_dashboard(self):
+        output = run_example("rule_dashboard.py")
+        assert "drift begins" in output
+        assert "new habit (900, 901) ruled: True" in output
+
+    def test_proxy_pattern_detection(self):
+        output = run_example("proxy_pattern_detection.py")
+        assert "discovered compact sequences" in output
+        assert "anomalous Monday" in output
+        assert "similar=False" in output
+
+    def test_all_examples_present(self):
+        scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        assert scripts == [
+            "document_clustering.py",
+            "proxy_pattern_detection.py",
+            "quickstart.py",
+            "retail_monitoring.py",
+            "rule_dashboard.py",
+        ]

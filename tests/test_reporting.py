@@ -1,0 +1,76 @@
+"""Tests for the plain-text model reports."""
+
+from repro.clustering.birch import birch_cluster
+from repro.core.blocks import make_block
+from repro.core.gemm import GEMM
+from repro.itemsets.borders import BordersMaintainer
+from repro.reporting import (
+    summarize_cluster_model,
+    summarize_gemm,
+    summarize_itemset_model,
+    summarize_tree,
+)
+from repro.storage.persist import ModelVault
+from repro.trees.dtree import DecisionTree
+from tests.conftest import gaussian_point_blocks
+from tests.core.test_maintainer import BagMaintainer
+from tests.trees.test_dtree import two_class_data
+
+
+class TestItemsetSummary:
+    def model(self):
+        maintainer = BordersMaintainer(0.3, counter="ecut")
+        return maintainer.build([make_block(1, [(1, 2)] * 8 + [(3,)] * 2)])
+
+    def test_header_fields(self):
+        text = summarize_itemset_model(self.model())
+        assert "|L|=" in text and "N=10" in text and "blocks=[1]" in text
+
+    def test_lists_multi_item_sets(self):
+        text = summarize_itemset_model(self.model())
+        assert "(1, 2)" in text
+        assert "support=0.800" in text
+
+    def test_with_rules(self):
+        text = summarize_itemset_model(self.model(), with_rules=True)
+        assert "rule" in text
+
+    def test_empty_model_message(self):
+        maintainer = BordersMaintainer(0.9, counter="ecut")
+        model = maintainer.build([make_block(1, [(1,), (2,)])])
+        text = summarize_itemset_model(model)
+        assert "no frequent itemsets" in text
+
+
+class TestClusterSummary:
+    def test_fields(self):
+        blocks = gaussian_point_blocks(1, 200, seed=40)
+        model, _tree, _t = birch_cluster(blocks[0].tuples, k=3, threshold=1.0)
+        text = summarize_cluster_model(model)
+        assert "k=3" in text
+        assert "cluster 0" in text or "cluster 1" in text
+        assert "radius=" in text
+
+
+class TestTreeSummary:
+    def test_structure_rendered(self):
+        tree = DecisionTree(max_depth=2).fit(two_class_data())
+        text = summarize_tree(tree)
+        assert "depth=" in text
+        assert "if x[" in text
+        assert "leaf ->" in text
+
+    def test_unfitted(self):
+        assert "unfitted" in summarize_tree(DecisionTree())
+
+
+class TestGEMMSummary:
+    def test_slots_listed(self):
+        gemm = GEMM(BagMaintainer(), w=3, vault=ModelVault())
+        for i in range(1, 6):
+            gemm.observe(make_block(i, [(i,)]))
+        text = summarize_gemm(gemm)
+        assert "w=3 t=5" in text
+        assert "slot 0 (current)" in text
+        assert "vault=yes" in text
+        assert "future window f_2 prefix" in text

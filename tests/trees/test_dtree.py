@@ -1,0 +1,136 @@
+"""Tests for the decision-tree classifier and its leaf regions."""
+
+import random
+
+import pytest
+
+from repro.trees.dtree import DecisionTree, Region, gini
+
+
+def two_class_data(n=200, seed=0):
+    """Class 0 in the lower-left quadrant, class 1 elsewhere."""
+    rng = random.Random(seed)
+    data = []
+    for _ in range(n):
+        x, y = rng.uniform(0, 10), rng.uniform(0, 10)
+        label = 0 if (x < 5 and y < 5) else 1
+        data.append(((x, y), label))
+    return data
+
+
+def xor_data(n=400, seed=1):
+    rng = random.Random(seed)
+    data = []
+    for _ in range(n):
+        x, y = rng.uniform(0, 10), rng.uniform(0, 10)
+        label = int((x < 5) != (y < 5))
+        data.append(((x, y), label))
+    return data
+
+
+class TestGini:
+    def test_pure_is_zero(self):
+        assert gini([10]) == 0.0
+        assert gini([0, 7]) == 0.0
+
+    def test_balanced_binary(self):
+        assert gini([5, 5]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert gini([]) == 0.0
+
+
+class TestFitPredict:
+    def test_separable_data_learned(self):
+        tree = DecisionTree(max_depth=4).fit(two_class_data())
+        assert tree.accuracy(two_class_data(seed=9)) > 0.9
+
+    def test_xor_needs_depth(self):
+        shallow = DecisionTree(max_depth=1).fit(xor_data())
+        deep = DecisionTree(max_depth=4).fit(xor_data())
+        holdout = xor_data(seed=2)
+        assert deep.accuracy(holdout) > shallow.accuracy(holdout)
+        assert deep.accuracy(holdout) > 0.85
+
+    def test_single_class_stays_leaf(self):
+        data = [((float(i), 0.0), 1) for i in range(30)]
+        tree = DecisionTree().fit(data)
+        assert tree.root.is_leaf
+        assert tree.predict((5.0, 0.0)) == 1
+
+    def test_depth_cap_respected(self):
+        tree = DecisionTree(max_depth=2).fit(xor_data())
+        assert tree.depth() <= 2
+
+    def test_min_leaf_size_respected(self):
+        tree = DecisionTree(max_depth=8, min_leaf_size=20).fit(xor_data())
+        for _region, histogram in tree.leaf_regions():
+            assert sum(histogram.values()) >= 20
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValueError):
+            DecisionTree().predict((0.0,))
+
+    def test_fit_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit([])
+
+    def test_predict_many(self):
+        tree = DecisionTree(max_depth=4).fit(two_class_data())
+        labels = tree.predict_many([(1.0, 1.0), (9.0, 9.0)])
+        assert labels == [0, 1]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=-1)
+        with pytest.raises(ValueError):
+            DecisionTree(min_leaf_size=0)
+
+
+class TestLeafRegions:
+    def test_regions_partition_the_space(self):
+        """Every point lands in exactly one leaf region."""
+        tree = DecisionTree(max_depth=4).fit(xor_data())
+        regions = tree.leaf_regions()
+        rng = random.Random(3)
+        for _ in range(100):
+            point = (rng.uniform(-5, 15), rng.uniform(-5, 15))
+            hits = sum(1 for region, _h in regions if region.contains(point))
+            assert hits == 1, point
+
+    def test_histogram_totals_match_training_size(self):
+        data = xor_data(n=300)
+        tree = DecisionTree(max_depth=4).fit(data)
+        total = sum(
+            sum(histogram.values()) for _region, histogram in tree.leaf_regions()
+        )
+        assert total == 300
+
+    def test_n_leaves_consistent(self):
+        tree = DecisionTree(max_depth=3).fit(xor_data())
+        assert tree.n_leaves() == len(tree.leaf_regions())
+
+
+class TestRegion:
+    def test_contains_half_open(self):
+        region = Region((0.0, 0.0), (1.0, 1.0))
+        assert region.contains((0.0, 0.5))
+        assert not region.contains((1.0, 0.5))
+
+    def test_intersect(self):
+        a = Region((0.0,), (5.0,))
+        b = Region((3.0,), (8.0,))
+        overlap = a.intersect(b)
+        assert overlap is not None
+        assert overlap.lo == (3.0,)
+        assert overlap.hi == (5.0,)
+
+    def test_disjoint_intersection_is_none(self):
+        a = Region((0.0,), (1.0,))
+        b = Region((2.0,), (3.0,))
+        assert a.intersect(b) is None
+
+    def test_touching_edges_are_empty(self):
+        a = Region((0.0,), (1.0,))
+        b = Region((1.0,), (2.0,))
+        assert a.intersect(b) is None

@@ -1,0 +1,118 @@
+"""Tests for the incremental decision-tree maintainers."""
+
+import random
+
+from repro.core.blocks import make_block
+from repro.core.gemm import GEMM
+from repro.trees.maintain import (
+    LeafRefinementTreeMaintainer,
+    RebuildingTreeMaintainer,
+)
+
+
+def labelled_blocks(n_blocks=3, per_block=150, seed=0, drift_block=None):
+    """Blocks of 2-D labelled points; one block may carry a new regime."""
+    rng = random.Random(seed)
+    blocks = []
+    for i in range(n_blocks):
+        data = []
+        for _ in range(per_block):
+            if drift_block == i + 1:
+                # New regime: class 2 occupies a corner.
+                x, y = rng.uniform(8, 10), rng.uniform(8, 10)
+                data.append(((x, y), 2))
+            else:
+                x, y = rng.uniform(0, 10), rng.uniform(0, 10)
+                data.append(((x, y), 0 if x < 5 else 1))
+        blocks.append(make_block(i + 1, data))
+    return blocks
+
+
+def holdout(seed=99, n=200):
+    rng = random.Random(seed)
+    return [
+        ((x := rng.uniform(0, 10), rng.uniform(0, 10)), 0 if x < 5 else 1)
+        for _ in range(n)
+    ]
+
+
+class TestRebuildingMaintainer:
+    def test_equals_scratch_fit(self):
+        blocks = labelled_blocks()
+        maintainer = RebuildingTreeMaintainer(max_depth=4)
+        model = maintainer.build(blocks)
+        assert model.selected_block_ids == [1, 2, 3]
+        assert model.tree.accuracy(holdout()) > 0.9
+
+    def test_clone_is_independent(self):
+        blocks = labelled_blocks()
+        maintainer = RebuildingTreeMaintainer()
+        model = maintainer.build(blocks[:1])
+        snapshot = maintainer.clone(model)
+        maintainer.add_block(model, blocks[1])
+        assert snapshot.selected_block_ids == [1]
+
+    def test_empty_model(self):
+        assert RebuildingTreeMaintainer().empty_model().tree is None
+
+
+class TestLeafRefinementMaintainer:
+    def test_first_block_fits_fresh_tree(self):
+        blocks = labelled_blocks()
+        maintainer = LeafRefinementTreeMaintainer(max_depth=4)
+        model = maintainer.add_block(maintainer.empty_model(), blocks[0])
+        assert model.tree is not None
+        assert model.tree.accuracy(holdout()) > 0.85
+
+    def test_accuracy_survives_more_blocks(self):
+        blocks = labelled_blocks(4, 150)
+        maintainer = LeafRefinementTreeMaintainer(max_depth=4)
+        model = maintainer.build(blocks)
+        assert model.selected_block_ids == [1, 2, 3, 4]
+        assert model.tree.accuracy(holdout()) > 0.85
+
+    def test_leaf_histograms_exact_after_updates(self):
+        """Total leaf mass equals the number of points absorbed."""
+        blocks = labelled_blocks(3, 120)
+        maintainer = LeafRefinementTreeMaintainer(max_depth=3)
+        model = maintainer.build(blocks)
+        total = sum(
+            sum(histogram.values())
+            for _region, histogram in model.tree.leaf_regions()
+        )
+        # The initial fit counts block 1 once; updates add blocks 2-3.
+        assert total == sum(len(b) for b in blocks)
+
+    def test_new_regime_gets_carved_out(self):
+        """A drifting block introduces class 2 in a corner; refinement
+        must learn to predict it there."""
+        blocks = labelled_blocks(3, 300, drift_block=3)
+        maintainer = LeafRefinementTreeMaintainer(
+            max_depth=6, split_impurity=0.05, reservoir_size=512
+        )
+        model = maintainer.build(blocks)
+        assert model.tree.predict((9.5, 9.5)) == 2
+
+    def test_clone_detaches_tree(self):
+        blocks = labelled_blocks(2, 100)
+        maintainer = LeafRefinementTreeMaintainer()
+        model = maintainer.build(blocks[:1])
+        snapshot = maintainer.clone(model)
+        maintainer.add_block(model, blocks[1])
+        snap_total = sum(
+            sum(h.values()) for _r, h in snapshot.tree.leaf_regions()
+        )
+        assert snap_total == len(blocks[0])
+
+
+class TestTreesUnderGEMM:
+    def test_gemm_windows_a_tree_model(self):
+        """The paper's point: *any* A_M lifts to the MRW option."""
+        blocks = labelled_blocks(5, 120)
+        maintainer = RebuildingTreeMaintainer(max_depth=4)
+        gemm = GEMM(maintainer, w=2)
+        for block in blocks:
+            gemm.observe(block)
+        model = gemm.current_model()
+        assert sorted(model.selected_block_ids) == [4, 5]
+        assert model.tree.accuracy(holdout()) > 0.85

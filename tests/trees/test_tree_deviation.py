@@ -1,0 +1,83 @@
+"""Tests for the FOCUS decision-tree instantiation."""
+
+import random
+
+import pytest
+
+from repro.core.blocks import make_block
+from repro.deviation.similarity import BlockSimilarity
+from repro.trees.deviation import TreeDeviation
+
+
+def labelled_block(block_id, seed, boundary=5.0, n=250):
+    """2-D points labelled by an x-threshold at ``boundary``."""
+    rng = random.Random(seed)
+    data = []
+    for _ in range(n):
+        x, y = rng.uniform(0, 10), rng.uniform(0, 10)
+        data.append(((x, y), 0 if x < boundary else 1))
+    return make_block(block_id, data)
+
+
+class TestTreeDeviation:
+    def test_identical_blocks_zero_deviation(self):
+        fn = TreeDeviation(max_depth=3)
+        a = labelled_block(1, seed=0)
+        b = make_block(2, a.tuples)
+        result = fn.deviation(a, fn.model(a), b, fn.model(b))
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_same_process_small_deviation(self):
+        fn = TreeDeviation(max_depth=3)
+        a = labelled_block(1, seed=1)
+        b = labelled_block(2, seed=2)
+        result = fn.deviation(a, fn.model(a), b, fn.model(b))
+        assert result.value < 0.05
+
+    def test_shifted_boundary_larger_deviation(self):
+        fn = TreeDeviation(max_depth=3)
+        a = labelled_block(1, seed=1)
+        same = labelled_block(2, seed=2)
+        shifted = labelled_block(3, seed=3, boundary=2.0)
+        baseline = fn.deviation(a, fn.model(a), same, fn.model(same)).value
+        drifted = fn.deviation(a, fn.model(a), shifted, fn.model(shifted)).value
+        assert drifted > baseline * 2
+
+    def test_gcr_overlay_covers_space(self):
+        """The overlay regions (per class) tile the plane: measures over
+        one class sum to that class's fraction."""
+        fn = TreeDeviation(max_depth=3)
+        a = labelled_block(1, seed=4)
+        b = labelled_block(2, seed=5)
+        regions = fn.gcr(fn.model(a), fn.model(b))
+        measures = fn.measures(regions, a, None)
+        class_zero_total = sum(
+            m for (region, label), m in zip(regions, measures) if label == 0
+        )
+        expected = sum(1 for _x, y in a.tuples if y == 0) / len(a)
+        assert class_zero_total == pytest.approx(expected)
+
+    def test_symmetry(self):
+        fn = TreeDeviation(max_depth=3)
+        a = labelled_block(1, seed=6)
+        b = labelled_block(2, seed=7, boundary=3.0)
+        ma, mb = fn.model(a), fn.model(b)
+        assert fn.deviation(a, ma, b, mb).value == pytest.approx(
+            fn.deviation(b, mb, a, ma).value
+        )
+
+    def test_works_with_block_similarity(self):
+        """Tree models plug into the similarity predicate like any other
+        FOCUS instantiation."""
+        similarity = BlockSimilarity(
+            TreeDeviation(max_depth=3), alpha=0.95, method="bootstrap",
+            resamples=10,
+        )
+        same = similarity.compare(
+            labelled_block(1, seed=8), labelled_block(2, seed=9)
+        )
+        different = similarity.compare(
+            labelled_block(1, seed=8), labelled_block(3, seed=10, boundary=1.5)
+        )
+        assert same.significance <= different.significance
+        assert not different.similar
