@@ -14,7 +14,6 @@ incremental variant that resumes phase 1 per arriving block lives in
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -23,6 +22,7 @@ from repro.clustering.cftree import CFTree
 from repro.clustering.hierarchical import agglomerate
 from repro.clustering.kmeans import weighted_kmeans
 from repro.clustering.model import Cluster, ClusterModel
+from repro.storage.iostats import Stopwatch
 
 
 @dataclass
@@ -109,11 +109,11 @@ def birch_cluster(
         leaf_capacity=leaf_capacity,
         max_leaf_entries=max_leaf_entries,
     )
-    start = time.perf_counter()
+    watch = Stopwatch().start()
     tree.insert_points(points)
-    timings.phase1_seconds = time.perf_counter() - start
+    timings.phase1_seconds = watch.stop()
 
-    start = time.perf_counter()
+    watch = Stopwatch().start()
     model = build_model(tree.leaf_entries(), k, block_ids, method=method, seed=seed)
-    timings.phase2_seconds = time.perf_counter() - start
+    timings.phase2_seconds = watch.stop()
     return model, tree, timings

@@ -17,15 +17,16 @@ window with this model class.
 from __future__ import annotations
 
 import copy
-import time
 from dataclasses import dataclass, field
 
 from repro.clustering.birch import BirchTimings, build_model
 from repro.clustering.cf import Point
 from repro.clustering.cftree import CFTree
 from repro.clustering.model import ClusterModel
+from repro.contracts import maintainer_contract, pure_unless_cloned
 from repro.core.blocks import Block
 from repro.core.maintainer import IncrementalModelMaintainer
+from repro.storage.iostats import Stopwatch
 
 
 @dataclass
@@ -43,6 +44,7 @@ class BirchState:
     selected_block_ids: list[int] = field(default_factory=list)
 
 
+@maintainer_contract
 class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
     """Incremental BIRCH+ as a GEMM-instantiable maintainer.
 
@@ -95,31 +97,32 @@ class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
             state = self.add_block(state, block)
         return state
 
-    def add_block(self, state: BirchState, block: Block[Point]) -> BirchState:
+    @pure_unless_cloned
+    def add_block(self, model: BirchState, block: Block[Point]) -> BirchState:
         """Resume phase 1 on the new block, then re-run phase 2."""
         timings = BirchTimings()
-        start = time.perf_counter()
-        state.tree.insert_points(block.tuples)
-        timings.phase1_seconds = time.perf_counter() - start
-        state.selected_block_ids.append(block.block_id)
-        state.selected_block_ids.sort()
+        watch = Stopwatch().start()
+        model.tree.insert_points(block.tuples)
+        timings.phase1_seconds = watch.stop()
+        model.selected_block_ids.append(block.block_id)
+        model.selected_block_ids.sort()
 
-        start = time.perf_counter()
-        state.clusters = build_model(
-            state.tree.leaf_entries(),
+        watch = Stopwatch().start()
+        model.clusters = build_model(
+            model.tree.leaf_entries(),
             self.k,
-            state.selected_block_ids,
+            model.selected_block_ids,
             method=self.method,
             seed=self.seed,
         )
-        timings.phase2_seconds = time.perf_counter() - start
+        timings.phase2_seconds = watch.stop()
         self.last_timings = timings
-        return state
+        return model
 
-    def clone(self, state: BirchState) -> BirchState:
+    def clone(self, model: BirchState) -> BirchState:
         """Deep-copy the tree so divergent GEMM slots stay independent."""
         return BirchState(
-            tree=copy.deepcopy(state.tree),
-            clusters=state.clusters.copy(),
-            selected_block_ids=list(state.selected_block_ids),
+            tree=copy.deepcopy(model.tree),
+            clusters=model.clusters.copy(),
+            selected_block_ids=list(model.selected_block_ids),
         )

@@ -20,11 +20,14 @@ eps-query inspects at most ``3^d`` cells.
 
 from __future__ import annotations
 
+import copy
 import itertools
 import math
 from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+
+from repro.contracts import maintainer_contract, pure_unless_cloned
 
 #: Label of unclustered points.
 NOISE = -1
@@ -437,6 +440,7 @@ class DBSCANModel:
         )
 
 
+@maintainer_contract
 class IncrementalDBSCANMaintainer:
     """Block-level ``A_M`` over incremental DBSCAN (supports deletion).
 
@@ -461,6 +465,7 @@ class IncrementalDBSCANMaintainer:
             model = self.add_block(model, block)
         return model
 
+    @pure_unless_cloned
     def add_block(self, model: DBSCANModel, block) -> DBSCANModel:
         ids = [model.clustering.insert(point) for point in block.tuples]
         model.block_points[block.block_id] = ids
@@ -468,6 +473,7 @@ class IncrementalDBSCANMaintainer:
         model.selected_block_ids.sort()
         return model
 
+    @pure_unless_cloned
     def delete_block(self, model: DBSCANModel, block) -> DBSCANModel:
         if block.block_id not in model.block_points:
             raise ValueError(
@@ -479,6 +485,4 @@ class IncrementalDBSCANMaintainer:
         return model
 
     def clone(self, model: DBSCANModel) -> DBSCANModel:
-        import copy
-
         return copy.deepcopy(model)

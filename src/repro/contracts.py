@@ -1,0 +1,202 @@
+"""Runtime maintainer contracts — the dynamic half of demonlint.
+
+The DEMON paper states the ``A_M`` conventions in prose: ``add_block``
+may mutate its model so callers that still need the old model must
+``clone`` first (GEMM §3.2 keeps ``w`` divergent copies of one model
+alive), and every maintainer exposes exactly the four operations GEMM
+is parameterized by.  ``tools/demonlint`` proves those contracts hold
+statically (rules DML001/DML002); this module makes them fail fast at
+run time too:
+
+* :func:`maintainer_contract` — class decorator validating, at class
+  creation, that the four ``A_M`` operations exist with the canonical
+  signatures.  It also marks the class so demonlint recognizes
+  structural maintainers that do not inherit from
+  :class:`~repro.core.maintainer.IncrementalModelMaintainer`.
+* :func:`pure_unless_cloned` — method decorator for
+  ``add_block``/``delete_block``.  When contracts are *armed* (tests
+  arm them; production leaves them disarmed for zero overhead) it
+  tracks models whose identity was retired by a mutating update and
+  raises :class:`ContractViolation` if such a stale model is fed back
+  in without an intervening ``clone``.
+
+Arm with :func:`arm` (the test suite does this in ``conftest.py``) or
+by setting ``REPRO_CONTRACTS=1`` in the environment before import.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import weakref
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+
+class ContractViolation(TypeError):
+    """A maintainer broke one of the paper's ``A_M`` conventions."""
+
+
+_ARMED: bool = os.environ.get("REPRO_CONTRACTS", "") not in ("", "0", "false")
+
+
+def arm() -> None:
+    """Enable the runtime checks (cheap identity bookkeeping per call)."""
+    global _ARMED
+    _ARMED = True
+
+
+def disarm() -> None:
+    """Disable the runtime checks (the production default)."""
+    global _ARMED
+    _ARMED = False
+
+
+def contracts_armed() -> bool:
+    """Whether :func:`pure_unless_cloned` guards are currently active."""
+    return _ARMED
+
+
+#: The paper's ``A_M`` interface: method name -> required parameter
+#: names after ``self``.  Kept in sync with demonlint rule DML001.
+REQUIRED_SIGNATURES: dict[str, tuple[str, ...]] = {
+    "empty_model": (),
+    "build": ("blocks",),
+    "add_block": ("model", "block"),
+    "clone": ("model",),
+}
+
+#: Present only on deletable maintainers (§3.2.4); validated when defined.
+OPTIONAL_SIGNATURES: dict[str, tuple[str, ...]] = {
+    "delete_block": ("model", "block"),
+}
+
+TClass = TypeVar("TClass", bound=type)
+TMethod = TypeVar("TMethod", bound=Callable[..., Any])
+
+
+def _required_positional(fn: Callable[..., Any]) -> tuple[str, ...]:
+    signature = inspect.signature(fn)
+    names = []
+    for parameter in signature.parameters.values():
+        if parameter.kind not in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            break
+        if parameter.default is not inspect.Parameter.empty:
+            break
+        names.append(parameter.name)
+    return tuple(names)
+
+
+def _validate_method(cls: type, name: str, expected: tuple[str, ...]) -> None:
+    fn = getattr(cls, name, None)
+    if fn is None or not callable(fn):
+        raise ContractViolation(
+            f"{cls.__name__} does not implement {name}() required by the "
+            f"A_M maintainer contract (paper §3.2)"
+        )
+    if getattr(fn, "__isabstractmethod__", False):
+        raise ContractViolation(
+            f"{cls.__name__}.{name} is still abstract; a concrete "
+            f"maintainer must implement it"
+        )
+    required = _required_positional(fn)
+    want = ("self",) + expected
+    if required != want:
+        raise ContractViolation(
+            f"{cls.__name__}.{name} must accept ({', '.join(want)}); "
+            f"required positional parameters are ({', '.join(required)})"
+        )
+
+
+def maintainer_contract(cls: TClass) -> TClass:
+    """Class decorator: verify the ``A_M`` interface at class creation.
+
+    Checks that ``empty_model``/``build``/``add_block``/``clone`` (and
+    ``delete_block`` when present) exist, are concrete, and use the
+    canonical parameter names — the same conditions demonlint rule
+    DML001 proves statically, enforced here for maintainers constructed
+    or monkey-patched at run time.  The decorated class is tagged with
+    ``__demonlint_maintainer__`` so the static pass recognizes
+    structural maintainers that bypass the ABC.
+    """
+    for name, expected in REQUIRED_SIGNATURES.items():
+        _validate_method(cls, name, expected)
+    for name, expected in OPTIONAL_SIGNATURES.items():
+        if getattr(cls, name, None) is not None:
+            _validate_method(cls, name, expected)
+    cls.__demonlint_maintainer__ = True
+    return cls
+
+
+class _IdentitySet:
+    """A weak set keyed by object identity (models may be unhashable)."""
+
+    __slots__ = ("_refs",)
+
+    def __init__(self) -> None:
+        self._refs: dict[int, weakref.ref[Any]] = {}
+
+    def add(self, obj: Any) -> None:
+        key = id(obj)
+
+        def _cleanup(_ref: weakref.ref[Any], refs: dict[int, weakref.ref[Any]] = self._refs, key: int = key) -> None:
+            refs.pop(key, None)
+
+        try:
+            self._refs[key] = weakref.ref(obj, _cleanup)
+        except TypeError:
+            pass  # un-weakref-able models opt out of runtime tracking
+
+    def __contains__(self, obj: Any) -> bool:
+        ref = self._refs.get(id(obj))
+        return ref is not None and ref() is obj
+
+
+def _consumed_set(maintainer: Any) -> _IdentitySet:
+    consumed = getattr(maintainer, "_demonlint_consumed", None)
+    if consumed is None:
+        consumed = _IdentitySet()
+        try:
+            maintainer._demonlint_consumed = consumed
+        except AttributeError:
+            pass  # slotted maintainer: fall back to per-call set
+    return consumed
+
+
+def pure_unless_cloned(method: TMethod) -> TMethod:
+    """Guard a mutating ``A_M`` operation against stale-model reuse.
+
+    ``A_M(m, Dj)`` may mutate and retire ``m``; a caller that passes a
+    model to ``add_block`` and later feeds the *old* reference back in
+    (instead of the returned model or a fresh ``clone``) has silently
+    diverged from rebuild-from-scratch — the aliasing bug incremental
+    maintainers are most prone to.  When contracts are armed, models
+    retired by an update (the call returned a *different* object) are
+    remembered per maintainer; reusing one raises
+    :class:`ContractViolation`.  Disarmed, the wrapper is a single
+    boolean check.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: Any, model: Any, block: Any, *args: Any, **kwargs: Any) -> Any:
+        if not _ARMED:
+            return method(self, model, block, *args, **kwargs)
+        consumed = _consumed_set(self)
+        if model in consumed:
+            raise ContractViolation(
+                f"{type(self).__name__}.{method.__name__}: the "
+                f"{type(model).__name__} passed in was already consumed by "
+                f"a previous update; clone() the model before re-using it "
+                f"(GEMM §3.2 keeps divergent copies alive)"
+            )
+        result = method(self, model, block, *args, **kwargs)
+        if result is not model:
+            consumed.add(model)
+        return result
+
+    wrapper.__demonlint_mutates__ = True  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]

@@ -72,7 +72,7 @@ class Snapshot(Generic[T]):
     paper's 1-based block identifier.
     """
 
-    def __init__(self, blocks: Sequence[Block[T]] = ()):
+    def __init__(self, blocks: Sequence[Block[T]] = ()) -> None:
         self._blocks: list[Block[T]] = []
         for block in blocks:
             self.extend(block)

@@ -22,15 +22,30 @@ GEMM (§3.2) needs two derived sequences:
 
 from __future__ import annotations
 
+import numbers
 from collections.abc import Callable, Iterable, Sequence
 
 
 def _validate_bits(bits: Iterable[int]) -> tuple[int, ...]:
-    validated = tuple(int(b) for b in bits)
-    for b in validated:
-        if b not in (0, 1):
-            raise ValueError(f"BSS bits must be 0 or 1, got {b}")
-    return validated
+    """Validate a strict 0/1 bit vector (Definition 2.1, §2.3).
+
+    Bits must be plain integers: bools and floats are rejected rather
+    than coerced, because ``int(0.9) == 0`` and ``int(True) == 1``
+    silently change which blocks a model is extracted from.  The same
+    invariant is enforced statically by demonlint rule DML003.
+    """
+    validated: list[int] = []
+    for b in bits:
+        if isinstance(b, bool) or not isinstance(b, numbers.Integral):
+            raise TypeError(
+                f"BSS bits must be plain ints 0 or 1, got {b!r} "
+                f"({type(b).__name__}); bools/floats/strings are not bits"
+            )
+        value = int(b)
+        if value not in (0, 1):
+            raise ValueError(f"BSS bits must be 0 or 1, got {value}")
+        validated.append(value)
+    return tuple(validated)
 
 
 class WindowIndependentBSS:
@@ -54,10 +69,10 @@ class WindowIndependentBSS:
         bits: Iterable[int] = (),
         default: int = 1,
         predicate: Callable[[int], bool] | None = None,
-    ):
+    ) -> None:
         self._bits = _validate_bits(bits)
-        if default not in (0, 1):
-            raise ValueError(f"default bit must be 0 or 1, got {default}")
+        if isinstance(default, bool) or default not in (0, 1):
+            raise ValueError(f"default bit must be the int 0 or 1, got {default!r}")
         self._default = default
         self._predicate = predicate
 
@@ -132,7 +147,7 @@ class WindowRelativeBSS:
     and position ``w`` to the newest, matching Definition 2.1.
     """
 
-    def __init__(self, bits: Iterable[int]):
+    def __init__(self, bits: Iterable[int]) -> None:
         self._bits = _validate_bits(bits)
         if not self._bits:
             raise ValueError("a window-relative BSS needs at least one bit")

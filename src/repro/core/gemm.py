@@ -27,20 +27,24 @@ shared a model diverge.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Generic, TypeVar, Union
+from typing import TYPE_CHECKING, Generic, TypeVar, cast
 
 from repro.core.blocks import Block
 from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
 from repro.core.maintainer import IncrementalModelMaintainer
+from repro.storage.iostats import Stopwatch
+
+if TYPE_CHECKING:
+    from repro.storage.persist import ModelVault
 
 TModel = TypeVar("TModel")
 T = TypeVar("T")
 
-BSSType = Union[WindowIndependentBSS, WindowRelativeBSS]
+BSSType = WindowIndependentBSS | WindowRelativeBSS
 
-ModelKey = frozenset  # frozen set of global block ids selected into a model
+#: Frozen set of global block ids selected into a model.
+ModelKey = frozenset[int]
 
 EMPTY_KEY: ModelKey = frozenset()
 
@@ -95,8 +99,8 @@ class GEMM(Generic[TModel, T]):
         maintainer: IncrementalModelMaintainer[TModel, T],
         w: int,
         bss: BSSType | None = None,
-        vault=None,
-    ):
+        vault: ModelVault | None = None,
+    ) -> None:
         if w < 1:
             raise ValueError(f"window size must be >= 1, got {w}")
         if isinstance(bss, WindowRelativeBSS) and bss.w != w:
@@ -156,7 +160,7 @@ class GEMM(Generic[TModel, T]):
         if key in self._models:
             return self._models[key]
         if self.vault is not None and key in self.vault:
-            return self.vault.get(key)
+            return cast(TModel, self.vault.get(key))
         raise KeyError(f"no model stored for key {sorted(key)}")
 
     def distinct_model_count(self) -> int:
@@ -206,15 +210,15 @@ class GEMM(Generic[TModel, T]):
 
         # Execute the time-critical update (new slot 0) first, then the
         # off-line ones, metering each category separately (§3.2.3).
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         invocations = self._realize(plans[0], block, new_models)
-        report.critical_seconds = time.perf_counter() - start
+        report.critical_seconds = watch.stop()
         report.critical_invocations = invocations
 
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         for plan in plans[1:]:
             report.offline_invocations += self._realize(plan, block, new_models)
-        report.offline_seconds = time.perf_counter() - start
+        report.offline_seconds = watch.stop()
 
         self._t = new_t
         self._slots = [plan.new_key for plan in plans]

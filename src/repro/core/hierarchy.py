@@ -17,8 +17,15 @@ levels simultaneously.
 from __future__ import annotations
 
 from collections.abc import Callable, Hashable, Sequence
+from typing import Any, Protocol
 
 from repro.core.blocks import Block, merge_blocks
+
+
+class BlockConsumer(Protocol):
+    """Anything that accepts a block stream (monitors, miners, GEMM)."""
+
+    def observe(self, block: Block[Any]) -> object: ...
 
 
 class TimeHierarchy:
@@ -34,16 +41,16 @@ class TimeHierarchy:
 
     def __init__(
         self,
-        parent_key: Callable[[Block], Hashable],
-        label: Callable[[Block], str] | None = None,
-    ):
+        parent_key: Callable[[Block[Any]], Hashable],
+        label: Callable[[Block[Any]], str] | None = None,
+    ) -> None:
         self.parent_key = parent_key
         self.label = label if label is not None else (lambda block: block.label)
 
-    def merge_stream(self, blocks: Sequence[Block]) -> list[Block]:
+    def merge_stream(self, blocks: Sequence[Block[Any]]) -> list[Block[Any]]:
         """Merge a complete fine stream into coarse blocks."""
-        coarse: list[Block] = []
-        group: list[Block] = []
+        coarse: list[Block[Any]] = []
+        group: list[Block[Any]] = []
         current_key: Hashable = None
         for block in blocks:
             key = self.parent_key(block)
@@ -56,7 +63,7 @@ class TimeHierarchy:
             coarse.append(self._finish(group, len(coarse) + 1))
         return coarse
 
-    def _finish(self, group: list[Block], coarse_id: int) -> Block:
+    def _finish(self, group: list[Block[Any]], coarse_id: int) -> Block[Any]:
         merged = merge_blocks(group, block_id=coarse_id, label=self.label(group[0]))
         merged.metadata.update(
             {
@@ -87,13 +94,13 @@ class HierarchicalStream:
     def __init__(
         self,
         hierarchy: TimeHierarchy,
-        fine_consumer=None,
-        coarse_consumer=None,
-    ):
+        fine_consumer: BlockConsumer | None = None,
+        coarse_consumer: BlockConsumer | None = None,
+    ) -> None:
         self.hierarchy = hierarchy
         self.fine_consumer = fine_consumer
         self.coarse_consumer = coarse_consumer
-        self._open_group: list[Block] = []
+        self._open_group: list[Block[Any]] = []
         self._open_key: Hashable = None
         self._coarse_count = 0
 
@@ -101,7 +108,7 @@ class HierarchicalStream:
     def coarse_blocks_emitted(self) -> int:
         return self._coarse_count
 
-    def observe(self, block: Block) -> None:
+    def observe(self, block: Block[Any]) -> None:
         """Process the next fine block."""
         if self.fine_consumer is not None:
             self.fine_consumer.observe(block)

@@ -78,7 +78,7 @@ class UnrestrictedWindowMaintainer(Generic[TModel, T]):
         self,
         maintainer: IncrementalModelMaintainer[TModel, T],
         bss: WindowIndependentBSS | None = None,
-    ):
+    ) -> None:
         self.maintainer = maintainer
         self.bss = bss if bss is not None else WindowIndependentBSS.select_all()
         self._model = maintainer.empty_model()

@@ -11,8 +11,8 @@ detector; each arriving block then updates everything in one call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generic, TypeVar, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generic, TypeVar
 
 from repro.core.blocks import Block, Snapshot
 from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
@@ -23,11 +23,19 @@ from repro.core.maintainer import (
 )
 from repro.core.windows import MostRecentWindow, UnrestrictedWindow
 
+if TYPE_CHECKING:
+    from repro.patterns.compact import (
+        CompactSequence,
+        CompactSequenceMiner,
+        PatternUpdateReport,
+    )
+    from repro.storage.persist import ModelVault
+
 TModel = TypeVar("TModel")
 T = TypeVar("T")
 
-SpanOption = Union[UnrestrictedWindow, MostRecentWindow]
-BSSOption = Union[WindowIndependentBSS, WindowRelativeBSS, None]
+SpanOption = UnrestrictedWindow | MostRecentWindow
+BSSOption = WindowIndependentBSS | WindowRelativeBSS | None
 
 
 @dataclass
@@ -45,7 +53,7 @@ class MonitorReport:
     t: int
     model_updated: bool = False
     gemm: GEMMUpdateReport | None = None
-    patterns: object | None = None
+    patterns: PatternUpdateReport | None = None
 
 
 class DemonMonitor(Generic[TModel, T]):
@@ -76,10 +84,10 @@ class DemonMonitor(Generic[TModel, T]):
         maintainer: IncrementalModelMaintainer[TModel, T],
         span: SpanOption | None = None,
         bss: BSSOption = None,
-        pattern_miner=None,
+        pattern_miner: CompactSequenceMiner | None = None,
         keep_snapshot: bool = False,
-        vault=None,
-    ):
+        vault: ModelVault | None = None,
+    ) -> None:
         self.span = span if span is not None else UnrestrictedWindow()
         if isinstance(bss, WindowRelativeBSS) and not isinstance(
             self.span, MostRecentWindow
@@ -132,7 +140,7 @@ class DemonMonitor(Generic[TModel, T]):
             report.patterns = self.pattern_miner.observe(block)
         return report
 
-    def discovered_patterns(self, min_length: int = 2):
+    def discovered_patterns(self, min_length: int = 2) -> list[CompactSequence]:
         """Compact sequences found so far (empty without a miner)."""
         if self.pattern_miner is None:
             return []

@@ -65,7 +65,7 @@ class MostRecentWindow:
             the analyst (paper §2.2).
     """
 
-    def __init__(self, w: int):
+    def __init__(self, w: int) -> None:
         if w < 1:
             raise ValueError(f"window size must be >= 1, got {w}")
         self.w = w

@@ -23,7 +23,6 @@ models, the framework:
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -36,6 +35,7 @@ from repro.itemsets.apriori import mine_blocks
 from repro.itemsets.itemset import Itemset, Transaction
 from repro.itemsets.model import FrequentItemsetModel
 from repro.itemsets.prefix_tree import PrefixTree
+from repro.storage.iostats import Stopwatch
 
 
 @dataclass
@@ -157,7 +157,7 @@ class ItemsetDeviation(DeviationFunction):
         block_b: Block[Transaction],
         model_b: FrequentItemsetModel,
     ) -> DeviationResult:
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         regions = self.gcr(model_a, model_b)
         tracked_a = model_a.tracked()
         tracked_b = model_b.tracked()
@@ -171,7 +171,7 @@ class ItemsetDeviation(DeviationFunction):
             value=value,
             regions=len(regions),
             scans=scans,
-            seconds=time.perf_counter() - start,
+            seconds=watch.stop(),
             missing_regions=missing_a + missing_b,
         )
 
@@ -242,7 +242,7 @@ class ClusterDeviation(DeviationFunction):
         block_b: Block,
         model_b: ClusterModel,
     ) -> DeviationResult:
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         regions = self.gcr(model_a, model_b)
         measures_a = self.measures(regions, block_a, model_a)
         measures_b = self.measures(regions, block_b, model_b)
@@ -251,5 +251,5 @@ class ClusterDeviation(DeviationFunction):
             value=value,
             regions=len(regions),
             scans=2,
-            seconds=time.perf_counter() - start,
+            seconds=watch.stop(),
         )

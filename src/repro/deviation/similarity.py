@@ -16,7 +16,6 @@ many-block pattern mining).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,6 +26,7 @@ from repro.deviation.significance import (
     bootstrap_significance,
     chi2_region_significance,
 )
+from repro.storage.iostats import Stopwatch
 
 
 @dataclass
@@ -94,7 +94,7 @@ class BlockSimilarity:
 
     def compare(self, block_a: Block, block_b: Block) -> SimilarityResult:
         """Full comparison: deviation, significance, and the predicate."""
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         model_a = self.model_for(block_a)
         model_b = self.model_for(block_b)
         deviation = self.deviation_fn.deviation(block_a, model_a, block_b, model_b)
@@ -123,7 +123,7 @@ class BlockSimilarity:
             deviation=deviation,
             significance=significance,
             similar=significance < self.alpha,
-            seconds=time.perf_counter() - start,
+            seconds=watch.stop(),
         )
 
     def similar(self, block_a: Block, block_b: Block) -> bool:

@@ -25,9 +25,9 @@ expansion for ``κ' < κ``).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro.contracts import maintainer_contract, pure_unless_cloned
 from repro.core.blocks import Block
 from repro.core.maintainer import DeletableModelMaintainer
 from repro.itemsets.apriori import apriori
@@ -49,7 +49,7 @@ from repro.itemsets.model import FrequentItemsetModel
 from repro.itemsets.prefix_tree import PrefixTree
 from repro.itemsets.tidlist import TidListStore
 from repro.storage.blockstore import BlockStore, transaction_nbytes
-from repro.storage.iostats import IOStatsRegistry
+from repro.storage.iostats import IOStatsRegistry, Stopwatch
 
 
 @dataclass
@@ -115,6 +115,7 @@ def make_counter(kind: str, context: ItemsetMiningContext) -> SupportCounter:
     raise ValueError(f"unknown counter kind {kind!r}; use ptscan, ecut, or ecut+")
 
 
+@maintainer_contract
 class BordersMaintainer(
     DeletableModelMaintainer[FrequentItemsetModel, Transaction]
 ):
@@ -218,13 +219,14 @@ class BordersMaintainer(
                     self.materialize_pairs_for_block(block, model)
         return model
 
+    @pure_unless_cloned
     def add_block(
         self, model: FrequentItemsetModel, block: Block[Transaction]
     ) -> FrequentItemsetModel:
         """``A_M(m, D_j)``: detection + update phases for an added block."""
         self.register_block(block, model=model)
         stats = MaintenanceStats()
-        start = time.perf_counter()
+        watch = Stopwatch().start()
 
         # --- Detection phase: one scan of the new block ----------------
         tracked = model.tracked()
@@ -261,11 +263,12 @@ class BordersMaintainer(
             else:
                 model.border[singleton] = count
 
-        stats.detection_seconds = time.perf_counter() - start
+        stats.detection_seconds = watch.stop()
         self._rebalance(model, stats, seeds=seeds)
         self.last_stats = stats
         return model
 
+    @pure_unless_cloned
     def delete_block(
         self, model: FrequentItemsetModel, block: Block[Transaction]
     ) -> FrequentItemsetModel:
@@ -281,7 +284,7 @@ class BordersMaintainer(
                 f"block {block.block_id} is not part of this model's selection"
             )
         stats = MaintenanceStats()
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         tracked = model.tracked()
         if tracked:
             tree = PrefixTree(tracked.keys())
@@ -300,7 +303,7 @@ class BordersMaintainer(
                 del model.border[itemset]
                 model.items.discard(itemset[0])
 
-        stats.detection_seconds = time.perf_counter() - start
+        stats.detection_seconds = watch.stop()
         self._rebalance(model, stats)
         self.last_stats = stats
         return model
@@ -350,7 +353,7 @@ class BordersMaintainer(
         were not border members (newly observed frequent items); they
         participate in candidate generation like border promotions do.
         """
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         threshold = model.min_count
 
         # Demote frequent itemsets that fell below the threshold.  A
@@ -407,7 +410,7 @@ class BordersMaintainer(
                     promoted[candidate] = count
                 else:
                     model.border[candidate] = count
-        stats.update_seconds = time.perf_counter() - start
+        stats.update_seconds = watch.stop()
 
     def _new_candidates(
         self, newly_frequent: set[Itemset], model: FrequentItemsetModel

@@ -19,9 +19,9 @@ is what not having the border costs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro.contracts import maintainer_contract, pure_unless_cloned
 from repro.core.blocks import Block
 from repro.core.maintainer import IncrementalModelMaintainer
 from repro.itemsets.apriori import apriori
@@ -34,6 +34,7 @@ from repro.itemsets.itemset import (
 from repro.itemsets.model import FrequentItemsetModel
 from repro.itemsets.prefix_tree import PrefixTree
 from repro.itemsets.borders import ItemsetMiningContext
+from repro.storage.iostats import Stopwatch
 
 
 @dataclass
@@ -52,6 +53,7 @@ class FUPStats:
     seconds: float = 0.0
 
 
+@maintainer_contract
 class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction]):
     """FUP incremental maintenance of ``L`` under block additions.
 
@@ -101,13 +103,14 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
     def clone(self, model: FrequentItemsetModel) -> FrequentItemsetModel:
         return model.copy()
 
+    @pure_unless_cloned
     def add_block(
         self, model: FrequentItemsetModel, block: Block[Transaction]
     ) -> FrequentItemsetModel:
         """FUP level-wise maintenance for one added block."""
         self._register(block)
         stats = FUPStats()
-        start = time.perf_counter()
+        watch = Stopwatch().start()
 
         increment = block.tuples
         inc_size = len(increment)
@@ -196,7 +199,7 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
         model.selected_block_ids.append(block.block_id)
         model.selected_block_ids.sort()
         model.items.update(item_counts)
-        stats.seconds = time.perf_counter() - start
+        stats.seconds = watch.stop()
         self.last_stats = stats
         return model
 

@@ -20,11 +20,11 @@ expensive for outlier blocks (the Figure 10 spikes).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.blocks import Block
 from repro.deviation.similarity import BlockSimilarity, SimilarityResult
+from repro.storage.iostats import Stopwatch
 
 
 @dataclass
@@ -121,7 +121,7 @@ class CompactSequenceMiner:
 
     def observe(self, block: Block) -> PatternUpdateReport:
         """Process the next block: augment the matrix, grow sequences."""
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         expected = self._t + 1
         if block.block_id != expected:
             raise ValueError(
@@ -150,7 +150,7 @@ class CompactSequenceMiner:
         self._t = block.block_id
         if self.window is not None:
             self._expire(self._t - self.window + 1)
-        report.seconds = time.perf_counter() - start
+        report.seconds = watch.stop()
         return report
 
     def _expire(self, window_start: int) -> None:

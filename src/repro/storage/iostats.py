@@ -11,7 +11,62 @@ I/O-shape claims independently of Python-level constant factors.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from types import TracebackType
+
+
+class Stopwatch:
+    """The sanctioned wall-clock meter (demonlint rule DML004).
+
+    Algorithm 3.1 splits every GEMM window slide into the response-time
+    critical update and off-line work; that split is only measurable if
+    every timed span in ``src/repro`` flows through one instrumented
+    place.  This class is that place: all maintainer and report
+    plumbing meters spans through a ``Stopwatch``, and demonlint bans
+    direct ``time.*``/``datetime.*`` wall-clock reads everywhere except
+    this module and ``benchmarks/``.
+
+    Usable as a context manager or via explicit :meth:`start`/:meth:`stop`;
+    repeated start/stop cycles accumulate into :attr:`seconds`.
+    """
+
+    __slots__ = ("seconds", "_started")
+
+    def __init__(self) -> None:
+        #: Total seconds accumulated over all completed spans.
+        self.seconds = 0.0
+        self._started: float | None = None
+
+    def start(self) -> "Stopwatch":
+        """Begin a span; returns self so ``Stopwatch().start()`` chains."""
+        if self._started is not None:
+            raise RuntimeError("Stopwatch is already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """End the span and return the total accumulated seconds."""
+        if self._started is None:
+            raise RuntimeError("Stopwatch.stop() without a matching start()")
+        self.seconds += time.perf_counter() - self._started
+        self._started = None
+        return self.seconds
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.stop()
 
 
 @dataclass

@@ -11,7 +11,6 @@ the aggregated measure difference over the GCR.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -19,6 +18,7 @@ import numpy as np
 from repro.core.blocks import Block
 from repro.deviation.focus import DeviationFunction, DeviationResult
 from repro.trees.dtree import DecisionTree, LabelledPoint, Region
+from repro.storage.iostats import Stopwatch
 
 
 class TreeDeviation(DeviationFunction):
@@ -86,7 +86,7 @@ class TreeDeviation(DeviationFunction):
         block_b: Block[LabelledPoint],
         model_b: DecisionTree,
     ) -> DeviationResult:
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         regions = self.gcr(model_a, model_b)
         measures_a = self.measures(regions, block_a, model_a)
         measures_b = self.measures(regions, block_b, model_b)
@@ -95,6 +95,6 @@ class TreeDeviation(DeviationFunction):
             value=value,
             regions=len(regions),
             scans=2,
-            seconds=time.perf_counter() - start,
+            seconds=watch.stop(),
             missing_regions=len(regions),
         )

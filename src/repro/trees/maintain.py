@@ -24,6 +24,7 @@ import copy
 import random
 from dataclasses import dataclass, field
 
+from repro.contracts import maintainer_contract, pure_unless_cloned
 from repro.core.blocks import Block
 from repro.core.maintainer import IncrementalModelMaintainer
 from repro.trees.dtree import DecisionTree, LabelledPoint, TreeNode, gini
@@ -81,6 +82,7 @@ def _redistribute_counts(node: TreeNode) -> None:
     _redistribute_counts(node.right)
 
 
+@maintainer_contract
 class LeafRefinementTreeMaintainer(
     IncrementalModelMaintainer[TreeModel, LabelledPoint]
 ):
@@ -124,6 +126,7 @@ class LeafRefinementTreeMaintainer(
             model = self.add_block(model, block)
         return model
 
+    @pure_unless_cloned
     def add_block(self, model: TreeModel, block: Block[LabelledPoint]) -> TreeModel:
         rng = random.Random(f"{self.seed}:{block.block_id}")
         if model.tree is None:
@@ -187,6 +190,7 @@ class LeafRefinementTreeMaintainer(
             child.sample.append(point)
 
 
+@maintainer_contract
 class RebuildingTreeMaintainer(IncrementalModelMaintainer[TreeModel, LabelledPoint]):
     """The naive ``A_M``: refit from every selected block on each add.
 
@@ -209,6 +213,7 @@ class RebuildingTreeMaintainer(IncrementalModelMaintainer[TreeModel, LabelledPoi
             model = self.add_block(model, block)
         return model
 
+    @pure_unless_cloned
     def add_block(self, model: TreeModel, block: Block[LabelledPoint]) -> TreeModel:
         self._blocks[block.block_id] = block
         model.selected_block_ids.append(block.block_id)

@@ -6,8 +6,17 @@ import random
 
 import pytest
 
+from repro import contracts
 from repro.core.blocks import Block, make_block
 from repro.itemsets.itemset import normalize_transaction
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _armed_contracts():
+    """Fail fast on A_M contract violations everywhere in the suite."""
+    contracts.arm()
+    yield
+    contracts.disarm()
 
 
 def random_transactions(

@@ -1,0 +1,40 @@
+"""DML001 fixture: maintainers that break the A_M interface.
+
+Never imported — demonlint only parses it, so the imports need not
+resolve at run time.
+"""
+
+from repro.core.maintainer import IncrementalModelMaintainer
+from repro.contracts import maintainer_contract
+
+
+class MissingCloneMaintainer(IncrementalModelMaintainer):
+    """Inherits the ABC but never implements clone()."""
+
+    def empty_model(self):
+        return []
+
+    def build(self, blocks):
+        return list(blocks)
+
+    def add_block(self, model, block):
+        model.append(block)
+        return model
+
+
+@maintainer_contract
+class WrongSignatureMaintainer:
+    """Structural maintainer whose add_block mis-names the model param."""
+
+    def empty_model(self):
+        return []
+
+    def build(self, blocks):
+        return list(blocks)
+
+    def add_block(self, state, block):
+        state.append(block)
+        return state
+
+    def clone(self, model):
+        return list(model)

@@ -1,0 +1,21 @@
+"""DML001 fixture: a complete, correctly-signed maintainer."""
+
+from repro.core.maintainer import IncrementalModelMaintainer
+
+
+class CompleteMaintainer(IncrementalModelMaintainer):
+    def empty_model(self):
+        return []
+
+    def build(self, blocks):
+        model = self.empty_model()
+        for block in blocks:
+            model = self.add_block(model, block)
+        return model
+
+    def add_block(self, model, block):
+        model.append(block)
+        return model
+
+    def clone(self, model):
+        return list(model)

@@ -1,0 +1,12 @@
+"""DML002 fixture: stale model references read after add_block."""
+
+
+def straight_line_reuse(maint, model, b1, b2):
+    maint.add_block(model, b1)
+    return maint.add_block(model, b2)  # stale: model may be retired
+
+
+def loop_carried_reuse(maint, model, blocks):
+    for block in blocks:
+        maint.add_block(model, block)  # second iteration reads stale model
+    return model

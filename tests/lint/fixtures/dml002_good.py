@@ -1,0 +1,25 @@
+"""DML002 fixture: rebinding and cloning keep model references fresh."""
+
+
+def rebinding(maint, model, b1, b2):
+    model = maint.add_block(model, b1)
+    model = maint.add_block(model, b2)
+    return model
+
+
+def loop_rebinding(maint, model, blocks):
+    for block in blocks:
+        model = maint.add_block(model, block)
+    return model
+
+
+def clone_first(maint, model, block):
+    fresh = maint.clone(model)
+    updated = maint.add_block(fresh, block)
+    return model, updated  # original never fed to add_block
+
+
+def branch_rebinding(maint, model, block, selected):
+    if selected:
+        model = maint.add_block(model, block)
+    return model

@@ -1,0 +1,9 @@
+"""DML003 fixture: non-bit literals fed to BSS constructors."""
+
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+
+OUT_OF_RANGE = WindowIndependentBSS([0, 1, 2])
+BOOL_BITS = WindowIndependentBSS(bits=[True, False])
+FLOAT_BITS = WindowRelativeBSS((1, 0.0, 1))
+STRING_BITS = WindowRelativeBSS("0101")
+BAD_DEFAULT = WindowIndependentBSS(default=2)

@@ -1,0 +1,13 @@
+"""DML003 fixture: well-formed BSS construction."""
+
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+
+EVERY_BLOCK = WindowIndependentBSS(default=1)
+EXPLICIT = WindowIndependentBSS([1, 0, 1, 1])
+RELATIVE = WindowRelativeBSS((0, 1, 0, 1))
+FROM_RULE = WindowIndependentBSS.from_predicate(lambda block_id: block_id % 2 == 0)
+
+
+def dynamic(bits):
+    # Dynamic values are the runtime validator's job, not the linter's.
+    return WindowRelativeBSS(bits)

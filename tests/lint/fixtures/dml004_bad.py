@@ -1,0 +1,19 @@
+"""DML004 fixture: ad-hoc wall-clock reads outside the metering layer."""
+
+import datetime
+import time
+from time import perf_counter as pc
+
+
+def naive_timing(maint, model, block):
+    start = time.time()
+    model = maint.add_block(model, block)
+    return model, time.time() - start
+
+
+def aliased_timing():
+    return pc()
+
+
+def stamped():
+    return datetime.datetime.now()

@@ -1,0 +1,9 @@
+"""DML004 fixture: timing through the sanctioned Stopwatch."""
+
+from repro.storage.iostats import Stopwatch
+
+
+def metered_timing(maint, model, block):
+    watch = Stopwatch().start()
+    model = maint.add_block(model, block)
+    return model, watch.stop()

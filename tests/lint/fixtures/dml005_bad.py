@@ -1,0 +1,20 @@
+"""DML005 fixture: hygiene problems demonlint must catch."""
+
+
+def accumulate(block, acc=[]):  # mutable default
+    acc.append(block)
+    return acc
+
+
+def drop_empty(counts):
+    for itemset in counts:  # dict mutated while iterated
+        if counts[itemset] == 0:
+            del counts[itemset]
+    return counts
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:  # bare except
+        return None

@@ -1,0 +1,22 @@
+"""DML005 fixture: the hygienic counterparts."""
+
+
+def accumulate(block, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(block)
+    return acc
+
+
+def drop_empty(counts):
+    for itemset in list(counts):  # snapshot before mutating
+        if counts[itemset] == 0:
+            del counts[itemset]
+    return counts
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return None

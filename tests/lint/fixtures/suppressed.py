@@ -1,0 +1,12 @@
+"""Suppression fixture: violations silenced by demonlint directives."""
+
+import time
+
+
+def sanctioned_hack():
+    return time.time()  # demonlint: disable=DML004
+
+
+def accumulate(block, acc=[]):  # demonlint: disable=DML005
+    acc.append(block)
+    return acc

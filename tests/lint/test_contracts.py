@@ -1,0 +1,169 @@
+"""Runtime contract tests: the dynamic half of demonlint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import contracts
+from repro.contracts import (
+    ContractViolation,
+    maintainer_contract,
+    pure_unless_cloned,
+)
+
+
+class _Model:
+    """Weakref-able toy model (lists/dicts cannot be weakly referenced)."""
+
+    def __init__(self, items=()):
+        self.items = tuple(items)
+
+
+@maintainer_contract
+class _FunctionalMaintainer:
+    """Returns a *new* model from add_block — the paper's other style."""
+
+    def empty_model(self):
+        return _Model()
+
+    def build(self, blocks):
+        model = self.empty_model()
+        for block in blocks:
+            model = self.add_block(model, block)
+        return model
+
+    @pure_unless_cloned
+    def add_block(self, model, block):
+        return _Model(model.items + (block,))
+
+    def clone(self, model):
+        return _Model(model.items)
+
+
+@maintainer_contract
+class _InPlaceMaintainer:
+    """Mutates and returns the same model — the repo's dominant style."""
+
+    def empty_model(self):
+        return _Model()
+
+    def build(self, blocks):
+        model = self.empty_model()
+        for block in blocks:
+            model = self.add_block(model, block)
+        return model
+
+    @pure_unless_cloned
+    def add_block(self, model, block):
+        model.items = model.items + (block,)
+        return model
+
+    def clone(self, model):
+        return _Model(model.items)
+
+
+def test_stale_model_reuse_raises_when_armed():
+    maint = _FunctionalMaintainer()
+    stale = maint.empty_model()
+    fresh = maint.add_block(stale, 1)
+    assert fresh is not stale
+    with pytest.raises(ContractViolation, match="clone"):
+        maint.add_block(stale, 2)
+
+
+def test_returned_model_and_clones_stay_usable():
+    maint = _FunctionalMaintainer()
+    model = maint.build([1, 2])
+    copy = maint.clone(model)
+    extended = maint.add_block(model, 3)
+    also_extended = maint.add_block(copy, 4)
+    assert extended.items == (1, 2, 3)
+    assert also_extended.items == (1, 2, 4)
+
+
+def test_in_place_maintainers_are_never_flagged():
+    maint = _InPlaceMaintainer()
+    model = maint.empty_model()
+    for block in (1, 2, 3):
+        maint.add_block(model, block)  # same object back every time
+    assert model.items == (1, 2, 3)
+
+
+def test_disarmed_contracts_do_not_track():
+    maint = _FunctionalMaintainer()
+    stale = maint.empty_model()
+    contracts.disarm()
+    try:
+        maint.add_block(stale, 1)
+        maint.add_block(stale, 2)  # stale reuse, but contracts are off
+    finally:
+        contracts.arm()  # the session fixture armed them; restore
+
+
+def test_arm_state_is_reported():
+    assert contracts.contracts_armed()  # armed session-wide by conftest
+
+
+def test_contract_rejects_missing_method():
+    with pytest.raises(ContractViolation, match="clone"):
+
+        @maintainer_contract
+        class _NoClone:
+            def empty_model(self):
+                return _Model()
+
+            def build(self, blocks):
+                return _Model(blocks)
+
+            def add_block(self, model, block):
+                return model
+
+
+def test_contract_rejects_wrong_parameter_names():
+    with pytest.raises(ContractViolation, match="model, block"):
+
+        @maintainer_contract
+        class _WrongNames:
+            def empty_model(self):
+                return _Model()
+
+            def build(self, blocks):
+                return _Model(blocks)
+
+            def add_block(self, state, block):
+                return state
+
+            def clone(self, model):
+                return _Model(model.items)
+
+
+def test_contract_validates_delete_block_when_present():
+    with pytest.raises(ContractViolation, match="delete_block"):
+
+        @maintainer_contract
+        class _BadDelete:
+            def empty_model(self):
+                return _Model()
+
+            def build(self, blocks):
+                return _Model(blocks)
+
+            def add_block(self, model, block):
+                return model
+
+            def clone(self, model):
+                return _Model(model.items)
+
+            def delete_block(self, model):
+                return model
+
+
+def test_real_maintainers_pass_under_armed_contracts(tx_blocks):
+    from repro.itemsets.borders import BordersMaintainer
+
+    maint = BordersMaintainer(minsup=0.2)
+    model = maint.build(tx_blocks[:2])
+    fork = maint.clone(model)
+    maint.add_block(model, tx_blocks[2])
+    maint.add_block(fork, tx_blocks[2])
+    assert set(model.frequent) == set(fork.frequent)

@@ -1,0 +1,23 @@
+"""Strict type-checking gate for repro.core (skips when mypy is absent).
+
+The container this repo grows in does not ship mypy; the check then
+degrades to a skip instead of an error so the tier-1 suite stays
+self-contained.  CI installs mypy and runs the same configuration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api", reason="mypy is not installed")
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_core_is_strict_clean():
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(ROOT / "pyproject.toml")]
+    )
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"

@@ -1,0 +1,1 @@
+"""Developer tooling for the DEMON reproduction (not shipped to users)."""

@@ -1,0 +1,5 @@
+"""``python -m tools.demonlint`` dispatches to the CLI."""
+
+from tools.demonlint.cli import main
+
+raise SystemExit(main())
