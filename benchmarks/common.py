@@ -115,3 +115,43 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
 def fmt_ms(seconds: float) -> str:
     """Milliseconds with one decimal, as a string."""
     return f"{seconds * 1e3:.1f}"
+
+
+#: Machine-readable rows collected by :func:`emit_json` during one
+#: benchmark session.  benchmarks/conftest.py writes them out as a
+#: single JSON document when ``--json PATH`` (or ``DEMON_BENCH_JSON``)
+#: is given; otherwise collection is free and nothing is written.
+JSON_ROWS: list[dict] = []
+
+
+def emit_json(bench: str, **fields) -> None:
+    """Collect one machine-readable benchmark row.
+
+    ``bench`` names the benchmark (e.g. ``fig2_counting``); ``fields``
+    are flat JSON-serializable measurements (times in seconds, byte
+    counts as ints).  Rows complement :func:`print_table` — the table is
+    for humans, the JSON for CI perf gates and regression tracking.
+    """
+    row: dict = {"bench": bench}
+    row.update(fields)
+    JSON_ROWS.append(row)
+
+
+def write_json(path: str) -> None:
+    """Write all collected rows as one JSON document.
+
+    The document records :data:`SCALE` so a baseline regenerated at a
+    different ``DEMON_BENCH_SCALE`` is never compared apples-to-oranges.
+    Row order is collection order (deterministic under pytest's stable
+    test ordering).
+    """
+    import json
+
+    document = {
+        "schema": 1,
+        "scale": SCALE,
+        "rows": JSON_ROWS,
+    }
+    with open(path, "w") as sink:
+        json.dump(document, sink, indent=2, sort_keys=True)
+        sink.write("\n")

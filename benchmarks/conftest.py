@@ -1,8 +1,21 @@
-"""Benchmark-session setup: start each run with a fresh tables artifact."""
+"""Benchmark-session setup: fresh tables artifact + optional JSON dump."""
 
 import os
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write machine-readable benchmark rows (emit_json) to PATH "
+            "at session end; DEMON_BENCH_JSON is the env equivalent"
+        ),
+    )
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -19,3 +32,17 @@ def fresh_tables_file():
     yield
     if os.path.exists(TABLES_PATH):
         print(f"\npaper-style tables written to {TABLES_PATH}")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def json_artifact(request):
+    """Write collected emit_json rows when --json / DEMON_BENCH_JSON asks."""
+    yield
+    path = request.config.getoption("--json") or os.environ.get(
+        "DEMON_BENCH_JSON"
+    )
+    if path:
+        from benchmarks.common import JSON_ROWS, write_json
+
+        write_json(path)
+        print(f"\n{len(JSON_ROWS)} machine-readable rows written to {path}")

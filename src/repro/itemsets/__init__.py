@@ -33,6 +33,14 @@ from repro.itemsets.counting import (
 )
 from repro.itemsets.fup import FUPMaintainer, FUPStats
 from repro.itemsets.hash_tree import HashTree, count_supports_hash
+from repro.itemsets.kernels import (
+    BitmapTidList,
+    force_kernel,
+    intersect_arrays,
+    intersect_gallop,
+    intersect_merge,
+    intersect_pair,
+)
 from repro.itemsets.itemset import (
     Itemset,
     Transaction,
@@ -79,6 +87,12 @@ __all__ = [
     "check_border_invariant",
     "TidListStore",
     "intersect_sorted",
+    "BitmapTidList",
+    "force_kernel",
+    "intersect_arrays",
+    "intersect_gallop",
+    "intersect_merge",
+    "intersect_pair",
     "PairTidListStore",
     "plan_cover",
     "SupportCounter",

@@ -401,7 +401,7 @@ class BordersMaintainer(
             candidates = self._new_candidates(newly_frequent, model)
             if not candidates:
                 break
-            counts = self.counter.count(candidates, model.selected_block_ids)
+            counts = self.counter.count_batch(candidates, model.selected_block_ids)
             stats.candidates_counted += len(candidates)
             promoted = {}
             newly_frequent = set()

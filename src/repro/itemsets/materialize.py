@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.blocks import Block
 from repro.itemsets.itemset import Itemset, Transaction
+from repro.itemsets.kernels import pack_rows
 from repro.itemsets.tidlist import TID_BYTES, TID_DTYPE
 from repro.storage.iostats import IOStats, IOStatsRegistry
 
@@ -49,6 +50,7 @@ class PairTidListStore:
         self._stats = self.registry.get(counter_name)
         self._lists: dict[int, dict[Pair, np.ndarray]] = {}
         self._base_tids: dict[int, int] = {}
+        self._packed: dict[int, tuple[dict[Pair, int], np.ndarray, np.ndarray]] = {}
 
     @property
     def stats(self) -> IOStats:
@@ -110,7 +112,12 @@ class PairTidListStore:
             cost = TID_BYTES * len(buffers[pair])
             if budget_bytes is not None and used + cost > budget_bytes:
                 continue
-            block_lists[pair] = np.asarray(buffers[pair], dtype=TID_DTYPE)
+            tids = np.asarray(buffers[pair], dtype=TID_DTYPE)
+            # Fetches alias this array; freeze it so a caller mutating a
+            # fetched (or intersection-returned) list cannot corrupt the
+            # store in place.
+            tids.flags.writeable = False
+            block_lists[pair] = tids
             used += cost
             chosen.append(pair)
         self._lists[block.block_id] = block_lists
@@ -133,6 +140,53 @@ class PairTidListStore:
         """Length of one pair list (catalog metadata, not charged)."""
         return len(self._lists[block_id][pair])
 
+    def lists_view(self, block_id: int) -> Mapping[Pair, np.ndarray]:
+        """Direct (read-only by convention) view of one block's lists.
+
+        Same contract as :meth:`TidListStore.lists_view`: the batched
+        engine meters its own aggregate reads, so every list taken from
+        the view must be charged by the caller.
+        """
+        return self._lists.get(block_id, {})
+
+    def packed_rows(
+        self, block_id: int, block_size: int
+    ) -> tuple[dict[Pair, int], np.ndarray, np.ndarray]:
+        """Lazily-built (pair → row, bitset rows, lengths) per block.
+
+        The batched counting engine's bulk access path, mirroring
+        :meth:`TidListStore.packed_rows`: the rows are packed once per
+        block (``ceil(block_size / 8)`` bytes per pair), dropped with
+        the block, and fetch charges stay metered per batch by the
+        engine.  Pair lists are always sorted arrays, so the physical
+        size of row ``r`` is ``TID_BYTES * lens[r]``.
+        """
+        packed = self._packed.get(block_id)
+        if packed is None:
+            block_lists = self._lists.get(block_id)
+            if block_lists is None:
+                # Not materialized yet: a transient empty result, not
+                # cached — it would go stale when the block arrives.
+                width = (block_size + 7) >> 3
+                return (
+                    {},
+                    np.zeros((0, width), dtype=np.uint8),
+                    np.zeros(0, dtype=np.int64),
+                )
+            base = self._base_tids.get(block_id, 0)
+            pairs = list(block_lists)
+            index = {pair: r for r, pair in enumerate(pairs)}
+            arrays = list(block_lists.values())
+            lens = np.fromiter(
+                (len(a) for a in arrays), dtype=np.int64, count=len(arrays)
+            )
+            matrix = pack_rows(arrays, base, block_size)
+            matrix.flags.writeable = False
+            lens.flags.writeable = False
+            packed = (index, matrix, lens)
+            self._packed[block_id] = packed
+        return packed
+
     def fetch(self, block_id: int, pair: Pair) -> np.ndarray:
         """Fetch one pair's TID-list for one block, charging the read."""
         tids = self._lists[block_id][pair]
@@ -151,6 +205,7 @@ class PairTidListStore:
         """Discard a block's pair lists."""
         self._lists.pop(block_id, None)
         self._base_tids.pop(block_id, None)
+        self._packed.pop(block_id, None)
 
 
 def plan_cover(

@@ -14,6 +14,15 @@ once, when the block arrives:
 Transaction identifiers are global and increase in arrival order, so
 within a block the per-item lists are built by a single scan appending
 each transaction's tid to the list of every item it contains.
+
+Physically each per-block list is stored either as a sorted tid array
+or — for items dense enough in a large enough block — as a packed
+bitmap (see :mod:`repro.itemsets.kernels`); the store picks the
+representation at :meth:`TidListStore.materialize_block` time and the
+byte-metered fetches charge whichever representation is actually read.
+Materialized arrays are frozen (``writeable = False``): fetches return
+the store's physical arrays without copying, so a caller mutating a
+fetched list would otherwise silently corrupt every later count.
 """
 
 from __future__ import annotations
@@ -24,38 +33,49 @@ import numpy as np
 
 from repro.core.blocks import Block
 from repro.itemsets.itemset import Itemset, Transaction
+from repro.itemsets.kernels import (
+    TID_BYTES,
+    TID_DTYPE,
+    BITMAP_DENSITY,
+    BITMAP_MIN_BLOCK,
+    BitmapTidList,
+    TidList,
+    as_array,
+    intersect_many,
+    intersect_pair,
+    list_nbytes,
+    pack_rows,
+)
 from repro.storage.iostats import IOStats, IOStatsRegistry
 
-#: Logical bytes per stored transaction identifier.
-TID_BYTES = 4
-
-#: dtype used for TID arrays.
-TID_DTYPE = np.int64
+__all__ = [
+    "TID_BYTES",
+    "TID_DTYPE",
+    "TidListStore",
+    "intersect_sorted",
+]
 
 
 def intersect_sorted(lists: Sequence[np.ndarray]) -> np.ndarray:
-    """Intersect sorted, duplicate-free tid arrays (sort-merge join).
+    """Intersect sorted, duplicate-free tid arrays (adaptive kernels).
 
     Processes the arrays smallest-first so the running intersection only
-    shrinks; returns an empty array as soon as it empties.
+    shrinks; returns an empty array as soon as it empties.  May return
+    one of its inputs unchanged (e.g. a single-element ``lists``), so
+    callers must not mutate the result — store-fetched arrays are
+    read-only precisely to catch that.
     """
-    if not lists:
-        return np.empty(0, dtype=TID_DTYPE)
-    ordered = sorted(lists, key=len)
-    result = ordered[0]
-    for other in ordered[1:]:
-        if len(result) == 0:
-            break
-        result = np.intersect1d(result, other, assume_unique=True)
-    return result
+    return as_array(intersect_many(lists))
 
 
 class TidListStore:
     """Disk-simulated store of per-block, per-item TID-lists.
 
-    Every fetch is charged to an I/O counter at :data:`TID_BYTES` per
-    tid, so benchmarks can verify the paper's claim that ECUT touches
-    one to two orders of magnitude fewer bytes than a full scan.
+    Every fetch is charged to an I/O counter at the list's physical
+    size (:data:`TID_BYTES` per tid for arrays, eight bytes per word
+    for dense bitmaps), so benchmarks can verify the paper's claim that
+    ECUT touches one to two orders of magnitude fewer bytes than a full
+    scan.
 
     Args:
         registry: I/O registry to charge fetches to; private if omitted.
@@ -69,9 +89,11 @@ class TidListStore:
     ):
         self.registry = registry if registry is not None else IOStatsRegistry()
         self._stats = self.registry.get(counter_name)
-        self._lists: dict[int, dict[int, np.ndarray]] = {}
+        self._lists: dict[int, dict[int, TidList]] = {}
         self._block_sizes: dict[int, int] = {}
         self._base_tids: dict[int, int] = {}
+        self._catalogs: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._packed: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._next_tid = 0
 
     @property
@@ -85,7 +107,11 @@ class TidListStore:
         Transaction identifiers continue the global sequence.  The block
         is scanned once; the scan itself is not charged here (the caller
         typically scans the block anyway to update the model and charges
-        that scan to the block store).
+        that scan to the block store).  Items holding at least
+        :data:`~repro.itemsets.kernels.BITMAP_DENSITY` of a block of at
+        least :data:`~repro.itemsets.kernels.BITMAP_MIN_BLOCK`
+        transactions are packed into bitmaps; everything else stays a
+        frozen sorted array.
         """
         if block.block_id in self._lists:
             raise ValueError(f"TID-lists for block {block.block_id} already built")
@@ -97,10 +123,20 @@ class TidListStore:
                 buffers.setdefault(item, []).append(tid)
             tid += 1
         self._next_tid = tid
-        self._lists[block.block_id] = {
-            item: np.asarray(tids, dtype=TID_DTYPE) for item, tids in buffers.items()
-        }
-        self._block_sizes[block.block_id] = len(block.tuples)
+        size = len(block.tuples)
+        dense_cutoff = (
+            BITMAP_DENSITY * size if size >= BITMAP_MIN_BLOCK else float("inf")
+        )
+        block_lists: dict[int, TidList] = {}
+        for item, tids in buffers.items():
+            array = np.asarray(tids, dtype=TID_DTYPE)
+            array.flags.writeable = False
+            if len(tids) >= dense_cutoff:
+                block_lists[item] = BitmapTidList.from_array(array, base, size)
+            else:
+                block_lists[item] = array
+        self._lists[block.block_id] = block_lists
+        self._block_sizes[block.block_id] = size
         self._base_tids[block.block_id] = base
 
     def has_block(self, block_id: int) -> bool:
@@ -120,17 +156,48 @@ class TidListStore:
         self._lists.pop(block_id, None)
         self._block_sizes.pop(block_id, None)
         self._base_tids.pop(block_id, None)
+        self._catalogs.pop(block_id, None)
+        self._packed.pop(block_id, None)
 
-    def fetch(self, block_id: int, item: int) -> np.ndarray:
-        """Fetch one item's TID-list for one block, charging the read."""
+    def _block_lists(self, block_id: int) -> dict[int, TidList]:
         block_lists = self._lists.get(block_id)
         if block_lists is None:
             raise KeyError(f"no TID-lists materialized for block {block_id}")
-        tids = block_lists.get(item)
+        return block_lists
+
+    def lists_view(self, block_id: int) -> dict[int, TidList]:
+        """Direct (read-only by convention) view of one block's lists.
+
+        The batched counting engine resolves many lists per block and
+        meters the reads itself in aggregate
+        (:meth:`~repro.storage.iostats.IOStats.record_reads`); going
+        through :meth:`fetch_list` per list would double the engine's
+        Python overhead.  Callers must not mutate the mapping and must
+        charge every list they take from it.
+        """
+        return self._block_lists(block_id)
+
+    def fetch_list(self, block_id: int, item: int) -> TidList:
+        """Fetch one list in its physical representation, charging it.
+
+        The hot counting paths use this and intersect through
+        :mod:`repro.itemsets.kernels`, so dense bitmaps are ANDed
+        word-wise instead of being unpacked.
+        """
+        tids = self._block_lists(block_id).get(item)
         if tids is None:
             tids = np.empty(0, dtype=TID_DTYPE)
-        self._stats.record_read(TID_BYTES * len(tids))
+        self._stats.record_read(list_nbytes(tids))
         return tids
+
+    def fetch(self, block_id: int, item: int) -> np.ndarray:
+        """Fetch one item's TID-list as a sorted array, charging the read.
+
+        The charge is the physical representation's size; bitmaps are
+        unpacked for the caller after the (cheaper) bitmap fetch.  The
+        returned array is read-only when it aliases store memory.
+        """
+        return as_array(self.fetch_list(block_id, item))
 
     def item_count(self, block_id: int, item: int) -> int:
         """Length of one per-block list without charging a fetch.
@@ -138,21 +205,129 @@ class TidListStore:
         List lengths are catalog metadata (they equal the item's support
         in the block), available without reading the list body.
         """
-        block_lists = self._lists.get(block_id)
-        if block_lists is None:
-            raise KeyError(f"no TID-lists materialized for block {block_id}")
-        tids = block_lists.get(item)
+        tids = self._block_lists(block_id).get(item)
         return 0 if tids is None else len(tids)
 
+    def item_counts(self, block_id: int, items: Iterable[int]) -> dict[int, int]:
+        """Catalog lengths for several items at once (not charged)."""
+        block_lists = self._block_lists(block_id)
+        result: dict[int, int] = {}
+        for item in items:
+            tids = block_lists.get(item)
+            result[item] = 0 if tids is None else len(tids)
+        return result
+
+    def _catalog(self, block_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Lazily-built (sorted items, lengths) arrays for one block.
+
+        Blocks are immutable once materialized, so the catalog is built
+        at most once per block and dropped with the block.
+        """
+        catalog = self._catalogs.get(block_id)
+        if catalog is None:
+            block_lists = self._block_lists(block_id)
+            items = np.fromiter(
+                block_lists.keys(), dtype=np.int64, count=len(block_lists)
+            )
+            counts = np.fromiter(
+                (len(tids) for tids in block_lists.values()),
+                dtype=np.int64,
+                count=len(block_lists),
+            )
+            order = np.argsort(items)
+            catalog = (items[order], counts[order])
+            self._catalogs[block_id] = catalog
+        return catalog
+
+    def item_counts_array(self, block_id: int, items: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`item_counts`: lengths aligned to ``items``.
+
+        One ``searchsorted`` against the cached per-block catalog —
+        the batched counting engine asks for hundreds of lengths per
+        block, where a Python-loop lookup would dominate its runtime.
+        Items absent from the block get length 0.
+        """
+        cat_items, cat_counts = self._catalog(block_id)
+        if len(cat_items) == 0:
+            return np.zeros(len(items), dtype=np.int64)
+        pos = np.searchsorted(cat_items, items)
+        found = np.take(cat_items, pos, mode="clip") == items
+        return np.where(found, np.take(cat_counts, pos, mode="clip"), 0)
+
+    def _packed_catalog(self, block_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Lazily-built (packed bitset rows, physical sizes) per block.
+
+        Row ``r`` is the bitset of catalog item ``r``'s list; bitmap
+        lists contribute their words directly, arrays are packed once
+        via :func:`~repro.itemsets.kernels.pack_rows`.  The cache costs
+        ``ceil(block_size / 8)`` bytes per catalog item, is built on
+        first batched count against the block, and is dropped with the
+        block.  It is a decoded in-memory representation only — fetch
+        *charges* are still metered per batch by the counting engine.
+        """
+        packed = self._packed.get(block_id)
+        if packed is None:
+            cat_items, cat_counts = self._catalog(block_id)
+            block_lists = self._block_lists(block_id)
+            size = self._block_sizes[block_id]
+            base = self._base_tids[block_id]
+            width = (size + 7) >> 3
+            matrix = np.zeros((len(cat_items), width), dtype=np.uint8)
+            nbytes = cat_counts * TID_BYTES
+            arrays: list[np.ndarray] = []
+            rows: list[int] = []
+            for r, item in enumerate(cat_items.tolist()):
+                tids = block_lists[item]
+                if isinstance(tids, BitmapTidList):
+                    nbytes[r] = tids.nbytes
+                    matrix[r] = tids.words.view(np.uint8)[:width]
+                else:
+                    arrays.append(tids)
+                    rows.append(r)
+            if arrays:
+                matrix[np.asarray(rows, dtype=np.int64)] = pack_rows(
+                    arrays, base, size
+                )
+            matrix.flags.writeable = False
+            nbytes.flags.writeable = False
+            packed = (matrix, nbytes)
+            self._packed[block_id] = packed
+        return packed
+
+    def packed_rows(
+        self, block_id: int, items: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bitset rows, lengths, and physical sizes aligned to ``items``.
+
+        The batched counting engine's bulk access path: one catalog
+        lookup per call instead of one store fetch per list.  Items
+        absent from the block get an all-zero row and size 0.  Returns
+        fresh (writable) arrays; the underlying cache is frozen.
+        """
+        cat_items, cat_counts = self._catalog(block_id)
+        matrix, cat_nbytes = self._packed_catalog(block_id)
+        n = len(items)
+        if len(cat_items) == 0:
+            width = (self._block_sizes[block_id] + 7) >> 3
+            return (
+                np.zeros((n, width), dtype=np.uint8),
+                np.zeros(n, dtype=np.int64),
+                np.zeros(n, dtype=np.int64),
+            )
+        pos = np.minimum(np.searchsorted(cat_items, items), len(cat_items) - 1)
+        found = cat_items[pos] == items
+        rows = matrix[pos]
+        rows[~found] = 0
+        lens = np.where(found, cat_counts[pos], 0)
+        nbytes = np.where(found, cat_nbytes[pos], 0)
+        return rows, lens, nbytes
+
     def nbytes(self, block_id: int) -> int:
-        """Logical size of one block's item TID-lists."""
-        block_lists = self._lists.get(block_id)
-        if block_lists is None:
-            raise KeyError(f"no TID-lists materialized for block {block_id}")
-        return TID_BYTES * sum(len(t) for t in block_lists.values())
+        """Physical size of one block's item TID-lists."""
+        return sum(list_nbytes(t) for t in self._block_lists(block_id).values())
 
     def total_nbytes(self) -> int:
-        """Logical size of all materialized item TID-lists."""
+        """Physical size of all materialized item TID-lists."""
         return sum(self.nbytes(block_id) for block_id in self._lists)
 
     def count_itemset_in_block(self, block_id: int, itemset: Itemset) -> int:
@@ -162,13 +337,11 @@ class TidListStore:
         # Fetch rarest-first and intersect progressively: the running
         # intersection only shrinks, and an empty one stops the fetches.
         by_rarity = sorted(itemset, key=lambda item: self.item_count(block_id, item))
-        running = self.fetch(block_id, by_rarity[0])
+        running = self.fetch_list(block_id, by_rarity[0])
         for item in by_rarity[1:]:
             if len(running) == 0:
                 return 0
-            running = np.intersect1d(
-                running, self.fetch(block_id, item), assume_unique=True
-            )
+            running = intersect_pair(running, self.fetch_list(block_id, item))
         return int(len(running))
 
     def count_itemset(self, block_ids: Iterable[int], itemset: Itemset) -> int:

@@ -78,12 +78,18 @@ class IOStats:
         bytes_written: Total bytes stored by write operations.
         reads: Number of read operations.
         writes: Number of write operations.
+        cache_hits: Reads served from a batch fetch cache instead of
+            the store (not charged to ``bytes_read``).
+        bytes_cached: Bytes those cache hits would have re-fetched —
+            the I/O the batched counting engine avoided.
     """
 
     bytes_read: int = 0
     bytes_written: int = 0
     reads: int = 0
     writes: int = 0
+    cache_hits: int = 0
+    bytes_cached: int = 0
 
     def record_read(self, nbytes: int) -> None:
         """Account for one read of ``nbytes`` logical bytes."""
@@ -99,16 +105,60 @@ class IOStats:
         self.bytes_written += nbytes
         self.writes += 1
 
+    def record_reads(self, count: int, nbytes: int) -> None:
+        """Account for ``count`` reads totalling ``nbytes`` at once.
+
+        The batched counting engine charges one block's distinct
+        fetches in a single call; the totals are identical to ``count``
+        individual :meth:`record_read` calls.
+        """
+        if count < 0 or nbytes < 0:
+            raise ValueError(
+                f"read count/size must be non-negative, got {count}/{nbytes}"
+            )
+        self.bytes_read += nbytes
+        self.reads += count
+
+    def record_cached_read(self, nbytes: int) -> None:
+        """Account for one read served from a per-batch fetch cache.
+
+        The bytes are *not* added to :attr:`bytes_read` — the list was
+        already charged when it entered the cache — but the avoided
+        re-fetch is recorded so benchmarks can audit the saving.
+        """
+        if nbytes < 0:
+            raise ValueError(f"read size must be non-negative, got {nbytes}")
+        self.cache_hits += 1
+        self.bytes_cached += nbytes
+
+    def record_cached_reads(self, count: int, nbytes: int) -> None:
+        """Account for ``count`` cache-served reads totalling ``nbytes``."""
+        if count < 0 or nbytes < 0:
+            raise ValueError(
+                f"read count/size must be non-negative, got {count}/{nbytes}"
+            )
+        self.cache_hits += count
+        self.bytes_cached += nbytes
+
     def reset(self) -> None:
         """Zero all counters."""
         self.bytes_read = 0
         self.bytes_written = 0
         self.reads = 0
         self.writes = 0
+        self.cache_hits = 0
+        self.bytes_cached = 0
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        return IOStats(self.bytes_read, self.bytes_written, self.reads, self.writes)
+        return IOStats(
+            self.bytes_read,
+            self.bytes_written,
+            self.reads,
+            self.writes,
+            self.cache_hits,
+            self.bytes_cached,
+        )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
         """Return counters accumulated since ``earlier`` was snapshotted."""
@@ -117,6 +167,8 @@ class IOStats:
             bytes_written=self.bytes_written - earlier.bytes_written,
             reads=self.reads - earlier.reads,
             writes=self.writes - earlier.writes,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            bytes_cached=self.bytes_cached - earlier.bytes_cached,
         )
 
 
@@ -158,6 +210,8 @@ class IOStatsRegistry:
                 "bytes_written": c.bytes_written,
                 "reads": c.reads,
                 "writes": c.writes,
+                "cache_hits": c.cache_hits,
+                "bytes_cached": c.bytes_cached,
             }
             for name, c in sorted(self.counters.items())
         }

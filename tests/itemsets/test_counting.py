@@ -141,3 +141,121 @@ class TestMakeCounter:
     def test_unknown_kind(self):
         with pytest.raises(ValueError, match="unknown counter"):
             make_counter("fancy", ItemsetMiningContext())
+
+
+class TestCountBatch:
+    """count_batch must equal count exactly, at fewer charged bytes."""
+
+    BLOCK_IDS = [1, 2, 3]
+
+    def test_ecut_batch_matches_reference(self, blocks):
+        context = build_context(blocks)
+        counter = ECUTCounter(context.tidlists)
+        assert counter.count_batch(ITEMSETS, self.BLOCK_IDS) == reference_counts(
+            blocks, ITEMSETS, self.BLOCK_IDS
+        )
+
+    def test_ecut_plus_batch_matches_reference(self, blocks):
+        pairs = {(1, 2): 100, (2, 5): 50, (0, 3): 40}
+        context = build_context(blocks, pairs_with_supports=pairs)
+        counter = ECUTPlusCounter(context.tidlists, context.pairs)
+        assert counter.count_batch(ITEMSETS, self.BLOCK_IDS) == reference_counts(
+            blocks, ITEMSETS, self.BLOCK_IDS
+        )
+
+    def test_ecut_plus_batch_without_pairs(self, blocks):
+        """Blocks with no materialized pairs degrade to plain ECUT."""
+        context = build_context(blocks)
+        counter = ECUTPlusCounter(context.tidlists, context.pairs)
+        assert counter.count_batch(ITEMSETS, self.BLOCK_IDS) == reference_counts(
+            blocks, ITEMSETS, self.BLOCK_IDS
+        )
+
+    def test_ptscan_batch_is_count(self, blocks):
+        context = build_context(blocks)
+        counter = PTScanCounter(context.block_store)
+        assert counter.count_batch(ITEMSETS, [1, 2]) == counter.count(
+            ITEMSETS, [1, 2]
+        )
+
+    def test_empty_batch(self, blocks):
+        context = build_context(blocks)
+        assert ECUTCounter(context.tidlists).count_batch([], [1]) == {}
+
+    def test_duplicate_itemsets(self, blocks):
+        context = build_context(blocks)
+        counter = ECUTCounter(context.tidlists)
+        targets = [(1, 2), (1, 2), (0,)]
+        assert counter.count_batch(targets, [1, 2]) == counter.count(
+            targets, [1, 2]
+        )
+
+    def test_empty_itemset_counts_block_sizes(self, blocks):
+        context = build_context(blocks)
+        counter = ECUTCounter(context.tidlists)
+        total = sum(len(b.tuples) for b in blocks)
+        assert counter.count_batch([()], self.BLOCK_IDS) == {(): total}
+
+    def test_trie_fallback_agrees(self, blocks, monkeypatch):
+        """Blocks too large to densify route through the trie DFS."""
+        import repro.itemsets.counting as counting
+
+        context = build_context(blocks)
+        counter = ECUTCounter(context.tidlists)
+        expected = counter.count_batch(ITEMSETS, self.BLOCK_IDS)
+        monkeypatch.setattr(counting, "DENSE_MAX_CELLS", 0)
+        assert counter.count_batch(ITEMSETS, self.BLOCK_IDS) == expected
+
+    def test_ecut_plus_trie_fallback_agrees(self, blocks, monkeypatch):
+        import repro.itemsets.counting as counting
+
+        pairs = {(1, 2): 100, (0, 3): 40}
+        context = build_context(blocks, pairs_with_supports=pairs)
+        counter = ECUTPlusCounter(context.tidlists, context.pairs)
+        expected = counter.count(ITEMSETS, self.BLOCK_IDS)
+        monkeypatch.setattr(counting, "DENSE_MAX_CELLS", 0)
+        assert counter.count_batch(ITEMSETS, self.BLOCK_IDS) == expected
+
+    def _delta(self, stats, fn):
+        before = stats.snapshot()
+        fn()
+        return stats.delta_since(before)
+
+    def test_ecut_batch_io_accounting(self, blocks):
+        """Per batch and block: one physical fetch per distinct list,
+        every further use a cache hit — reads + hits and total logical
+        bytes must both equal the per-itemset path's."""
+        context = build_context(blocks)
+        counter = ECUTCounter(context.tidlists)
+        stats = context.tidlists.stats
+        unbatched = self._delta(
+            stats, lambda: counter.count(ITEMSETS, self.BLOCK_IDS)
+        )
+        batched = self._delta(
+            stats, lambda: counter.count_batch(ITEMSETS, self.BLOCK_IDS)
+        )
+        assert batched.bytes_read < unbatched.bytes_read
+        assert batched.reads + batched.cache_hits == unbatched.reads
+        assert batched.bytes_read + batched.bytes_cached == unbatched.bytes_read
+
+    def test_ecut_plus_batch_reads_fewer_bytes(self, blocks):
+        pairs = {(1, 2): 100, (2, 5): 50}
+        context = build_context(blocks, pairs_with_supports=pairs)
+        counter = ECUTPlusCounter(context.tidlists, context.pairs)
+
+        def total_bytes(fn):
+            t0 = context.tidlists.stats.bytes_read
+            p0 = context.pairs.stats.bytes_read
+            fn()
+            return (
+                context.tidlists.stats.bytes_read
+                - t0
+                + context.pairs.stats.bytes_read
+                - p0
+            )
+
+        unbatched = total_bytes(lambda: counter.count(ITEMSETS, self.BLOCK_IDS))
+        batched = total_bytes(
+            lambda: counter.count_batch(ITEMSETS, self.BLOCK_IDS)
+        )
+        assert batched < unbatched

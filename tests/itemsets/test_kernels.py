@@ -1,0 +1,201 @@
+"""Tests for the intersection kernels behind ECUT-style counting."""
+
+import numpy as np
+import pytest
+
+from repro.itemsets.kernels import (
+    TID_BYTES,
+    TID_DTYPE,
+    WORD_BYTES,
+    BitmapTidList,
+    count_arrays,
+    count_pair,
+    count_segments,
+    force_kernel,
+    intersect_arrays,
+    intersect_bitmap_array,
+    intersect_bitmaps,
+    intersect_gallop,
+    intersect_many,
+    intersect_merge,
+    intersect_pair,
+    list_nbytes,
+    pack_rows,
+)
+
+
+def arr(*values):
+    return np.asarray(values, dtype=TID_DTYPE)
+
+
+CASES = [
+    (arr(), arr()),
+    (arr(1, 2, 3), arr()),
+    (arr(1, 3, 5, 7), arr(3, 4, 5)),
+    (arr(0, 1, 2, 3), arr(0, 1, 2, 3)),
+    (arr(1, 2), arr(3, 4)),
+    (arr(5), arr(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)),
+]
+
+
+class TestArrayKernels:
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_kernels_agree_with_reference(self, a, b):
+        expected = np.intersect1d(a, b).tolist()
+        assert intersect_gallop(a, b).tolist() == expected
+        assert intersect_merge(a, b).tolist() == expected
+        assert intersect_arrays(a, b).tolist() == expected
+        assert count_arrays(a, b) == len(expected)
+
+    @pytest.mark.parametrize("a,b", CASES)
+    @pytest.mark.parametrize("kernel", ["gallop", "merge"])
+    def test_forced_kernels_agree(self, a, b, kernel):
+        expected = np.intersect1d(a, b).tolist()
+        with force_kernel(kernel):
+            assert intersect_arrays(a, b).tolist() == expected
+            assert count_arrays(a, b) == len(expected)
+
+    def test_force_kernel_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            with force_kernel("bogus"):
+                pass
+
+    def test_force_kernel_restores_on_exit(self):
+        skewed = (arr(5), arr(*range(100)))
+        with force_kernel("merge"):
+            pass
+        # Back to adaptive: a 1-vs-100 skew must not error and must
+        # still match the reference result.
+        assert intersect_arrays(*skewed).tolist() == [5]
+
+    def test_gallop_element_past_end_of_large(self):
+        # The clamped searchsorted position compares against large[-1];
+        # a probe beyond it must not match.
+        assert intersect_gallop(arr(99), arr(1, 2, 3)).tolist() == []
+
+
+class TestCountSegments:
+    def test_matches_per_probe_counts(self):
+        running = arr(0, 2, 4, 6, 8, 10)
+        probes = [arr(2, 3, 4), arr(), arr(10, 11), arr(1, 3, 5)]
+        expected = [count_arrays(running, p) for p in probes]
+        assert count_segments(running, probes) == expected == [2, 0, 1, 0]
+
+    def test_empty_probe_list(self):
+        assert count_segments(arr(1, 2), []) == []
+
+    def test_empty_running(self):
+        assert count_segments(arr(), [arr(1), arr(2, 3)]) == [0, 0]
+
+    def test_forced_merge_stays_honest(self):
+        running = arr(0, 2, 4, 6)
+        probes = [arr(2, 4), arr(5)]
+        with force_kernel("merge"):
+            assert count_segments(running, probes) == [2, 0]
+
+
+class TestBitmap:
+    def test_roundtrip(self):
+        tids = arr(3, 7, 64, 65, 127)
+        bitmap = BitmapTidList.from_array(tids, base=0, size=128)
+        assert bitmap.to_array().tolist() == tids.tolist()
+        assert len(bitmap) == 5
+
+    def test_roundtrip_with_base(self):
+        tids = arr(100, 130, 199)
+        bitmap = BitmapTidList.from_array(tids, base=100, size=100)
+        assert bitmap.to_array().tolist() == tids.tolist()
+
+    def test_nbytes_is_word_granular(self):
+        bitmap = BitmapTidList.from_array(arr(0), base=0, size=130)
+        assert bitmap.nbytes == 3 * WORD_BYTES
+        assert list_nbytes(bitmap) == bitmap.nbytes
+
+    def test_words_are_frozen(self):
+        bitmap = BitmapTidList.from_array(arr(1, 2), base=0, size=128)
+        with pytest.raises(ValueError):
+            bitmap.words[0] = 0
+
+    def test_intersect_bitmaps(self):
+        a = BitmapTidList.from_array(arr(1, 2, 3, 70), base=0, size=128)
+        b = BitmapTidList.from_array(arr(2, 70, 100), base=0, size=128)
+        result = intersect_bitmaps(a, b)
+        assert result.to_array().tolist() == [2, 70]
+        assert result.count == 2
+
+    def test_intersect_bitmaps_block_mismatch(self):
+        a = BitmapTidList.from_array(arr(1), base=0, size=128)
+        b = BitmapTidList.from_array(arr(129), base=128, size=128)
+        with pytest.raises(ValueError):
+            intersect_bitmaps(a, b)
+
+    def test_intersect_bitmap_array(self):
+        bitmap = BitmapTidList.from_array(arr(1, 2, 3, 70), base=0, size=128)
+        assert intersect_bitmap_array(bitmap, arr(2, 5, 70)).tolist() == [2, 70]
+        assert intersect_bitmap_array(bitmap, arr()).tolist() == []
+
+
+class TestUnifiedDispatch:
+    def _reps(self, tids):
+        return [tids, BitmapTidList.from_array(tids, base=0, size=128)]
+
+    def test_intersect_pair_all_representation_combos(self):
+        left, right = arr(1, 2, 3, 70), arr(2, 70, 100)
+        expected = [2, 70]
+        for a in self._reps(left):
+            for b in self._reps(right):
+                result = intersect_pair(a, b)
+                got = (
+                    result.to_array()
+                    if isinstance(result, BitmapTidList)
+                    else result
+                )
+                assert got.tolist() == expected
+                assert count_pair(a, b) == 2
+
+    def test_intersect_many_mixed(self):
+        lists = [
+            arr(1, 2, 3, 70, 100),
+            BitmapTidList.from_array(arr(2, 3, 70, 100), base=0, size=128),
+            arr(2, 70, 101),
+        ]
+        result = intersect_many(lists)
+        got = result.to_array() if isinstance(result, BitmapTidList) else result
+        assert got.tolist() == [2, 70]
+
+    def test_intersect_many_empty_input(self):
+        assert len(intersect_many([])) == 0
+
+
+class TestPackRows:
+    def test_rows_match_packbits(self):
+        block_size = 21
+        arrays = [arr(0, 3, 20), arr(), arr(7)]
+        rows = pack_rows(arrays, base_tid=0, block_size=block_size)
+        assert rows.shape == (3, (block_size + 7) >> 3)
+        for r, tids in enumerate(arrays):
+            dense = np.zeros(block_size, dtype=bool)
+            dense[tids] = True
+            expected = np.packbits(dense, bitorder="little")
+            assert rows[r].tolist() == expected.tolist()
+
+    def test_base_tid_offset(self):
+        rows = pack_rows([arr(10, 12)], base_tid=10, block_size=8)
+        assert rows[0].tolist() == [0b101]
+
+    def test_byte_compatible_with_bitmap_words(self):
+        tids = arr(0, 9, 63, 64, 127)
+        bitmap = BitmapTidList.from_array(tids, base=0, size=128)
+        rows = pack_rows([tids], base_tid=0, block_size=128)
+        assert rows[0].tolist() == bitmap.words.view(np.uint8).tolist()
+
+    def test_packing_is_slice_invariant(self):
+        # Chunked packing must equal packing any partition of the rows.
+        block_size = 16
+        arrays = [arr(i % block_size) for i in range(40)]
+        whole = pack_rows(arrays, base_tid=0, block_size=block_size)
+        parts = [
+            pack_rows(arrays[i : i + 3], base_tid=0, block_size=block_size)
+            for i in range(0, len(arrays), 3)
+        ]
+        assert np.concatenate(parts).tolist() == whole.tolist()

@@ -104,3 +104,34 @@ class TestPlanCover:
         pairs, singles = plan_cover((1, 2), {(3, 4)})
         assert pairs == []
         assert singles == [1, 2]
+
+
+class TestReadOnlyMaterialization:
+    """Pair-list fetches alias store memory and must be frozen."""
+
+    def test_fetched_pair_list_is_frozen(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS)
+        tids = store.fetch(1, (1, 2))
+        assert not tids.flags.writeable
+        with pytest.raises(ValueError):
+            tids[0] = 42
+
+    def test_packed_rows_cache_is_frozen(self):
+        store = PairTidListStore()
+        store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS)
+        index, matrix, lens = store.packed_rows(1, len(BLOCK.tuples))
+        assert set(index) == set(SUPPORTS)
+        assert not matrix.flags.writeable
+        assert not lens.flags.writeable
+
+    def test_packed_rows_before_materialization_is_transient(self):
+        """An unmaterialized block yields an empty result that must NOT
+        be cached — it would go stale when the block arrives."""
+        store = PairTidListStore()
+        index, matrix, lens = store.packed_rows(1, len(BLOCK.tuples))
+        assert index == {} and len(matrix) == 0 and len(lens) == 0
+        store.materialize_block(BLOCK, SUPPORTS.keys(), SUPPORTS)
+        index, matrix, lens = store.packed_rows(1, len(BLOCK.tuples))
+        assert set(index) == set(SUPPORTS)
+        assert lens.tolist() == [3, 3, 3]

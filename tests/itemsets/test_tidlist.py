@@ -126,3 +126,71 @@ class TestTidListStore:
         assert store.count_itemset_in_block(1, (1, 99)) == 0
         # Item 99 (empty list) is fetched first; item 1 is never read.
         assert store.stats.reads == before + 1
+
+
+class TestReadOnlyMaterialization:
+    """Fetches alias store memory; the store must freeze it (buffer-
+    aliasing regression: a caller mutating a fetched list used to
+    corrupt every later count of that block in place)."""
+
+    def test_fetched_array_is_frozen(self):
+        store = store_with_blocks()
+        tids = store.fetch(1, 1)
+        assert not tids.flags.writeable
+        with pytest.raises(ValueError):
+            tids[0] = 99
+
+    def test_fetch_list_is_frozen(self):
+        store = store_with_blocks()
+        tids = store.fetch_list(1, 2)
+        assert not tids.flags.writeable
+
+    def test_mutation_attempt_does_not_corrupt_counts(self):
+        store = store_with_blocks()
+        expected = store.count_itemset_in_block(1, (1, 2))
+        with pytest.raises(ValueError):
+            store.fetch(1, 1)[0] = 99
+        assert store.count_itemset_in_block(1, (1, 2)) == expected
+
+    def test_intersect_sorted_single_list_aliases_frozen_input(self):
+        """intersect_sorted may return an input unchanged; the freeze is
+        what keeps that aliasing safe."""
+        store = store_with_blocks()
+        result = intersect_sorted([store.fetch(1, 1)])
+        assert not result.flags.writeable
+
+    def test_bitmap_words_are_frozen(self):
+        block = make_block(7, [(1,)] * 128 + [(2,)] * 8)
+        store = TidListStore()
+        store.materialize_block(block)
+        dense = store.fetch_list(7, 1)
+        from repro.itemsets.kernels import BitmapTidList
+
+        assert isinstance(dense, BitmapTidList)
+        assert not dense.words.flags.writeable
+
+    def test_packed_catalog_is_frozen_but_rows_are_fresh(self):
+        store = store_with_blocks()
+        import numpy as np
+
+        items = np.array([1, 2, 3], dtype=np.int64)
+        rows, lens, nbytes = store.packed_rows(1, items)
+        # Returned arrays are per-call copies the engine may mutate...
+        assert rows.flags.writeable
+        rows[:] = 0
+        # ...while the underlying cache stays intact and frozen.
+        matrix, cached_nbytes = store._packed_catalog(1)
+        assert not matrix.flags.writeable
+        assert not cached_nbytes.flags.writeable
+        again, lens2, _ = store.packed_rows(1, items)
+        assert again.any()
+        assert lens2.tolist() == lens.tolist()
+
+    def test_packed_rows_absent_items_are_zero(self):
+        store = store_with_blocks()
+        import numpy as np
+
+        rows, lens, nbytes = store.packed_rows(1, np.array([99], dtype=np.int64))
+        assert not rows.any()
+        assert lens.tolist() == [0]
+        assert nbytes.tolist() == [0]

@@ -1,0 +1,12 @@
+"""DML006 fixture: raw np.intersect1d outside the kernel module."""
+
+import numpy as np
+from numpy import intersect1d as isect
+
+
+def count_via_alias(a, b):
+    return len(np.intersect1d(a, b))
+
+
+def count_via_from_import(a, b):
+    return len(isect(a, b))

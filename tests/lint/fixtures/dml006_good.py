@@ -1,0 +1,11 @@
+"""DML006 fixture: intersections routed through the kernel module."""
+
+from repro.itemsets.kernels import count_arrays, intersect_arrays
+
+
+def count_via_kernels(a, b):
+    return count_arrays(a, b)
+
+
+def intersect_via_kernels(a, b):
+    return intersect_arrays(a, b)

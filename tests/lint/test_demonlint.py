@@ -18,7 +18,7 @@ from tools.demonlint.core import PARSE_ERROR  # noqa: E402
 from tools.demonlint.reporter import render_json, render_text  # noqa: E402
 
 FIXTURES = Path(__file__).parent / "fixtures"
-ALL_RULES = ("DML001", "DML002", "DML003", "DML004", "DML005")
+ALL_RULES = ("DML001", "DML002", "DML003", "DML004", "DML005", "DML006")
 
 
 def lint(path: Path, **kwargs):

@@ -14,6 +14,9 @@ Static rules (see ``docs/STATIC_ANALYSIS.md`` for the paper mapping):
   critical-path/off-line split of Algorithm 3.1 stays measurable.
 * **DML005** — no mutable default arguments, no dict mutation during
   iteration, no bare ``except:`` in ``src/repro``.
+* **DML006** — no raw ``numpy.intersect1d`` outside
+  ``itemsets/kernels.py``; TID-list intersections go through the
+  adaptive gallop/merge/bitmap kernels (§3.1.1).
 
 The runtime half lives in :mod:`repro.contracts` (decorators
 ``@maintainer_contract`` and ``@pure_unless_cloned``).
