@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from benchmarks.common import print_table
+from repro.core.session import MiningSession
 from repro.datagen.proxytrace import ProxyTraceGenerator
 from repro.deviation.focus import ItemsetDeviation
 from repro.deviation.similarity import BlockSimilarity
@@ -28,14 +29,25 @@ MINSUP = 0.02
 
 
 def run_stream():
-    """Feed the whole 6-hour stream; collect per-block reports."""
+    """Feed the whole 6-hour stream through a detection-only session;
+    collect the per-block pattern reports."""
     blocks = ProxyTraceGenerator(scale=SCALE, seed=4).blocks(GRANULARITY)
     similarity = BlockSimilarity(
         ItemsetDeviation(minsup=MINSUP, max_size=2), alpha=0.95, method="chi2"
     )
-    miner = CompactSequenceMiner(similarity)
-    reports = [miner.observe(block) for block in blocks]
-    return blocks, miner, reports
+    session = MiningSession(pattern_miner=CompactSequenceMiner(similarity))
+    reports = [session.observe(block).patterns for block in blocks]
+    # Telemetry parity: the spine's counters aggregate what the
+    # per-block reports carry.
+    snapshot = session.telemetry.snapshot()
+    assert snapshot.counter("patterns.comparisons") == sum(
+        report.comparisons for report in reports
+    )
+    assert snapshot.counter("patterns.missing_regions") == sum(
+        report.missing_regions for report in reports
+    )
+    assert snapshot.phase_calls("patterns.observe") == len(blocks)
+    return blocks, session.pattern_miner, reports
 
 
 def test_fig10_stream(benchmark):

@@ -25,6 +25,7 @@ from repro.itemsets.borders import BordersMaintainer, ItemsetMiningContext
 from repro.itemsets.counting import ECUTCounter, ECUTPlusCounter, PTScanCounter
 from repro.itemsets.kernels import force_kernel
 from repro.itemsets.model import FrequentItemsetModel
+from repro.storage.telemetry import Telemetry
 
 DATASETS = {
     "2M": "2M.20L.1I.4pats.4plen",
@@ -91,6 +92,13 @@ def test_fig2_table_and_shape(benchmark):
             context.tidlists.stats.bytes_read + context.pairs.stats.bytes_read
         )
 
+    def read_hits(context):
+        return (
+            context.block_store.stats.cache_hits
+            + context.tidlists.stats.cache_hits
+            + context.pairs.stats.cache_hits
+        )
+
     def sweep():
         rows = []
         times: dict[tuple[str, str, int], float] = {}
@@ -98,16 +106,25 @@ def test_fig2_table_and_shape(benchmark):
         agreement: dict[tuple[str, int], dict] = {}
         for dataset in DATASETS:
             ctx, _model, sample, counters, block_ids = fig2_setup(dataset)
+            # Telemetry parity: the spine sees the same live registry
+            # the direct store counters above read from.
+            spine = Telemetry()
+            spine.attach_io("itemsets", ctx.registry)
             for size in SIZES:
                 itemsets = sample[:size]
                 row = [dataset, size]
                 for name, counter in counters.items():
                     before = read_bytes(ctx, name)
+                    hits_before = read_hits(ctx)
+                    spine_before = spine.snapshot()
                     start = time.perf_counter()
                     counts = counter.count(itemsets, block_ids)
                     elapsed = time.perf_counter() - start
                     times[(dataset, name, size)] = elapsed
                     fetched[(dataset, name, size)] = read_bytes(ctx, name) - before
+                    spine_io = spine.delta_since(spine_before).io_totals()
+                    assert spine_io.bytes_read == fetched[(dataset, name, size)]
+                    assert spine_io.cache_hits == read_hits(ctx) - hits_before
                     row.append(fmt_ms(elapsed))
                     key = (dataset, size)
                     agreement.setdefault(key, counts)

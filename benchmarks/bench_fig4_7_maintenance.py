@@ -72,8 +72,16 @@ def run_maintenance(figure: str, counter: str, size: int) -> MaintenanceStats:
     model = base_model(minsup).copy()
     if isinstance(maintainer.counter, ECUTPlusCounter):
         maintainer.materialize_pairs_for_block(base_block(), model)
+    before = maintainer.telemetry.snapshot()
     maintainer.add_block(model, second)
-    return maintainer.last_stats
+    stats = maintainer.last_stats
+    # Telemetry parity: the spine's phase spans are the same measured
+    # values the per-step MaintenanceStats carries.
+    delta = maintainer.telemetry.delta_since(before)
+    assert delta.phase_seconds("borders.detection") == stats.detection_seconds
+    assert delta.phase_seconds("borders.update") == stats.update_seconds
+    assert delta.counter("borders.candidates_counted") == stats.candidates_counted
+    return stats
 
 
 @pytest.mark.parametrize("figure", list(FIGURES))

@@ -24,7 +24,8 @@ import pytest
 
 from benchmarks.common import print_table, quest_blocks
 from repro.core.bss import WindowRelativeBSS
-from repro.core.gemm import GEMM
+from repro.core.session import MiningSession
+from repro.core.windows import MostRecentWindow
 from repro.itemsets.borders import BordersMaintainer, ItemsetMiningContext
 
 DATASET = "2M.20L.1I.4pats.4plen"
@@ -38,15 +39,22 @@ def stream_blocks():
 
 
 def run_gemm(bss=None):
-    """Feed the stream through GEMM; collect per-slide response times."""
+    """Feed the stream through the session engine; collect per-slide
+    response times from the GEMM accounting on each report."""
     maintainer = BordersMaintainer(MINSUP, ItemsetMiningContext(), counter="ecut")
-    gemm = GEMM(maintainer, w=W, bss=bss)
-    responses, offline = [], []
+    session = MiningSession(maintainer, span=MostRecentWindow(W), bss=bss)
+    responses, offline, all_critical = [], [], []
     for block in stream_blocks():
-        report = gemm.observe(block)
-        if gemm.is_warmed_up:
-            responses.append(report.critical_seconds)
-            offline.append(report.offline_seconds)
+        report = session.observe(block)
+        all_critical.append(report.gemm.critical_seconds)
+        if session.engine.is_warmed_up:
+            responses.append(report.gemm.critical_seconds)
+            offline.append(report.gemm.offline_seconds)
+    # Telemetry parity: the spine's gemm.critical phase accumulates the
+    # same measured values the per-slide reports carry, warm-up included.
+    snapshot = session.telemetry.snapshot()
+    assert snapshot.phase_calls("gemm.critical") == N_BLOCKS
+    assert snapshot.phase_seconds("gemm.critical") == sum(all_critical)
     return responses, offline
 
 

@@ -11,13 +11,12 @@ archive, matching the paper's response-time argument.
 Run:  python examples/document_clustering.py
 """
 
-import time
-
 import numpy as np
 
 from repro import DemonMonitor
 from repro.clustering import BirchPlusMaintainer, birch_cluster
 from repro.datagen import ClusterDataGenerator, ClusterDataParams
+from repro.storage.telemetry import Telemetry
 
 
 def main() -> None:
@@ -35,9 +34,10 @@ def main() -> None:
     archive_size = 0
     for batch in range(1, 6):
         block = generator.block(batch, count=1_500, label=f"batch {batch}")
-        start = time.perf_counter()
-        monitor.observe(block)
-        elapsed = time.perf_counter() - start
+        # The session's telemetry spine times every phase; the report
+        # carries this block's slice of it.
+        report = monitor.observe(block)
+        elapsed = report.telemetry.phase_seconds("session.observe")
         archive_size += len(block)
         state = monitor.current_model()
         print(f"batch {batch}: archive={archive_size:>6} docs, "
@@ -45,13 +45,15 @@ def main() -> None:
               f"sub-clusters={state.tree.n_leaf_entries}, "
               f"clusters={state.clusters.k}")
 
-    # Compare against non-incremental BIRCH over the whole archive.
+    # Compare against non-incremental BIRCH over the whole archive,
+    # timed through its own spine (phase 1 insert + phase 2 clustering).
     all_points = [p for blk in monitor.snapshot for p in blk.tuples]
-    start = time.perf_counter()
-    scratch, _tree, _timings = birch_cluster(
-        all_points, k=6, threshold=2.0, max_leaf_entries=256
+    rerun_spine = Telemetry()
+    scratch, _tree, timings = birch_cluster(
+        all_points, k=6, threshold=2.0, max_leaf_entries=256,
+        telemetry=rerun_spine,
     )
-    rerun = time.perf_counter() - start
+    rerun = timings.phase1_seconds + timings.phase2_seconds
     print(f"\nfull BIRCH re-run over {len(all_points)} docs: {rerun * 1e3:.1f} ms")
 
     state = monitor.current_model()

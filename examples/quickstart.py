@@ -44,6 +44,13 @@ def main() -> None:
 
     print("\nBlocks mined so far:", monitor.current_selection())
 
+    # Every phase and byte the session drove is on its telemetry spine.
+    snapshot = monitor.telemetry.snapshot()
+    print(f"maintenance time: "
+          f"{snapshot.phase_seconds('session.observe') * 1e3:.1f} ms "
+          f"over {snapshot.phase_calls('session.observe')} blocks, "
+          f"{snapshot.io_totals().bytes_read:,} bytes read")
+
 
 if __name__ == "__main__":
     main()

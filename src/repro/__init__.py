@@ -9,7 +9,9 @@ Core (``repro.core``)
     (:class:`UnrestrictedWindow` / :class:`MostRecentWindow`), block
     selection sequences (:class:`WindowIndependentBSS` /
     :class:`WindowRelativeBSS`), the generic most-recent-window
-    maintainer :class:`GEMM`, and the one-stop :class:`DemonMonitor`.
+    maintainer :class:`GEMM`, and the checkpointable one-stop driver
+    :class:`MiningSession` (with :class:`DemonMonitor` as its legacy
+    facade).
 
 Frequent itemsets (``repro.itemsets``)
     Apriori, the BORDERS incremental maintainer with PT-Scan / ECUT /
@@ -41,8 +43,10 @@ Quickstart
 from repro.core import (
     GEMM,
     Block,
+    CheckpointError,
     DemonMonitor,
     GEMMUpdateReport,
+    MiningSession,
     MonitorReport,
     MostRecentWindow,
     Snapshot,
@@ -69,4 +73,6 @@ __all__ = [
     "GEMMUpdateReport",
     "DemonMonitor",
     "MonitorReport",
+    "MiningSession",
+    "CheckpointError",
 ]

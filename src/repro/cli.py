@@ -4,11 +4,16 @@ Subcommands:
 
 * ``generate`` — write a synthetic dataset (Quest transactions, cluster
   points, or the 21-day proxy trace) as JSON lines, one block per line.
-* ``monitor`` — stream a Quest workload through a DemonMonitor and
+* ``monitor`` — stream a Quest workload through a MiningSession and
   print per-block model summaries (UW or MRW, optional BSS bits).
 * ``patterns`` — run compact-sequence discovery over the proxy trace at
   a chosen granularity and print the discovered selection sequences.
 * ``info`` — print the library's subsystem inventory.
+
+``monitor`` and ``patterns`` accept ``--json``, replacing the text
+report with a single ``{"schema": 1, "rows": [...]}`` document whose
+rows follow the benchmark ``emit_json`` convention (a ``"bench"`` key
+plus flat fields) and carry the session's telemetry report.
 
 The CLI is a thin veneer over the public API; anything here is three
 lines of library code.
@@ -53,7 +58,7 @@ def _add_generate(subparsers) -> None:
 
 def _add_monitor(subparsers) -> None:
     parser = subparsers.add_parser(
-        "monitor", help="stream a Quest workload through DemonMonitor"
+        "monitor", help="stream a Quest workload through a MiningSession"
     )
     parser.add_argument("--blocks", type=int, default=6)
     parser.add_argument("--block-size", type=int, default=800)
@@ -71,6 +76,10 @@ def _add_monitor(subparsers) -> None:
         "window-independent prefix otherwise)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document (benchmark row format) instead of text",
+    )
 
 
 def _add_patterns(subparsers) -> None:
@@ -83,6 +92,10 @@ def _add_patterns(subparsers) -> None:
     parser.add_argument("--alpha", type=float, default=0.95)
     parser.add_argument("--min-length", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document (benchmark row format) instead of text",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,7 +166,7 @@ def cmd_generate(args, out) -> int:
 
 
 def cmd_monitor(args, out) -> int:
-    from repro import DemonMonitor, MostRecentWindow
+    from repro import MiningSession, MostRecentWindow
     from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
     from repro.datagen import QuestGenerator, QuestParams
     from repro.itemsets import BordersMaintainer
@@ -169,7 +182,7 @@ def cmd_monitor(args, out) -> int:
         else:
             bss = WindowIndependentBSS(bits, default=1)
 
-    monitor = DemonMonitor(
+    session = MiningSession(
         BordersMaintainer(args.minsup, counter=args.counter), span=span, bss=bss
     )
     params = QuestParams(
@@ -180,19 +193,43 @@ def cmd_monitor(args, out) -> int:
         avg_pattern_length=3,
     )
     generator = QuestGenerator(params, seed=args.seed)
+    rows = []
     for block_id in range(1, args.blocks + 1):
-        monitor.observe(generator.block(block_id, count=args.block_size))
-        model = monitor.current_model()
-        print(
-            f"block {block_id}: selection={monitor.current_selection()} "
-            f"|L|={len(model.frequent)} |NB-|={len(model.border)} "
-            f"N={model.n_transactions}",
-            file=out,
+        report = session.observe(
+            generator.block(block_id, count=args.block_size)
         )
+        model = session.current_model()
+        if args.json:
+            delta = report.telemetry
+            io = delta.io_totals()
+            rows.append(
+                {
+                    "bench": "cli_monitor",
+                    "t": block_id,
+                    "selection": session.current_selection(),
+                    "frequent": len(model.frequent),
+                    "border": len(model.border),
+                    "n_transactions": model.n_transactions,
+                    "model_updated": report.model_updated,
+                    "bytes_read": io.bytes_read,
+                    "cache_hits": io.cache_hits,
+                    "telemetry": delta.report(),
+                }
+            )
+        else:
+            print(
+                f"block {block_id}: selection={session.current_selection()} "
+                f"|L|={len(model.frequent)} |NB-|={len(model.border)} "
+                f"N={model.n_transactions}",
+                file=out,
+            )
+    if args.json:
+        print(json.dumps({"schema": 1, "rows": rows}), file=out)
     return 0
 
 
 def cmd_patterns(args, out) -> int:
+    from repro import MiningSession
     from repro.datagen import ProxyTraceGenerator
     from repro.deviation import BlockSimilarity, ItemsetDeviation
     from repro.patterns import CompactSequenceMiner, extract_cyclic, period_of
@@ -207,9 +244,38 @@ def cmd_patterns(args, out) -> int:
             method="chi2",
         )
     )
+    session = MiningSession(pattern_miner=miner)
     for block in blocks:
-        miner.observe(block)
-    sequences = miner.distinct_sequences(min_length=args.min_length)
+        session.observe(block)
+    sequences = session.discovered_patterns(min_length=args.min_length)
+    if args.json:
+        snapshot = session.telemetry.snapshot()
+        rows = [
+            {
+                "bench": "cli_patterns",
+                "t": session.t,
+                "granularity": args.granularity,
+                "sequences": len(sequences),
+                "comparisons": snapshot.counter("patterns.comparisons"),
+                "scans": snapshot.counter("patterns.scans"),
+                "missing_regions": snapshot.counter("patterns.missing_regions"),
+                "telemetry": snapshot.report(),
+            }
+        ]
+        for sequence in sequences:
+            cyclic = extract_cyclic(sequence)
+            period = period_of(cyclic.block_ids) if cyclic else None
+            rows.append(
+                {
+                    "bench": "cli_patterns_sequence",
+                    "blocks": sequence.block_ids,
+                    "length": len(sequence),
+                    "cyclic": cyclic.block_ids if cyclic and period else None,
+                    "period": period,
+                }
+            )
+        print(json.dumps({"schema": 1, "rows": rows}), file=out)
+        return 0
     print(f"{len(sequences)} compact sequences "
           f"(granularity {args.granularity}h):", file=out)
     for sequence in sequences:
@@ -231,7 +297,7 @@ def cmd_info(out) -> int:
         f"repro {__version__} — DEMON (ICDE 2000) reproduction",
         "",
         "subsystems:",
-        "  repro.core        data span, BSS, GEMM, DemonMonitor",
+        "  repro.core        data span, BSS, GEMM, MiningSession",
         "  repro.itemsets    Apriori, BORDERS, PT-Scan/ECUT/ECUT+, FUP, rules",
         "  repro.clustering  BIRCH(+), CF-tree, K-Means, incremental DBSCAN",
         "  repro.trees       decision trees, incremental maintainers",

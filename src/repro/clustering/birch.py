@@ -22,7 +22,7 @@ from repro.clustering.cftree import CFTree
 from repro.clustering.hierarchical import agglomerate
 from repro.clustering.kmeans import weighted_kmeans
 from repro.clustering.model import Cluster, ClusterModel
-from repro.storage.iostats import Stopwatch
+from repro.storage.telemetry import Telemetry
 
 
 @dataclass
@@ -96,12 +96,16 @@ def birch_cluster(
     method: str = "agglomerative",
     seed: int = 0,
     block_ids: Sequence[int] = (),
+    telemetry: Telemetry | None = None,
 ) -> tuple[ClusterModel, CFTree, BirchTimings]:
     """Run both BIRCH phases over a dataset from scratch.
 
     Returns the model, the phase-1 CF-tree (so callers can continue
-    inserting), and the phase timing breakdown.
+    inserting), and the phase timing breakdown.  ``telemetry`` lets a
+    caller accumulate the phases on a shared spine; a private one is
+    used when omitted.
     """
+    spine = telemetry if telemetry is not None else Telemetry()
     timings = BirchTimings()
     tree = CFTree(
         threshold=threshold,
@@ -109,11 +113,13 @@ def birch_cluster(
         leaf_capacity=leaf_capacity,
         max_leaf_entries=max_leaf_entries,
     )
-    watch = Stopwatch().start()
-    tree.insert_points(points)
-    timings.phase1_seconds = watch.stop()
+    with spine.phase("birch.phase1") as phase1:
+        tree.insert_points(points)
+    timings.phase1_seconds = phase1.seconds
 
-    watch = Stopwatch().start()
-    model = build_model(tree.leaf_entries(), k, block_ids, method=method, seed=seed)
-    timings.phase2_seconds = watch.stop()
+    with spine.phase("birch.phase2") as phase2:
+        model = build_model(
+            tree.leaf_entries(), k, block_ids, method=method, seed=seed
+        )
+    timings.phase2_seconds = phase2.seconds
     return model, tree, timings

@@ -26,7 +26,7 @@ from repro.clustering.model import ClusterModel
 from repro.contracts import maintainer_contract, pure_unless_cloned
 from repro.core.blocks import Block
 from repro.core.maintainer import IncrementalModelMaintainer
-from repro.storage.iostats import Stopwatch
+from repro.storage.telemetry import Telemetry
 
 
 @dataclass
@@ -78,6 +78,8 @@ class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
         self.method = method
         self.seed = seed
         self.last_timings = BirchTimings()
+        #: Instrumentation spine; a session rebinds this onto its own.
+        self.telemetry = Telemetry()
 
     def _new_tree(self) -> CFTree:
         return CFTree(
@@ -101,13 +103,13 @@ class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
     def add_block(self, model: BirchState, block: Block[Point]) -> BirchState:
         """Resume phase 1 on the new block, then re-run phase 2."""
         timings = BirchTimings()
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("birch.phase1").start()
         model.tree.insert_points(block.tuples)
-        timings.phase1_seconds = watch.stop()
+        timings.phase1_seconds = span.stop()
         model.selected_block_ids.append(block.block_id)
         model.selected_block_ids.sort()
 
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("birch.phase2").start()
         model.clusters = build_model(
             model.tree.leaf_entries(),
             self.k,
@@ -115,7 +117,7 @@ class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
             method=self.method,
             seed=self.seed,
         )
-        timings.phase2_seconds = watch.stop()
+        timings.phase2_seconds = span.stop()
         self.last_timings = timings
         return model
 

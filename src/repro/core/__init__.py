@@ -14,7 +14,14 @@ from repro.core.maintainer import (
     IncrementalModelMaintainer,
     UnrestrictedWindowMaintainer,
 )
-from repro.core.monitor import DemonMonitor, MonitorReport
+from repro.core.monitor import DemonMonitor
+from repro.core.session import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    MiningSession,
+    MonitorReport,
+    checkpoint_key,
+)
 from repro.core.windows import BlockRange, MostRecentWindow, UnrestrictedWindow
 
 __all__ = [
@@ -38,4 +45,8 @@ __all__ = [
     "HierarchicalStream",
     "DemonMonitor",
     "MonitorReport",
+    "MiningSession",
+    "CheckpointError",
+    "CHECKPOINT_FORMAT",
+    "checkpoint_key",
 ]

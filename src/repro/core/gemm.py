@@ -28,12 +28,13 @@ shared a model diverge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generic, TypeVar, cast
+from typing import TYPE_CHECKING, Any, Generic, TypeVar, cast
 
 from repro.core.blocks import Block
 from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
 from repro.core.maintainer import IncrementalModelMaintainer
-from repro.storage.iostats import Stopwatch
+from repro.storage.persist import load_model, save_model
+from repro.storage.telemetry import Telemetry
 
 if TYPE_CHECKING:
     from repro.storage.persist import ModelVault
@@ -115,12 +116,18 @@ class GEMM(Generic[TModel, T]):
         #: memory; the other future-window models live serialized in
         #: the vault — the paper's §3.2.3 disk-resident collection.
         self.vault = vault
+        #: Instrumentation spine; a session rebinds this onto its own.
+        self.telemetry = Telemetry()
         self._t = 0
         # Slot k holds the model for the overlapping prefix of future
         # window f_k; slot 0 is the current model.  Slots store keys into
         # the dedup table ``_models`` (or the vault).
         self._slots: list[ModelKey] = [EMPTY_KEY] * w
         self._models: dict[ModelKey, TModel] = {EMPTY_KEY: maintainer.empty_model()}
+        # Keys this GEMM has spilled to the vault.  Stale ones are
+        # deleted individually (never via a vault-wide retain) so other
+        # tenants of the same vault — e.g. session checkpoints — survive.
+        self._spilled: set[ModelKey] = set()
 
     @property
     def t(self) -> int:
@@ -210,15 +217,17 @@ class GEMM(Generic[TModel, T]):
 
         # Execute the time-critical update (new slot 0) first, then the
         # off-line ones, metering each category separately (§3.2.3).
-        watch = Stopwatch().start()
-        invocations = self._realize(plans[0], block, new_models)
-        report.critical_seconds = watch.stop()
+        with self.telemetry.phase("gemm.critical") as critical_span:
+            invocations = self._realize(plans[0], block, new_models)
+        report.critical_seconds = critical_span.seconds
         report.critical_invocations = invocations
+        self.telemetry.increment("gemm.invocations.critical", invocations)
 
-        watch = Stopwatch().start()
-        for plan in plans[1:]:
-            report.offline_invocations += self._realize(plan, block, new_models)
-        report.offline_seconds = watch.stop()
+        with self.telemetry.phase("gemm.offline") as offline_span:
+            for plan in plans[1:]:
+                report.offline_invocations += self._realize(plan, block, new_models)
+        report.offline_seconds = offline_span.seconds
+        self.telemetry.increment("gemm.invocations.offline", report.offline_invocations)
 
         self._t = new_t
         self._slots = [plan.new_key for plan in plans]
@@ -232,7 +241,9 @@ class GEMM(Generic[TModel, T]):
             spilled = live_keys - memory_keys
             for key in spilled:
                 self.vault.put(key, new_models[key])
-            self.vault.retain_only(spilled)
+            for key in self._spilled - spilled:
+                self.vault.delete(key)
+            self._spilled = spilled
             self._models = {key: new_models[key] for key in memory_keys}
         report.distinct_models = self.distinct_model_count()
         return report
@@ -288,3 +299,49 @@ class GEMM(Generic[TModel, T]):
             source = self.maintainer.clone(source)
         new_models[plan.new_key] = self.maintainer.add_block(source, block)
         return 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing (the session layer's engine contract)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable snapshot of the whole collection of models.
+
+        Every distinct model (including the empty model and any
+        vault-resident ones) is serialized, so a session checkpoint is
+        self-contained even when the vault it is written to is the same
+        one this GEMM spills into.
+        """
+        keys = set(self._slots) | {EMPTY_KEY}
+        return {
+            "t": self._t,
+            "slots": [sorted(key) for key in self._slots],
+            "models": {
+                tuple(sorted(key)): save_model(self._load(key)) for key in keys
+            },
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore the slot table and models saved by :meth:`state_dict`.
+
+        With a vault configured, the §3.2.3 in-memory/disk split is
+        re-established: only the current and empty models stay live,
+        the rest are re-spilled.
+        """
+        self._t = cast(int, state["t"])
+        self._slots = [frozenset(ids) for ids in cast("list[list[int]]", state["slots"])]
+        blobs = cast("dict[tuple[int, ...], bytes]", state["models"])
+        revived: dict[ModelKey, TModel] = {
+            frozenset(ids): cast("TModel", load_model(blob))
+            for ids, blob in blobs.items()
+        }
+        if self.vault is None:
+            self._models = revived
+            self._spilled = set()
+            return
+        memory_keys = {self._slots[0], EMPTY_KEY}
+        self._models = {key: revived[key] for key in memory_keys}
+        spilled = set(revived) - memory_keys
+        for key in spilled:
+            self.vault.put(key, revived[key])
+        self._spilled = spilled

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
-from typing import Generic, TypeVar
+from typing import Any, Generic, TypeVar, cast
 
 from repro.core.blocks import Block
 from repro.core.bss import WindowIndependentBSS
+from repro.storage.persist import load_model, save_model
 
 TModel = TypeVar("TModel")
 T = TypeVar("T")
@@ -113,3 +114,21 @@ class UnrestrictedWindowMaintainer(Generic[TModel, T]):
             self._model = self.maintainer.add_block(self._model, block)
             self._selected.append(block.block_id)
         return self._model
+
+    # ------------------------------------------------------------------
+    # Checkpointing (the session layer's engine contract)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable snapshot: clock, selection, serialized model."""
+        return {
+            "t": self._t,
+            "selected": list(self._selected),
+            "model": save_model(self._model),
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+        self._t = cast(int, state["t"])
+        self._selected = list(cast("list[int]", state["selected"]))
+        self._model = cast("TModel", load_model(cast(bytes, state["model"])))

@@ -1,147 +1,36 @@
-"""DemonMonitor — the paper's whole problem space behind one facade.
+"""DemonMonitor — the legacy facade over :class:`MiningSession`.
 
-Figure 11 enumerates DEMON's problem space as the cross product of the
-data span dimension {unrestricted window, most recent window} and the
-two objectives {model maintenance, pattern detection}.  A
-:class:`DemonMonitor` is configured with one point (or row) of that
-space: a model class (via its incremental maintainer ``A_M``), a data
-span option, a block selection sequence, and optionally a pattern
-detector; each arriving block then updates everything in one call.
+Historically the one-stop driver for the paper's problem space; the
+driver tier now lives in :mod:`repro.core.session`, which adds the
+unified telemetry spine and checkpoint/restore.  ``DemonMonitor`` is
+kept as a thin facade for existing callers: it *is* a
+:class:`~repro.core.session.MiningSession` (same constructor surface,
+same :class:`MonitorReport`), just under its original name.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Generic, TypeVar
+from typing import TypeVar
 
-from repro.core.blocks import Block, Snapshot
-from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
-from repro.core.gemm import GEMM, GEMMUpdateReport
-from repro.core.maintainer import (
-    IncrementalModelMaintainer,
-    UnrestrictedWindowMaintainer,
+from repro.core.session import (
+    BSSOption,
+    MiningSession,
+    MonitorReport,
+    SpanOption,
 )
-from repro.core.windows import MostRecentWindow, UnrestrictedWindow
-
-if TYPE_CHECKING:
-    from repro.patterns.compact import (
-        CompactSequence,
-        CompactSequenceMiner,
-        PatternUpdateReport,
-    )
-    from repro.storage.persist import ModelVault
 
 TModel = TypeVar("TModel")
 T = TypeVar("T")
 
-SpanOption = UnrestrictedWindow | MostRecentWindow
-BSSOption = WindowIndependentBSS | WindowRelativeBSS | None
+__all__ = ["DemonMonitor", "MonitorReport", "SpanOption", "BSSOption"]
 
 
-@dataclass
-class MonitorReport:
-    """What one :meth:`DemonMonitor.observe` call did.
-
-    Attributes:
-        t: Identifier of the block just added.
-        model_updated: Whether the current model changed (a 0-bit in
-            the BSS carries the model over unchanged).
-        gemm: GEMM accounting when running under the MRW option.
-        patterns: Pattern-detection accounting when enabled.
-    """
-
-    t: int
-    model_updated: bool = False
-    gemm: GEMMUpdateReport | None = None
-    patterns: PatternUpdateReport | None = None
-
-
-class DemonMonitor(Generic[TModel, T]):
+class DemonMonitor(MiningSession[TModel, T]):
     """Mining and monitoring one systematically evolving dataset.
 
-    Args:
-        maintainer: The incremental model maintainer ``A_M``
-            (e.g. :class:`~repro.itemsets.BordersMaintainer` or
-            :class:`~repro.clustering.BirchPlusMaintainer`).
-        span: Data span option; defaults to the unrestricted window.
-        bss: Block selection sequence.  A window-relative BSS requires
-            the MRW option (§2.3: the UW/MRW distinction is what makes
-            window-relative sequences expressible at all).
-        pattern_miner: Optional
-            :class:`~repro.patterns.CompactSequenceMiner`; when given,
-            every observed block also feeds pattern detection.
-        keep_snapshot: Whether to retain all blocks in a
-            :class:`~repro.core.blocks.Snapshot` (needed only when the
-            caller wants to re-derive models or label datasets later).
-        vault: Optional :class:`~repro.storage.persist.ModelVault` for
-            the MRW option: GEMM then keeps only the current model in
-            memory (§3.2.3).  Ignored under the unrestricted window,
-            which maintains a single model anyway.
+    A facade preserved for source compatibility — construction,
+    :meth:`~repro.core.session.MiningSession.observe`, and reporting
+    are inherited unchanged from
+    :class:`~repro.core.session.MiningSession`, which also provides
+    ``checkpoint()`` / ``restore()`` and the shared telemetry spine.
     """
-
-    def __init__(
-        self,
-        maintainer: IncrementalModelMaintainer[TModel, T],
-        span: SpanOption | None = None,
-        bss: BSSOption = None,
-        pattern_miner: CompactSequenceMiner | None = None,
-        keep_snapshot: bool = False,
-        vault: ModelVault | None = None,
-    ) -> None:
-        self.span = span if span is not None else UnrestrictedWindow()
-        if isinstance(bss, WindowRelativeBSS) and not isinstance(
-            self.span, MostRecentWindow
-        ):
-            raise ValueError(
-                "a window-relative BSS is only meaningful under the most "
-                "recent window option"
-            )
-        self.maintainer = maintainer
-        self.pattern_miner = pattern_miner
-        self.snapshot: Snapshot[T] | None = Snapshot() if keep_snapshot else None
-
-        if isinstance(self.span, MostRecentWindow):
-            self._engine: GEMM[TModel, T] | UnrestrictedWindowMaintainer[TModel, T]
-            self._engine = GEMM(maintainer, self.span.w, bss=bss, vault=vault)
-        else:
-            if isinstance(bss, WindowRelativeBSS):  # unreachable, guarded above
-                raise AssertionError
-            self._engine = UnrestrictedWindowMaintainer(maintainer, bss=bss)
-
-    @property
-    def t(self) -> int:
-        """Identifier of the latest observed block."""
-        return self._engine.t
-
-    def current_model(self) -> TModel:
-        """The model on the configured span w.r.t. the configured BSS."""
-        if isinstance(self._engine, GEMM):
-            return self._engine.current_model()
-        return self._engine.model
-
-    def current_selection(self) -> list[int]:
-        """Identifiers of the blocks the current model is extracted from."""
-        if isinstance(self._engine, GEMM):
-            return sorted(self._engine.current_selection())
-        return self._engine.selected_block_ids
-
-    def observe(self, block: Block[T]) -> MonitorReport:
-        """Feed the next arriving block to every configured objective."""
-        report = MonitorReport(t=block.block_id)
-        if self.snapshot is not None:
-            self.snapshot.extend(block)
-        before = self.current_selection()
-        if isinstance(self._engine, GEMM):
-            report.gemm = self._engine.observe(block)
-        else:
-            self._engine.observe(block)
-        report.model_updated = self.current_selection() != before
-        if self.pattern_miner is not None:
-            report.patterns = self.pattern_miner.observe(block)
-        return report
-
-    def discovered_patterns(self, min_length: int = 2) -> list[CompactSequence]:
-        """Compact sequences found so far (empty without a miner)."""
-        if self.pattern_miner is None:
-            return []
-        return self.pattern_miner.distinct_sequences(min_length=min_length)

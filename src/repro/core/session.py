@@ -1,0 +1,383 @@
+"""MiningSession — one checkpointable driver for DEMON's problem space.
+
+Figure 11 enumerates DEMON's problem space as the cross product of the
+data span dimension {unrestricted window, most recent window} and the
+two objectives {model maintenance, pattern detection}.  A
+:class:`MiningSession` owns one point (or row) of that space — the span
+option, the block selection sequence, the incremental maintainer
+``A_M``, and optionally the compact-sequence miner — plus the two
+cross-cutting concerns the individual engines cannot provide alone:
+
+* **a unified telemetry spine** — every subsystem the session drives
+  (BORDERS detection/update, ECUT/ECUT+ counting, BIRCH+ rebuilds,
+  GEMM critical/off-line updates, FOCUS deviation scans, pattern
+  matrix growth) reports phases, counters, and I/O into one shared
+  :class:`~repro.storage.telemetry.Telemetry`; and
+* **checkpoint/restore** — :meth:`checkpoint` serializes the whole
+  session (engine state including GEMM's collection of models,
+  the pattern miner's deviation matrix and sequences, the optional
+  snapshot, and telemetry totals) into a
+  :class:`~repro.storage.persist.ModelVault`, and
+  :meth:`MiningSession.restore` resumes mid-stream in a fresh process
+  with models identical to an uninterrupted run.
+
+The legacy :class:`~repro.core.monitor.DemonMonitor` is a thin facade
+over this class.  The checkpoint format is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generic, TypeVar
+
+from repro.core.blocks import Block, Snapshot
+from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
+from repro.core.gemm import GEMM, GEMMUpdateReport
+from repro.core.maintainer import (
+    IncrementalModelMaintainer,
+    UnrestrictedWindowMaintainer,
+)
+from repro.core.windows import MostRecentWindow, UnrestrictedWindow
+from repro.storage.telemetry import Telemetry, TelemetrySnapshot, bind_telemetry
+
+if TYPE_CHECKING:
+    from repro.patterns.compact import (
+        CompactSequence,
+        CompactSequenceMiner,
+        PatternUpdateReport,
+    )
+    from repro.storage.persist import ModelVault
+
+TModel = TypeVar("TModel")
+T = TypeVar("T")
+
+SpanOption = UnrestrictedWindow | MostRecentWindow
+BSSOption = WindowIndependentBSS | WindowRelativeBSS | None
+
+#: Version stamp of the checkpoint payload layout.
+CHECKPOINT_FORMAT = 1
+
+#: Vault-key namespace for session checkpoints; the full key is
+#: ``(CHECKPOINT_NAMESPACE, session_name)``, which never collides with
+#: GEMM's frozenset-of-block-ids spill keys.
+CHECKPOINT_NAMESPACE = "demon-session"
+
+
+class CheckpointError(RuntimeError):
+    """A session checkpoint could not be written or restored."""
+
+
+def checkpoint_key(name: str) -> tuple[str, str]:
+    """The vault key a session of this name checkpoints under."""
+    return (CHECKPOINT_NAMESPACE, name)
+
+
+@dataclass
+class MonitorReport:
+    """What one :meth:`MiningSession.observe` call did.
+
+    Attributes:
+        t: Identifier of the block just added.
+        model_updated: Whether the current model changed (a 0-bit in
+            the BSS carries the model over unchanged).
+        gemm: GEMM accounting when running under the MRW option.
+        patterns: Pattern-detection accounting when enabled.
+        telemetry: This observation's slice of the unified spine —
+            phase timings, counter events, and I/O deltas accumulated
+            while processing this block.
+    """
+
+    t: int
+    model_updated: bool = False
+    gemm: GEMMUpdateReport | None = None
+    patterns: PatternUpdateReport | None = None
+    telemetry: TelemetrySnapshot | None = None
+
+
+class MiningSession(Generic[TModel, T]):
+    """One resumable mining-and-monitoring session (Figure 11 driver).
+
+    Args:
+        maintainer: The incremental model maintainer ``A_M``
+            (e.g. :class:`~repro.itemsets.BordersMaintainer` or
+            :class:`~repro.clustering.BirchPlusMaintainer`).  ``None``
+            runs a detection-only session (pattern mining without
+            model maintenance); at least one objective is required.
+        span: Data span option; defaults to the unrestricted window.
+        bss: Block selection sequence.  A window-relative BSS requires
+            the MRW option (§2.3: the UW/MRW distinction is what makes
+            window-relative sequences expressible at all).
+        pattern_miner: Optional
+            :class:`~repro.patterns.CompactSequenceMiner`; when given,
+            every observed block also feeds pattern detection.
+        keep_snapshot: Whether to retain all blocks in a
+            :class:`~repro.core.blocks.Snapshot` (needed only when the
+            caller wants to re-derive models or label datasets later).
+        vault: Optional :class:`~repro.storage.persist.ModelVault`.
+            Under the MRW option GEMM keeps only the current model in
+            memory and spills the rest here (§3.2.3); it is also the
+            default target of :meth:`checkpoint`.
+        telemetry: The instrumentation spine; a private one is created
+            when omitted, and every driven subsystem is rebound onto it.
+        name: Checkpoint name — sessions with distinct names can share
+            one vault.
+    """
+
+    def __init__(
+        self,
+        maintainer: IncrementalModelMaintainer[TModel, T] | None = None,
+        span: SpanOption | None = None,
+        bss: BSSOption = None,
+        pattern_miner: CompactSequenceMiner | None = None,
+        keep_snapshot: bool = False,
+        vault: ModelVault | None = None,
+        telemetry: Telemetry | None = None,
+        name: str = "session",
+    ) -> None:
+        self.span: SpanOption = span if span is not None else UnrestrictedWindow()
+        if isinstance(bss, WindowRelativeBSS) and not isinstance(
+            self.span, MostRecentWindow
+        ):
+            raise ValueError(
+                "a window-relative BSS is only meaningful under the most "
+                "recent window option"
+            )
+        if maintainer is None and pattern_miner is None:
+            raise ValueError(
+                "a session needs at least one objective: a maintainer "
+                "(model maintenance) or a pattern miner (detection)"
+            )
+        self.maintainer = maintainer
+        self.bss = bss
+        self.pattern_miner = pattern_miner
+        self.snapshot: Snapshot[T] | None = Snapshot() if keep_snapshot else None
+        self.vault = vault
+        self.name = name
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+        self._engine: GEMM[TModel, T] | UnrestrictedWindowMaintainer[TModel, T] | None
+        if maintainer is None:
+            self._engine = None
+        elif isinstance(self.span, MostRecentWindow):
+            self._engine = GEMM(maintainer, self.span.w, bss=bss, vault=vault)
+        else:
+            if isinstance(bss, WindowRelativeBSS):  # unreachable, guarded above
+                raise AssertionError
+            self._engine = UnrestrictedWindowMaintainer(maintainer, bss=bss)
+        self._wire_telemetry()
+
+    # ------------------------------------------------------------------
+    # Telemetry wiring
+    # ------------------------------------------------------------------
+
+    def _wire_telemetry(self) -> None:
+        """Rebind every driven subsystem onto the session's spine.
+
+        Components default to private :class:`Telemetry` instances so
+        they work standalone; the session makes them all report into
+        one.  Subsystems that own an I/O registry (an itemset mining
+        context, the vault) are attached so byte accounting flows too.
+        """
+        if self._engine is not None:
+            bind_telemetry(self._engine, self.telemetry)
+        if self.maintainer is not None:
+            bind_telemetry(self.maintainer, self.telemetry)
+            context = getattr(self.maintainer, "context", None)
+            registry = getattr(context, "registry", None)
+            if registry is not None:
+                self.telemetry.attach_io("maintainer", registry)
+        if self.pattern_miner is not None:
+            bind_telemetry(self.pattern_miner, self.telemetry)
+        if self.vault is not None:
+            self.telemetry.attach_io("vault", self.vault.registry)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    @property
+    def t(self) -> int:
+        """Identifier of the latest observed block."""
+        if self._engine is not None:
+            return self._engine.t
+        if self.pattern_miner is not None:
+            return self.pattern_miner.t
+        return 0
+
+    @property
+    def engine(
+        self,
+    ) -> GEMM[TModel, T] | UnrestrictedWindowMaintainer[TModel, T] | None:
+        """The span-specific maintenance engine (None when detection-only)."""
+        return self._engine
+
+    def current_model(self) -> TModel:
+        """The model on the configured span w.r.t. the configured BSS."""
+        if self._engine is None:
+            raise RuntimeError("session has no maintainer, so no model")
+        if isinstance(self._engine, GEMM):
+            return self._engine.current_model()
+        return self._engine.model
+
+    def current_selection(self) -> list[int]:
+        """Identifiers of the blocks the current model is extracted from."""
+        if self._engine is None:
+            return []
+        if isinstance(self._engine, GEMM):
+            return sorted(self._engine.current_selection())
+        return self._engine.selected_block_ids
+
+    def observe(self, block: Block[T]) -> MonitorReport:
+        """Feed the next arriving block to every configured objective."""
+        before = self.telemetry.snapshot()
+        report = MonitorReport(t=block.block_id)
+        with self.telemetry.phase("session.observe"):
+            if self.snapshot is not None:
+                self.snapshot.extend(block)
+            if self._engine is not None:
+                selection_before = self.current_selection()
+                if isinstance(self._engine, GEMM):
+                    report.gemm = self._engine.observe(block)
+                else:
+                    self._engine.observe(block)
+                report.model_updated = self.current_selection() != selection_before
+            if self.pattern_miner is not None:
+                report.patterns = self.pattern_miner.observe(block)
+        self.telemetry.increment("session.blocks")
+        report.telemetry = self.telemetry.delta_since(before)
+        return report
+
+    def discovered_patterns(self, min_length: int = 2) -> list[CompactSequence]:
+        """Compact sequences found so far (empty without a miner)."""
+        if self.pattern_miner is None:
+            return []
+        return self.pattern_miner.distinct_sequences(min_length=min_length)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, vault: ModelVault | None = None) -> int:
+        """Persist the whole session into a vault; returns bytes written.
+
+        The payload is self-contained: it embeds the maintainer (with
+        its storage context — the reproduction's stand-in for durable
+        block storage), the engine's full collection of models, the
+        pattern miner (deviation matrix and sequences), the optional
+        snapshot, and the telemetry totals.  BSS predicates must be
+        picklable — bit-based sequences always are; ad-hoc lambda
+        predicates are not and raise :class:`CheckpointError`.
+        """
+        from repro.storage.persist import save_model
+
+        target = vault if vault is not None else self.vault
+        if target is None:
+            raise CheckpointError(
+                "no vault to checkpoint into: construct the session with "
+                "vault=... or pass one to checkpoint()"
+            )
+        with self.telemetry.phase("session.checkpoint"):
+            # Counted before the totals are serialized so a restored
+            # session knows how many checkpoints produced it.
+            self.telemetry.increment("session.checkpoints")
+            engine_kind = "none"
+            engine_state: dict[str, Any] | None = None
+            if isinstance(self._engine, GEMM):
+                engine_kind = "gemm"
+                engine_state = self._engine.state_dict()
+            elif isinstance(self._engine, UnrestrictedWindowMaintainer):
+                engine_kind = "uw"
+                engine_state = self._engine.state_dict()
+            payload: dict[str, Any] = {
+                "format": CHECKPOINT_FORMAT,
+                "name": self.name,
+                "span": self.span,
+                "bss": self.bss,
+                "maintainer": (
+                    save_model(self.maintainer)
+                    if self.maintainer is not None
+                    else None
+                ),
+                "engine": {"kind": engine_kind, "state": engine_state},
+                "pattern_miner": (
+                    save_model(self.pattern_miner)
+                    if self.pattern_miner is not None
+                    else None
+                ),
+                "snapshot": (
+                    save_model(self.snapshot) if self.snapshot is not None else None
+                ),
+                "telemetry": self.telemetry.state_dict(),
+            }
+            try:
+                nbytes = target.put(checkpoint_key(self.name), payload)
+            except CheckpointError:
+                raise
+            except Exception as exc:
+                raise CheckpointError(
+                    f"cannot serialize session {self.name!r}: {exc}"
+                ) from exc
+        return nbytes
+
+    @classmethod
+    def restore(
+        cls,
+        vault: ModelVault,
+        name: str = "session",
+        telemetry: Telemetry | None = None,
+    ) -> "MiningSession[Any, Any]":
+        """Rebuild a session from its checkpoint and resume mid-stream.
+
+        The restored session continues exactly where the checkpointed
+        one stopped: the next :meth:`observe` must receive block
+        ``t + 1``, and the models it produces equal those of an
+        uninterrupted run (the kill/restore equivalence tests assert
+        this for every engine and BSS combination).
+        """
+        key = checkpoint_key(name)
+        if key not in vault:
+            raise CheckpointError(
+                f"vault holds no checkpoint named {name!r} "
+                f"(keys: {sorted(map(repr, vault.keys()))})"
+            )
+        from repro.storage.persist import load_model
+
+        payload = vault.get(key)
+        fmt = payload.get("format")
+        if fmt != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {name!r} has format {fmt!r}; "
+                f"this build reads format {CHECKPOINT_FORMAT}"
+            )
+        maintainer = (
+            load_model(payload["maintainer"])
+            if payload["maintainer"] is not None
+            else None
+        )
+        pattern_miner = (
+            load_model(payload["pattern_miner"])
+            if payload["pattern_miner"] is not None
+            else None
+        )
+        session: MiningSession[Any, Any] = cls(
+            maintainer=maintainer,
+            span=payload["span"],
+            bss=payload["bss"],
+            pattern_miner=pattern_miner,
+            vault=vault,
+            telemetry=telemetry,
+            name=name,
+        )
+        with session.telemetry.phase("session.restore"):
+            if payload["snapshot"] is not None:
+                session.snapshot = load_model(payload["snapshot"])
+            engine_info = payload["engine"]
+            if session._engine is not None and engine_info["state"] is not None:
+                session._engine.load_state_dict(engine_info["state"])
+            if telemetry is None:
+                # Continue the checkpointed totals on the fresh spine
+                # (an explicitly supplied spine is left untouched).
+                session.telemetry.load_state_dict(payload["telemetry"])
+        session.telemetry.increment("session.restores")
+        return session

@@ -35,7 +35,7 @@ from repro.itemsets.apriori import mine_blocks
 from repro.itemsets.itemset import Itemset, Transaction
 from repro.itemsets.model import FrequentItemsetModel
 from repro.itemsets.prefix_tree import PrefixTree
-from repro.storage.iostats import Stopwatch
+from repro.storage.telemetry import Telemetry
 
 
 @dataclass
@@ -64,6 +64,19 @@ class DeviationResult:
 
 class DeviationFunction(ABC):
     """FOCUS instantiated for one class of models ``M``."""
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """Instrumentation spine (lazily created; sessions rebind it)."""
+        existing: Telemetry | None = getattr(self, "_telemetry", None)
+        if existing is None:
+            existing = Telemetry()
+            self._telemetry = existing
+        return existing
+
+    @telemetry.setter
+    def telemetry(self, value: Telemetry) -> None:
+        self._telemetry = value
 
     @abstractmethod
     def model(self, block: Block) -> object:
@@ -157,7 +170,7 @@ class ItemsetDeviation(DeviationFunction):
         block_b: Block[Transaction],
         model_b: FrequentItemsetModel,
     ) -> DeviationResult:
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("focus.deviation").start()
         regions = self.gcr(model_a, model_b)
         tracked_a = model_a.tracked()
         tracked_b = model_b.tracked()
@@ -167,11 +180,13 @@ class ItemsetDeviation(DeviationFunction):
         measures_a = self.measures(regions, block_a, model_a)
         measures_b = self.measures(regions, block_b, model_b)
         value = self.aggregate(measures_a, measures_b)
+        self.telemetry.increment("focus.scans", scans)
+        self.telemetry.increment("focus.missing_regions", missing_a + missing_b)
         return DeviationResult(
             value=value,
             regions=len(regions),
             scans=scans,
-            seconds=watch.stop(),
+            seconds=span.stop(),
             missing_regions=missing_a + missing_b,
         )
 
@@ -242,14 +257,15 @@ class ClusterDeviation(DeviationFunction):
         block_b: Block,
         model_b: ClusterModel,
     ) -> DeviationResult:
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("focus.deviation").start()
         regions = self.gcr(model_a, model_b)
         measures_a = self.measures(regions, block_a, model_a)
         measures_b = self.measures(regions, block_b, model_b)
         value = self.aggregate(measures_a, measures_b)
+        self.telemetry.increment("focus.scans", 2)
         return DeviationResult(
             value=value,
             regions=len(regions),
             scans=2,
-            seconds=watch.stop(),
+            seconds=span.stop(),
         )

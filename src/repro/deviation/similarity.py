@@ -26,7 +26,7 @@ from repro.deviation.significance import (
     bootstrap_significance,
     chi2_region_significance,
 )
-from repro.storage.iostats import Stopwatch
+from repro.storage.telemetry import Telemetry, bind_telemetry
 
 
 @dataclass
@@ -81,6 +81,14 @@ class BlockSimilarity:
         self.resamples = resamples
         self.seed = seed
         self._models: dict[int, object] = {}
+        #: Instrumentation spine; a session rebinds this onto its own.
+        self.telemetry = Telemetry()
+        bind_telemetry(self.deviation_fn, self.telemetry)
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Adopt a shared spine, propagating to the deviation function."""
+        self.telemetry = telemetry
+        bind_telemetry(self.deviation_fn, telemetry)
 
     def model_for(self, block: Block):
         """The block's induced model, computed once and cached."""
@@ -94,7 +102,7 @@ class BlockSimilarity:
 
     def compare(self, block_a: Block, block_b: Block) -> SimilarityResult:
         """Full comparison: deviation, significance, and the predicate."""
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("similarity.compare").start()
         model_a = self.model_for(block_a)
         model_b = self.model_for(block_b)
         deviation = self.deviation_fn.deviation(block_a, model_a, block_b, model_b)
@@ -123,7 +131,7 @@ class BlockSimilarity:
             deviation=deviation,
             significance=significance,
             similar=significance < self.alpha,
-            seconds=watch.stop(),
+            seconds=span.stop(),
         )
 
     def similar(self, block_a: Block, block_b: Block) -> bool:

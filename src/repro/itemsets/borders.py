@@ -49,7 +49,8 @@ from repro.itemsets.model import FrequentItemsetModel
 from repro.itemsets.prefix_tree import PrefixTree
 from repro.itemsets.tidlist import TidListStore
 from repro.storage.blockstore import BlockStore, transaction_nbytes
-from repro.storage.iostats import IOStatsRegistry, Stopwatch
+from repro.storage.iostats import IOStatsRegistry
+from repro.storage.telemetry import Telemetry
 
 
 @dataclass
@@ -147,6 +148,8 @@ class BordersMaintainer(
             self.counter = make_counter(counter, self.context)
         self.pair_budget_bytes = pair_budget_bytes
         self.last_stats = MaintenanceStats()
+        #: Instrumentation spine; a session rebinds this onto its own.
+        self.telemetry = Telemetry()
 
     # ------------------------------------------------------------------
     # Block registration (storage + per-block TID-lists, built once)
@@ -226,7 +229,7 @@ class BordersMaintainer(
         """``A_M(m, D_j)``: detection + update phases for an added block."""
         self.register_block(block, model=model)
         stats = MaintenanceStats()
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("borders.detection").start()
 
         # --- Detection phase: one scan of the new block ----------------
         tracked = model.tracked()
@@ -263,7 +266,7 @@ class BordersMaintainer(
             else:
                 model.border[singleton] = count
 
-        stats.detection_seconds = watch.stop()
+        stats.detection_seconds = span.stop()
         self._rebalance(model, stats, seeds=seeds)
         self.last_stats = stats
         return model
@@ -284,7 +287,7 @@ class BordersMaintainer(
                 f"block {block.block_id} is not part of this model's selection"
             )
         stats = MaintenanceStats()
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("borders.detection").start()
         tracked = model.tracked()
         if tracked:
             tree = PrefixTree(tracked.keys())
@@ -303,7 +306,7 @@ class BordersMaintainer(
                 del model.border[itemset]
                 model.items.discard(itemset[0])
 
-        stats.detection_seconds = watch.stop()
+        stats.detection_seconds = span.stop()
         self._rebalance(model, stats)
         self.last_stats = stats
         return model
@@ -353,7 +356,7 @@ class BordersMaintainer(
         were not border members (newly observed frequent items); they
         participate in candidate generation like border promotions do.
         """
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("borders.update").start()
         threshold = model.min_count
 
         # Demote frequent itemsets that fell below the threshold.  A
@@ -401,7 +404,10 @@ class BordersMaintainer(
             candidates = self._new_candidates(newly_frequent, model)
             if not candidates:
                 break
-            counts = self.counter.count_batch(candidates, model.selected_block_ids)
+            with self.telemetry.phase(self._counting_phase()):
+                counts = self.counter.count_batch(
+                    candidates, model.selected_block_ids
+                )
             stats.candidates_counted += len(candidates)
             promoted = {}
             newly_frequent = set()
@@ -410,7 +416,16 @@ class BordersMaintainer(
                     promoted[candidate] = count
                 else:
                     model.border[candidate] = count
-        stats.update_seconds = watch.stop()
+        stats.update_seconds = span.stop()
+        self.telemetry.increment("borders.promotions", stats.promotions)
+        self.telemetry.increment("borders.demotions", stats.demotions)
+        self.telemetry.increment(
+            "borders.candidates_counted", stats.candidates_counted
+        )
+
+    def _counting_phase(self) -> str:
+        """Telemetry phase name of the configured support counter."""
+        return "counting." + self.counter.name.lower().replace("-", "")
 
     def _new_candidates(
         self, newly_frequent: set[Itemset], model: FrequentItemsetModel

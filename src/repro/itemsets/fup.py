@@ -34,7 +34,7 @@ from repro.itemsets.itemset import (
 from repro.itemsets.model import FrequentItemsetModel
 from repro.itemsets.prefix_tree import PrefixTree
 from repro.itemsets.borders import ItemsetMiningContext
-from repro.storage.iostats import Stopwatch
+from repro.storage.telemetry import Telemetry
 
 
 @dataclass
@@ -68,6 +68,8 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
         self.minsup = minsup
         self.context = context if context is not None else ItemsetMiningContext()
         self.last_stats = FUPStats()
+        #: Instrumentation spine; a session rebinds this onto its own.
+        self.telemetry = Telemetry()
 
     def _register(self, block: Block[Transaction]) -> None:
         if block.block_id not in self.context.block_store:
@@ -110,7 +112,7 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
         """FUP level-wise maintenance for one added block."""
         self._register(block)
         stats = FUPStats()
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("fup.update").start()
 
         increment = block.tuples
         inc_size = len(increment)
@@ -199,7 +201,7 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
         model.selected_block_ids.append(block.block_id)
         model.selected_block_ids.sort()
         model.items.update(item_counts)
-        stats.seconds = watch.stop()
+        stats.seconds = span.stop()
         self.last_stats = stats
         return model
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.core.blocks import Block
 from repro.deviation.similarity import BlockSimilarity, SimilarityResult
-from repro.storage.iostats import Stopwatch
+from repro.storage.telemetry import Telemetry, bind_telemetry
 
 
 @dataclass
@@ -104,6 +104,14 @@ class CompactSequenceMiner:
         self._matrix: dict[tuple[int, int], SimilarityResult] = {}
         self.sequences: list[CompactSequence] = []
         self._t = 0
+        #: Instrumentation spine; a session rebinds this onto its own.
+        self.telemetry = Telemetry()
+        bind_telemetry(self.similarity, self.telemetry)
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Adopt a shared spine, propagating to the similarity predicate."""
+        self.telemetry = telemetry
+        bind_telemetry(self.similarity, telemetry)
 
     @property
     def t(self) -> int:
@@ -121,7 +129,7 @@ class CompactSequenceMiner:
 
     def observe(self, block: Block) -> PatternUpdateReport:
         """Process the next block: augment the matrix, grow sequences."""
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("patterns.observe").start()
         expected = self._t + 1
         if block.block_id != expected:
             raise ValueError(
@@ -150,7 +158,11 @@ class CompactSequenceMiner:
         self._t = block.block_id
         if self.window is not None:
             self._expire(self._t - self.window + 1)
-        report.seconds = watch.stop()
+        report.seconds = span.stop()
+        self.telemetry.increment("patterns.comparisons", report.comparisons)
+        self.telemetry.increment("patterns.scans", report.scans)
+        self.telemetry.increment("patterns.missing_regions", report.missing_regions)
+        self.telemetry.increment("patterns.extended", report.extended)
         return report
 
     def _expire(self, window_start: int) -> None:

@@ -16,6 +16,7 @@ from repro.clustering.model import ClusterModel
 from repro.core.gemm import GEMM
 from repro.itemsets.model import FrequentItemsetModel
 from repro.itemsets.rules import generate_rules
+from repro.storage.telemetry import Telemetry, TelemetrySnapshot
 
 
 def summarize_itemset_model(
@@ -123,4 +124,42 @@ def summarize_gemm(gemm: GEMM) -> str:
         selection = sorted(gemm._slots[k])
         role = "current" if k == 0 else f"future window f_{k} prefix"
         out.write(f"  slot {k} ({role}): blocks {selection}\n")
+    return out.getvalue().rstrip()
+
+
+def summarize_telemetry(telemetry: Telemetry | TelemetrySnapshot) -> str:
+    """A report on one telemetry spine: phases, counters, I/O totals.
+
+    Accepts either a live :class:`~repro.storage.telemetry.Telemetry`
+    (reports its running totals) or a frozen
+    :class:`~repro.storage.telemetry.TelemetrySnapshot` (e.g. one
+    block's delta from ``MonitorReport.telemetry``).
+    """
+    snapshot = (
+        telemetry.snapshot() if isinstance(telemetry, Telemetry) else telemetry
+    )
+    out = StringIO()
+    out.write("telemetry:\n")
+    out.write("  phases:\n")
+    if snapshot.phases:
+        for name, stats in sorted(snapshot.phases.items()):
+            out.write(
+                f"    {name}: {stats.seconds * 1000:.2f} ms "
+                f"over {stats.calls} call(s)\n"
+            )
+    else:
+        out.write("    (none recorded)\n")
+    out.write("  counters:\n")
+    if snapshot.counters:
+        for name, value in sorted(snapshot.counters.items()):
+            out.write(f"    {name}: {value}\n")
+    else:
+        out.write("    (none recorded)\n")
+    totals = snapshot.io_totals()
+    out.write(
+        "  io totals: "
+        f"bytes_read={totals.bytes_read} bytes_written={totals.bytes_written} "
+        f"reads={totals.reads} writes={totals.writes} "
+        f"cache_hits={totals.cache_hits} bytes_cached={totals.bytes_cached}"
+    )
     return out.getvalue().rstrip()

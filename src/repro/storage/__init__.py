@@ -22,6 +22,13 @@ from repro.storage.persist import (
     load_model,
     save_model,
 )
+from repro.storage.telemetry import (
+    PhaseSpan,
+    PhaseStats,
+    Telemetry,
+    TelemetrySnapshot,
+    bind_telemetry,
+)
 
 __all__ = [
     "BlockStore",
@@ -38,4 +45,9 @@ __all__ = [
     "VaultFullError",
     "save_model",
     "load_model",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "PhaseStats",
+    "PhaseSpan",
+    "bind_telemetry",
 ]

@@ -202,19 +202,63 @@ class IOStatsRegistry:
         for counter in self.counters.values():
             counter.reset()
 
-    def report(self) -> dict[str, dict[str, int]]:
-        """Return a plain-dict summary suitable for printing or JSON."""
-        return {
-            name: {
-                "bytes_read": c.bytes_read,
-                "bytes_written": c.bytes_written,
-                "reads": c.reads,
-                "writes": c.writes,
-                "cache_hits": c.cache_hits,
-                "bytes_cached": c.bytes_cached,
+    def totals(self) -> IOStats:
+        """All registered counters rolled up into one (a fresh copy)."""
+        total = IOStats()
+        for c in self.counters.values():
+            total.bytes_read += c.bytes_read
+            total.bytes_written += c.bytes_written
+            total.reads += c.reads
+            total.writes += c.writes
+            total.cache_hits += c.cache_hits
+            total.bytes_cached += c.bytes_cached
+        return total
+
+    def snapshot(self) -> "IOStatsRegistry":
+        """An independent copy of every registered counter.
+
+        Pair with :meth:`delta_since` to meter one phase's I/O without
+        plumbing through each counter individually.
+        """
+        return IOStatsRegistry(
+            counters={name: c.snapshot() for name, c in self.counters.items()}
+        )
+
+    def delta_since(self, earlier: "IOStatsRegistry") -> "IOStatsRegistry":
+        """Per-counter deltas accumulated since ``earlier``.
+
+        Counters registered after the snapshot delta against zero.
+        """
+        zero = IOStats()
+        return IOStatsRegistry(
+            counters={
+                name: c.delta_since(earlier.counters.get(name, zero))
+                for name, c in self.counters.items()
             }
-            for name, c in sorted(self.counters.items())
+        )
+
+    @staticmethod
+    def _row(c: IOStats) -> dict[str, int]:
+        return {
+            "bytes_read": c.bytes_read,
+            "bytes_written": c.bytes_written,
+            "reads": c.reads,
+            "writes": c.writes,
+            "cache_hits": c.cache_hits,
+            "bytes_cached": c.bytes_cached,
         }
+
+    def report(self) -> dict[str, dict[str, int]]:
+        """Return a plain-dict summary suitable for printing or JSON.
+
+        Includes a ``"totals"`` rollup row summing every registered
+        counter (cache-hit fields included).
+        """
+        result = {
+            name: self._row(c) for name, c in sorted(self.counters.items())
+        }
+        result["totals"] = self._row(self.totals())
+        return result
 
 
 #: Process-wide registry used by the storage layer by default.  Tests and

@@ -1,0 +1,278 @@
+"""The unified telemetry spine (phases, counters, per-subsystem I/O).
+
+Every timed span in ``src/repro`` flows through one of two places: the
+raw :class:`~repro.storage.iostats.Stopwatch` (restricted to
+``repro/storage/`` by demonlint rule DML007) or — everywhere else — a
+:class:`Telemetry` phase span built on top of it.  A ``Telemetry``
+instance aggregates three kinds of signal:
+
+* **phases** — named wall-clock spans (``borders.detection``,
+  ``gemm.critical``, ``birch.phase2``, ...), each accumulating total
+  seconds and a call count;
+* **counters** — named monotonic event counts (``borders.promotions``,
+  ``gemm.invocations.offline``, ``patterns.comparisons``, ...);
+* **attached I/O** — references to the
+  :class:`~repro.storage.iostats.IOStatsRegistry` instances of the
+  subsystems feeding this spine, so byte accounting shows up in the
+  same report without per-counter plumbing.
+
+Components (maintainers, GEMM, miners, deviation functions) each own a
+private ``Telemetry`` by default so they stay usable standalone; a
+:class:`~repro.core.session.MiningSession` rebinds them onto its single
+shared spine via :func:`bind_telemetry`.
+
+Deltas: :meth:`Telemetry.snapshot` and :meth:`Telemetry.delta_since`
+give per-block (or per-anything) differences, which is how
+``MonitorReport.telemetry`` carries exactly one observation's cost.
+
+The phase taxonomy and counter names are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Any
+
+from repro.storage.iostats import IOStats, IOStatsRegistry, Stopwatch
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated cost of one named phase.
+
+    Attributes:
+        seconds: Total wall-clock over all completed spans.
+        calls: Number of completed spans.
+    """
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    def copy(self) -> "PhaseStats":
+        return PhaseStats(self.seconds, self.calls)
+
+
+class PhaseSpan:
+    """One timed span of a named phase.
+
+    Usable as a context manager (``with telemetry.phase("x") as span``)
+    or via explicit :meth:`start`/:meth:`stop` when the span does not
+    nest lexically.  On completion the measured seconds are recorded
+    into the owning :class:`Telemetry` and exposed as :attr:`seconds`
+    so callers can also stash them in their own report dataclasses.
+    """
+
+    __slots__ = ("_telemetry", "name", "seconds", "_watch")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        #: Seconds measured by this span (0.0 until stopped).
+        self.seconds = 0.0
+        self._watch = Stopwatch()
+
+    def start(self) -> "PhaseSpan":
+        """Begin the span; returns self for chaining."""
+        self._watch.start()
+        return self
+
+    def stop(self) -> float:
+        """End the span, record it into the telemetry, return seconds."""
+        self.seconds = self._watch.stop()
+        self._telemetry.record_phase(self.name, self.seconds)
+        return self.seconds
+
+    def __enter__(self) -> "PhaseSpan":
+        return self.start()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.stop()
+
+
+@dataclass
+class TelemetrySnapshot:
+    """A frozen copy of a :class:`Telemetry`'s state (or a delta of two).
+
+    Attributes:
+        phases: Phase name -> accumulated :class:`PhaseStats`.
+        counters: Counter name -> accumulated count.
+        io: Subsystem name -> a frozen :class:`IOStatsRegistry` copy.
+    """
+
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    io: dict[str, IOStatsRegistry] = field(default_factory=dict)
+
+    def phase_seconds(self, name: str) -> float:
+        """Seconds accumulated under one phase (0.0 if never entered)."""
+        stats = self.phases.get(name)
+        return stats.seconds if stats is not None else 0.0
+
+    def phase_calls(self, name: str) -> int:
+        """Completed spans of one phase (0 if never entered)."""
+        stats = self.phases.get(name)
+        return stats.calls if stats is not None else 0
+
+    def counter(self, name: str) -> int:
+        """One counter's value (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def io_totals(self) -> IOStats:
+        """All attached subsystems' I/O rolled into one counter."""
+        total = IOStats()
+        for registry in self.io.values():
+            rolled = registry.totals()
+            total.bytes_read += rolled.bytes_read
+            total.bytes_written += rolled.bytes_written
+            total.reads += rolled.reads
+            total.writes += rolled.writes
+            total.cache_hits += rolled.cache_hits
+            total.bytes_cached += rolled.bytes_cached
+        return total
+
+    def report(self) -> dict[str, Any]:
+        """Plain-dict rendering suitable for JSON."""
+        return {
+            "phases": {
+                name: {"seconds": stats.seconds, "calls": stats.calls}
+                for name, stats in sorted(self.phases.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "io": {
+                name: registry.report()
+                for name, registry in sorted(self.io.items())
+            },
+        }
+
+
+class Telemetry:
+    """One instrumentation spine: phases, counters, attached I/O.
+
+    Cheap to construct; components default to a private instance so
+    they meter themselves even when driven standalone, and a session
+    rebinds them onto its shared spine with :func:`bind_telemetry`.
+    """
+
+    def __init__(self) -> None:
+        self.phases: dict[str, PhaseStats] = {}
+        self.counters: dict[str, int] = {}
+        self._io: dict[str, IOStatsRegistry] = {}
+
+    # -- phases ---------------------------------------------------------
+
+    def phase(self, name: str) -> PhaseSpan:
+        """A new span of the named phase (not yet started)."""
+        return PhaseSpan(self, name)
+
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Account one completed span of ``seconds`` under ``name``."""
+        if seconds < 0:
+            raise ValueError(f"phase seconds must be non-negative, got {seconds}")
+        stats = self.phases.setdefault(name, PhaseStats())
+        stats.seconds += seconds
+        stats.calls += 1
+
+    # -- counters -------------------------------------------------------
+
+    def increment(self, name: str, n: int = 1) -> None:
+        """Add ``n`` events to the named counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- attached I/O ---------------------------------------------------
+
+    def attach_io(self, subsystem: str, registry: IOStatsRegistry) -> None:
+        """Expose a subsystem's I/O registry through this spine.
+
+        The registry is referenced, not copied — its live counters feed
+        every subsequent :meth:`snapshot`/:meth:`report`.  Attaching the
+        same name again replaces the reference (idempotent re-wiring).
+        """
+        self._io[subsystem] = registry
+
+    @property
+    def io(self) -> dict[str, IOStatsRegistry]:
+        """The attached subsystem registries (live references)."""
+        return dict(self._io)
+
+    # -- snapshots and deltas ------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """An independent frozen copy of phases, counters, and I/O."""
+        return TelemetrySnapshot(
+            phases={name: stats.copy() for name, stats in self.phases.items()},
+            counters=dict(self.counters),
+            io={name: reg.snapshot() for name, reg in self._io.items()},
+        )
+
+    def delta_since(self, earlier: TelemetrySnapshot) -> TelemetrySnapshot:
+        """Everything accumulated since ``earlier`` was snapshotted."""
+        phases: dict[str, PhaseStats] = {}
+        for name, stats in self.phases.items():
+            before = earlier.phases.get(name, PhaseStats())
+            phases[name] = PhaseStats(
+                seconds=stats.seconds - before.seconds,
+                calls=stats.calls - before.calls,
+            )
+        counters = {
+            name: value - earlier.counters.get(name, 0)
+            for name, value in self.counters.items()
+        }
+        io = {
+            name: reg.delta_since(
+                earlier.io.get(name, IOStatsRegistry())
+            )
+            for name, reg in self._io.items()
+        }
+        return TelemetrySnapshot(phases=phases, counters=counters, io=io)
+
+    def report(self) -> dict[str, Any]:
+        """Plain-dict rendering of the current totals."""
+        return self.snapshot().report()
+
+    # -- checkpoint persistence ----------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable phase/counter totals (I/O stays with its owners:
+        the registries are attached live objects, persisted — when they
+        are persisted at all — inside the subsystems that own them)."""
+        return {
+            "phases": {
+                name: (stats.seconds, stats.calls)
+                for name, stats in self.phases.items()
+            },
+            "counters": dict(self.counters),
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore phase/counter totals saved by :meth:`state_dict`."""
+        self.phases = {
+            name: PhaseStats(seconds=seconds, calls=calls)
+            for name, (seconds, calls) in state["phases"].items()
+        }
+        self.counters = dict(state["counters"])
+
+
+def bind_telemetry(component: object, telemetry: Telemetry) -> None:
+    """Point a component's instrumentation at a shared spine.
+
+    Components that need to propagate the binding (e.g. a pattern miner
+    forwarding to its similarity predicate) define ``bind_telemetry``;
+    everything else just carries a ``telemetry`` attribute that is
+    reassigned.  Objects with neither are left alone, so duck-typed
+    test doubles keep working.
+    """
+    binder = getattr(component, "bind_telemetry", None)
+    if callable(binder):
+        binder(telemetry)
+        return
+    try:
+        setattr(component, "telemetry", telemetry)
+    except AttributeError:
+        pass

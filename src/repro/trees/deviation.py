@@ -18,7 +18,6 @@ import numpy as np
 from repro.core.blocks import Block
 from repro.deviation.focus import DeviationFunction, DeviationResult
 from repro.trees.dtree import DecisionTree, LabelledPoint, Region
-from repro.storage.iostats import Stopwatch
 
 
 class TreeDeviation(DeviationFunction):
@@ -86,15 +85,17 @@ class TreeDeviation(DeviationFunction):
         block_b: Block[LabelledPoint],
         model_b: DecisionTree,
     ) -> DeviationResult:
-        watch = Stopwatch().start()
+        span = self.telemetry.phase("focus.deviation").start()
         regions = self.gcr(model_a, model_b)
         measures_a = self.measures(regions, block_a, model_a)
         measures_b = self.measures(regions, block_b, model_b)
         value = self.aggregate(measures_a, measures_b)
+        self.telemetry.increment("focus.scans", 2)
+        self.telemetry.increment("focus.missing_regions", len(regions))
         return DeviationResult(
             value=value,
             regions=len(regions),
             scans=2,
-            seconds=watch.stop(),
+            seconds=span.stop(),
             missing_regions=len(regions),
         )

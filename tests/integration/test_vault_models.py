@@ -1,6 +1,8 @@
 """Integration: every model class round-trips through the vault and
 runs under GEMM's disk-resident mode (§3.2.3 across the whole zoo)."""
 
+import numpy as np
+
 from repro.clustering.birch_plus import BirchPlusMaintainer
 from repro.clustering.dbscan import IncrementalDBSCANMaintainer
 from repro.core.gemm import GEMM
@@ -47,6 +49,70 @@ class TestSerializationRoundTrips:
         assert len(revived.clustering) == len(model.clustering)
         assert revived.clustering.clusters().keys() == (
             model.clustering.clusters().keys()
+        )
+
+
+class TestRestoreThenMaintainEquivalence:
+    """A model revived from the vault must be maintainable: feeding it
+    the next block yields the same model as uninterrupted maintenance.
+    This is the property session checkpoints stand on."""
+
+    @staticmethod
+    def vault_round_trip(model):
+        """Store, cross a simulated process boundary, fetch back."""
+        vault = ModelVault()
+        vault.put("model", model)
+        revived_vault = load_model(save_model(vault))
+        return revived_vault.get("model")
+
+    def test_itemset_model(self):
+        blocks = transaction_blocks(3, 150, seed=2100)
+        maintainer = BordersMaintainer(0.05, counter="ecut")
+        truth = maintainer.build(blocks)
+        revived = self.vault_round_trip(maintainer.build(blocks[:2]))
+        resumed = maintainer.add_block(revived, blocks[2])
+        assert resumed.frequent == truth.frequent
+        assert resumed.border == truth.border
+        assert resumed.n_transactions == truth.n_transactions
+        assert resumed.selected_block_ids == truth.selected_block_ids
+
+    def test_birch_state(self):
+        blocks = gaussian_point_blocks(3, 150, seed=2200)
+        maintainer = BirchPlusMaintainer(k=3, threshold=1.0)
+        truth = maintainer.build(blocks)
+        revived = self.vault_round_trip(maintainer.build(blocks[:2]))
+        resumed = maintainer.add_block(revived, blocks[2])
+        assert resumed.tree.n_points == truth.tree.n_points
+        assert resumed.selected_block_ids == truth.selected_block_ids
+        assert resumed.clusters.k == truth.clusters.k
+        assert np.allclose(
+            sorted(tuple(c.centroid()) for c in resumed.clusters.clusters),
+            sorted(tuple(c.centroid()) for c in truth.clusters.clusters),
+        )
+
+    def test_tree_model(self):
+        blocks = labelled_blocks(3, 100)
+        maintainer = LeafRefinementTreeMaintainer()
+        truth = maintainer.build(blocks)
+        revived = self.vault_round_trip(maintainer.build(blocks[:2]))
+        resumed = maintainer.add_block(revived, blocks[2])
+        assert resumed.tree.n_leaves() == truth.tree.n_leaves()
+        assert resumed.tree.depth() == truth.tree.depth()
+        probes = [(x * 0.5, y * 0.5) for x in range(-4, 5) for y in range(-4, 5)]
+        assert [resumed.tree.predict(p) for p in probes] == [
+            truth.tree.predict(p) for p in probes
+        ]
+
+    def test_dbscan_model(self):
+        blocks = gaussian_point_blocks(3, 120, seed=2300)
+        maintainer = IncrementalDBSCANMaintainer(eps=1.5, min_pts=4, dim=2)
+        truth = maintainer.build(blocks)
+        revived = self.vault_round_trip(maintainer.build(blocks[:2]))
+        resumed = maintainer.add_block(revived, blocks[2])
+        assert len(resumed.clustering) == len(truth.clustering)
+        assert (
+            resumed.clustering.clusters().keys()
+            == truth.clustering.clusters().keys()
         )
 
 

@@ -1,9 +1,15 @@
-"""DML004 fixture: timing through the sanctioned Stopwatch."""
+"""DML004 fixture: timing through the sanctioned telemetry spine.
 
-from repro.storage.iostats import Stopwatch
+The spine's :class:`~repro.storage.telemetry.PhaseSpan` is built on the
+``Stopwatch`` that ``storage/iostats.py`` owns, so no wall-clock call
+appears here (and no raw span either — see DML007).
+"""
+
+from repro.storage.telemetry import Telemetry
 
 
 def metered_timing(maint, model, block):
-    watch = Stopwatch().start()
+    telemetry = Telemetry()
+    span = telemetry.phase("fixture.timing").start()
     model = maint.add_block(model, block)
-    return model, watch.stop()
+    return model, span.stop()

@@ -1,0 +1,21 @@
+"""DML007 fixture: raw timing spans that bypass the telemetry spine."""
+
+import time
+from time import perf_counter_ns as pcns
+
+from repro.storage.iostats import Stopwatch
+
+
+def raw_stopwatch(maint, model, block):
+    watch = Stopwatch().start()
+    model = maint.add_block(model, block)
+    return model, watch.stop()
+
+
+def raw_clock():
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def aliased_clock():
+    return pcns()

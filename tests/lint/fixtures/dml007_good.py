@@ -1,0 +1,17 @@
+"""DML007 fixture: phases timed through the telemetry spine."""
+
+from repro.storage.telemetry import Telemetry
+
+
+def metered_phase(maint, model, block):
+    telemetry = Telemetry()
+    with telemetry.phase("fixture.update") as span:
+        model = maint.add_block(model, block)
+    return model, span.seconds
+
+
+def explicit_span(maint, model, block):
+    telemetry = Telemetry()
+    span = telemetry.phase("fixture.update").start()
+    model = maint.add_block(model, block)
+    return model, span.stop()

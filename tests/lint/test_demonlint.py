@@ -18,7 +18,9 @@ from tools.demonlint.core import PARSE_ERROR  # noqa: E402
 from tools.demonlint.reporter import render_json, render_text  # noqa: E402
 
 FIXTURES = Path(__file__).parent / "fixtures"
-ALL_RULES = ("DML001", "DML002", "DML003", "DML004", "DML005", "DML006")
+ALL_RULES = (
+    "DML001", "DML002", "DML003", "DML004", "DML005", "DML006", "DML007"
+)
 
 
 def lint(path: Path, **kwargs):
@@ -93,6 +95,21 @@ def test_dml004_allows_the_metering_module():
     assert result.ok
 
 
+def test_dml007_resolves_aliases_and_names_both_span_kinds():
+    result = lint(FIXTURES / "dml007_bad.py", select=["DML007"])
+    messages = " | ".join(v.message for v in result.violations)
+    assert "Stopwatch" in messages
+    assert "time.perf_counter" in messages
+    assert "time.perf_counter_ns" in messages  # via the pcns alias
+
+
+def test_dml007_allows_the_storage_layer():
+    result = lint(
+        ROOT / "src" / "repro" / "storage" / "telemetry.py", select=["DML007"]
+    )
+    assert result.ok
+
+
 def test_dml005_reports_each_hygiene_problem_once():
     result = lint(FIXTURES / "dml005_bad.py", select=["DML005"])
     messages = [v.message for v in result.violations]
@@ -134,7 +151,8 @@ def test_syntax_error_becomes_dml000(tmp_path):
 
 
 def test_ignore_filters_rules():
-    result = lint(FIXTURES / "dml004_bad.py", ignore=["DML004"])
+    # DML007 also sees the perf_counter alias, so both must be ignored.
+    result = lint(FIXTURES / "dml004_bad.py", ignore=["DML004", "DML007"])
     assert result.ok
 
 

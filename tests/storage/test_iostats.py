@@ -77,3 +77,34 @@ class TestRegistry:
         report = registry.report()
         assert report["scan"]["bytes_read"] == 5
         assert report["scan"]["reads"] == 1
+
+    def test_report_includes_totals_rollup(self):
+        registry = IOStatsRegistry()
+        registry.get("a").record_read(5)
+        registry.get("b").record_write(3)
+        registry.get("b").record_cached_read(9)
+        report = registry.report()
+        assert report["totals"]["bytes_read"] == 5
+        assert report["totals"]["bytes_written"] == 3
+        assert report["totals"]["cache_hits"] == 1
+        assert report["totals"]["bytes_cached"] == 9
+
+    def test_totals_is_an_independent_copy(self):
+        registry = IOStatsRegistry()
+        registry.get("a").record_read(5)
+        totals = registry.totals()
+        totals.record_read(100)
+        assert registry.get("a").bytes_read == 5
+
+    def test_snapshot_and_delta_since(self):
+        registry = IOStatsRegistry()
+        registry.get("scan").record_read(10)
+        before = registry.snapshot()
+        registry.get("scan").record_read(30)
+        registry.get("late").record_write(7)  # born after the snapshot
+        delta = registry.delta_since(before)
+        assert delta.get("scan").bytes_read == 30
+        assert delta.get("scan").reads == 1
+        assert delta.get("late").bytes_written == 7
+        # The snapshot itself is frozen.
+        assert before.get("scan").bytes_read == 10

@@ -1,0 +1,195 @@
+"""Tests for the unified telemetry spine (phases, counters, I/O)."""
+
+import pytest
+
+from repro.storage.iostats import IOStatsRegistry
+from repro.storage.telemetry import (
+    PhaseStats,
+    Telemetry,
+    TelemetrySnapshot,
+    bind_telemetry,
+)
+
+
+class TestPhases:
+    def test_context_manager_records_a_span(self):
+        telemetry = Telemetry()
+        with telemetry.phase("work") as span:
+            pass
+        assert span.seconds >= 0.0
+        assert telemetry.phases["work"].calls == 1
+        assert telemetry.phases["work"].seconds == span.seconds
+
+    def test_explicit_start_stop_records_and_returns_seconds(self):
+        telemetry = Telemetry()
+        span = telemetry.phase("work").start()
+        seconds = span.stop()
+        assert seconds == span.seconds
+        assert telemetry.phases["work"].calls == 1
+
+    def test_spans_accumulate_per_phase(self):
+        telemetry = Telemetry()
+        for _ in range(3):
+            with telemetry.phase("work"):
+                pass
+        stats = telemetry.phases["work"]
+        assert stats.calls == 3
+        assert stats.seconds >= 0.0
+
+    def test_record_phase_rejects_negative_seconds(self):
+        telemetry = Telemetry()
+        with pytest.raises(ValueError):
+            telemetry.record_phase("work", -0.1)
+
+    def test_distinct_phases_kept_separate(self):
+        telemetry = Telemetry()
+        with telemetry.phase("a"):
+            pass
+        with telemetry.phase("b"):
+            pass
+        assert set(telemetry.phases) == {"a", "b"}
+
+
+class TestCounters:
+    def test_increment_defaults_to_one(self):
+        telemetry = Telemetry()
+        telemetry.increment("events")
+        telemetry.increment("events", 4)
+        assert telemetry.counters["events"] == 5
+
+
+class TestAttachedIO:
+    def test_attached_registry_is_live(self):
+        telemetry = Telemetry()
+        registry = IOStatsRegistry()
+        telemetry.attach_io("store", registry)
+        registry.get("scan").record_read(7)
+        assert telemetry.snapshot().io_totals().bytes_read == 7
+
+    def test_reattach_replaces_reference(self):
+        telemetry = Telemetry()
+        first, second = IOStatsRegistry(), IOStatsRegistry()
+        telemetry.attach_io("store", first)
+        telemetry.attach_io("store", second)
+        assert telemetry.io["store"] is second
+
+    def test_io_totals_roll_up_every_subsystem(self):
+        telemetry = Telemetry()
+        a, b = IOStatsRegistry(), IOStatsRegistry()
+        telemetry.attach_io("a", a)
+        telemetry.attach_io("b", b)
+        a.get("x").record_read(5)
+        b.get("y").record_write(3)
+        b.get("y").record_cached_read(11)
+        totals = telemetry.snapshot().io_totals()
+        assert totals.bytes_read == 5
+        assert totals.bytes_written == 3
+        assert totals.cache_hits == 1
+        assert totals.bytes_cached == 11
+
+
+class TestSnapshotsAndDeltas:
+    def test_snapshot_is_independent(self):
+        telemetry = Telemetry()
+        telemetry.record_phase("work", 1.0)
+        snapshot = telemetry.snapshot()
+        telemetry.record_phase("work", 1.0)
+        assert snapshot.phase_seconds("work") == 1.0
+        assert snapshot.phase_calls("work") == 1
+
+    def test_delta_since_covers_phases_counters_and_io(self):
+        telemetry = Telemetry()
+        registry = IOStatsRegistry()
+        telemetry.attach_io("store", registry)
+        telemetry.record_phase("work", 1.0)
+        telemetry.increment("events", 2)
+        registry.get("scan").record_read(10)
+        before = telemetry.snapshot()
+        telemetry.record_phase("work", 0.5)
+        telemetry.increment("events", 3)
+        registry.get("scan").record_read(30)
+        delta = telemetry.delta_since(before)
+        assert delta.phase_seconds("work") == 0.5
+        assert delta.phase_calls("work") == 1
+        assert delta.counter("events") == 3
+        assert delta.io_totals().bytes_read == 30
+
+    def test_delta_handles_entries_born_after_the_snapshot(self):
+        telemetry = Telemetry()
+        before = telemetry.snapshot()
+        telemetry.record_phase("new", 0.25)
+        telemetry.increment("fresh")
+        registry = IOStatsRegistry()
+        telemetry.attach_io("late", registry)
+        registry.get("scan").record_read(4)
+        delta = telemetry.delta_since(before)
+        assert delta.phase_seconds("new") == 0.25
+        assert delta.counter("fresh") == 1
+        assert delta.io_totals().bytes_read == 4
+
+    def test_missing_entries_read_as_zero(self):
+        snapshot = TelemetrySnapshot()
+        assert snapshot.phase_seconds("absent") == 0.0
+        assert snapshot.phase_calls("absent") == 0
+        assert snapshot.counter("absent") == 0
+        assert snapshot.io_totals().bytes_read == 0
+
+    def test_report_shape(self):
+        telemetry = Telemetry()
+        registry = IOStatsRegistry()
+        registry.get("scan").record_read(9)
+        telemetry.attach_io("store", registry)
+        telemetry.record_phase("work", 0.5)
+        telemetry.increment("events")
+        report = telemetry.report()
+        assert report["phases"]["work"] == {"seconds": 0.5, "calls": 1}
+        assert report["counters"]["events"] == 1
+        assert report["io"]["store"]["scan"]["bytes_read"] == 9
+        assert report["io"]["store"]["totals"]["bytes_read"] == 9
+
+
+class TestStatePersistence:
+    def test_state_dict_round_trip(self):
+        telemetry = Telemetry()
+        telemetry.record_phase("work", 1.5)
+        telemetry.record_phase("work", 0.5)
+        telemetry.increment("events", 7)
+        revived = Telemetry()
+        revived.load_state_dict(telemetry.state_dict())
+        assert revived.phases["work"] == PhaseStats(seconds=2.0, calls=2)
+        assert revived.counters["events"] == 7
+
+    def test_load_replaces_prior_totals(self):
+        telemetry = Telemetry()
+        telemetry.record_phase("stale", 9.0)
+        telemetry.load_state_dict({"phases": {}, "counters": {"x": 1}})
+        assert telemetry.phases == {}
+        assert telemetry.counters == {"x": 1}
+
+
+class TestBindTelemetry:
+    def test_prefers_component_binder_method(self):
+        class Component:
+            def __init__(self):
+                self.bound = None
+
+            def bind_telemetry(self, telemetry):
+                self.bound = telemetry
+
+        component, telemetry = Component(), Telemetry()
+        bind_telemetry(component, telemetry)
+        assert component.bound is telemetry
+
+    def test_falls_back_to_attribute_assignment(self):
+        class Component:
+            pass
+
+        component, telemetry = Component(), Telemetry()
+        bind_telemetry(component, telemetry)
+        assert component.telemetry is telemetry
+
+    def test_leaves_unbindable_components_alone(self):
+        class Frozen:
+            __slots__ = ()
+
+        bind_telemetry(Frozen(), Telemetry())  # must not raise

@@ -59,6 +59,26 @@ class TestMonitor:
         with pytest.raises(SystemExit):
             run_cli(["monitor", "--window", "3", "--bss", "10"])
 
+    def test_json_document(self):
+        code, output = run_cli(
+            ["monitor", "--blocks", "3", "--block-size", "120", "--json"]
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert document["schema"] == 1
+        rows = document["rows"]
+        assert [row["t"] for row in rows] == [1, 2, 3]
+        assert all(row["bench"] == "cli_monitor" for row in rows)
+        assert rows[-1]["selection"] == [1, 2, 3]
+        assert rows[0]["bytes_read"] > 0
+        telemetry = rows[0]["telemetry"]
+        assert telemetry["phases"]["session.observe"]["calls"] == 1
+        assert telemetry["counters"]["session.blocks"] == 1
+        assert (
+            telemetry["io"]["maintainer"]["totals"]["bytes_read"]
+            == rows[0]["bytes_read"]
+        )
+
 
 class TestGenerate:
     def test_quest_to_file(self, tmp_path):
@@ -116,3 +136,21 @@ class TestPatterns:
         assert code == 0
         assert "compact sequences" in output
         assert "blocks [" in output
+
+    def test_json_document(self):
+        code, output = run_cli(
+            ["patterns", "--granularity", "24", "--trace-scale", "0.02", "--json"]
+        )
+        assert code == 0
+        document = json.loads(output)
+        assert document["schema"] == 1
+        summary = document["rows"][0]
+        assert summary["bench"] == "cli_patterns"
+        assert summary["t"] == 21  # 21-day trace at daily granularity
+        assert summary["comparisons"] == 21 * 20 // 2
+        assert summary["telemetry"]["counters"]["patterns.comparisons"] == (
+            summary["comparisons"]
+        )
+        for row in document["rows"][1:]:
+            assert row["bench"] == "cli_patterns_sequence"
+            assert len(row["blocks"]) == row["length"]

@@ -47,6 +47,15 @@ class TestExamples:
         assert "full BIRCH re-run" in output
         assert "routing new documents to concepts" in output
 
+    def test_checkpoint_resume(self):
+        output = run_example("checkpoint_resume.py")
+        assert "resumed at block 4" in output
+        assert "selection after day 6: [3, 4, 5, 6]" in output
+        assert "models identical to an uninterrupted run: True" in output
+        assert "blocks observed across both processes: 6" in output
+        assert "checkpoints=1" in output
+        assert "restores=1" in output
+
     def test_rule_dashboard(self):
         output = run_example("rule_dashboard.py")
         assert "drift begins" in output
@@ -61,6 +70,7 @@ class TestExamples:
     def test_all_examples_present(self):
         scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
         assert scripts == [
+            "checkpoint_resume.py",
             "document_clustering.py",
             "proxy_pattern_detection.py",
             "quickstart.py",

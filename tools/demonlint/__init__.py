@@ -17,6 +17,9 @@ Static rules (see ``docs/STATIC_ANALYSIS.md`` for the paper mapping):
 * **DML006** — no raw ``numpy.intersect1d`` outside
   ``itemsets/kernels.py``; TID-list intersections go through the
   adaptive gallop/merge/bitmap kernels (§3.1.1).
+* **DML007** — no raw ``Stopwatch`` construction or ``perf_counter``
+  reads outside ``repro/storage/`` and ``benchmarks/``; timed spans go
+  through the ``Telemetry`` spine so sessions can aggregate them.
 
 The runtime half lives in :mod:`repro.contracts` (decorators
 ``@maintainer_contract`` and ``@pure_unless_cloned``).

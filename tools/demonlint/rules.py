@@ -1,4 +1,4 @@
-"""The demonlint rule set (DML001–DML006).
+"""The demonlint rule set (DML001–DML007).
 
 Each rule encodes one maintainer contract the DEMON paper states in
 prose; ``docs/STATIC_ANALYSIS.md`` carries the section references and
@@ -692,3 +692,76 @@ class IntersectKernelRule(Rule):
                         "gallop/merge/bitmap dispatch stays in one place"
                     ),
                 )
+
+
+# ----------------------------------------------------------------------
+# DML007 — timed spans go through the telemetry spine
+# ----------------------------------------------------------------------
+
+#: Fully-qualified names whose *construction* starts a raw timing span.
+STOPWATCH_CONSTRUCTORS = {
+    "Stopwatch",
+    "repro.storage.iostats.Stopwatch",
+}
+
+#: Raw clock reads that bypass the spine the same way.
+RAW_SPAN_CALLS = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
+#: Directory names where raw span timing stays sanctioned: the storage
+#: layer (which owns ``Stopwatch`` and builds ``Telemetry`` on it) and
+#: the benchmark harnesses.
+SPAN_ALLOWED_DIR_NAMES = ("storage", "benchmarks")
+
+
+def _raw_span_allowed(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    return any(part in SPAN_ALLOWED_DIR_NAMES for part in normalized.split("/")[:-1])
+
+
+@register
+class TelemetrySpineRule(Rule):
+    """DML007: timed spans outside ``repro/storage/`` use the spine.
+
+    Every subsystem phase (``borders.detection``, ``gemm.critical``,
+    ``birch.phase1``, ...) reports into one :class:`Telemetry` spine so
+    a :class:`MiningSession` can rebind components onto a shared
+    instance and surface their cost through ``MonitorReport.telemetry``
+    and the ``--json`` emitters.  Constructing a raw ``Stopwatch`` (or
+    reading ``time.perf_counter`` directly) outside ``repro/storage/``
+    creates a span that spine never sees — time it with
+    ``telemetry.phase(name)`` instead.
+    """
+
+    rule_id = "DML007"
+    title = "raw Stopwatch/perf_counter span outside the storage layer"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _raw_span_allowed(module.relpath):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve_call(node.func)
+            if resolved in STOPWATCH_CONSTRUCTORS:
+                detail = (
+                    f"{resolved}() constructs a raw timing span invisible "
+                    f"to the telemetry spine"
+                )
+            elif resolved in RAW_SPAN_CALLS:
+                detail = f"{resolved}() reads the clock behind the spine's back"
+            else:
+                continue
+            yield Violation(
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"{detail}; outside repro/storage/ time phases with "
+                    f"repro.storage.telemetry.Telemetry.phase(...) so "
+                    f"sessions can aggregate them"
+                ),
+            )
