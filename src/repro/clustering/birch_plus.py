@@ -26,7 +26,7 @@ from repro.clustering.model import ClusterModel
 from repro.contracts import maintainer_contract, pure_unless_cloned
 from repro.core.blocks import Block
 from repro.core.maintainer import IncrementalModelMaintainer
-from repro.storage.telemetry import Telemetry
+from repro.storage.telemetry import DiagnosticsLog, Telemetry
 
 
 @dataclass
@@ -77,9 +77,16 @@ class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
         self.max_leaf_entries = max_leaf_entries
         self.method = method
         self.seed = seed
-        self.last_timings = BirchTimings()
+        #: Observability side channel (DML012: pure methods report
+        #: their costs here instead of storing run state on ``self``).
+        self.diagnostics = DiagnosticsLog()
         #: Instrumentation spine; a session rebinds this onto its own.
         self.telemetry = Telemetry()
+
+    @property
+    def last_timings(self) -> BirchTimings:
+        """Timings of the most recent ``add_block``."""
+        return self.diagnostics.latest("birch.timings", BirchTimings())
 
     def _new_tree(self) -> CFTree:
         return CFTree(
@@ -118,7 +125,7 @@ class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
             seed=self.seed,
         )
         timings.phase2_seconds = span.stop()
-        self.last_timings = timings
+        self.diagnostics.record("birch.timings", timings)
         return model
 
     def clone(self, model: BirchState) -> BirchState:

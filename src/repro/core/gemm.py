@@ -33,7 +33,11 @@ from typing import TYPE_CHECKING, Any, Generic, TypeVar, cast
 from repro.core.blocks import Block
 from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
 from repro.core.maintainer import IncrementalModelMaintainer
-from repro.storage.persist import load_model, save_model
+from repro.storage.persist import (
+    load_model,
+    register_vault_namespace,
+    save_model,
+)
 from repro.storage.telemetry import Telemetry
 
 if TYPE_CHECKING:
@@ -48,6 +52,11 @@ BSSType = WindowIndependentBSS | WindowRelativeBSS
 ModelKey = frozenset[int]
 
 EMPTY_KEY: ModelKey = frozenset()
+
+#: Vault-key namespace for §3.2.3 model spills.  Keys are
+#: ``(GEMM_SPILL_NAMESPACE, instance_name, sorted_block_ids)`` so several
+#: GEMMs and the session-checkpoint tenant can share one vault.
+GEMM_SPILL_NAMESPACE = register_vault_namespace("gemm-spill")
 
 
 @dataclass
@@ -93,6 +102,9 @@ class GEMM(Generic[TModel, T]):
             (projection operation applies) or window-relative
             (right-shift operation applies).  Defaults to selecting
             every block in the window.
+        vault: Optional shared model vault for §3.2.3 spills.
+        name: Instance name embedded in spill keys; give each GEMM
+            sharing one vault a distinct name.
     """
 
     def __init__(
@@ -101,6 +113,7 @@ class GEMM(Generic[TModel, T]):
         w: int,
         bss: BSSType | None = None,
         vault: ModelVault | None = None,
+        name: str = "gemm",
     ) -> None:
         if w < 1:
             raise ValueError(f"window size must be >= 1, got {w}")
@@ -116,6 +129,7 @@ class GEMM(Generic[TModel, T]):
         #: memory; the other future-window models live serialized in
         #: the vault — the paper's §3.2.3 disk-resident collection.
         self.vault = vault
+        self.name = name
         #: Instrumentation spine; a session rebinds this onto its own.
         self.telemetry = Telemetry()
         self._t = 0
@@ -162,12 +176,16 @@ class GEMM(Generic[TModel, T]):
             raise IndexError(f"slot index {k} outside 0..{self.w - 1}")
         return self._load(self._slots[k])
 
+    def _spill_key(self, key: ModelKey) -> tuple[str, str, tuple[int, ...]]:
+        """Namespaced vault key for one spilled model (DML011 hygiene)."""
+        return (GEMM_SPILL_NAMESPACE, self.name, tuple(sorted(key)))
+
     def _load(self, key: ModelKey) -> TModel:
         """A model by key — from memory, falling back to the vault."""
         if key in self._models:
             return self._models[key]
-        if self.vault is not None and key in self.vault:
-            return cast(TModel, self.vault.get(key))
+        if self.vault is not None and self._spill_key(key) in self.vault:
+            return cast(TModel, self.vault.get(self._spill_key(key)))
         raise KeyError(f"no model stored for key {sorted(key)}")
 
     def distinct_model_count(self) -> int:
@@ -240,9 +258,9 @@ class GEMM(Generic[TModel, T]):
             memory_keys = {self._slots[0], EMPTY_KEY}
             spilled = live_keys - memory_keys
             for key in spilled:
-                self.vault.put(key, new_models[key])
+                self.vault.put(self._spill_key(key), new_models[key])
             for key in self._spilled - spilled:
-                self.vault.delete(key)
+                self.vault.delete(self._spill_key(key))
             self._spilled = spilled
             self._models = {key: new_models[key] for key in memory_keys}
         report.distinct_models = self.distinct_model_count()
@@ -319,6 +337,10 @@ class GEMM(Generic[TModel, T]):
             "models": {
                 tuple(sorted(key)): save_model(self._load(key)) for key in keys
             },
+            # Which keys were vault-resident at snapshot time, so restore
+            # re-establishes the same in-memory/disk split (DML008: every
+            # piece of run state round-trips explicitly).
+            "spilled": sorted(sorted(key) for key in self._spilled),
         }
 
     def load_state_dict(self, state: dict[str, Any]) -> None:
@@ -341,7 +363,10 @@ class GEMM(Generic[TModel, T]):
             return
         memory_keys = {self._slots[0], EMPTY_KEY}
         self._models = {key: revived[key] for key in memory_keys}
+        # Re-derive rather than trust ``state["spilled"]``: a checkpoint
+        # taken without a vault still restores correctly into a vaulted
+        # GEMM (for vaulted snapshots the two sets provably coincide).
         spilled = set(revived) - memory_keys
         for key in spilled:
-            self.vault.put(key, revived[key])
+            self.vault.put(self._spill_key(key), revived[key])
         self._spilled = spilled

@@ -39,6 +39,7 @@ from repro.core.maintainer import (
     UnrestrictedWindowMaintainer,
 )
 from repro.core.windows import MostRecentWindow, UnrestrictedWindow
+from repro.storage.persist import register_vault_namespace
 from repro.storage.telemetry import Telemetry, TelemetrySnapshot, bind_telemetry
 
 if TYPE_CHECKING:
@@ -60,8 +61,9 @@ CHECKPOINT_FORMAT = 1
 
 #: Vault-key namespace for session checkpoints; the full key is
 #: ``(CHECKPOINT_NAMESPACE, session_name)``, which never collides with
-#: GEMM's frozenset-of-block-ids spill keys.
-CHECKPOINT_NAMESPACE = "demon-session"
+#: GEMM's ``gemm-spill`` keys (DML011: all tenants of a shared vault
+#: root their keys in a registered namespace).
+CHECKPOINT_NAMESPACE = register_vault_namespace("demon-session")
 
 
 class CheckpointError(RuntimeError):
@@ -160,7 +162,9 @@ class MiningSession(Generic[TModel, T]):
         if maintainer is None:
             self._engine = None
         elif isinstance(self.span, MostRecentWindow):
-            self._engine = GEMM(maintainer, self.span.w, bss=bss, vault=vault)
+            self._engine = GEMM(
+                maintainer, self.span.w, bss=bss, vault=vault, name=f"{name}.gemm"
+            )
         else:
             if isinstance(bss, WindowRelativeBSS):  # unreachable, guarded above
                 raise AssertionError
@@ -258,19 +262,75 @@ class MiningSession(Generic[TModel, T]):
     # Checkpoint / restore
     # ------------------------------------------------------------------
 
-    def checkpoint(self, vault: ModelVault | None = None) -> int:
-        """Persist the whole session into a vault; returns bytes written.
+    def state_dict(self) -> dict[str, Any]:
+        """The self-contained checkpoint payload for this session.
 
-        The payload is self-contained: it embeds the maintainer (with
-        its storage context — the reproduction's stand-in for durable
-        block storage), the engine's full collection of models, the
-        pattern miner (deviation matrix and sequences), the optional
-        snapshot, and the telemetry totals.  BSS predicates must be
-        picklable — bit-based sequences always are; ad-hoc lambda
-        predicates are not and raise :class:`CheckpointError`.
+        It embeds the maintainer (with its storage context — the
+        reproduction's stand-in for durable block storage), the
+        engine's full collection of models, the pattern miner
+        (deviation matrix and sequences), the optional snapshot, and
+        the telemetry totals.
         """
         from repro.storage.persist import save_model
 
+        engine_kind = "none"
+        engine_state: dict[str, Any] | None = None
+        if isinstance(self._engine, GEMM):
+            engine_kind = "gemm"
+            engine_state = self._engine.state_dict()
+        elif isinstance(self._engine, UnrestrictedWindowMaintainer):
+            engine_kind = "uw"
+            engine_state = self._engine.state_dict()
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "name": self.name,
+            "span": self.span,
+            "bss": self.bss,
+            "maintainer": (
+                save_model(self.maintainer)
+                if self.maintainer is not None
+                else None
+            ),
+            "engine": {"kind": engine_kind, "state": engine_state},
+            "pattern_miner": (
+                save_model(self.pattern_miner)
+                if self.pattern_miner is not None
+                else None
+            ),
+            "snapshot": (
+                save_model(self.snapshot) if self.snapshot is not None else None
+            ),
+            "telemetry": self.telemetry.state_dict(),
+        }
+
+    def load_state_dict(
+        self, state: dict[str, Any], *, restore_telemetry: bool = True
+    ) -> None:
+        """Apply the mutable parts of a checkpoint payload.
+
+        The constructor-shaped parts (span, BSS, maintainer, miner) are
+        consumed by :meth:`restore`, which builds the session first;
+        this method restores what accumulates during a run: the
+        snapshot, the engine state (GEMM's collection of models), and —
+        unless the caller supplied their own spine — telemetry totals.
+        """
+        from repro.storage.persist import load_model
+
+        if state["snapshot"] is not None:
+            self.snapshot = load_model(state["snapshot"])
+        engine_state = state["engine"]["state"]
+        if self._engine is not None and engine_state is not None:
+            self._engine.load_state_dict(engine_state)
+        if restore_telemetry:
+            self.telemetry.load_state_dict(state["telemetry"])
+
+    def checkpoint(self, vault: ModelVault | None = None) -> int:
+        """Persist the whole session into a vault; returns bytes written.
+
+        BSS predicates must be picklable — bit-based sequences always
+        are; ad-hoc lambda predicates are not and raise
+        :class:`CheckpointError`.
+        """
         target = vault if vault is not None else self.vault
         if target is None:
             raise CheckpointError(
@@ -281,35 +341,7 @@ class MiningSession(Generic[TModel, T]):
             # Counted before the totals are serialized so a restored
             # session knows how many checkpoints produced it.
             self.telemetry.increment("session.checkpoints")
-            engine_kind = "none"
-            engine_state: dict[str, Any] | None = None
-            if isinstance(self._engine, GEMM):
-                engine_kind = "gemm"
-                engine_state = self._engine.state_dict()
-            elif isinstance(self._engine, UnrestrictedWindowMaintainer):
-                engine_kind = "uw"
-                engine_state = self._engine.state_dict()
-            payload: dict[str, Any] = {
-                "format": CHECKPOINT_FORMAT,
-                "name": self.name,
-                "span": self.span,
-                "bss": self.bss,
-                "maintainer": (
-                    save_model(self.maintainer)
-                    if self.maintainer is not None
-                    else None
-                ),
-                "engine": {"kind": engine_kind, "state": engine_state},
-                "pattern_miner": (
-                    save_model(self.pattern_miner)
-                    if self.pattern_miner is not None
-                    else None
-                ),
-                "snapshot": (
-                    save_model(self.snapshot) if self.snapshot is not None else None
-                ),
-                "telemetry": self.telemetry.state_dict(),
-            }
+            payload = self.state_dict()
             try:
                 nbytes = target.put(checkpoint_key(self.name), payload)
             except CheckpointError:
@@ -370,14 +402,8 @@ class MiningSession(Generic[TModel, T]):
             name=name,
         )
         with session.telemetry.phase("session.restore"):
-            if payload["snapshot"] is not None:
-                session.snapshot = load_model(payload["snapshot"])
-            engine_info = payload["engine"]
-            if session._engine is not None and engine_info["state"] is not None:
-                session._engine.load_state_dict(engine_info["state"])
-            if telemetry is None:
-                # Continue the checkpointed totals on the fresh spine
-                # (an explicitly supplied spine is left untouched).
-                session.telemetry.load_state_dict(payload["telemetry"])
+            # Continue checkpointed telemetry totals only on a fresh
+            # spine (an explicitly supplied spine is left untouched).
+            session.load_state_dict(payload, restore_telemetry=telemetry is None)
         session.telemetry.increment("session.restores")
         return session

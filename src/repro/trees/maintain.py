@@ -37,10 +37,13 @@ class TreeModel:
     Attributes:
         tree: The current classifier (``None`` until data arrives).
         selected_block_ids: Blocks the model was trained on.
+        blocks: Retained training blocks, for maintainers that refit
+            from data (blocks are immutable, so clones may share them).
     """
 
     tree: DecisionTree | None = None
     selected_block_ids: list[int] = field(default_factory=list)
+    blocks: dict[int, Block[LabelledPoint]] = field(default_factory=dict)
 
 
 def _route_to_leaf(node: TreeNode, features) -> TreeNode:
@@ -194,15 +197,17 @@ class LeafRefinementTreeMaintainer(
 class RebuildingTreeMaintainer(IncrementalModelMaintainer[TreeModel, LabelledPoint]):
     """The naive ``A_M``: refit from every selected block on each add.
 
-    Keeps the blocks it has seen (like any maintainer whose storage
-    layer retains the data); ``add_block`` therefore costs a full
-    retrain — the baseline that motivates real incremental schemes.
+    The blocks it has seen live on the *model* (like any maintainer
+    whose storage layer retains the data); ``add_block`` therefore
+    costs a full retrain — the baseline that motivates real
+    incremental schemes.  Keeping the blocks on the model rather than
+    on ``self`` preserves the ``pure_unless_cloned`` contract (DML012):
+    divergent GEMM slots must not observe each other's data.
     """
 
     def __init__(self, max_depth: int = 6, min_leaf_size: int = 5):
         self.max_depth = max_depth
         self.min_leaf_size = min_leaf_size
-        self._blocks: dict[int, Block[LabelledPoint]] = {}
 
     def empty_model(self) -> TreeModel:
         return TreeModel()
@@ -215,12 +220,12 @@ class RebuildingTreeMaintainer(IncrementalModelMaintainer[TreeModel, LabelledPoi
 
     @pure_unless_cloned
     def add_block(self, model: TreeModel, block: Block[LabelledPoint]) -> TreeModel:
-        self._blocks[block.block_id] = block
+        model.blocks[block.block_id] = block
         model.selected_block_ids.append(block.block_id)
         data = [
             point
             for block_id in model.selected_block_ids
-            for point in self._blocks[block_id].tuples
+            for point in model.blocks[block_id].tuples
         ]
         model.tree = DecisionTree(
             max_depth=self.max_depth, min_leaf_size=self.min_leaf_size
@@ -231,4 +236,7 @@ class RebuildingTreeMaintainer(IncrementalModelMaintainer[TreeModel, LabelledPoi
         return TreeModel(
             tree=copy.deepcopy(model.tree),
             selected_block_ids=list(model.selected_block_ids),
+            # Blocks are immutable; a fresh dict with shared entries is
+            # a safe (and cheap) deep-enough copy.
+            blocks=dict(model.blocks),
         )

@@ -89,7 +89,7 @@ class TestMaintainerBehaviour:
         snapshot = maintainer.clone(state)
         maintainer.add_block(state, blocks[1])
         assert snapshot.tree.n_points == len(blocks[0])
-        assert state.tree.n_points == len(blocks[0]) + len(blocks[1])
+        assert state.tree.n_points == len(blocks[0]) + len(blocks[1])  # demonlint: disable=DML002 (asserts the in-place mutation)
 
     def test_empty_model(self):
         maintainer = BirchPlusMaintainer(k=2)

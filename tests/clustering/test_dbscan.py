@@ -209,4 +209,4 @@ class TestDBSCANMaintainer:
         snapshot = maintainer.clone(model)
         maintainer.add_block(model, make_block(2, two_blobs(30, seed=9)))
         assert len(snapshot.clustering) == 30
-        assert len(model.clustering) == 60
+        assert len(model.clustering) == 60  # demonlint: disable=DML002 (asserts the in-place mutation)

@@ -37,9 +37,9 @@ class TestWindowIndependentBSS:
 
     def test_invalid_bits_rejected(self):
         with pytest.raises(ValueError):
-            WindowIndependentBSS([1, 2])
+            WindowIndependentBSS([1, 2])  # demonlint: disable=DML003 (asserts rejection)
         with pytest.raises(ValueError):
-            WindowIndependentBSS(default=3)
+            WindowIndependentBSS(default=3)  # demonlint: disable=DML003 (asserts rejection)
 
     def test_bit_position_validation(self):
         with pytest.raises(IndexError):

@@ -175,7 +175,7 @@ class TestMaintainerMechanics:
         snapshot = maintainer.clone(model)
         maintainer.add_block(model, blocks[1])
         assert snapshot.selected_block_ids == [1]
-        assert model.selected_block_ids == [1, 2]
+        assert model.selected_block_ids == [1, 2]  # demonlint: disable=DML002 (asserts the in-place mutation)
 
     def test_empty_model(self):
         maintainer = BordersMaintainer(MINSUP)

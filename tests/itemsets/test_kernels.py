@@ -41,7 +41,7 @@ CASES = [
 class TestArrayKernels:
     @pytest.mark.parametrize("a,b", CASES)
     def test_kernels_agree_with_reference(self, a, b):
-        expected = np.intersect1d(a, b).tolist()
+        expected = np.intersect1d(a, b).tolist()  # demonlint: disable=DML006 (reference oracle)
         assert intersect_gallop(a, b).tolist() == expected
         assert intersect_merge(a, b).tolist() == expected
         assert intersect_arrays(a, b).tolist() == expected
@@ -50,7 +50,7 @@ class TestArrayKernels:
     @pytest.mark.parametrize("a,b", CASES)
     @pytest.mark.parametrize("kernel", ["gallop", "merge"])
     def test_forced_kernels_agree(self, a, b, kernel):
-        expected = np.intersect1d(a, b).tolist()
+        expected = np.intersect1d(a, b).tolist()  # demonlint: disable=DML006 (reference oracle)
         with force_kernel(kernel):
             assert intersect_arrays(a, b).tolist() == expected
             assert count_arrays(a, b) == len(expected)

@@ -115,7 +115,7 @@ class TestReadOnlyMaterialization:
         tids = store.fetch(1, (1, 2))
         assert not tids.flags.writeable
         with pytest.raises(ValueError):
-            tids[0] = 42
+            tids[0] = 42  # demonlint: disable=DML010 (asserts the freeze)
 
     def test_packed_rows_cache_is_frozen(self):
         store = PairTidListStore()

@@ -138,7 +138,7 @@ class TestReadOnlyMaterialization:
         tids = store.fetch(1, 1)
         assert not tids.flags.writeable
         with pytest.raises(ValueError):
-            tids[0] = 99
+            tids[0] = 99  # demonlint: disable=DML010 (asserts the freeze)
 
     def test_fetch_list_is_frozen(self):
         store = store_with_blocks()
@@ -149,7 +149,7 @@ class TestReadOnlyMaterialization:
         store = store_with_blocks()
         expected = store.count_itemset_in_block(1, (1, 2))
         with pytest.raises(ValueError):
-            store.fetch(1, 1)[0] = 99
+            store.fetch(1, 1)[0] = 99  # demonlint: disable=DML010 (asserts the freeze)
         assert store.count_itemset_in_block(1, (1, 2)) == expected
 
     def test_intersect_sorted_single_list_aliases_frozen_input(self):
@@ -177,7 +177,7 @@ class TestReadOnlyMaterialization:
         rows, lens, nbytes = store.packed_rows(1, items)
         # Returned arrays are per-call copies the engine may mutate...
         assert rows.flags.writeable
-        rows[:] = 0
+        rows[:] = 0  # demonlint: disable=DML010 (packed_rows rows are per-call copies; this asserts exactly that)
         # ...while the underlying cache stays intact and frozen.
         matrix, cached_nbytes = store._packed_catalog(1)
         assert not matrix.flags.writeable

@@ -3,6 +3,7 @@
 Never imported — demonlint only parses it, so the imports need not
 resolve at run time.
 """
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
 
 from repro.core.maintainer import IncrementalModelMaintainer
 from repro.contracts import maintainer_contract

@@ -1,4 +1,5 @@
 """DML002 fixture: stale model references read after add_block."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
 
 
 def straight_line_reuse(maint, model, b1, b2):

@@ -1,4 +1,5 @@
 """DML003 fixture: non-bit literals fed to BSS constructors."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
 
 from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
 

@@ -1,4 +1,5 @@
 """DML004 fixture: ad-hoc wall-clock reads outside the metering layer."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
 
 import datetime
 import time

@@ -1,4 +1,5 @@
 """DML005 fixture: hygiene problems demonlint must catch."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
 
 
 def accumulate(block, acc=[]):  # mutable default

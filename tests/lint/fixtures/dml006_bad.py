@@ -1,4 +1,5 @@
 """DML006 fixture: raw np.intersect1d outside the kernel module."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
 
 import numpy as np
 from numpy import intersect1d as isect

@@ -1,4 +1,5 @@
 """DML007 fixture: raw timing spans that bypass the telemetry spine."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
 
 import time
 from time import perf_counter_ns as pcns

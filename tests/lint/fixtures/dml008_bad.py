@@ -1,0 +1,25 @@
+"""DML008 fixture: checkpoint round-trips that drop run-state."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+class DriftingCounter:
+    """Counter whose run-state leaks out of its checkpoints.
+
+    ``count`` appears in neither checkpoint method ("never persisted");
+    ``epoch`` is saved but never restored ("drift").
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.epoch = 0
+        self.name = "counter"
+
+    def advance(self) -> None:
+        self.count = self.count + 1
+        self.epoch = self.epoch + 1
+
+    def state_dict(self) -> dict:
+        return {"name": self.name, "epoch": self.epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.name = state["name"]

@@ -1,0 +1,22 @@
+"""DML008 fixture: every run-state attribute round-trips."""
+
+
+class CheckpointedCounter:
+    """Counter whose checkpoints cover all mutated state."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.epoch = 0
+        self.name = "counter"
+
+    def advance(self) -> None:
+        self.count = self.count + 1
+        self.epoch = self.epoch + 1
+
+    def state_dict(self) -> dict:
+        return {"name": self.name, "count": self.count, "epoch": self.epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.name = state["name"]
+        self.count = state["count"]
+        self.epoch = state["epoch"]

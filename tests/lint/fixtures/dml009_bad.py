@@ -1,0 +1,35 @@
+"""DML009 fixture: spans left open and phases re-entered."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+class Pipeline:
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def leaky_return(self, blocks) -> int:
+        span = self.telemetry.phase("observe").start()
+        if not blocks:
+            return 0  # span still open here
+        total = len(blocks)
+        span.stop()
+        return total
+
+    def leaky_raise(self, block_id, seen) -> None:
+        span = self.telemetry.phase("maintain").start()
+        if block_id in seen:
+            raise ValueError(block_id)  # span still open here
+        seen.add(block_id)
+        span.stop()
+
+    def nested_same_phase(self) -> None:
+        with self.telemetry.phase("flush"):
+            with self.telemetry.phase("flush"):
+                pass
+
+    def _measure(self) -> None:
+        with self.telemetry.phase("flush"):
+            pass
+
+    def reenters_via_call(self) -> None:
+        with self.telemetry.phase("flush"):
+            self._measure()

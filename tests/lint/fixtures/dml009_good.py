@@ -1,0 +1,33 @@
+"""DML009 fixture: spans balanced on every path, no re-entry."""
+
+
+class Pipeline:
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def with_form(self, blocks) -> int:
+        if not blocks:
+            return 0
+        with self.telemetry.phase("observe"):
+            total = len(blocks)
+        return total
+
+    def explicit_balanced(self, blocks) -> int:
+        span = self.telemetry.phase("observe").start()
+        total = len(blocks)
+        span.stop()
+        return total
+
+    def distinct_phases_nest(self) -> None:
+        with self.telemetry.phase("maintain"):
+            with self.telemetry.phase("maintain.rebuild"):
+                pass
+
+    def _measure(self) -> None:
+        with self.telemetry.phase("flush"):
+            pass
+
+    def sequential_phases(self) -> None:
+        with self.telemetry.phase("observe"):
+            pass
+        self._measure()

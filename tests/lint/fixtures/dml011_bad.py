@@ -1,0 +1,18 @@
+"""DML011 fixture: unhygienic ModelVault keys."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+def bare_string_key(vault, model) -> None:
+    vault.put("model", model)
+
+
+def unregistered_namespace(vault):
+    return vault.get(("mystery", "a"))
+
+
+def unresolvable_key(vault, key):
+    return key in vault
+
+
+def dynamic_delete(vault, name) -> None:
+    vault.delete(name)

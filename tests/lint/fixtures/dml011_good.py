@@ -1,0 +1,18 @@
+"""DML011 fixture: literal-rooted tuple keys under a registered namespace."""
+
+from repro.storage.persist import register_vault_namespace
+
+FIXTURE_NAMESPACE = register_vault_namespace("dml011-fixture")
+
+
+def stash(vault, model) -> None:
+    vault.put((FIXTURE_NAMESPACE, "model", 3), model)
+
+
+def probe(vault) -> bool:
+    return (FIXTURE_NAMESPACE, "model", 3) in vault
+
+
+def sweep(vault) -> None:
+    for key in sorted(vault.keys()):
+        vault.delete(key)

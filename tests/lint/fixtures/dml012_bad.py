@@ -1,0 +1,19 @@
+"""DML012 fixture: pure_unless_cloned methods that write ``self``."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+def pure_unless_cloned(func):
+    return func
+
+
+class Miner:
+    def __init__(self) -> None:
+        self.stats = None
+
+    @pure_unless_cloned
+    def observe(self, model, block) -> None:
+        self.stats = len(block)
+        self._note(block)
+
+    def _note(self, block) -> None:
+        self.counter = len(block)

@@ -1,0 +1,27 @@
+"""DML012 fixture: per-add state goes to a diagnostics side channel."""
+
+
+def pure_unless_cloned(func):
+    return func
+
+
+class DiagnosticsLog:
+    def __init__(self) -> None:
+        self.latest = {}
+
+    def record(self, channel, entry) -> None:
+        self.latest[channel] = entry
+
+
+class Miner:
+    def __init__(self) -> None:
+        self.diagnostics = DiagnosticsLog()
+
+    @pure_unless_cloned
+    def observe(self, model, block) -> int:
+        width = self._width(block)
+        self.diagnostics.record("observe", width)
+        return width
+
+    def _width(self, block) -> int:
+        return len(block)

@@ -1,0 +1,168 @@
+"""CLI feature tests: --jobs, baselines, and SARIF output."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.demonlint import run  # noqa: E402
+from tools.demonlint.baseline import (  # noqa: E402
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.demonlint.cli import main  # noqa: E402
+from tools.demonlint.reporter import render_sarif  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures"
+DIRTY = "import time\n\ndef f():\n    return time.time()\n"
+
+
+# ----------------------------------------------------------------------
+# --jobs: parallel parsing is an implementation detail, not a behavior
+# ----------------------------------------------------------------------
+
+
+def test_parallel_parse_matches_serial():
+    serial = run([FIXTURES], root=ROOT, respect_suppressions=False)
+    parallel = run([FIXTURES], root=ROOT, respect_suppressions=False, jobs=2)
+    assert [v.render() for v in parallel.violations] == [
+        v.render() for v in serial.violations
+    ]
+    assert parallel.files_checked == serial.files_checked
+
+
+def test_cli_rejects_bad_jobs():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--jobs", "0", str(FIXTURES / "dml004_good.py")])
+    assert excinfo.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+
+def test_baseline_roundtrip_swallows_recorded_findings(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text(DIRTY)
+    result = run([module], root=tmp_path)
+    assert result.violations
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, result.violations)
+    new, known = apply_baseline(result.violations, load_baseline(baseline_path))
+    assert new == []
+    assert len(known) == len(result.violations)
+
+
+def test_baseline_counts_cap_repeated_findings(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text(DIRTY)
+    baseline = load_baseline_of(tmp_path, module)
+    # A second instance of the same fingerprint exceeds the count.
+    module.write_text(DIRTY + "\nagain = time.time()\n")
+    grown = run([module], root=tmp_path)
+    new, known = apply_baseline(grown.violations, baseline)
+    assert known and new
+    assert all(v.line > k.line for v in new for k in known
+               if v.rule_id == k.rule_id)
+
+
+def load_baseline_of(tmp_path, module):
+    result = run([module], root=tmp_path)
+    path = tmp_path / "baseline.json"
+    write_baseline(path, result.violations)
+    return load_baseline(path)
+
+
+def test_baseline_version_mismatch_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+def test_cli_baseline_workflow(tmp_path, capsys):
+    module = tmp_path / "m.py"
+    module.write_text(DIRTY)
+    baseline = tmp_path / "baseline.json"
+    common = ["--no-cache", "--baseline", str(baseline), str(module)]
+
+    assert main(["--update-baseline", *common]) == 0
+    assert baseline.exists()
+    # Baselined findings no longer fail the run...
+    assert main(common) == 0
+    assert "baselined" in capsys.readouterr().out
+    # ...but a NEW finding does.
+    module.write_text(DIRTY + "\nagain = time.time()\n")
+    assert main(common) == 1
+
+
+def test_cli_missing_baseline_is_a_usage_error(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text(DIRTY)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--no-cache", "--baseline", str(tmp_path / "nope.json"), str(module)])
+    assert excinfo.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+
+def test_sarif_shape_and_suppression_records():
+    result = run([FIXTURES / "suppressed.py"], root=ROOT)
+    payload = json.loads(render_sarif(result))
+    assert payload["version"] == "2.1.0"
+    driver = payload["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "demonlint"
+    declared = [rule["id"] for rule in driver["rules"]]
+    results = payload["runs"][0]["results"]
+    assert results, "expected the suppressed fixture findings to be present"
+    for entry in results:
+        assert declared[entry["ruleIndex"]] == entry["ruleId"]
+        region = entry["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+    # suppressed.py findings are all waved through in-source.
+    assert all(
+        entry.get("suppressions") == [{"kind": "inSource"}] for entry in results
+    )
+
+
+def test_sarif_kept_findings_carry_no_suppressions():
+    result = run(
+        [FIXTURES / "dml003_bad.py"], root=ROOT, respect_suppressions=False
+    )
+    payload = json.loads(render_sarif(result))
+    results = payload["runs"][0]["results"]
+    assert results
+    assert all("suppressions" not in entry for entry in results)
+
+
+def test_cli_writes_sarif_file_alongside_report(tmp_path, capsys):
+    sarif_path = tmp_path / "demonlint.sarif"
+    code = main(
+        ["--no-cache", "--sarif", str(sarif_path),
+         str(FIXTURES / "dml004_good.py")]
+    )
+    assert code == 0
+    payload = json.loads(sarif_path.read_text())
+    assert payload["version"] == "2.1.0"
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_sarif_format_on_stdout(capsys):
+    code = main(
+        ["--no-cache", "--format", "sarif", str(FIXTURES / "dml004_good.py")]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"][0]["tool"]["driver"]["name"] == "demonlint"

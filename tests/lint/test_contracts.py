@@ -14,6 +14,8 @@ from repro.contracts import (
 
 class _Model:
     """Weakref-able toy model (lists/dicts cannot be weakly referenced)."""
+# demonlint: disable-file=DML001,DML002 (this module builds deliberately
+# contract-violating maintainers to prove the RUNTIME contracts catch them)
 
     def __init__(self, items=()):
         self.items = tuple(items)

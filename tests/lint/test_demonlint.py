@@ -19,12 +19,22 @@ from tools.demonlint.reporter import render_json, render_text  # noqa: E402
 
 FIXTURES = Path(__file__).parent / "fixtures"
 ALL_RULES = (
-    "DML001", "DML002", "DML003", "DML004", "DML005", "DML006", "DML007"
+    "DML001", "DML002", "DML003", "DML004", "DML005", "DML006", "DML007",
+    "DML008", "DML009", "DML010", "DML011", "DML012",
 )
 
 
 def lint(path: Path, **kwargs):
     return run([path], root=ROOT, **kwargs)
+
+
+def lint_bad(path: Path, **kwargs):
+    """Lint a ``*_bad.py`` fixture.
+
+    Bad fixtures carry a ``disable-file=all`` header so whole-tree CI
+    runs stay clean; the rule tests bypass it to see the raw findings.
+    """
+    return run([path], root=ROOT, respect_suppressions=False, **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -34,7 +44,7 @@ def lint(path: Path, **kwargs):
 
 @pytest.mark.parametrize("rule_id", ALL_RULES)
 def test_rule_fires_on_bad_fixture(rule_id):
-    result = lint(FIXTURES / f"{rule_id.lower()}_bad.py", select=[rule_id])
+    result = lint_bad(FIXTURES / f"{rule_id.lower()}_bad.py", select=[rule_id])
     assert not result.ok
     assert {v.rule_id for v in result.violations} == {rule_id}
 
@@ -57,14 +67,14 @@ def test_good_fixtures_clean_under_all_rules(rule_id):
 
 
 def test_dml001_reports_missing_method_and_bad_signature():
-    result = lint(FIXTURES / "dml001_bad.py", select=["DML001"])
+    result = lint_bad(FIXTURES / "dml001_bad.py", select=["DML001"])
     messages = " | ".join(v.message for v in result.violations)
     assert "does not implement clone()" in messages
     assert "add_block" in messages and "expected signature" in messages
 
 
 def test_dml002_flags_both_straight_line_and_loop_reuse():
-    result = lint(FIXTURES / "dml002_bad.py", select=["DML002"])
+    result = lint_bad(FIXTURES / "dml002_bad.py", select=["DML002"])
     lines = {v.line for v in result.violations}
     source = (FIXTURES / "dml002_bad.py").read_text().splitlines()
     flagged = {source[line - 1].strip() for line in lines}
@@ -73,7 +83,7 @@ def test_dml002_flags_both_straight_line_and_loop_reuse():
 
 
 def test_dml003_catches_every_bad_literal_kind():
-    result = lint(FIXTURES / "dml003_bad.py", select=["DML003"])
+    result = lint_bad(FIXTURES / "dml003_bad.py", select=["DML003"])
     messages = " ".join(v.message for v in result.violations)
     assert "got 2" in messages  # out-of-range int
     assert "got True" in messages  # bool
@@ -83,7 +93,7 @@ def test_dml003_catches_every_bad_literal_kind():
 
 
 def test_dml004_resolves_import_aliases():
-    result = lint(FIXTURES / "dml004_bad.py", select=["DML004"])
+    result = lint_bad(FIXTURES / "dml004_bad.py", select=["DML004"])
     resolved = {v.message.split("(")[0] for v in result.violations}
     assert any("time.time" in m for m in resolved)
     assert any("time.perf_counter" in m for m in resolved)
@@ -96,7 +106,7 @@ def test_dml004_allows_the_metering_module():
 
 
 def test_dml007_resolves_aliases_and_names_both_span_kinds():
-    result = lint(FIXTURES / "dml007_bad.py", select=["DML007"])
+    result = lint_bad(FIXTURES / "dml007_bad.py", select=["DML007"])
     messages = " | ".join(v.message for v in result.violations)
     assert "Stopwatch" in messages
     assert "time.perf_counter" in messages
@@ -111,7 +121,7 @@ def test_dml007_allows_the_storage_layer():
 
 
 def test_dml005_reports_each_hygiene_problem_once():
-    result = lint(FIXTURES / "dml005_bad.py", select=["DML005"])
+    result = lint_bad(FIXTURES / "dml005_bad.py", select=["DML005"])
     messages = [v.message for v in result.violations]
     assert sum("mutable default" in m for m in messages) == 1
     assert sum("mutated while being iterated" in m for m in messages) == 1
@@ -152,7 +162,7 @@ def test_syntax_error_becomes_dml000(tmp_path):
 
 def test_ignore_filters_rules():
     # DML007 also sees the perf_counter alias, so both must be ignored.
-    result = lint(FIXTURES / "dml004_bad.py", ignore=["DML004", "DML007"])
+    result = lint_bad(FIXTURES / "dml004_bad.py", ignore=["DML004", "DML007"])
     assert result.ok
 
 
@@ -177,7 +187,7 @@ def test_registry_is_complete():
 
 
 def test_reporters_round_trip():
-    result = lint(FIXTURES / "dml005_bad.py")
+    result = lint_bad(FIXTURES / "dml005_bad.py")
     text = render_text(result)
     assert "DML005" in text and "dml005_bad.py" in text
     payload = json.loads(render_json(result))
@@ -186,8 +196,11 @@ def test_reporters_round_trip():
 
 
 def test_cli_exit_codes(capsys):
-    assert main([str(FIXTURES / "dml004_good.py")]) == 0
-    assert main([str(FIXTURES / "dml004_bad.py")]) == 1
+    assert main(["--no-cache", str(FIXTURES / "dml004_good.py")]) == 0
+    # The disable-file=all header in the fixture suppresses everything ...
+    assert main(["--no-cache", str(FIXTURES / "dml004_bad.py")]) == 0
+    # ... until --no-suppress surfaces the findings again.
+    assert main(["--no-cache", "--no-suppress", str(FIXTURES / "dml004_bad.py")]) == 1
     capsys.readouterr()
     assert main(["--list-rules"]) == 0
     listing = capsys.readouterr().out
@@ -202,7 +215,10 @@ def test_cli_rejects_unknown_rule_ids():
 
 
 def test_cli_json_output(capsys):
-    code = main(["--format", "json", str(FIXTURES / "dml003_bad.py")])
+    code = main(
+        ["--no-cache", "--no-suppress", "--format", "json",
+         str(FIXTURES / "dml003_bad.py")]
+    )
     payload = json.loads(capsys.readouterr().out)
     assert code == 1
     assert payload["files_checked"] == 1
@@ -210,4 +226,4 @@ def test_cli_json_output(capsys):
 
 
 def test_cli_lints_the_tree_like_ci_does():
-    assert main([str(ROOT / "src" / "repro")]) == 0
+    assert main(["--no-cache", str(ROOT / "src" / "repro")]) == 0

@@ -1,0 +1,257 @@
+"""DML008-DML012 regression tests: each rule's findings, and proof that
+the real violations they caught in ``src/repro`` stay fixed.
+
+The ``*_prefix_*`` tests reconstruct the pre-fix shape of the code that
+each rule originally flagged (GEMM's unpersisted spill set, the
+compactor's dangling span, GEMM's un-namespaced vault keys, the
+miners' per-add ``self`` state) and assert the rule still detects it;
+the paired ``*_live_*`` tests assert the fixed modules are clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.demonlint import run  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FLOW_RULES = ("DML008", "DML009", "DML010", "DML011", "DML012")
+
+
+def lint_bad(path: Path, rule_id: str):
+    return run([path], root=ROOT, select=[rule_id], respect_suppressions=False)
+
+
+def lint_snippet(tmp_path: Path, source: str, rule_id: str):
+    module = tmp_path / "prefix_repro.py"
+    module.write_text(textwrap.dedent(source))
+    return run([module], root=tmp_path, select=[rule_id])
+
+
+def lint_live(rule_id: str, *relpaths: str):
+    paths = [ROOT / "src" / "repro" / rel for rel in relpaths]
+    return run(paths, root=ROOT, select=[rule_id])
+
+
+# ----------------------------------------------------------------------
+# DML008 — checkpoint parity
+# ----------------------------------------------------------------------
+
+
+def test_dml008_reports_both_parity_failures():
+    result = lint_bad(FIXTURES / "dml008_bad.py", "DML008")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "count" in messages and "neither state_dict nor" in messages
+    assert "epoch" in messages and "but not load_state_dict" in messages
+
+
+def test_dml008_detects_the_prefix_gemm_spill_set(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        class MiniGEMM:
+            def __init__(self, vault):
+                self.vault = vault
+                self._spilled = set()
+                self.models = {}
+
+            def observe(self, key):
+                self._spilled.add(key)
+                self.models[key] = None
+
+            def state_dict(self):
+                return {"models": sorted(self.models)}
+
+            def load_state_dict(self, state):
+                self.models = {key: None for key in state["models"]}
+        """,
+        "DML008",
+    )
+    assert any("_spilled" in v.message for v in result.violations)
+
+
+def test_dml008_live_checkpoint_classes_are_clean():
+    result = lint_live("DML008", "core/gemm.py", "core/session.py")
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML009 — phase-span discipline
+# ----------------------------------------------------------------------
+
+
+def test_dml009_reports_every_span_failure_mode():
+    result = lint_bad(FIXTURES / "dml009_bad.py", "DML009")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "still open on a return path" in messages
+    assert "still open on a raise path" in messages
+    assert "re-entered inside its own span" in messages
+    assert "via _measure()" in messages
+
+
+def test_dml009_detects_the_prefix_compact_dangling_span(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        class CompactObserver:
+            def __init__(self, telemetry, seen):
+                self.telemetry = telemetry
+                self.seen = seen
+
+            def observe(self, block_id, rows):
+                span = self.telemetry.phase("patterns.observe").start()
+                if block_id in self.seen:
+                    raise ValueError(block_id)
+                self.seen.add(block_id)
+                span.stop()
+        """,
+        "DML009",
+    )
+    assert any("raise path" in v.message for v in result.violations)
+
+
+def test_dml009_live_compact_is_clean():
+    result = lint_live("DML009", "patterns/compact.py")
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML010 — frozen-array taint
+# ----------------------------------------------------------------------
+
+
+def test_dml010_reports_every_sink_kind():
+    result = lint_bad(FIXTURES / "dml010_bad.py", "DML010")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "subscript store into frozen array" in messages
+    assert "augmented assignment" in messages
+    assert "mutates a frozen array in place" in messages
+    assert "setflags(write=True)" in messages
+    assert "out=tids" in messages
+
+
+def test_dml010_live_consumers_are_clean():
+    result = lint_live(
+        "DML010", "itemsets/counting.py", "itemsets/fup.py", "patterns/compact.py"
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML011 — vault-key hygiene
+# ----------------------------------------------------------------------
+
+
+def test_dml011_reports_every_verdict_kind():
+    result = lint_bad(FIXTURES / "dml011_bad.py", "DML011")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "is not a literal-rooted tuple" in messages
+    assert "never registered" in messages
+    assert "does not statically resolve" in messages
+
+
+def test_dml011_detects_the_prefix_gemm_spill_keys(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        class SpillingGEMM:
+            def __init__(self, vault):
+                self.vault = vault
+
+            def spill(self, key, model):
+                self.vault.put(tuple(sorted(key)), model)
+
+            def unspill(self, key):
+                if tuple(sorted(key)) in self.vault:
+                    return self.vault.get(tuple(sorted(key)))
+                return None
+        """,
+        "DML011",
+    )
+    assert len(result.violations) >= 3
+    assert all("statically resolve" in v.message for v in result.violations)
+
+
+def test_dml011_namespace_collision_across_modules(tmp_path):
+    header = "from repro.storage.persist import register_vault_namespace\n"
+    (tmp_path / "first.py").write_text(
+        header + 'NS = register_vault_namespace("shared-ns")\n'
+    )
+    (tmp_path / "second.py").write_text(
+        header + 'NS = register_vault_namespace("shared-ns")\n'
+    )
+    result = run([tmp_path], root=tmp_path, select=["DML011"])
+    assert any("already registered" in v.message for v in result.violations)
+
+
+def test_dml011_live_vault_tenants_are_clean():
+    result = lint_live("DML011", "core/gemm.py", "core/session.py")
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML012 — transitive purity
+# ----------------------------------------------------------------------
+
+
+def test_dml012_reports_direct_and_transitive_stores():
+    result = lint_bad(FIXTURES / "dml012_bad.py", "DML012")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "self.stats" in messages
+    assert "self.counter" in messages and "reached via _note()" in messages
+
+
+def test_dml012_detects_the_prefix_miner_stats(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        def pure_unless_cloned(func):
+            return func
+
+        class BorderMiner:
+            def __init__(self):
+                self.last_stats = None
+
+            @pure_unless_cloned
+            def add_block(self, model, block):
+                self.last_stats = self._maintain(model, block)
+
+            def _maintain(self, model, block):
+                self.scratch = list(block)
+                return len(self.scratch)
+        """,
+        "DML012",
+    )
+    messages = " | ".join(v.message for v in result.violations)
+    assert "self.last_stats" in messages
+    assert "self.scratch" in messages and "reached via _maintain()" in messages
+
+
+def test_dml012_live_miners_are_clean():
+    result = lint_live(
+        "DML012",
+        "itemsets/borders.py",
+        "itemsets/fup.py",
+        "clustering/birch_plus.py",
+        "trees/maintain.py",
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# Whole-tree: zero flow-rule findings survive in src (no baseline needed)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", FLOW_RULES)
+def test_src_tree_has_zero_flow_rule_findings(rule_id):
+    result = run([ROOT / "src" / "repro"], root=ROOT, select=[rule_id])
+    assert result.ok, "\n".join(v.render() for v in result.violations)

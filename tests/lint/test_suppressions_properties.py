@@ -1,0 +1,142 @@
+"""Property tests for the demonlint suppression-directive parser.
+
+The directive grammar is small but load-bearing: a mis-parse either
+silently hides a real finding or un-suppresses a waved-through one in
+every whole-tree CI run.  These tests drive the parser with generated
+whitespace, casing, rule lists, and unknown ids, and pin the same-line
+scoping rule the flow rules (DML008-DML012) rely on.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.demonlint import run  # noqa: E402
+from tools.demonlint.suppressions import SuppressionIndex  # noqa: E402
+
+KNOWN_RULES = tuple(f"DML{n:03d}" for n in range(1, 13))
+FLOW_RULES = KNOWN_RULES[7:]
+
+ws = st.text(alphabet=" \t", max_size=3)
+rule_ids = st.sampled_from(KNOWN_RULES)
+rule_lists = st.lists(rule_ids, min_size=1, max_size=5, unique=True)
+#: Ids that match the directive charset but name no real rule.
+unknown_ids = st.from_regex(r"DMLX[0-9]{2}", fullmatch=True)
+
+
+def directive(rules: list[str], filewide: bool = False, pad: str = " ") -> str:
+    scope = "disable-file" if filewide else "disable"
+    return f"# demonlint:{pad}{scope}{pad}={pad}{(',' + pad).join(rules)}"
+
+
+@given(w1=ws, w2=ws, w3=ws, w4=ws, rules=rule_lists, lower=st.booleans())
+def test_whitespace_and_case_never_change_the_parse(w1, w2, w3, w4, rules, lower):
+    listed = (", " + w4).join(r.lower() if lower else r for r in rules)
+    line = f"x = 1  #{w1}demonlint:{w2}disable{w3}={w4}{listed}"
+    index = SuppressionIndex.from_source(line)
+    for rule in rules:
+        assert index.is_suppressed(rule, 1)
+    for rule in set(KNOWN_RULES) - set(rules):
+        assert not index.is_suppressed(rule, 1)
+
+
+@given(rule=rule_ids, line_count=st.integers(min_value=1, max_value=6),
+       target=st.integers(min_value=1, max_value=6))
+def test_plain_disable_is_same_line_only(rule, line_count, target):
+    target = min(target, line_count)
+    lines = [
+        f"x{n} = {n}" + (f"  {directive([rule])}" if n == target else "")
+        for n in range(1, line_count + 1)
+    ]
+    index = SuppressionIndex.from_source("\n".join(lines))
+    for lineno in range(1, line_count + 1):
+        assert index.is_suppressed(rule, lineno) is (lineno == target)
+
+
+@given(rule=rule_ids, lineno=st.integers(min_value=1, max_value=500))
+def test_filewide_disable_covers_every_line(rule, lineno):
+    index = SuppressionIndex.from_source(directive([rule], filewide=True))
+    assert index.is_suppressed(rule, lineno)
+
+
+@given(unknown=unknown_ids, known=rule_ids)
+def test_unknown_ids_never_silence_real_rules(unknown, known):
+    index = SuppressionIndex.from_source(f"y = 2  {directive([unknown])}")
+    assert index.is_suppressed(unknown, 1)  # matched literally...
+    assert not index.is_suppressed(known, 1)  # ...but silences nothing real
+
+
+@given(wildcard=st.sampled_from(["all", "ALL", "All", "*"]), rule=rule_ids,
+       filewide=st.booleans())
+def test_wildcard_covers_every_rule_including_flow_rules(wildcard, rule, filewide):
+    index = SuppressionIndex.from_source(directive([wildcard], filewide=filewide))
+    assert index.is_suppressed(rule, 1)
+    for flow_rule in FLOW_RULES:
+        assert index.is_suppressed(flow_rule, 1)
+
+
+@given(listed=rule_lists, extra=rule_ids)
+def test_rationale_text_after_the_rule_list_is_tolerated(listed, extra):
+    line = f"x = 1  {directive(listed)} (asserts the in-place mutation)"
+    index = SuppressionIndex.from_source(line)
+    for rule in listed:
+        assert index.is_suppressed(rule, 1)
+    if extra not in listed:
+        assert not index.is_suppressed(extra, 1)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: directives really gate the flow rules through run()
+# ----------------------------------------------------------------------
+
+_DML012_VIOLATION = """
+def pure_unless_cloned(func):
+    return func
+
+class Miner:
+    def __init__(self):
+        self.stats = None
+
+    @pure_unless_cloned
+    def observe(self, model, block):
+        self.stats = len(block){directive}
+"""
+
+
+def _lint_dml012(tmp_path: Path, directive_text: str):
+    module = tmp_path / "m.py"
+    module.write_text(
+        textwrap.dedent(_DML012_VIOLATION).format(directive=directive_text)
+    )
+    return run([module], root=tmp_path, select=["DML012"])
+
+
+def test_flow_rule_finding_moves_to_suppressed(tmp_path):
+    result = _lint_dml012(tmp_path, "  # demonlint: disable=DML012 (fixture)")
+    assert result.ok
+    assert [v.rule_id for v in result.suppressed] == ["DML012"]
+
+
+def test_wrong_rule_id_does_not_suppress_a_flow_rule(tmp_path):
+    result = _lint_dml012(tmp_path, "  # demonlint: disable=DML008")
+    assert not result.ok
+    assert [v.rule_id for v in result.violations] == ["DML012"]
+
+
+def test_directive_on_the_wrong_line_does_not_suppress(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text(
+        "# demonlint: disable=DML012\n"
+        + textwrap.dedent(_DML012_VIOLATION).format(directive="")
+    )
+    result = run([module], root=tmp_path, select=["DML012"])
+    assert not result.ok

@@ -4,6 +4,7 @@ Every kernel must agree exactly with ``np.intersect1d`` on random
 sorted, duplicate-free tid arrays — the kernels exist to beat its
 performance (it re-sorts sorted inputs), never to change its answer.
 """
+# demonlint: disable-file=DML006 (np.intersect1d is the reference oracle here)
 
 import numpy as np
 from hypothesis import given, settings

@@ -1,4 +1,6 @@
 """Tests for the model vault and GEMM's disk-resident mode (§3.2.3)."""
+# demonlint: disable-file=DML011 (vault-mechanism unit tests use minimal ad-hoc
+# keys on purpose; namespace hygiene applies to shared-vault tenants)
 
 from collections import Counter
 

@@ -1,0 +1,88 @@
+"""Baseline (``--baseline`` / ``--update-baseline``) support.
+
+A baseline is a JSON file of *accepted* pre-existing findings.  Runs
+with ``--baseline`` subtract them, so CI can gate on "no NEW
+violations" while a cleanup of the old ones proceeds independently.
+
+Fingerprints deliberately exclude line numbers: an entry is
+``(path, rule, sha256(message)[:16])`` plus a count, so unrelated
+edits that shift code around do not resurrect baselined findings.
+Identical findings on different lines of one file are handled by the
+count — if an edit *adds* another instance of a baselined finding, the
+count is exceeded and the new instance is reported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from tools.demonlint.core import Violation
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(violation: Violation) -> tuple[str, str, str]:
+    """Line-independent identity of one finding."""
+    message_hash = hashlib.sha256(violation.message.encode()).hexdigest()[:16]
+    return (violation.path, violation.rule_id, message_hash)
+
+
+def write_baseline(path: Path | str, violations: list[Violation]) -> int:
+    """Persist the given findings as the new baseline; returns the count."""
+    counts = Counter(fingerprint(v) for v in violations)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "path": entry_path,
+                "rule": rule_id,
+                "message_hash": message_hash,
+                "count": count,
+            }
+            for (entry_path, rule_id, message_hash), count in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(violations)
+
+
+def load_baseline(path: Path | str) -> Counter:
+    """Read a baseline file into a fingerprint -> allowed-count map."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; "
+            f"this build reads version {BASELINE_VERSION}"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("entries", []):
+        counts[(entry["path"], entry["rule"], entry["message_hash"])] = int(
+            entry.get("count", 1)
+        )
+    return counts
+
+
+def apply_baseline(
+    violations: list[Violation], baseline: Counter
+) -> tuple[list[Violation], list[Violation]]:
+    """Split findings into (new, baselined).
+
+    Findings are matched in sorted order, so when a file holds more
+    instances of one fingerprint than the baseline allows, the extras
+    reported are deterministic (the later lines).
+    """
+    remaining = Counter(baseline)
+    new: list[Violation] = []
+    known: list[Violation] = []
+    for violation in sorted(violations):
+        key = fingerprint(violation)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            known.append(violation)
+        else:
+            new.append(violation)
+    return new, known

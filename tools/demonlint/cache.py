@@ -1,0 +1,128 @@
+"""Content-hash analysis cache for incremental demonlint runs.
+
+Two tiers, both keyed purely on content so the cache never needs
+invalidation bookkeeping:
+
+* **per-file module cache** — a parsed :class:`~tools.demonlint.core.
+  ModuleInfo` pickled under the SHA-256 of the file's bytes.  Editing
+  one file re-parses one file; the other few hundred load from disk.
+* **full-run result cache** — the complete
+  :class:`~tools.demonlint.core.LintResult` pickled under a digest of
+  every input file's content hash plus the run options (selected
+  rules, suppression handling).  An unchanged tree returns the
+  previous result without parsing or analyzing anything, which is what
+  makes the pre-commit hook and warm CI runs near-instant.
+
+Both tiers are additionally salted with a digest of the linter's own
+sources: changing any rule, the CFG builder, or the solver invalidates
+every cached entry automatically.
+
+Corrupt or unreadable cache entries are treated as misses — the cache
+can always be deleted (or disabled with ``--no-cache``) without
+changing any lint outcome.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any
+
+#: Bump to invalidate caches on layout changes not visible in sources.
+CACHE_LAYOUT_VERSION = 1
+
+#: Default cache location (kept out of the package tree).
+DEFAULT_CACHE_DIR = Path(".demonlint_cache")
+
+
+def _tool_digest() -> str:
+    """Digest of demonlint's own sources (cache salt)."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256(f"layout:{CACHE_LAYOUT_VERSION}".encode())
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def file_digest(data: bytes) -> str:
+    """Content hash of one input file."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class AnalysisCache:
+    """Pickle-backed two-tier cache rooted at ``cache_dir``."""
+
+    def __init__(self, cache_dir: Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.cache_dir = Path(cache_dir)
+        self._salt = _tool_digest()
+
+    # -- storage helpers ---------------------------------------------------
+
+    def _entry_path(self, tier: str, key: str) -> Path:
+        return self.cache_dir / tier / f"{key}.pickle"
+
+    def _load(self, tier: str, key: str) -> Any | None:
+        path = self._entry_path(tier, key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+
+    def _store(self, tier: str, key: str, value: Any) -> None:
+        path = self._entry_path(tier, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)  # atomic on POSIX: a reader never sees a torn file
+        except OSError:
+            pass  # a read-only cache dir degrades to cache-off, not an error
+
+    # -- per-file module tier ----------------------------------------------
+
+    def module_key(self, data: bytes, relpath: str = "") -> str:
+        """Key for one parsed module.
+
+        The reported path participates: a ``ModuleInfo`` carries its
+        repo-relative path in every violation, so identical content
+        under two names must not share an entry.
+        """
+        return hashlib.sha256(
+            (self._salt + ":module:" + relpath + ":").encode() + data
+        ).hexdigest()
+
+    def load_module(self, key: str) -> Any | None:
+        return self._load("modules", key)
+
+    def store_module(self, key: str, module: Any) -> None:
+        self._store("modules", key, module)
+
+    # -- full-run result tier ----------------------------------------------
+
+    def run_key(
+        self,
+        file_hashes: list[tuple[str, str]],
+        rule_ids: list[str],
+        respect_suppressions: bool,
+    ) -> str:
+        """Digest of one run's complete input state.
+
+        ``file_hashes`` is (relpath, content-hash) per input file —
+        renames change the key because reported paths change too.
+        """
+        digest = hashlib.sha256(self._salt.encode())
+        digest.update(f":suppress={respect_suppressions}:".encode())
+        digest.update(",".join(sorted(rule_ids)).encode())
+        for relpath, content_hash in sorted(file_hashes):
+            digest.update(f"|{relpath}={content_hash}".encode())
+        return digest.hexdigest()
+
+    def load_result(self, key: str) -> Any | None:
+        return self._load("runs", key)
+
+    def store_result(self, key: str, result: Any) -> None:
+        self._store("runs", key, result)

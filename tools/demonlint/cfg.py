@@ -1,0 +1,337 @@
+"""Per-function control-flow graphs for demonlint's flow-sensitive rules.
+
+The CFG is intentionally statement-granular: every basic block holds a
+run of ``ast.stmt`` nodes with no internal branching, and edges follow
+the usual structured-control constructs (``if``/``while``/``for``/
+``try``/``with``/``match`` plus ``break``/``continue``/``return``/
+``raise``).  Two synthetic blocks bracket each function:
+
+* ``entry`` — predecessor of the first real block;
+* ``exit`` — every normal termination (explicit ``return``, falling off
+  the end) and every ``raise`` ultimately reaches it.  Blocks that end
+  in ``return``/``raise`` record which, so analyses can distinguish the
+  normal from the exceptional frontier.
+
+The graph is deliberately conservative about exceptions: any statement
+inside a ``try`` body may transfer to each handler, which is the only
+approximation a lint-grade analysis needs (DML009 must see that a span
+opened before a ``raise`` never closes).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Edge/terminator kinds recorded on blocks.
+NORMAL = "normal"
+RETURN = "return"
+RAISE = "raise"
+
+
+@dataclass
+class Block:
+    """One basic block: a straight-line run of statements."""
+
+    block_id: int
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+    #: How control leaves this block: NORMAL fall-through/branch,
+    #: RETURN (explicit return or function fall-off), or RAISE.
+    terminator: str = NORMAL
+
+    def add_successor(self, other: "Block") -> None:
+        if other.block_id not in self.successors:
+            self.successors.append(other.block_id)
+        if self.block_id not in other.predecessors:
+            other.predecessors.append(self.block_id)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    blocks: dict[int, Block]
+    entry_id: int
+    exit_id: int
+
+    @property
+    def entry(self) -> Block:
+        return self.blocks[self.entry_id]
+
+    @property
+    def exit(self) -> Block:
+        return self.blocks[self.exit_id]
+
+    def exit_predecessors(self) -> list[Block]:
+        """Blocks from which the function terminates."""
+        return [self.blocks[b] for b in self.exit.predecessors]
+
+
+class _Builder:
+    """Recursive-descent CFG construction over one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: dict[int, Block] = {}
+        self._next_id = 0
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        # Stack of (continue_target, break_target) for loop bodies.
+        self._loops: list[tuple[Block, Block]] = []
+        # Innermost enclosing try handlers: a raise/implicit exception
+        # edge goes there instead of straight to exit.
+        self._handlers: list[list[Block]] = []
+
+    def _new_block(self) -> Block:
+        block = Block(block_id=self._next_id)
+        self._next_id += 1
+        self.blocks[block.block_id] = block
+        return block
+
+    def build(self) -> CFG:
+        body_end = self._sequence(self.func.body, self.entry)
+        if body_end is not None:  # falling off the end is a return
+            body_end.terminator = RETURN
+            body_end.add_successor(self.exit)
+        return CFG(
+            func=self.func,
+            blocks=self.blocks,
+            entry_id=self.entry.block_id,
+            exit_id=self.exit.block_id,
+        )
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _sequence(self, stmts: list[ast.stmt], current: Block) -> Block | None:
+        """Thread ``stmts`` through the graph starting at ``current``.
+
+        Returns the open block control falls out of, or ``None`` when
+        every path through the sequence terminated (return/raise/break).
+        """
+        for stmt in stmts:
+            if current is None:
+                break  # unreachable code after a terminator
+            current = self._statement(stmt, current)
+        return current
+
+    def _statement(self, stmt: ast.stmt, current: Block) -> Block | None:
+        if isinstance(stmt, ast.Return):
+            current.statements.append(stmt)
+            current.terminator = RETURN
+            current.add_successor(self.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            current.statements.append(stmt)
+            current.terminator = RAISE
+            self._raise_edges(current)
+            return None
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            current.statements.append(stmt)
+            if self._loops:
+                head, after = self._loops[-1]
+                current.add_successor(
+                    head if isinstance(stmt, ast.Continue) else after
+                )
+            else:  # malformed code outside a loop; treat as fall-off
+                current.terminator = RETURN
+                current.add_successor(self.exit)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        # Plain statement: runs straight through.  A call inside it can
+        # raise, so when handlers are live it also edges into them.
+        current.statements.append(stmt)
+        if self._handlers and _may_raise(stmt):
+            for handler in self._handlers[-1]:
+                current.add_successor(handler)
+        return current
+
+    def _raise_edges(self, block: Block) -> None:
+        if self._handlers:
+            for handler in self._handlers[-1]:
+                block.add_successor(handler)
+        else:
+            block.add_successor(self.exit)
+
+    # -- structured constructs ---------------------------------------------
+
+    def _if(self, stmt: ast.If, current: Block) -> Block | None:
+        current.statements.append(_HeaderStmt(stmt, stmt.test))
+        then_block = self._new_block()
+        current.add_successor(then_block)
+        then_end = self._sequence(stmt.body, then_block)
+        if stmt.orelse:
+            else_block = self._new_block()
+            current.add_successor(else_block)
+            else_end = self._sequence(stmt.orelse, else_block)
+        else:
+            else_end = current
+        if then_end is None and else_end is None:
+            return None
+        join = self._new_block()
+        for end in (then_end, else_end):
+            if end is not None:
+                end.add_successor(join)
+        return join
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: Block
+    ) -> Block | None:
+        head = self._new_block()
+        header_expr = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        head.statements.append(_HeaderStmt(stmt, header_expr))
+        current.add_successor(head)
+        after = self._new_block()
+        body_block = self._new_block()
+        head.add_successor(body_block)
+        head.add_successor(after)  # zero-iteration path
+        self._loops.append((head, after))
+        body_end = self._sequence(stmt.body, body_block)
+        self._loops.pop()
+        if body_end is not None:
+            body_end.add_successor(head)
+        if stmt.orelse:
+            # else runs when the loop exits normally; model it on the
+            # after-edge for simplicity.
+            else_end = self._sequence(stmt.orelse, after)
+            if else_end is None:
+                return None
+            return else_end
+        return after
+
+    def _try(self, stmt: ast.Try, current: Block) -> Block | None:
+        handler_blocks = [self._new_block() for _ in stmt.handlers]
+        body_block = self._new_block()
+        current.add_successor(body_block)
+        self._handlers.append(handler_blocks)
+        body_end = self._sequence(stmt.body, body_block)
+        self._handlers.pop()
+        # The body's first block can also raise before running anything.
+        for handler in handler_blocks:
+            body_block.add_successor(handler)
+
+        ends: list[Block] = []
+        if body_end is not None:
+            if stmt.orelse:
+                else_end = self._sequence(stmt.orelse, body_end)
+                if else_end is not None:
+                    ends.append(else_end)
+            else:
+                ends.append(body_end)
+        for handler, block in zip(stmt.handlers, handler_blocks):
+            handler_end = self._sequence(handler.body, block)
+            if handler_end is not None:
+                ends.append(handler_end)
+
+        if stmt.finalbody:
+            final_block = self._new_block()
+            for end in ends:
+                end.add_successor(final_block)
+            if not ends:
+                # All paths terminated, but finally still runs on the
+                # way out; approximate by keeping it reachable.
+                current.add_successor(final_block)
+            final_end = self._sequence(stmt.finalbody, final_block)
+            return final_end
+        if not ends:
+            return None
+        join = self._new_block()
+        for end in ends:
+            end.add_successor(join)
+        return join
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, current: Block) -> Block | None:
+        header = ast.Tuple(
+            elts=[item.context_expr for item in stmt.items], ctx=ast.Load()
+        )
+        header.lineno = stmt.lineno
+        header.col_offset = stmt.col_offset
+        current.statements.append(_HeaderStmt(stmt, header))
+        body_block = self._new_block()
+        current.add_successor(body_block)
+        return self._sequence(stmt.body, body_block)
+
+    def _match(self, stmt: ast.Match, current: Block) -> Block | None:
+        current.statements.append(_HeaderStmt(stmt, stmt.subject))
+        ends: list[Block] = []
+        has_wildcard = False
+        for case in stmt.cases:
+            case_block = self._new_block()
+            current.add_successor(case_block)
+            if isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                has_wildcard = True
+            case_end = self._sequence(case.body, case_block)
+            if case_end is not None:
+                ends.append(case_end)
+        if not has_wildcard:
+            ends.append(current)  # no case matched
+        if not ends:
+            return None
+        join = self._new_block()
+        for end in ends:
+            end.add_successor(join)
+        return join
+
+
+class _HeaderStmt(ast.stmt):
+    """Placeholder carrying a construct's header expression in a block.
+
+    Branch headers (the ``if`` test, the ``for`` iterable, the ``with``
+    items) execute in the block where the construct starts, but their
+    ``ast`` node owns the whole body.  Wrapping the header keeps
+    transfer functions from walking into body statements that belong to
+    other blocks.
+    """
+
+    _fields = ()
+
+    def __init__(self, owner: ast.stmt, header: ast.expr | None) -> None:
+        super().__init__()
+        self.owner = owner
+        self.header = header
+        self.lineno = owner.lineno
+        self.col_offset = owner.col_offset
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether a plain statement can transfer to an except handler."""
+    return any(
+        isinstance(node, (ast.Call, ast.Subscript, ast.Attribute, ast.BinOp))
+        for node in ast.walk(stmt)
+    )
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph for one function definition."""
+    return _Builder(func).build()
+
+
+def block_statements(block: Block) -> list[ast.stmt]:
+    """The block's statements with header placeholders unwrapped.
+
+    Header placeholders are replaced by a bare ``ast.Expr`` holding the
+    header expression (or dropped when there is none), so callers can
+    ``ast.walk`` each entry without revisiting nested bodies.
+    """
+    out: list[ast.stmt] = []
+    for stmt in block.statements:
+        if isinstance(stmt, _HeaderStmt):
+            if stmt.header is not None:
+                expr = ast.Expr(value=stmt.header)
+                expr.lineno = stmt.lineno
+                expr.col_offset = stmt.col_offset
+                out.append(expr)
+        else:
+            out.append(stmt)
+    return out

@@ -1,26 +1,53 @@
 """Command-line entry point: ``python -m tools.demonlint src/repro``.
 
-Exit status: 0 when the tree is clean, 1 when violations were found,
-2 on usage errors.
+Exit status: 0 when the tree is clean (after baseline subtraction),
+1 when violations were found, 2 on usage errors.
+
+Rule filtering
+    ``--select DML008 --select DML009`` runs only the named rules;
+    ``--ignore DML004`` runs everything but.  ``--list-rules`` prints
+    the registry.
+
+Incremental runs
+    Results are cached by content hash under ``.demonlint_cache`` (see
+    ``tools/demonlint/cache.py``): an unchanged tree skips the whole
+    analysis, a single edited file re-parses only itself.  Disable
+    with ``--no-cache`` or relocate with ``--cache-dir``.  ``--jobs N``
+    parses cache misses with N worker processes.
+
+Baselines
+    ``--update-baseline`` records the current findings into the
+    baseline file (``--baseline PATH``, default
+    ``.demonlint_baseline.json``); later runs with ``--baseline``
+    report only findings NOT in it, so CI can gate on "no new
+    violations" during a cleanup.
+
+SARIF
+    ``--sarif PATH`` writes a SARIF 2.1.0 report alongside the normal
+    output (``--format sarif`` prints it to stdout instead), for
+    code-scanning upload from CI.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from tools.demonlint.core import registered_rules, run
-from tools.demonlint.reporter import render_json, render_text
+from tools.demonlint.reporter import render_json, render_sarif, render_text
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="demonlint",
         description=(
-            "AST-based invariant checker for the DEMON reproduction: "
+            "Whole-program AST linter for the DEMON reproduction: "
             "maintainer contracts, BSS bit-hygiene, clone-before-mutate "
-            "discipline, timing and general hygiene (rules DML001-DML005)."
+            "discipline, timing hygiene (DML001-DML007), plus "
+            "flow-sensitive checkpoint/span/taint/vault/purity analyses "
+            "(DML008-DML012).  See docs/STATIC_ANALYSIS.md for the rule "
+            "catalog."
         ),
     )
     parser.add_argument(
@@ -31,9 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format on stdout (default: text)",
     )
     parser.add_argument(
         "--select",
@@ -51,6 +78,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-suppress",
         action="store_true",
         help="report findings even when a disable comment covers them",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse files with N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash analysis cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache location (default: .demonlint_cache)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "subtract findings recorded in this baseline file "
+            "(default with --update-baseline: .demonlint_baseline.json)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write a SARIF 2.1.0 report to PATH",
     )
     parser.add_argument(
         "--verbose",
@@ -85,6 +150,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"unknown rule id(s): {', '.join(sorted(unknown))} "
             f"(see --list-rules)"
         )
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    cache = None
+    if not args.no_cache:
+        from tools.demonlint.cache import DEFAULT_CACHE_DIR, AnalysisCache
+
+        cache = AnalysisCache(
+            Path(args.cache_dir) if args.cache_dir else DEFAULT_CACHE_DIR
+        )
 
     try:
         result = run(
@@ -92,14 +167,49 @@ def main(argv: Sequence[str] | None = None) -> int:
             select=args.select,
             ignore=args.ignore,
             respect_suppressions=not args.no_suppress,
+            jobs=args.jobs,
+            cache=cache,
         )
     except FileNotFoundError as exc:
         parser.error(str(exc))  # exits with status 2
 
+    baseline_path = args.baseline or (
+        ".demonlint_baseline.json" if args.update_baseline else None
+    )
+    if args.update_baseline:
+        from tools.demonlint.baseline import write_baseline
+
+        count = write_baseline(baseline_path, result.violations)
+        print(
+            f"demonlint: baseline {baseline_path} updated "
+            f"({count} finding(s) recorded)"
+        )
+        return 0
+    baselined_count = 0
+    if baseline_path is not None:
+        from tools.demonlint.baseline import apply_baseline, load_baseline
+
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError:
+            parser.error(f"baseline file not found: {baseline_path}")
+        except ValueError as exc:
+            parser.error(str(exc))
+        new, known_violations = apply_baseline(result.violations, baseline)
+        baselined_count = len(known_violations)
+        result.violations = new
+
+    if args.sarif is not None:
+        Path(args.sarif).write_text(render_sarif(result) + "\n", encoding="utf-8")
+
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
+        if baselined_count:
+            print(f"({baselined_count} pre-existing finding(s) baselined)")
     return 0 if result.ok else 1
 
 

@@ -108,12 +108,21 @@ class Project:
 
     modules: list[ModuleInfo]
     classes_by_name: dict[str, list[ClassInfo]] = field(default_factory=dict)
+    _graph: object = field(default=None, repr=False, compare=False)
 
     def index(self) -> None:
         self.classes_by_name = {}
         for module in self.modules:
             for info in module.classes:
                 self.classes_by_name.setdefault(info.name, []).append(info)
+
+    def graph(self):
+        """The whole-program symbol table / call graph, built on demand."""
+        if self._graph is None:
+            from tools.demonlint.graph import ProjectGraph
+
+            self._graph = ProjectGraph.build(self)
+        return self._graph
 
 
 class Rule(ABC):
@@ -147,6 +156,7 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 def registered_rules() -> dict[str, type[Rule]]:
     """The registry, keyed by rule id (import side effect fills it)."""
+    import tools.demonlint.flow_rules  # noqa: F401  (registers on import)
     import tools.demonlint.rules  # noqa: F401  (registers on import)
 
     return dict(sorted(_REGISTRY.items()))
@@ -293,12 +303,69 @@ class LintResult:
         return not self.violations
 
 
+def _parse_one(path: Path, root: Path | None) -> ModuleInfo | Violation:
+    """Worker-friendly wrapper for parallel parsing (module-level so it
+    pickles into a :class:`~concurrent.futures.ProcessPoolExecutor`)."""
+    return parse_module(path, root=root)
+
+
+def _parse_all(
+    files: list[Path],
+    root: Path | None,
+    jobs: int,
+    cache: "object | None",
+    sources: dict[Path, bytes],
+) -> list[ModuleInfo | Violation]:
+    """Parse every file, using the per-file cache and ``jobs`` workers."""
+    def _rel(path: Path) -> str:
+        if root is None:
+            return str(path)
+        try:
+            return str(path.relative_to(root))
+        except ValueError:
+            return str(path)
+
+    parsed: dict[Path, ModuleInfo | Violation] = {}
+    misses: list[Path] = []
+    for path in files:
+        cached = None
+        if cache is not None:
+            cached = cache.load_module(
+                cache.module_key(sources[path], _rel(path))
+            )
+        if cached is not None:
+            parsed[path] = cached
+        else:
+            misses.append(path)
+
+    if jobs > 1 and len(misses) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for path, result in zip(
+                misses, pool.map(_parse_one, misses, [root] * len(misses))
+            ):
+                parsed[path] = result
+    else:
+        for path in misses:
+            parsed[path] = _parse_one(path, root)
+
+    if cache is not None:
+        for path in misses:
+            cache.store_module(
+                cache.module_key(sources[path], _rel(path)), parsed[path]
+            )
+    return [parsed[path] for path in files]
+
+
 def run(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     respect_suppressions: bool = True,
     root: Path | None = None,
+    jobs: int = 1,
+    cache: "object | None" = None,
 ) -> LintResult:
     """Lint ``paths`` and return all (kept and suppressed) violations.
 
@@ -309,6 +376,10 @@ def run(
         respect_suppressions: When False, report even suppressed findings.
         root: Paths are reported relative to this directory (defaults to
             the current working directory when files live under it).
+        jobs: Parse files with this many worker processes (1 = inline).
+        cache: Optional :class:`~tools.demonlint.cache.AnalysisCache`;
+            unchanged files skip parsing and an unchanged tree skips
+            the whole run.
     """
     if root is None:
         root = Path.cwd()
@@ -321,10 +392,35 @@ def run(
         if (selected is None or rule_id in selected) and rule_id not in ignored
     ]
 
+    files = collect_files(paths)
+    sources = {path: path.read_bytes() for path in files}
+
+    run_key: str | None = None
+    if cache is not None:
+        from tools.demonlint.cache import file_digest
+
+        relpaths = []
+        for path in files:
+            try:
+                rel = str(path.relative_to(root))
+            except ValueError:
+                rel = str(path)
+            relpaths.append(rel)
+        run_key = cache.run_key(
+            [
+                (rel, file_digest(sources[path]))
+                for rel, path in zip(relpaths, files)
+            ],
+            [rule.rule_id for rule in active],
+            respect_suppressions,
+        )
+        hit = cache.load_result(run_key)
+        if hit is not None:
+            return hit
+
     modules: list[ModuleInfo] = []
     violations: list[Violation] = []
-    for path in collect_files(paths):
-        parsed = parse_module(path, root=root)
+    for parsed in _parse_all(files, root, jobs, cache, sources):
         if isinstance(parsed, Violation):
             violations.append(parsed)
         else:
@@ -344,8 +440,11 @@ def run(
                     suppressed.append(violation)
                 else:
                     kept.append(violation)
-    return LintResult(
+    result = LintResult(
         violations=sorted(set(kept)),
         suppressed=sorted(set(suppressed)),
         files_checked=len(modules),
     )
+    if cache is not None and run_key is not None:
+        cache.store_result(run_key, result)
+    return result

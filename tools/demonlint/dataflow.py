@@ -1,0 +1,115 @@
+"""A small generic worklist dataflow solver over demonlint CFGs.
+
+Analyses subclass :class:`ForwardAnalysis`, choosing a lattice by
+implementing ``initial`` (the entry fact), ``join`` (merge of
+predecessor facts), and ``transfer`` (one block's effect).  Facts can
+be any hashable/equatable value — frozensets for may-analyses,
+frozen dicts/tuples for more structured domains.  The solver iterates
+to a fixpoint in reverse-post-order-ish fashion via a simple FIFO
+worklist; lint-sized functions converge in a handful of passes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from tools.demonlint.cfg import CFG, Block
+
+Fact = TypeVar("Fact")
+
+
+class ForwardAnalysis(ABC, Generic[Fact]):
+    """A forward dataflow problem over one CFG."""
+
+    @abstractmethod
+    def initial(self, cfg: CFG) -> Fact:
+        """The fact holding at function entry."""
+
+    @abstractmethod
+    def join(self, facts: list[Fact]) -> Fact:
+        """Merge facts flowing in from multiple predecessors."""
+
+    @abstractmethod
+    def transfer(self, block: Block, fact: Fact) -> Fact:
+        """The fact after executing ``block`` given ``fact`` before it."""
+
+
+@dataclass
+class Solution(Generic[Fact]):
+    """Per-block input and output facts at the fixpoint."""
+
+    in_facts: dict[int, Fact]
+    out_facts: dict[int, Fact]
+
+    def at_entry(self, block_id: int) -> Fact:
+        return self.in_facts[block_id]
+
+    def at_exit(self, block_id: int) -> Fact:
+        return self.out_facts[block_id]
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis[Fact]) -> Solution[Fact]:
+    """Run ``analysis`` over ``cfg`` to a fixpoint."""
+    entry_fact = analysis.initial(cfg)
+    in_facts: dict[int, Fact] = {cfg.entry_id: entry_fact}
+    out_facts: dict[int, Fact] = {}
+
+    worklist: deque[int] = deque([cfg.entry_id])
+    queued = {cfg.entry_id}
+    # Bound the iteration defensively: lattices used by lint rules are
+    # finite, but a transfer bug must not hang the linter.
+    budget = 64 * max(1, len(cfg.blocks)) ** 2
+
+    while worklist and budget > 0:
+        budget -= 1
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+
+        preds = [
+            out_facts[p] for p in block.predecessors if p in out_facts
+        ]
+        if block_id == cfg.entry_id:
+            in_fact = entry_fact if not preds else analysis.join([entry_fact, *preds])
+        elif preds:
+            in_fact = preds[0] if len(preds) == 1 else analysis.join(preds)
+        elif block_id in in_facts:
+            in_fact = in_facts[block_id]
+        else:  # unreachable block: give it the entry fact
+            in_fact = entry_fact
+        in_facts[block_id] = in_fact
+
+        out_fact = analysis.transfer(block, in_fact)
+        if block_id in out_facts and out_facts[block_id] == out_fact:
+            continue
+        out_facts[block_id] = out_fact
+        for succ in block.successors:
+            if succ not in queued:
+                worklist.append(succ)
+                queued.add(succ)
+
+    # Make sure every block has facts, even ones never reached.
+    for block_id in cfg.blocks:
+        if block_id not in in_facts:
+            in_facts[block_id] = entry_fact
+        if block_id not in out_facts:
+            out_facts[block_id] = analysis.transfer(
+                cfg.blocks[block_id], in_facts[block_id]
+            )
+    return Solution(in_facts=in_facts, out_facts=out_facts)
+
+
+class SetUnionAnalysis(ForwardAnalysis[frozenset]):
+    """Convenience base for may-analyses over ``frozenset`` facts."""
+
+    def initial(self, cfg: CFG) -> frozenset:
+        return frozenset()
+
+    def join(self, facts: list[frozenset]) -> frozenset:
+        merged: frozenset = frozenset()
+        for fact in facts:
+            merged |= fact
+        return merged

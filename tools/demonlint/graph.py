@@ -1,0 +1,233 @@
+"""Project symbol table and import/call graph for demonlint.
+
+:class:`ProjectGraph` is built once per lint run from the parsed
+modules and gives flow rules three whole-program capabilities the
+per-file :class:`~tools.demonlint.core.ModuleInfo` cannot:
+
+* a dotted-name symbol table (``repro.core.gemm.GEMM.observe`` ->
+  function node, ``repro.storage.persist.VAULT_NAMESPACES`` ->
+  module-level constant expression);
+* a conservative call graph: ``self.method()`` resolves within the
+  receiver class (following base classes by name), bare and imported
+  names resolve through each module's import table to project
+  functions;
+* class-hierarchy method resolution, so inherited ``state_dict`` /
+  ``clone`` implementations are found where they are defined.
+
+Resolution is name-based and deliberately conservative — calls through
+arbitrary objects, dynamic dispatch, and higher-order uses resolve to
+nothing rather than to wrong targets.  Lint rules only need the edges
+that are certain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from tools.demonlint.core import ModuleInfo, Project
+
+
+def module_dotted_name(relpath: str) -> str:
+    """Dotted import name for a repo-relative path.
+
+    ``src/repro/core/gemm.py`` -> ``repro.core.gemm``; package
+    ``__init__`` files collapse onto the package name.
+    """
+    parts = list(relpath.replace("\\", "/").split("/"))
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionNode:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: ast.ClassDef | None = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass
+class ProjectGraph:
+    """Symbol table + call graph over all modules of one run."""
+
+    project: Project
+    modules_by_name: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    #: Top-level ``NAME = expr`` assignments per module dotted name.
+    constants: dict[str, dict[str, ast.expr]] = field(default_factory=dict)
+    #: ast class defs by "module.Class" and (ambiguously) by bare name.
+    class_defs: dict[str, ast.ClassDef] = field(default_factory=dict)
+    _class_module: dict[int, ModuleInfo] = field(default_factory=dict)
+    calls: dict[str, set[str]] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project) -> "ProjectGraph":
+        graph = cls(project=project)
+        for module in project.modules:
+            graph._index_module(module)
+        for qualname, node in list(graph.functions.items()):
+            graph.calls[qualname] = graph._resolve_calls(node)
+        return graph
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        mod_name = module_dotted_name(module.relpath)
+        self.modules_by_name[mod_name] = module
+        consts = self.constants.setdefault(mod_name, {})
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    consts[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    consts[stmt.target.id] = stmt.value
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{mod_name}.{stmt.name}"
+                self.functions[qualname] = FunctionNode(qualname, module, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                self.class_defs[f"{mod_name}.{stmt.name}"] = stmt
+                self.class_defs.setdefault(stmt.name, stmt)
+                self._class_module[id(stmt)] = module
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualname = f"{mod_name}.{stmt.name}.{item.name}"
+                        self.functions[qualname] = FunctionNode(
+                            qualname, module, item, cls=stmt
+                        )
+
+    # -- lookups -----------------------------------------------------------
+
+    def module_of_class(self, cls_node: ast.ClassDef) -> ModuleInfo | None:
+        return self._class_module.get(id(cls_node))
+
+    def resolve_class(self, name: str, module: ModuleInfo | None = None) -> ast.ClassDef | None:
+        """Find a class def by bare or dotted name, import-resolved."""
+        if module is not None:
+            dotted = module.imports.get(name, name)
+            for key in (
+                f"{module_dotted_name(module.relpath)}.{name}",
+                dotted,
+                name,
+            ):
+                found = self.class_defs.get(key)
+                if found is not None:
+                    return found
+            # ``from repro.core.gemm import GEMM`` maps GEMM ->
+            # repro.core.gemm.GEMM which is already covered above.
+            return None
+        return self.class_defs.get(name)
+
+    def resolve_method(
+        self, cls_node: ast.ClassDef, method: str
+    ) -> FunctionNode | None:
+        """Resolve ``method`` on ``cls_node``, walking base classes."""
+        seen: set[int] = set()
+        stack = [cls_node]
+        while stack:
+            current = stack.pop(0)
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            module = self._class_module.get(id(current))
+            if module is not None:
+                mod_name = module_dotted_name(module.relpath)
+                node = self.functions.get(f"{mod_name}.{current.name}.{method}")
+                if node is not None:
+                    return node
+            for base in current.bases:
+                base_name = _root_name(base)
+                if base_name is None:
+                    continue
+                resolved = self.resolve_class(base_name, module)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+    def function_qualname(self, node: FunctionNode) -> str:
+        return node.qualname
+
+    # -- call resolution ---------------------------------------------------
+
+    def _resolve_calls(self, fn: FunctionNode) -> set[str]:
+        targets: set[str] = set()
+        mod_name = module_dotted_name(fn.module.relpath)
+        for call in _calls_in(fn.node):
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and fn.cls is not None
+            ):
+                resolved = self.resolve_method(fn.cls, func.attr)
+                if resolved is not None:
+                    targets.add(resolved.qualname)
+                continue
+            dotted = fn.module.resolve_call(func)
+            if dotted is None:
+                continue
+            candidates = [dotted]
+            if "." not in dotted:
+                candidates.append(f"{mod_name}.{dotted}")
+            for candidate in candidates:
+                if candidate in self.functions:
+                    targets.add(candidate)
+                    break
+        return targets
+
+    def callees(self, qualname: str) -> set[str]:
+        return self.calls.get(qualname, set())
+
+    def transitive_callees(self, qualname: str) -> set[str]:
+        """All functions reachable from ``qualname`` (excluding itself
+        unless recursive)."""
+        seen: set[str] = set()
+        stack = list(self.callees(qualname))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.callees(current))
+        return seen
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """``Base`` / ``mod.Base`` / ``Base[T]`` -> the class-ish name."""
+    if isinstance(node, ast.Subscript):
+        return _root_name(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _calls_in(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.Call]:
+    """All call expressions in ``func``, excluding nested defs."""
+    out: list[ast.Call] = []
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
