@@ -77,6 +77,11 @@ def _add_monitor(subparsers) -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--backend", choices=["memory", "mmap"], default=None,
+        help="block storage backend the session ingests onto "
+        "(default: DEMON_BLOCK_BACKEND or plain in-memory blocks)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit one JSON document (benchmark row format) instead of text",
     )
@@ -155,7 +160,7 @@ def cmd_generate(args, out) -> int:
             record = {
                 "block_id": block.block_id,
                 "label": block.label,
-                "tuples": [list(t) for t in block.tuples],
+                "tuples": [list(t) for t in block.iter_records()],
             }
             print(json.dumps(record), file=sink)
     finally:
@@ -183,7 +188,10 @@ def cmd_monitor(args, out) -> int:
             bss = WindowIndependentBSS(bits, default=1)
 
     session = MiningSession(
-        BordersMaintainer(args.minsup, counter=args.counter), span=span, bss=bss
+        BordersMaintainer(args.minsup, counter=args.counter),
+        span=span,
+        bss=bss,
+        backend=args.backend,
     )
     params = QuestParams(
         n_transactions=args.block_size,
@@ -195,9 +203,10 @@ def cmd_monitor(args, out) -> int:
     generator = QuestGenerator(params, seed=args.seed)
     rows = []
     for block_id in range(1, args.blocks + 1):
-        report = session.observe(
-            generator.block(block_id, count=args.block_size)
-        )
+        # Stream the arriving records through the session's ingest
+        # spine; the session assigns block id t+1 and routes storage
+        # onto its configured backend.
+        report = session.ingest(generator.iter_transactions(args.block_size))
         model = session.current_model()
         if args.json:
             delta = report.telemetry

@@ -111,7 +111,8 @@ class BirchPlusMaintainer(IncrementalModelMaintainer[BirchState, Point]):
         """Resume phase 1 on the new block, then re-run phase 2."""
         timings = BirchTimings()
         span = self.telemetry.phase("birch.phase1").start()
-        model.tree.insert_points(block.tuples)
+        for chunk in block.iter_chunks():
+            model.tree.insert_points(chunk)
         timings.phase1_seconds = span.stop()
         model.selected_block_ids.append(block.block_id)
         model.selected_block_ids.sort()

@@ -467,7 +467,7 @@ class IncrementalDBSCANMaintainer:
 
     @pure_unless_cloned
     def add_block(self, model: DBSCANModel, block) -> DBSCANModel:
-        ids = [model.clustering.insert(point) for point in block.tuples]
+        ids = [model.clustering.insert(point) for point in block.iter_records()]
         model.block_points[block.block_id] = ids
         model.selected_block_ids.append(block.block_id)
         model.selected_block_ids.sort()

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generic, TypeVar
 
-from repro.core.blocks import Block, Snapshot
+from repro.core.blocks import Block, Snapshot, make_block
 from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
 from repro.core.gemm import GEMM, GEMMUpdateReport
 from repro.core.maintainer import (
@@ -39,6 +39,7 @@ from repro.core.maintainer import (
     UnrestrictedWindowMaintainer,
 )
 from repro.core.windows import MostRecentWindow, UnrestrictedWindow
+from repro.storage.engine import BlockBackend, resolve_backend
 from repro.storage.persist import register_vault_namespace
 from repro.storage.telemetry import Telemetry, TelemetrySnapshot, bind_telemetry
 
@@ -122,6 +123,13 @@ class MiningSession(Generic[TModel, T]):
             default target of :meth:`checkpoint`.
         telemetry: The instrumentation spine; a private one is created
             when omitted, and every driven subsystem is rebound onto it.
+        backend: Block storage backend the session ingests onto — a
+            :class:`~repro.storage.engine.BlockBackend` instance, a
+            name (``"memory"``/``"mmap"``), or a spec dict from
+            :meth:`~repro.storage.engine.BlockBackend.spec`.  ``None``
+            defers to the ambient ``DEMON_BLOCK_BACKEND`` toggle (plain
+            in-memory blocks by default).  Checkpoints record the
+            backend spec so :meth:`restore` resumes onto it.
         name: Checkpoint name — sessions with distinct names can share
             one vault.
     """
@@ -135,6 +143,7 @@ class MiningSession(Generic[TModel, T]):
         keep_snapshot: bool = False,
         vault: ModelVault | None = None,
         telemetry: Telemetry | None = None,
+        backend: BlockBackend | str | dict[str, Any] | None = None,
         name: str = "session",
     ) -> None:
         self.span: SpanOption = span if span is not None else UnrestrictedWindow()
@@ -155,6 +164,7 @@ class MiningSession(Generic[TModel, T]):
         self.pattern_miner = pattern_miner
         self.snapshot: Snapshot[T] | None = Snapshot() if keep_snapshot else None
         self.vault = vault
+        self.backend: BlockBackend | None = resolve_backend(backend)
         self.name = name
         self.telemetry = telemetry if telemetry is not None else Telemetry()
 
@@ -195,6 +205,8 @@ class MiningSession(Generic[TModel, T]):
             bind_telemetry(self.pattern_miner, self.telemetry)
         if self.vault is not None:
             self.telemetry.attach_io("vault", self.vault.registry)
+        if self.backend is not None:
+            self.telemetry.attach_io("backend", self.backend.registry)
 
     # ------------------------------------------------------------------
     # Observation
@@ -249,6 +261,35 @@ class MiningSession(Generic[TModel, T]):
             if self.pattern_miner is not None:
                 report.patterns = self.pattern_miner.observe(block)
         self.telemetry.increment("session.blocks")
+        # Record count comes from backend metadata — no materialization.
+        self.telemetry.increment("session.records", block.num_records)
+        report.telemetry = self.telemetry.delta_since(before)
+        return report
+
+    def ingest(
+        self,
+        records: Any,
+        label: str = "",
+        metadata: dict[str, Any] | None = None,
+    ) -> MonitorReport:
+        """Stream arriving records in as block ``t + 1`` and observe it.
+
+        This is the streaming ingest spine: the record iterable is
+        consumed exactly once, straight into the session's configured
+        backend (or into a plain in-memory block when no backend is
+        set), and the resulting handle is fed to :meth:`observe`.
+        """
+        before = self.telemetry.snapshot()
+        block_id = self.t + 1
+        if self.backend is not None:
+            block: Block[T] = self.backend.ingest(
+                block_id, records, label=label, metadata=metadata
+            )
+        else:
+            block = make_block(block_id, records, label=label, metadata=metadata)
+        report = self.observe(block)
+        # The report's delta covers the whole arrival — the backend
+        # write charged by ingest as well as the observation.
         report.telemetry = self.telemetry.delta_since(before)
         return report
 
@@ -300,6 +341,9 @@ class MiningSession(Generic[TModel, T]):
             "snapshot": (
                 save_model(self.snapshot) if self.snapshot is not None else None
             ),
+            "backend": (
+                self.backend.spec() if self.backend is not None else None
+            ),
             "telemetry": self.telemetry.state_dict(),
         }
 
@@ -318,6 +362,14 @@ class MiningSession(Generic[TModel, T]):
 
         if state["snapshot"] is not None:
             self.snapshot = load_model(state["snapshot"])
+            if self.backend is not None:
+                # Checkpointed blocks deserialize onto in-memory data;
+                # re-home them so the restored snapshot lives on the
+                # same backend the session runs on.
+                adopted: Snapshot[T] = Snapshot()
+                for block in self.snapshot:
+                    adopted.extend(self.backend.adopt(block))
+                self.snapshot = adopted
         engine_state = state["engine"]["state"]
         if self._engine is not None and engine_state is not None:
             self._engine.load_state_dict(engine_state)
@@ -358,6 +410,7 @@ class MiningSession(Generic[TModel, T]):
         vault: ModelVault,
         name: str = "session",
         telemetry: Telemetry | None = None,
+        backend: BlockBackend | str | dict[str, Any] | None = None,
     ) -> "MiningSession[Any, Any]":
         """Rebuild a session from its checkpoint and resume mid-stream.
 
@@ -366,6 +419,11 @@ class MiningSession(Generic[TModel, T]):
         ``t + 1``, and the models it produces equal those of an
         uninterrupted run (the kill/restore equivalence tests assert
         this for every engine and BSS combination).
+
+        The checkpoint records which block backend the session ran on;
+        by default the session is restored onto a backend rebuilt from
+        that spec (and any retained snapshot is re-adopted onto it).
+        Pass ``backend=...`` to restore onto a different one.
         """
         key = checkpoint_key(name)
         if key not in vault:
@@ -392,6 +450,10 @@ class MiningSession(Generic[TModel, T]):
             if payload["pattern_miner"] is not None
             else None
         )
+        if backend is None:
+            # Format-1 checkpoints written before backends existed have
+            # no "backend" entry; they restore onto the ambient default.
+            backend = payload.get("backend")
         session: MiningSession[Any, Any] = cls(
             maintainer=maintainer,
             span=payload["span"],
@@ -399,6 +461,7 @@ class MiningSession(Generic[TModel, T]):
             pattern_miner=pattern_miner,
             vault=vault,
             telemetry=telemetry,
+            backend=backend,
             name=name,
         )
         with session.telemetry.phase("session.restore"):

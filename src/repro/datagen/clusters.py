@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 import random
 import re
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.clustering.cf import Point
@@ -112,7 +113,25 @@ class ClusterDataGenerator:
         """Generate ``count`` points."""
         return [self.point() for _ in range(count)]
 
-    def block(self, block_id: int, count: int | None = None, label: str = "") -> Block:
-        """Generate one :class:`~repro.core.blocks.Block` of points."""
+    def iter_points(self, count: int) -> Iterator[Point]:
+        """Stream ``count`` points without materializing a list."""
+        for _ in range(count):
+            yield self.point()
+
+    def block(
+        self,
+        block_id: int,
+        count: int | None = None,
+        label: str = "",
+        backend=None,
+    ) -> Block:
+        """Generate one :class:`~repro.core.blocks.Block` of points.
+
+        Records are streamed straight into ``backend`` when one is given
+        (or the ambient ``DEMON_BLOCK_BACKEND`` backend otherwise), so a
+        block larger than memory never exists as a Python list.
+        """
         count = self.params.n_points if count is None else count
-        return make_block(block_id, self.points(count), label=label)
+        return make_block(
+            block_id, self.iter_points(count), label=label, backend=backend
+        )

@@ -195,12 +195,16 @@ class ProxyTraceGenerator:
             product *= rng.random()
         return k
 
-    def blocks(self, granularity_hours: int = 6) -> list[Block[Transaction]]:
+    def blocks(
+        self, granularity_hours: int = 6, backend=None
+    ) -> list[Block[Transaction]]:
         """Segment the whole trace into blocks of the given granularity.
 
         Block ids start at 1; labels look like ``"day03 Mon 12-18h"``
         and metadata carries ``day``, ``weekday``, ``start_hour`` and
-        ``granularity`` for calendar-aware reporting.
+        ``granularity`` for calendar-aware reporting.  Block records are
+        routed onto ``backend`` when one is given (or the ambient
+        ``DEMON_BLOCK_BACKEND`` backend otherwise).
         """
         if 24 % granularity_hours != 0:
             raise ValueError(
@@ -223,6 +227,7 @@ class ProxyTraceGenerator:
                         block_id,
                         requests,
                         label=label,
+                        backend=backend,
                         metadata={
                             "day": day,
                             "weekday": weekday(day),

@@ -28,6 +28,7 @@ import bisect
 import math
 import random
 import re
+from collections.abc import Iterator
 from dataclasses import dataclass
 from itertools import accumulate
 
@@ -210,10 +211,28 @@ class QuestGenerator:
         """Generate ``count`` transactions."""
         return [self.transaction() for _ in range(count)]
 
-    def block(self, block_id: int, count: int | None = None, label: str = "") -> Block:
-        """Generate one :class:`~repro.core.blocks.Block` of transactions."""
+    def iter_transactions(self, count: int) -> Iterator[Transaction]:
+        """Stream ``count`` transactions without materializing a list."""
+        for _ in range(count):
+            yield self.transaction()
+
+    def block(
+        self,
+        block_id: int,
+        count: int | None = None,
+        label: str = "",
+        backend=None,
+    ) -> Block:
+        """Generate one :class:`~repro.core.blocks.Block` of transactions.
+
+        Records are streamed straight into ``backend`` when one is given
+        (or the ambient ``DEMON_BLOCK_BACKEND`` backend otherwise), so a
+        block larger than memory never exists as a Python list.
+        """
         count = self.params.n_transactions if count is None else count
-        return make_block(block_id, self.transactions(count), label=label)
+        return make_block(
+            block_id, self.iter_transactions(count), label=label, backend=backend
+        )
 
 
 def generate_named_dataset(

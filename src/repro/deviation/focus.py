@@ -155,7 +155,7 @@ class ItemsetDeviation(DeviationFunction):
         scanned: dict[Itemset, int] = {}
         if missing:
             tree = PrefixTree(missing)
-            tree.count_dataset(block.tuples)
+            tree.count_dataset(block.iter_records())
             scanned = tree.counts()
         values = [
             (tracked[region] if region in tracked else scanned.get(region, 0)) / total
@@ -217,7 +217,7 @@ class ClusterDeviation(DeviationFunction):
         from repro.clustering.birch import birch_cluster
 
         model, _tree, _timings = birch_cluster(
-            block.tuples,
+            block.iter_records(),
             k=self.k,
             threshold=self.threshold,
             block_ids=[block.block_id],
@@ -240,7 +240,7 @@ class ClusterDeviation(DeviationFunction):
         block: Block,
         model: ClusterModel | None,
     ) -> np.ndarray:
-        points = np.asarray(block.tuples, dtype=float)
+        points = block.as_array(float)
         if len(points) == 0:
             return np.zeros(len(regions))
         values = []

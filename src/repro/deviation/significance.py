@@ -57,7 +57,7 @@ def bootstrap_significance(
     if observed is None:
         observed = deviation_fn.deviation(block_a, model_a, block_b, model_b).value
     regions = deviation_fn.gcr(model_a, model_b)
-    pool = list(block_a.tuples) + list(block_b.tuples)
+    pool = list(block_a.iter_records()) + list(block_b.iter_records())
     size_a = len(block_a)
     rng = random.Random(seed)
 

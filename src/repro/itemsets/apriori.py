@@ -128,6 +128,6 @@ def mine_blocks(blocks, minsup: float, max_size: int | None = None) -> MiningRes
 
     def factory():
         for block in block_list:
-            yield from block.tuples
+            yield from block.iter_records()
 
     return apriori(factory, minsup, max_size=max_size)

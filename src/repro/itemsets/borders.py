@@ -172,7 +172,7 @@ class BordersMaintainer(
         the configured space budget (§3.1.1's heuristic).
         """
         if block.block_id not in self.context.block_store:
-            self.context.block_store.append(block.block_id, block.tuples)
+            self.context.block_store.append_block(block)
         if not self.context.tidlists.has_block(block.block_id):
             self.context.tidlists.materialize_block(block)
         if (
@@ -221,7 +221,7 @@ class BordersMaintainer(
         # with tracked singletons (apriori tracks all, so this is a
         # belt-and-braces union).
         for block in block_list:
-            for transaction in block.tuples:
+            for transaction in block.iter_records():
                 model.items.update(transaction)
         if isinstance(self.counter, ECUTPlusCounter):
             for block in block_list:

@@ -80,7 +80,7 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
 
     def _register(self, block: Block[Transaction]) -> None:
         if block.block_id not in self.context.block_store:
-            self.context.block_store.append(block.block_id, block.tuples)
+            self.context.block_store.append_block(block)
 
     def empty_model(self) -> FrequentItemsetModel:
         return FrequentItemsetModel(minsup=self.minsup)
@@ -105,7 +105,7 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
             selected_block_ids=block_ids,
         )
         for block in block_list:
-            for transaction in block.tuples:
+            for transaction in block.iter_records():
                 model.items.update(transaction)
         return model
 
@@ -121,8 +121,7 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
         stats = FUPStats()
         span = self.telemetry.phase("fup.update").start()
 
-        increment = block.tuples
-        inc_size = len(increment)
+        inc_size = block.num_records
         old_block_ids = list(model.selected_block_ids)
         new_total = model.n_transactions + inc_size
         threshold = minimum_count(self.minsup, new_total) if new_total else 1
@@ -188,7 +187,7 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
             fresh = [c for c in candidates if c not in old_frequent]
             # FUP prune: a fresh candidate must be frequent in the
             # increment alone.
-            fresh_inc_counts = self._count_on_increment(fresh, increment)
+            fresh_inc_counts = self._count_on_increment(fresh, block)
             survivors = {
                 c: n for c, n in fresh_inc_counts.items() if n >= inc_threshold
             }
@@ -218,12 +217,12 @@ class FUPMaintainer(IncrementalModelMaintainer[FrequentItemsetModel, Transaction
             yield itemset[:i] + itemset[i + 1 :]
 
     def _count_on_increment(
-        self, itemsets: list[Itemset], increment: tuple[Transaction, ...]
+        self, itemsets: list[Itemset], block: Block[Transaction]
     ) -> dict[Itemset, int]:
         if not itemsets:
             return {}
         tree = PrefixTree(itemsets)
-        tree.count_dataset(increment)
+        tree.count_dataset(block.iter_records())
         return tree.counts()
 
     def _count_over_old(

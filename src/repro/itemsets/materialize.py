@@ -92,14 +92,15 @@ class PairTidListStore:
         # are wanted.  Transactions are short (tens of items), so the
         # quadratic inner loop is bounded.
         tid = base_tid
-        for transaction in block.tuples:
-            n = len(transaction)
-            for i in range(n):
-                for j in range(i + 1, n):
-                    pair = (transaction[i], transaction[j])
-                    if pair in wanted:
-                        buffers[pair].append(tid)
-            tid += 1
+        for chunk in block.iter_chunks():
+            for transaction in chunk:
+                n = len(transaction)
+                for i in range(n):
+                    for j in range(i + 1, n):
+                        pair = (transaction[i], transaction[j])
+                        if pair in wanted:
+                            buffers[pair].append(tid)
+                tid += 1
 
         ordered = sorted(
             wanted,

@@ -118,12 +118,13 @@ class TidListStore:
         buffers: dict[int, list[int]] = {}
         base = self._next_tid
         tid = base
-        for transaction in block.tuples:
-            for item in transaction:
-                buffers.setdefault(item, []).append(tid)
-            tid += 1
+        for chunk in block.iter_chunks():
+            for transaction in chunk:
+                for item in transaction:
+                    buffers.setdefault(item, []).append(tid)
+                tid += 1
         self._next_tid = tid
-        size = len(block.tuples)
+        size = block.num_records
         dense_cutoff = (
             BITMAP_DENSITY * size if size >= BITMAP_MIN_BLOCK else float("inf")
         )

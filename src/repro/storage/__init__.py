@@ -15,6 +15,16 @@ from repro.storage.blockstore import (
     tidlist_nbytes,
     transaction_nbytes,
 )
+from repro.storage.engine import (
+    BlockBackend,
+    BlockSchema,
+    InMemoryBackend,
+    MmapBackend,
+    SchemaError,
+    ambient_backend,
+    backend_from_spec,
+    resolve_backend,
+)
 from repro.storage.iostats import GLOBAL_IO_REGISTRY, IOStats, IOStatsRegistry
 from repro.storage.persist import (
     ModelVault,
@@ -33,6 +43,14 @@ from repro.storage.telemetry import (
 __all__ = [
     "BlockStore",
     "StoredBlock",
+    "BlockBackend",
+    "BlockSchema",
+    "InMemoryBackend",
+    "MmapBackend",
+    "SchemaError",
+    "ambient_backend",
+    "backend_from_spec",
+    "resolve_backend",
     "IOStats",
     "IOStatsRegistry",
     "GLOBAL_IO_REGISTRY",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Generic, TypeVar
 
+from repro.core.blocks import Block
 from repro.storage.iostats import IOStats, IOStatsRegistry
 
 T = TypeVar("T")
@@ -45,21 +46,36 @@ def point_nbytes(point: Sequence[float]) -> int:
 
 
 class StoredBlock(Generic[T]):
-    """One immutable block of tuples together with its logical size."""
+    """One immutable stored block together with its logical size.
 
-    __slots__ = ("block_id", "_tuples", "nbytes")
+    The record source is either a materialized tuple (the classic
+    ``append`` path) or a :class:`~repro.core.blocks.Block` handle (the
+    ``append_block`` path), in which case iteration streams chunk-wise
+    off whatever backend the block lives on.
+    """
 
-    def __init__(self, block_id: int, tuples: Sequence[T], nbytes: int):
+    __slots__ = ("block_id", "_source", "nbytes")
+
+    def __init__(self, block_id: int, source: Sequence[T] | Block[T], nbytes: int):
         self.block_id = block_id
-        self._tuples = tuple(tuples)
+        self._source: tuple[T, ...] | Block[T] = (
+            source if isinstance(source, Block) else tuple(source)
+        )
         self.nbytes = nbytes
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._source)
+
+    def iter_records(self) -> Iterator[T]:
+        if isinstance(self._source, Block):
+            return self._source.iter_records()
+        return iter(self._source)
 
     @property
     def tuples(self) -> tuple[T, ...]:
-        return self._tuples
+        if isinstance(self._source, Block):
+            return self._source.materialize()
+        return self._source
 
 
 class BlockStore(Generic[T]):
@@ -104,6 +120,24 @@ class BlockStore(Generic[T]):
         self._stats.record_write(nbytes)
         return stored
 
+    def append_block(self, block: Block[T]) -> StoredBlock[T]:
+        """Store a :class:`~repro.core.blocks.Block` under its own id.
+
+        The block is streamed chunk-wise off its backend rather than
+        materialized, and its logical size comes from backend metadata
+        (``block.nbytes`` uses the same 4-byte-int / 8-byte-float
+        accounting as the sizers here).
+
+        Raises:
+            ValueError: if a block with this identifier already exists.
+        """
+        if block.block_id in self._blocks:
+            raise ValueError(f"block {block.block_id} already stored")
+        stored = StoredBlock(block.block_id, block, block.nbytes)
+        self._blocks[block.block_id] = stored
+        self._stats.record_write(stored.nbytes)
+        return stored
+
     def drop(self, block_id: int) -> None:
         """Remove a block (e.g. when it expires out of every window)."""
         if block_id not in self._blocks:
@@ -132,7 +166,7 @@ class BlockStore(Generic[T]):
         """Iterate over one block's tuples, charging a full-block read."""
         block = self._blocks[block_id]
         self._stats.record_read(block.nbytes)
-        return iter(block.tuples)
+        return block.iter_records()
 
     def scan_many(self, block_ids: Iterable[int]) -> Iterator[T]:
         """Iterate over several blocks in the given order, charging each."""

@@ -1,0 +1,718 @@
+"""Pluggable block storage backends behind one streaming ingest spine.
+
+DEMON's premise is block evolution — models are maintained as blocks
+arrive and expire — so the dataset must not be forced to fit in RAM.
+This module supplies the seam: a :class:`BlockBackend` turns a record
+stream into a :class:`~repro.core.blocks.BlockData` that the
+:class:`~repro.core.blocks.Block` handle wraps, and every consumer
+iterates chunk-wise through the handle, never touching raw record
+lists (demonlint DML013).
+
+Two backends ship:
+
+* :class:`InMemoryBackend` — the historical behaviour: records live as
+  one materialized tuple, now with chunked iteration and byte metering.
+* :class:`MmapBackend` — an on-disk columnar layout under a block
+  directory: dense float blocks store one ``.npy`` per column, ragged
+  integer transactions store a CSR pair (``values.npy``/``offsets.npy``),
+  anything else falls back to per-chunk pickles.  Arrays are lazily
+  opened with ``numpy`` memory mapping and released by :meth:`close`,
+  so resident memory stays bounded by the chunk size, not the block.
+
+Byte accounting is *logical* and backend-independent (4 bytes per
+integer field, 8 per coordinate, pickled size otherwise — see
+:func:`repro.core.blocks.record_nbytes`): ingest charges one write of
+the block's size, every yielded chunk charges one read of that chunk's
+size.  Identical data therefore produces identical
+:class:`~repro.storage.iostats.IOStats` on either backend, which the
+backend-equivalence suite asserts.
+
+The ambient backend: setting ``DEMON_BLOCK_BACKEND=mmap`` routes every
+:func:`~repro.core.blocks.make_block` call through one shared on-disk
+backend (a process-lifetime temporary directory), letting the whole
+test suite run against mmap storage without touching call sites.
+``DEMON_BLOCK_CHUNK`` sets the default chunk size.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import weakref
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from itertools import islice
+from typing import Any, Generic, TypeVar
+
+import numpy as np
+
+from repro.core.blocks import (
+    FLOAT_BYTES,
+    INT_BYTES,
+    Block,
+    InMemoryBlockData,
+    default_chunk_size,
+    records_nbytes,
+)
+from repro.storage.iostats import IOStats, IOStatsRegistry
+
+T = TypeVar("T")
+
+#: Columnar layout kinds a block directory can hold.
+KIND_CSR = "csr"
+KIND_DENSE = "dense"
+KIND_PICKLE = "pickle"
+
+#: Version stamp of the on-disk block directory layout.
+BLOCK_DIR_FORMAT = 1
+
+#: Counter name backends charge ingest writes and chunk reads to.
+BACKEND_COUNTER = "block_backend"
+
+
+class SchemaError(TypeError):
+    """A record stream does not conform to its block's inferred schema."""
+
+
+@dataclass(frozen=True)
+class BlockSchema:
+    """The columnar layout chosen for one block.
+
+    Attributes:
+        kind: ``"csr"`` (ragged integer transactions), ``"dense"``
+            (fixed-width float points), or ``"pickle"`` (fallback).
+        width: Column count; meaningful for the dense kind only.
+    """
+
+    kind: str
+    width: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "width": self.width}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "BlockSchema":
+        return cls(kind=payload["kind"], width=int(payload.get("width", 0)))
+
+
+def _is_int_record(record: Any) -> bool:
+    return isinstance(record, tuple) and all(type(v) is int for v in record)
+
+
+def _is_float_record(record: Any, width: int) -> bool:
+    return (
+        isinstance(record, tuple)
+        and len(record) == width
+        and all(type(v) is float for v in record)
+    )
+
+
+def infer_schema(records: Sequence[Any]) -> BlockSchema:
+    """Choose a columnar layout from the first chunk of a record stream.
+
+    Ragged tuples of plain ``int`` become CSR, fixed-width tuples of
+    plain ``float`` become dense npy-per-column, everything else (e.g.
+    labelled points) is stored as pickled chunks.  Empty blocks are
+    vacuously CSR.
+    """
+    if not records:
+        return BlockSchema(KIND_CSR)
+    if all(_is_int_record(r) for r in records):
+        return BlockSchema(KIND_CSR)
+    width = len(records[0]) if isinstance(records[0], tuple) else 0
+    if width and all(_is_float_record(r, width) for r in records):
+        return BlockSchema(KIND_DENSE, width=width)
+    return BlockSchema(KIND_PICKLE)
+
+
+def _chunked(records: Iterable[T], size: int) -> Iterator[list[T]]:
+    iterator = iter(records)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _fresh(value: Any) -> Any:
+    """Rebuild a record without shared sub-objects.
+
+    Checkpoints must be byte-identical across backends, but pickle
+    memoizes by object *identity*: a caller that reuses one tuple for
+    two records would pickle differently on the in-memory backend
+    (which keeps caller objects) than on mmap (which rebuilds records
+    from columns).  Canonicalizing at ingest removes aliasing on both
+    paths, so equal data always produces equal bytes.
+    """
+    kind = type(value)
+    if kind is tuple:
+        return tuple(_fresh(v) for v in value)
+    if kind is list:
+        return [_fresh(v) for v in value]
+    if kind is str:
+        return value.encode("utf-8").decode("utf-8")
+    return value
+
+
+def _fresh_records(records: Iterable[T]) -> Iterator[T]:
+    return (_fresh(record) for record in records)
+
+
+# ----------------------------------------------------------------------
+# Metered in-memory data
+# ----------------------------------------------------------------------
+
+
+class MeteredMemoryData(InMemoryBlockData[T]):
+    """In-memory block data that charges reads to an :class:`IOStats`."""
+
+    __slots__ = ("_stats", "_chunk_size")
+
+    def __init__(
+        self,
+        records: Iterable[T],
+        stats: IOStats,
+        chunk_size: int | None = None,
+    ) -> None:
+        super().__init__(_fresh_records(records))
+        self._stats = stats
+        self._chunk_size = chunk_size
+
+    def chunks(self, chunk_size: int | None = None) -> Iterator[Sequence[T]]:
+        if chunk_size is None:
+            chunk_size = self._chunk_size
+        for chunk in super().chunks(chunk_size):
+            self._stats.record_read(records_nbytes(chunk))
+            yield chunk
+
+    def materialize(self) -> tuple[T, ...]:
+        self._stats.record_read(self.nbytes)
+        return super().materialize()
+
+    def as_array(self, dtype: Any = float) -> Any:
+        self._stats.record_read(self.nbytes)
+        return np.asarray(super().materialize(), dtype=dtype)
+
+
+# ----------------------------------------------------------------------
+# The on-disk columnar layout
+# ----------------------------------------------------------------------
+
+
+def _write_block_dir(
+    path: str, records: Iterable[T], chunk_size: int
+) -> "MmapBlockData[T]":
+    """Stream ``records`` into a columnar block directory at ``path``."""
+    os.makedirs(path, exist_ok=True)
+    chunks = _chunked(records, chunk_size)
+    first = next(chunks, [])
+    schema = infer_schema(first)
+    if schema.kind == KIND_CSR:
+        num_records, nbytes = _write_csr(path, first, chunks)
+        chunk_rows: list[dict[str, int]] = []
+    elif schema.kind == KIND_DENSE:
+        num_records, nbytes = _write_dense(path, first, chunks, schema.width)
+        chunk_rows = []
+    else:
+        num_records, nbytes, chunk_rows = _write_pickle(path, first, chunks)
+    meta = {
+        "format": BLOCK_DIR_FORMAT,
+        "schema": schema.to_dict(),
+        "num_records": num_records,
+        "nbytes": nbytes,
+        "chunk_size": chunk_size,
+        "chunks": chunk_rows,
+    }
+    with open(os.path.join(path, "meta.json"), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh)
+    return MmapBlockData(
+        path=path,
+        schema=schema,
+        num_records=num_records,
+        nbytes=nbytes,
+        chunk_rows=chunk_rows,
+        chunk_size=chunk_size,
+    )
+
+
+def _check_conforms(chunk: Sequence[Any], schema: BlockSchema) -> None:
+    if schema.kind == KIND_CSR:
+        bad = next((r for r in chunk if not _is_int_record(r)), None)
+    else:
+        bad = next((r for r in chunk if not _is_float_record(r, schema.width)), None)
+    if bad is not None:
+        raise SchemaError(
+            f"record {bad!r} does not match the block's inferred "
+            f"{schema.kind} schema; blocks must be type-homogeneous"
+        )
+
+
+def _write_csr(
+    path: str, first: list[Any], rest: Iterator[list[Any]]
+) -> tuple[int, int]:
+    value_parts: list[np.ndarray] = []
+    length_parts: list[np.ndarray] = []
+    num_records = 0
+    for chunk in _prepend(first, rest):
+        _check_conforms(chunk, BlockSchema(KIND_CSR))
+        length_parts.append(
+            np.fromiter((len(r) for r in chunk), dtype=np.int64, count=len(chunk))
+        )
+        flat = [v for record in chunk for v in record]
+        value_parts.append(np.asarray(flat, dtype=np.int64))
+        num_records += len(chunk)
+    values = (
+        np.concatenate(value_parts)
+        if value_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    lengths = (
+        np.concatenate(length_parts)
+        if length_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    offsets = np.zeros(num_records + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    np.save(os.path.join(path, "values.npy"), values)
+    np.save(os.path.join(path, "offsets.npy"), offsets)
+    return num_records, INT_BYTES * int(values.shape[0])
+
+
+def _write_dense(
+    path: str, first: list[Any], rest: Iterator[list[Any]], width: int
+) -> tuple[int, int]:
+    columns: list[list[np.ndarray]] = [[] for _ in range(width)]
+    num_records = 0
+    schema = BlockSchema(KIND_DENSE, width=width)
+    for chunk in _prepend(first, rest):
+        _check_conforms(chunk, schema)
+        arr = np.asarray(chunk, dtype=np.float64).reshape(len(chunk), width)
+        for j in range(width):
+            columns[j].append(arr[:, j])
+        num_records += len(chunk)
+    for j in range(width):
+        column = (
+            np.concatenate(columns[j])
+            if columns[j]
+            else np.empty(0, dtype=np.float64)
+        )
+        np.save(os.path.join(path, f"col_{j:03d}.npy"), column)
+    return num_records, FLOAT_BYTES * width * num_records
+
+
+def _write_pickle(
+    path: str, first: list[Any], rest: Iterator[list[Any]]
+) -> tuple[int, int, list[dict[str, int]]]:
+    chunk_rows: list[dict[str, int]] = []
+    num_records = 0
+    nbytes = 0
+    for index, chunk in enumerate(_prepend(first, rest)):
+        with open(os.path.join(path, f"chunk_{index:05d}.pkl"), "wb") as fh:
+            # Canonicalized records keep the stored bytes free of
+            # caller-side object aliasing (see _fresh).
+            pickle.dump(
+                [_fresh(r) for r in chunk], fh, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        chunk_nbytes = records_nbytes(chunk)
+        chunk_rows.append({"count": len(chunk), "nbytes": chunk_nbytes})
+        num_records += len(chunk)
+        nbytes += chunk_nbytes
+    return num_records, nbytes, chunk_rows
+
+
+def _prepend(first: list[T], rest: Iterator[list[T]]) -> Iterator[list[T]]:
+    if first:
+        yield first
+    yield from rest
+
+
+class MmapBlockData(Generic[T]):
+    """Lazily memory-mapped record storage under one block directory."""
+
+    __slots__ = (
+        "path",
+        "schema",
+        "_num_records",
+        "_nbytes",
+        "_chunk_rows",
+        "_chunk_size",
+        "_stats",
+        "_cache",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        schema: BlockSchema,
+        num_records: int,
+        nbytes: int,
+        chunk_rows: list[dict[str, int]],
+        chunk_size: int | None = None,
+        stats: IOStats | None = None,
+    ) -> None:
+        self.path = path
+        self.schema = schema
+        self._num_records = num_records
+        self._nbytes = nbytes
+        self._chunk_rows = chunk_rows
+        self._chunk_size = chunk_size
+        self._stats = stats
+        self._cache: Any = None
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def bind_stats(self, stats: IOStats) -> None:
+        """Point byte accounting at a backend's counter."""
+        self._stats = stats
+
+    def close(self) -> None:
+        """Release the lazily opened arrays; access reopens them."""
+        self._cache = None
+
+    # -- lazy array handles --------------------------------------------
+
+    def _arrays(self) -> Any:
+        if self._cache is None:
+            if self.schema.kind == KIND_CSR:
+                self._cache = (
+                    np.load(os.path.join(self.path, "values.npy"), mmap_mode="r"),
+                    np.load(os.path.join(self.path, "offsets.npy"), mmap_mode="r"),
+                )
+            elif self.schema.kind == KIND_DENSE:
+                self._cache = [
+                    np.load(
+                        os.path.join(self.path, f"col_{j:03d}.npy"), mmap_mode="r"
+                    )
+                    for j in range(self.schema.width)
+                ]
+            else:
+                self._cache = ()
+        return self._cache
+
+    # -- record iteration ----------------------------------------------
+
+    def _charge(self, nbytes: int) -> None:
+        if self._stats is not None:
+            self._stats.record_read(nbytes)
+
+    def _default_size(self) -> int:
+        if self._chunk_size is not None:
+            return self._chunk_size
+        return default_chunk_size()
+
+    def chunks(self, chunk_size: int | None = None) -> Iterator[Sequence[T]]:
+        size = chunk_size if chunk_size is not None else self._default_size()
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size}")
+        for chunk, nbytes in self._chunks_with_sizes(size):
+            self._charge(nbytes)
+            yield chunk
+
+    def _chunks_with_sizes(
+        self, size: int
+    ) -> Iterator[tuple[Sequence[T], int]]:
+        if self.schema.kind == KIND_CSR:
+            yield from self._csr_chunks(size)
+        elif self.schema.kind == KIND_DENSE:
+            yield from self._dense_chunks(size)
+        else:
+            yield from self._pickle_chunks(size)
+
+    def _csr_chunks(self, size: int) -> Iterator[tuple[Sequence[T], int]]:
+        values, offsets = self._arrays()
+        for start in range(0, self._num_records, size):
+            stop = min(start + size, self._num_records)
+            offs = offsets[start : stop + 1]
+            lo, hi = int(offs[0]), int(offs[-1])
+            flat = values[lo:hi].tolist()
+            rel = (offs - lo).tolist()
+            records = [
+                tuple(flat[rel[i] : rel[i + 1]]) for i in range(stop - start)
+            ]
+            yield records, INT_BYTES * (hi - lo)
+
+    def _dense_chunks(self, size: int) -> Iterator[tuple[Sequence[T], int]]:
+        columns = self._arrays()
+        width = self.schema.width
+        for start in range(0, self._num_records, size):
+            stop = min(start + size, self._num_records)
+            arr = np.column_stack([column[start:stop] for column in columns])
+            records = [tuple(row) for row in arr.tolist()]
+            yield records, FLOAT_BYTES * width * (stop - start)
+
+    def _pickle_chunks(self, size: int) -> Iterator[tuple[Sequence[T], int]]:
+        pending: list[T] = []
+        for index in range(len(self._chunk_rows)):
+            with open(
+                os.path.join(self.path, f"chunk_{index:05d}.pkl"), "rb"
+            ) as fh:
+                pending.extend(pickle.load(fh))
+            while len(pending) >= size:
+                chunk, pending = pending[:size], pending[size:]
+                yield chunk, records_nbytes(chunk)
+        if pending:
+            yield pending, records_nbytes(pending)
+
+    # -- eager views ----------------------------------------------------
+
+    def materialize(self) -> tuple[T, ...]:
+        records: list[T] = []
+        for chunk, _nbytes in self._chunks_with_sizes(self._default_size()):
+            records.extend(chunk)
+        self._charge(self._nbytes)
+        return tuple(records)
+
+    def as_array(self, dtype: Any = float) -> Any:
+        self._charge(self._nbytes)
+        if self.schema.kind == KIND_DENSE:
+            columns = self._arrays()
+            return np.column_stack([np.asarray(c) for c in columns]).astype(
+                dtype, copy=False
+            )
+        records: list[T] = []
+        for chunk, _nbytes in self._chunks_with_sizes(self._default_size()):
+            records.extend(chunk)
+        return np.asarray(records, dtype=dtype)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+
+class BlockBackend(ABC):
+    """Creates and owns block record storage — the streaming ingest spine.
+
+    Args:
+        registry: I/O registry ingest writes and chunk reads are
+            charged to; a private one is created when omitted.
+        chunk_size: Default records-per-chunk for blocks this backend
+            creates; ``None`` defers to ``DEMON_BLOCK_CHUNK``.
+        counter_name: Counter name within ``registry``.
+    """
+
+    #: Short name used in specs and CLI flags ("memory" / "mmap").
+    kind: str = ""
+
+    def __init__(
+        self,
+        registry: IOStatsRegistry | None = None,
+        chunk_size: int | None = None,
+        counter_name: str = BACKEND_COUNTER,
+    ) -> None:
+        self.registry = registry if registry is not None else IOStatsRegistry()
+        self._stats = self.registry.get(counter_name)
+        self.chunk_size = chunk_size
+        self._datas: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        self._closed = False
+
+    @property
+    def stats(self) -> IOStats:
+        """The counter ingest and iteration are charged to."""
+        return self._stats
+
+    def resolved_chunk_size(self) -> int:
+        """The chunk size blocks of this backend are written with."""
+        return self.chunk_size if self.chunk_size is not None else default_chunk_size()
+
+    def ingest(
+        self,
+        block_id: int,
+        records: Iterable[T],
+        label: str = "",
+        metadata: dict[str, Any] | None = None,
+    ) -> Block[T]:
+        """Stream ``records`` into backend storage; return the handle.
+
+        The stream is consumed exactly once; one logical write of the
+        block's full size is charged.
+        """
+        if self._closed:
+            raise RuntimeError(f"{self.kind} backend is closed")
+        data = self._create_data(records)
+        self._datas.add(data)
+        self._stats.record_write(data.nbytes)
+        return Block(block_id, label=label, metadata=metadata, data=data)
+
+    def adopt(self, block: Block[T]) -> Block[T]:
+        """Re-home an existing block's records onto this backend.
+
+        Blocks already owned by this backend are returned unchanged, so
+        adoption is idempotent (restore paths call it unconditionally).
+        """
+        if block.data in self._datas:
+            return block
+        return self.ingest(
+            block.block_id,
+            block.data.materialize(),
+            label=block.label,
+            metadata=block.metadata,
+        )
+
+    def open(self) -> None:
+        """Re-enable ingest after :meth:`close`."""
+        self._closed = False
+
+    def close(self) -> None:
+        """Release lazily opened resources; iteration reopens them."""
+        for data in list(self._datas):
+            release = getattr(data, "close", None)
+            if release is not None:
+                release()
+        self._closed = True
+
+    def __enter__(self) -> "BlockBackend":
+        self.open()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @abstractmethod
+    def _create_data(self, records: Iterable[T]) -> Any:
+        """Consume a record stream into this backend's storage."""
+
+    @abstractmethod
+    def spec(self) -> dict[str, Any]:
+        """A picklable description sufficient to rebuild this backend."""
+
+
+class InMemoryBackend(BlockBackend):
+    """The historical in-memory storage, now metered and chunk-iterable."""
+
+    kind = "memory"
+
+    def _create_data(self, records: Iterable[T]) -> MeteredMemoryData[T]:
+        return MeteredMemoryData(records, self._stats, self.chunk_size)
+
+    def spec(self) -> dict[str, Any]:
+        return {"kind": self.kind, "chunk_size": self.chunk_size}
+
+
+class MmapBackend(BlockBackend):
+    """On-disk columnar block storage with lazy memory-mapped reads.
+
+    Args:
+        root: Directory block subdirectories are created under; a fresh
+            temporary directory is created when omitted.  Sharing a
+            root across backends is safe — block directories are named
+            by a monotonic sequence scanned from the root.
+        registry / chunk_size / counter_name: see :class:`BlockBackend`.
+    """
+
+    kind = "mmap"
+
+    def __init__(
+        self,
+        root: str | None = None,
+        registry: IOStatsRegistry | None = None,
+        chunk_size: int | None = None,
+        counter_name: str = BACKEND_COUNTER,
+    ) -> None:
+        super().__init__(
+            registry=registry, chunk_size=chunk_size, counter_name=counter_name
+        )
+        if root is None:
+            root = tempfile.mkdtemp(prefix="demon-blocks-")
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._seq = self._scan_seq()
+
+    def _scan_seq(self) -> int:
+        highest = 0
+        for name in os.listdir(self.root):
+            if name.startswith("b") and name[1:].isdigit():
+                highest = max(highest, int(name[1:]))
+        return highest
+
+    def _create_data(self, records: Iterable[T]) -> MmapBlockData[T]:
+        self._seq += 1
+        path = os.path.join(self.root, f"b{self._seq:08d}")
+        data = _write_block_dir(path, records, self.resolved_chunk_size())
+        data.bind_stats(self._stats)
+        return data
+
+    def destroy(self) -> None:
+        """Close the backend and delete its on-disk root."""
+        self.close()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def spec(self) -> dict[str, Any]:
+        return {"kind": self.kind, "root": self.root, "chunk_size": self.chunk_size}
+
+
+# ----------------------------------------------------------------------
+# Backend resolution (specs, names, the ambient environment toggle)
+# ----------------------------------------------------------------------
+
+#: Lazily created process-wide backend behind ``DEMON_BLOCK_BACKEND``.
+_AMBIENT: dict[str, BlockBackend] = {}
+
+
+def backend_from_spec(spec: dict[str, Any]) -> BlockBackend:
+    """Rebuild a backend from :meth:`BlockBackend.spec` output."""
+    kind = spec.get("kind")
+    chunk_size = spec.get("chunk_size")
+    if kind == InMemoryBackend.kind:
+        return InMemoryBackend(chunk_size=chunk_size)
+    if kind == MmapBackend.kind:
+        return MmapBackend(root=spec.get("root"), chunk_size=chunk_size)
+    raise ValueError(f"unknown block backend kind {kind!r}")
+
+
+def ambient_backend() -> BlockBackend | None:
+    """The process-wide backend selected by ``DEMON_BLOCK_BACKEND``.
+
+    Returns ``None`` in the default in-memory mode, where plain blocks
+    need no backend at all; the mmap mode shares one backend rooted in
+    a temporary directory that is removed at interpreter exit.
+    """
+    name = os.environ.get("DEMON_BLOCK_BACKEND", "").strip().lower()
+    if name in ("", InMemoryBackend.kind):
+        return None
+    if name != MmapBackend.kind:
+        raise ValueError(
+            f"DEMON_BLOCK_BACKEND must be 'memory' or 'mmap', got {name!r}"
+        )
+    backend = _AMBIENT.get(name)
+    if backend is None:
+        root = tempfile.mkdtemp(prefix="demon-ambient-blocks-")
+        atexit.register(shutil.rmtree, root, ignore_errors=True)
+        backend = MmapBackend(root=root)
+        _AMBIENT[name] = backend
+    return backend
+
+
+def resolve_backend(
+    value: "BlockBackend | str | dict[str, Any] | None",
+) -> BlockBackend | None:
+    """Normalize a backend knob: instance, name, spec, or ``None``.
+
+    ``None`` defers to the ambient environment toggle (and stays
+    ``None`` in the default in-memory mode).
+    """
+    if value is None:
+        return ambient_backend()
+    if isinstance(value, BlockBackend):
+        return value
+    if isinstance(value, str):
+        if value == InMemoryBackend.kind:
+            return InMemoryBackend()
+        if value == MmapBackend.kind:
+            return MmapBackend()
+        raise ValueError(f"unknown block backend name {value!r}")
+    if isinstance(value, dict):
+        return backend_from_spec(value)
+    raise TypeError(f"cannot resolve a block backend from {value!r}")

@@ -41,7 +41,7 @@ class TreeDeviation(DeviationFunction):
         tree = DecisionTree(
             max_depth=self.max_depth, min_leaf_size=self.min_leaf_size
         )
-        return tree.fit(list(block.tuples))
+        return tree.fit(list(block.iter_records()))
 
     def gcr(
         self, model_a: DecisionTree, model_b: DecisionTree
@@ -68,11 +68,14 @@ class TreeDeviation(DeviationFunction):
         total = len(block)
         if total == 0:
             return np.zeros(len(regions))
+        # The region loop re-reads the points many times; pull the block
+        # off its backend once instead of once per region.
+        points = block.materialize()
         values = []
         for region, label in regions:
             inside = sum(
                 1
-                for features, point_label in block.tuples
+                for features, point_label in points
                 if point_label == label and region.contains(features)
             )
             values.append(inside / total)

@@ -133,8 +133,8 @@ class LeafRefinementTreeMaintainer(
     def add_block(self, model: TreeModel, block: Block[LabelledPoint]) -> TreeModel:
         rng = random.Random(f"{self.seed}:{block.block_id}")
         if model.tree is None:
-            model.tree = self._new_tree().fit(list(block.tuples))
-            for point in block.tuples:
+            model.tree = self._new_tree().fit(list(block.iter_records()))
+            for point in block.iter_records():
                 leaf = _route_to_leaf(model.tree.root, point[0])
                 self._reservoir_add(leaf, point, rng)
             model.selected_block_ids.append(block.block_id)
@@ -142,7 +142,7 @@ class LeafRefinementTreeMaintainer(
 
         touched: list[TreeNode] = []
         seen: set[int] = set()
-        for point in block.tuples:
+        for point in block.iter_records():
             features, label = point
             leaf = _route_to_leaf(model.tree.root, features)
             leaf.class_counts[label] = leaf.class_counts.get(label, 0) + 1
@@ -225,7 +225,7 @@ class RebuildingTreeMaintainer(IncrementalModelMaintainer[TreeModel, LabelledPoi
         data = [
             point
             for block_id in model.selected_block_ids
-            for point in model.blocks[block_id].tuples
+            for point in model.blocks[block_id].iter_records()
         ]
         model.tree = DecisionTree(
             max_depth=self.max_depth, min_leaf_size=self.min_leaf_size

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.blocks import Block, Snapshot, make_block, merge_blocks
+from repro.storage.engine import InMemoryBackend, MmapBackend, MmapBlockData
 
 
 class TestBlock:
@@ -33,6 +34,43 @@ class TestBlock:
     def test_empty_block_allowed(self):
         block = make_block(1, [])
         assert len(block) == 0
+
+    def test_exactly_one_record_source(self):
+        with pytest.raises(ValueError, match="exactly one record source"):
+            Block(block_id=1)
+        with pytest.raises(ValueError, match="exactly one record source"):
+            Block(block_id=1, tuples=(), data=InMemoryBackend().ingest(1, []).data)
+
+    def test_handles_are_immutable(self):
+        block = make_block(1, [(1,)])
+        with pytest.raises(AttributeError, match="immutable"):
+            block.label = "Mon"
+        with pytest.raises(AttributeError, match="immutable"):
+            del block.block_id
+
+    def test_num_records_without_materializing(self):
+        block = make_block(1, [(1, 2), (3,)])
+        assert block.num_records == 2
+        assert block.nbytes == 4 * 3  # three int fields
+
+    def test_iter_chunks_respects_the_requested_size(self):
+        block = make_block(1, [(i,) for i in range(7)])
+        chunks = [list(c) for c in block.iter_chunks(3)]
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [r for c in chunks for r in c] == list(block.iter_records())
+
+    def test_make_block_routes_through_an_explicit_backend(self, tmp_path):
+        backend = MmapBackend(root=str(tmp_path))
+        block = make_block(1, [(1, 2), (3,)], backend=backend)
+        assert isinstance(block.data, MmapBlockData)
+        assert block.materialize() == ((1, 2), (3,))
+
+    def test_equality_is_backend_independent(self, tmp_path):
+        records = [(1, 2), (3,)]
+        memory = make_block(1, records)
+        mmap = make_block(1, records, backend=MmapBackend(root=str(tmp_path)))
+        assert memory == mmap
+        assert hash(memory) == hash(mmap)
 
 
 class TestSnapshot:
@@ -100,3 +138,14 @@ class TestMergeBlocks:
     def test_empty_merge_rejected(self):
         with pytest.raises(ValueError):
             merge_blocks([], block_id=1)
+
+    def test_merge_streams_onto_a_backend(self, tmp_path):
+        backend = MmapBackend(root=str(tmp_path))
+        merged = merge_blocks(
+            [make_block(1, [(1,)]), make_block(2, [(2,), (3,)])],
+            block_id=1,
+            backend=backend,
+        )
+        assert isinstance(merged.data, MmapBlockData)
+        assert merged.materialize() == ((1,), (2,), (3,))
+        assert merged.metadata["merged_from"] == [1, 2]

@@ -24,9 +24,10 @@ from repro.deviation.focus import ItemsetDeviation
 from repro.deviation.similarity import BlockSimilarity
 from repro.itemsets.borders import BordersMaintainer
 from repro.patterns.compact import CompactSequenceMiner
+from repro.storage.engine import InMemoryBackend, MmapBackend
 from repro.storage.persist import ModelVault, load_model, save_model
 from repro.storage.telemetry import Telemetry
-from tests.conftest import transaction_blocks
+from tests.conftest import random_transactions, transaction_blocks
 
 N_BLOCKS = 6
 SPLIT = 3  # checkpoint after this many blocks
@@ -250,6 +251,59 @@ class TestNamedCheckpoints:
         b.checkpoint()
         assert MiningSession.restore(vault, name="alpha").t == 1
         assert MiningSession.restore(vault, name="beta").t == 2
+
+
+class TestSessionBackends:
+    def test_ingest_streams_records_as_the_next_block(self):
+        session = itemset_session(backend=InMemoryBackend())
+        report = session.ingest(iter(random_transactions(50)))
+        assert report.t == session.t == 1
+        session.ingest(iter(random_transactions(50, seed=1)), label="B2")
+        assert session.t == 2
+        assert session.telemetry.counters["session.records"] == 100
+
+    def test_backend_spec_lands_in_the_checkpoint(self, tmp_path):
+        backend = MmapBackend(root=str(tmp_path), chunk_size=64)
+        session = itemset_session(backend=backend)
+        session.ingest(iter(random_transactions(30)))
+        assert session.state_dict()["backend"] == {
+            "kind": "mmap",
+            "root": str(tmp_path),
+            "chunk_size": 64,
+        }
+
+    def test_backend_registry_joins_the_telemetry_spine(self):
+        session = itemset_session(backend=InMemoryBackend())
+        report = session.ingest(iter(random_transactions(40)))
+        io = report.telemetry.io
+        assert "backend" in io
+        assert io["backend"].totals().bytes_written > 0
+
+    def test_restore_rebuilds_the_checkpointed_backend(self, tmp_path):
+        blocks = stream(seed=5400)
+        backend = MmapBackend(root=str(tmp_path))
+        session = itemset_session(backend=backend, vault=ModelVault())
+        for block in blocks[:SPLIT]:
+            session.observe(backend.adopt(block))
+        session.checkpoint()
+        restored = MiningSession.restore(load_model(save_model(session.vault)))
+        assert isinstance(restored.backend, MmapBackend)
+        assert restored.backend.root == str(tmp_path)
+        for block in blocks[SPLIT:]:
+            restored.observe(restored.backend.adopt(block))
+        truth = run_uninterrupted(itemset_session, blocks)
+        assert_same_itemset_model(restored.current_model(), truth.current_model())
+
+    def test_restore_accepts_a_backend_override(self):
+        session = itemset_session(backend=InMemoryBackend(), vault=ModelVault())
+        session.ingest(iter(random_transactions(30)))
+        session.checkpoint()
+        restored = MiningSession.restore(session.vault, backend="memory")
+        assert isinstance(restored.backend, InMemoryBackend)
+
+    def test_sessions_accept_backend_names(self):
+        session = itemset_session(backend="memory")
+        assert isinstance(session.backend, InMemoryBackend)
 
 
 class TestTelemetryAcrossRestore:

@@ -1,0 +1,13 @@
+"""DML013 fixture: raw record-list access outside storage/datagen."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+def count_items(block):
+    total = 0
+    for transaction in block.tuples:
+        total += len(transaction)
+    return total
+
+
+def first_record(stored):
+    return stored.records[0]

@@ -1,0 +1,17 @@
+"""DML013 fixture: record access streamed through the block handle."""
+
+
+def count_items(block):
+    total = 0
+    for chunk in block.iter_chunks():
+        for transaction in chunk:
+            total += len(transaction)
+    return total
+
+
+def record_count(block):
+    return block.num_records
+
+
+def one_pass(block):
+    return [len(record) for record in block.iter_records()]

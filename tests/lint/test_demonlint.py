@@ -20,7 +20,7 @@ from tools.demonlint.reporter import render_json, render_text  # noqa: E402
 FIXTURES = Path(__file__).parent / "fixtures"
 ALL_RULES = (
     "DML001", "DML002", "DML003", "DML004", "DML005", "DML006", "DML007",
-    "DML008", "DML009", "DML010", "DML011", "DML012",
+    "DML008", "DML009", "DML010", "DML011", "DML012", "DML013",
 )
 
 
@@ -164,6 +164,28 @@ def test_ignore_filters_rules():
     # DML007 also sees the perf_counter alias, so both must be ignored.
     result = lint_bad(FIXTURES / "dml004_bad.py", ignore=["DML004", "DML007"])
     assert result.ok
+
+
+def test_dml013_detected_then_fixed(tmp_path):
+    """The regression shape DML013 exists for: an eager record read in
+    algorithm code is flagged; streaming the same logic is clean; and
+    the identical eager read is legal once it lives in the storage
+    layer (which owns raw record lists by construction)."""
+    eager = "def f(block):\n    return len(block.tuples)\n"
+    module = tmp_path / "maintainer.py"
+    module.write_text(eager)
+    detected = run([module], root=tmp_path, select=["DML013"])
+    assert not detected.ok
+    assert [v.rule_id for v in detected.violations] == ["DML013"]
+    assert "iter_chunks" in detected.violations[0].message
+
+    module.write_text("def f(block):\n    return block.num_records\n")
+    assert run([module], root=tmp_path, select=["DML013"]).ok
+
+    storage = tmp_path / "storage"
+    storage.mkdir()
+    (storage / "engine.py").write_text(eager)
+    assert run([storage / "engine.py"], root=tmp_path, select=["DML013"]).ok
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,288 @@
+"""Backend equivalence: models never see where their records live.
+
+For every model class the reproduction maintains — frequent itemsets
+(BORDERS over ECUT+), clusters (BIRCH+), decision trees, and FOCUS
+deviation-driven pattern mining — a session fed the same record
+streams must end in *byte-identical* model state whether the blocks
+live on the in-memory backend or the memory-mapped columnar one, and
+the telemetry spine must record the same phases and the same logical
+counters.  Hypothesis drives the record streams so the property holds
+for arbitrary data, not one fixture.
+
+Phase *timings* are wall-clock and therefore not byte-stable; the
+checkpoint comparison strips the telemetry and backend entries (the
+backend spec legitimately differs — that is the point) and requires
+everything else to pickle identically.
+"""
+
+import dataclasses
+import pickle
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.birch_plus import BirchPlusMaintainer
+from repro.core.session import MiningSession
+from repro.deviation.focus import ItemsetDeviation
+from repro.deviation.similarity import BlockSimilarity
+from repro.itemsets.borders import BordersMaintainer
+from repro.patterns.compact import CompactSequenceMiner
+from repro.storage.engine import InMemoryBackend, MmapBackend
+from repro.storage.persist import ModelVault, load_model, save_model
+from repro.trees.maintain import (
+    LeafRefinementTreeMaintainer,
+    RebuildingTreeMaintainer,
+)
+
+SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# -- record-stream strategies ------------------------------------------
+
+transactions = st.lists(
+    st.lists(st.integers(0, 25), min_size=1, max_size=5).map(
+        lambda items: tuple(sorted(set(items)))
+    ),
+    min_size=2,
+    max_size=25,
+)
+
+coordinate = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+points = st.lists(
+    st.tuples(coordinate, coordinate), min_size=2, max_size=25
+)
+
+labelled_points = st.lists(
+    st.tuples(st.tuples(coordinate, coordinate), st.integers(0, 2)),
+    min_size=2,
+    max_size=25,
+)
+
+
+def streams(records):
+    """2–4 consecutive block streams drawn from one record strategy."""
+    return st.lists(records, min_size=2, max_size=4)
+
+
+# -- harness ------------------------------------------------------------
+
+
+def run_on(make_session, backend, block_streams):
+    """Feed every stream through the session's ingest spine."""
+    session = make_session(backend=backend)
+    for records in block_streams:
+        session.ingest(iter(records))
+    return session
+
+
+def scrub_wall_clock(obj, _seen=None):
+    """Zero every ``*seconds`` dataclass field in an object graph.
+
+    Wall-clock timings are the one part of a checkpoint that is not a
+    function of the data; everything else must pickle identically.
+    """
+    seen = _seen if _seen is not None else set()
+    if id(obj) in seen:
+        return obj
+    seen.add(id(obj))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for field in dataclasses.fields(obj):
+            value = getattr(obj, field.name)
+            if field.name.endswith("seconds") and isinstance(value, float):
+                object.__setattr__(obj, field.name, 0.0)
+            else:
+                scrub_wall_clock(value, seen)
+    elif isinstance(obj, dict):
+        for value in obj.values():
+            scrub_wall_clock(value, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for value in obj:
+            scrub_wall_clock(value, seen)
+    elif hasattr(obj, "__dict__"):
+        for value in vars(obj).values():
+            scrub_wall_clock(value, seen)
+    return obj
+
+
+def normalized_checkpoint(session):
+    payload = session.state_dict()
+    payload["telemetry"] = None  # wall-clock seconds are not byte-stable
+    payload["backend"] = None  # the spec differs by construction
+    for key in ("maintainer", "pattern_miner", "snapshot"):
+        if payload[key] is not None:
+            payload[key] = save_model(scrub_wall_clock(load_model(payload[key])))
+    return payload
+
+
+def assert_sessions_equivalent(make_session, block_streams, tmp_dir):
+    memory = run_on(make_session, InMemoryBackend(), block_streams)
+    mmap = run_on(make_session, MmapBackend(root=str(tmp_dir)), block_streams)
+
+    # Identical telemetry shape: same phases, same logical counters.
+    a, b = memory.telemetry.state_dict(), mmap.telemetry.state_dict()
+    assert a["phases"].keys() == b["phases"].keys()
+    assert {name: calls for name, (_s, calls) in a["phases"].items()} == {
+        name: calls for name, (_s, calls) in b["phases"].items()
+    }
+    assert a["counters"] == b["counters"]
+    assert a["counters"]["session.records"] == sum(map(len, block_streams))
+
+    # Identical logical I/O charged to the backend counter.
+    mem_io = memory.backend.stats
+    mmap_io = mmap.backend.stats
+    assert mem_io == mmap_io
+    assert mem_io.bytes_written > 0 or all(not s for s in block_streams)
+
+    # Byte-identical model state and checkpoint payloads.
+    if memory.maintainer is not None:
+        assert save_model(memory.current_model()) == save_model(
+            mmap.current_model()
+        )
+    if memory.pattern_miner is not None:
+        # The miner's deviation matrix records per-comparison seconds;
+        # scrub clones so only wall-clock may differ.
+        assert save_model(
+            scrub_wall_clock(load_model(save_model(memory.pattern_miner)))
+        ) == save_model(
+            scrub_wall_clock(load_model(save_model(mmap.pattern_miner)))
+        )
+    assert pickle.dumps(normalized_checkpoint(memory)) == pickle.dumps(
+        normalized_checkpoint(mmap)
+    )
+
+
+# -- the four model classes --------------------------------------------
+
+
+def borders_session(**kwargs):
+    return MiningSession(BordersMaintainer(0.25, counter="ecut"), **kwargs)
+
+
+def birch_session(**kwargs):
+    return MiningSession(BirchPlusMaintainer(k=2, threshold=2.0), **kwargs)
+
+
+def leaf_tree_session(**kwargs):
+    return MiningSession(LeafRefinementTreeMaintainer(max_depth=3), **kwargs)
+
+
+def rebuild_tree_session(**kwargs):
+    return MiningSession(RebuildingTreeMaintainer(max_depth=3), **kwargs)
+
+
+def focus_session(**kwargs):
+    miner = CompactSequenceMiner(
+        BlockSimilarity(ItemsetDeviation(minsup=0.3, max_size=2), method="chi2")
+    )
+    return MiningSession(pattern_miner=miner, **kwargs)
+
+
+class TestModelEquivalence:
+    @settings(**SETTINGS)
+    @given(block_streams=streams(transactions))
+    def test_borders_over_ecut(self, block_streams, tmp_path_factory):
+        assert_sessions_equivalent(
+            borders_session, block_streams, tmp_path_factory.mktemp("borders")
+        )
+
+    @settings(**SETTINGS)
+    @given(block_streams=streams(points))
+    def test_birch_plus(self, block_streams, tmp_path_factory):
+        assert_sessions_equivalent(
+            birch_session, block_streams, tmp_path_factory.mktemp("birch")
+        )
+
+    @settings(**SETTINGS)
+    @given(block_streams=streams(labelled_points))
+    def test_leaf_refinement_tree(self, block_streams, tmp_path_factory):
+        assert_sessions_equivalent(
+            leaf_tree_session, block_streams, tmp_path_factory.mktemp("leaf")
+        )
+
+    @settings(**SETTINGS)
+    @given(block_streams=streams(labelled_points))
+    def test_rebuilding_tree(self, block_streams, tmp_path_factory):
+        assert_sessions_equivalent(
+            rebuild_tree_session, block_streams, tmp_path_factory.mktemp("tree")
+        )
+
+    @settings(**SETTINGS)
+    @given(block_streams=streams(transactions))
+    def test_focus_deviation_pattern_miner(self, block_streams, tmp_path_factory):
+        assert_sessions_equivalent(
+            focus_session, block_streams, tmp_path_factory.mktemp("focus")
+        )
+
+
+class TestCheckpointAcrossBackends:
+    """Kill/restore equivalence crosses the backend boundary too."""
+
+    @settings(**SETTINGS)
+    @given(block_streams=streams(transactions))
+    def test_checkpoint_on_memory_restores_onto_mmap(
+        self, block_streams, tmp_path_factory
+    ):
+        split = len(block_streams) // 2 or 1
+        truth = run_on(borders_session, InMemoryBackend(), block_streams)
+
+        session = borders_session(
+            backend=InMemoryBackend(), vault=ModelVault(), keep_snapshot=True
+        )
+        for records in block_streams[:split]:
+            session.ingest(iter(records))
+        session.checkpoint()
+        revived_vault = load_model(save_model(session.vault))
+        restored = MiningSession.restore(
+            revived_vault,
+            backend=MmapBackend(root=str(tmp_path_factory.mktemp("restore"))),
+        )
+        for records in block_streams[split:]:
+            restored.ingest(iter(records))
+
+        assert restored.t == truth.t == len(block_streams)
+        assert save_model(restored.current_model()) == save_model(
+            truth.current_model()
+        )
+        # The retained snapshot was re-adopted onto the mmap backend and
+        # still materializes the original records.
+        assert restored.snapshot is not None
+        for stream, block in zip(block_streams, restored.snapshot):
+            assert block.materialize() == tuple(stream)
+
+    @settings(**SETTINGS)
+    @given(block_streams=streams(transactions))
+    def test_checkpoint_on_mmap_restores_onto_its_spec(
+        self, block_streams, tmp_path_factory
+    ):
+        split = len(block_streams) // 2 or 1
+        truth = run_on(borders_session, InMemoryBackend(), block_streams)
+
+        root = tmp_path_factory.mktemp("mmap-src")
+        session = borders_session(
+            backend=MmapBackend(root=str(root)), vault=ModelVault()
+        )
+        for records in block_streams[:split]:
+            session.ingest(iter(records))
+        session.checkpoint()
+        payload = session.vault.get(("demon-session", "session"))
+        assert payload["backend"] == {
+            "kind": "mmap",
+            "root": str(root),
+            "chunk_size": None,
+        }
+
+        revived_vault = load_model(save_model(session.vault))
+        restored = MiningSession.restore(revived_vault)
+        assert isinstance(restored.backend, MmapBackend)
+        assert restored.backend.root == str(root)
+        for records in block_streams[split:]:
+            restored.ingest(iter(records))
+        assert save_model(restored.current_model()) == save_model(
+            truth.current_model()
+        )

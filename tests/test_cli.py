@@ -59,6 +59,50 @@ class TestMonitor:
         with pytest.raises(SystemExit):
             run_cli(["monitor", "--window", "3", "--bss", "10"])
 
+    def test_backend_flag_selects_mmap_storage(self):
+        code, output = run_cli(
+            [
+                "monitor",
+                "--blocks", "3",
+                "--block-size", "120",
+                "--backend", "mmap",
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(output)
+        rows = document["rows"]
+        assert [row["t"] for row in rows] == [1, 2, 3]
+        # The backend registry is attached, and ingest charged writes.
+        backend_io = rows[0]["telemetry"]["io"]["backend"]
+        assert backend_io["totals"]["bytes_written"] > 0
+
+    def test_backend_flag_rejects_unknown_names(self):
+        with pytest.raises(SystemExit):
+            run_cli(["monitor", "--backend", "tape"])
+
+    def test_memory_and_mmap_report_identical_io(self):
+        documents = []
+        for name in ("memory", "mmap"):
+            code, output = run_cli(
+                [
+                    "monitor",
+                    "--blocks", "2",
+                    "--block-size", "100",
+                    "--backend", name,
+                    "--json",
+                ]
+            )
+            assert code == 0
+            documents.append(json.loads(output))
+        a, b = documents
+        assert [r["bytes_read"] for r in a["rows"]] == [
+            r["bytes_read"] for r in b["rows"]
+        ]
+        assert [r["selection"] for r in a["rows"]] == [
+            r["selection"] for r in b["rows"]
+        ]
+
     def test_json_document(self):
         code, output = run_cli(
             ["monitor", "--blocks", "3", "--block-size", "120", "--json"]
@@ -74,10 +118,14 @@ class TestMonitor:
         telemetry = rows[0]["telemetry"]
         assert telemetry["phases"]["session.observe"]["calls"] == 1
         assert telemetry["counters"]["session.blocks"] == 1
-        assert (
-            telemetry["io"]["maintainer"]["totals"]["bytes_read"]
-            == rows[0]["bytes_read"]
+        # The row's bytes_read sums every attached registry (the
+        # maintainer always; the block backend when one is configured).
+        attached = sum(
+            registry["totals"]["bytes_read"]
+            for registry in telemetry["io"].values()
         )
+        assert attached == rows[0]["bytes_read"]
+        assert telemetry["io"]["maintainer"]["totals"]["bytes_read"] > 0
 
 
 class TestGenerate:

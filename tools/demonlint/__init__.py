@@ -20,6 +20,13 @@ Static rules (see ``docs/STATIC_ANALYSIS.md`` for the paper mapping):
 * **DML007** — no raw ``Stopwatch`` construction or ``perf_counter``
   reads outside ``repro/storage/`` and ``benchmarks/``; timed spans go
   through the ``Telemetry`` spine so sessions can aggregate them.
+* **DML008–DML012** — whole-program flow rules (checkpoint parity,
+  phase-span discipline, frozen-array taint, vault-key hygiene, and
+  transitive purity); see :mod:`tools.demonlint.flow_rules`.
+* **DML013** — raw record-list access (``.tuples``/``.records``) only
+  inside ``repro/storage/`` and ``repro/datagen/``; algorithm code
+  streams blocks via ``iter_chunks()``/``iter_records()`` so backends
+  stay pluggable.
 
 The runtime half lives in :mod:`repro.contracts` (decorators
 ``@maintainer_contract`` and ``@pure_unless_cloned``).

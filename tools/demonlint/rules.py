@@ -1,4 +1,4 @@
-"""The demonlint rule set (DML001–DML007).
+"""The per-file demonlint rule set (DML001–DML007, DML013).
 
 Each rule encodes one maintainer contract the DEMON paper states in
 prose; ``docs/STATIC_ANALYSIS.md`` carries the section references and
@@ -763,5 +763,73 @@ class TelemetrySpineRule(Rule):
                     f"{detail}; outside repro/storage/ time phases with "
                     f"repro.storage.telemetry.Telemetry.phase(...) so "
                     f"sessions can aggregate them"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# DML013 — raw record-list access stays behind the storage boundary
+# ----------------------------------------------------------------------
+
+#: Attribute names that expose a block's raw record list eagerly.
+RAW_RECORD_ATTRS = {"tuples", "records"}
+
+#: Directory names whose modules own record storage and may touch raw
+#: record lists: the backend layer itself and the data generators that
+#: produce records in the first place.
+RAW_RECORD_ALLOWED_DIR_NAMES = ("storage", "datagen")
+
+
+def _raw_records_allowed(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    dirs = normalized.split("/")[:-1]
+    if any(part in RAW_RECORD_ALLOWED_DIR_NAMES for part in dirs):
+        return True
+    # Tests and examples may assert on materialized records, but the
+    # deliberately-bad lint fixtures must still fire.
+    if "fixtures" in dirs:
+        return False
+    return "tests" in dirs or "examples" in dirs
+
+
+@register
+class RawRecordAccessRule(Rule):
+    """DML013: no ``.tuples`` / ``.records`` outside storage and datagen.
+
+    The block backends (:mod:`repro.storage.engine`) exist so a dataset
+    never has to fit in RAM: every consumer streams records through
+    ``Block.iter_chunks()`` / ``Block.iter_records()`` and reads counts
+    from ``Block.num_records``.  An eager ``.tuples`` (or ``.records``)
+    read materializes the whole block regardless of backend, silently
+    re-introducing the O(block) resident footprint the mmap backend was
+    built to avoid — and it bypasses the chunk-read byte accounting the
+    backend-equivalence suite asserts.  Only the storage layer itself
+    and the data generators may touch raw record lists.
+    """
+
+    rule_id = "DML013"
+    title = "raw record-list access outside storage/ and datagen/"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _raw_records_allowed(module.relpath):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if node.attr not in RAW_RECORD_ATTRS:
+                continue
+            yield Violation(
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f".{node.attr} materializes the whole record list "
+                    f"regardless of block backend; stream with "
+                    f"Block.iter_chunks()/iter_records() (or read "
+                    f"Block.num_records for counts) so blocks larger "
+                    f"than memory stay out of RAM"
                 ),
             )
