@@ -26,16 +26,31 @@ by setting ``REPRO_CONTRACTS=1`` in the environment before import.
 
 from __future__ import annotations
 
+import copy
 import functools
 import inspect
 import os
+import pickle
 import weakref
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 from typing import Any, TypeVar
 
 
 class ContractViolation(TypeError):
     """A maintainer broke one of the paper's ``A_M`` conventions."""
+
+
+class SanitizerViolation(RuntimeError):
+    """A runtime sanitizer caught a lifecycle/atomicity bug.
+
+    Each sanitizer is the dynamic twin of a demonlint flow rule: chunk
+    views poisoned after ``backend.close()`` correspond to DML014/015,
+    :func:`worker_entry` payload pickling to DML017, and
+    :func:`exception_atomic` checkpoint comparison to DML018.  The
+    agreement suite asserts the static and dynamic verdicts line up on
+    the same fixtures.
+    """
 
 
 _ARMED: bool = os.environ.get("REPRO_CONTRACTS", "") not in ("", "0", "false")
@@ -56,6 +71,95 @@ def disarm() -> None:
 def contracts_armed() -> bool:
     """Whether :func:`pure_unless_cloned` guards are currently active."""
     return _ARMED
+
+
+_SANITIZERS: bool = os.environ.get("REPRO_SANITIZERS", "") not in (
+    "", "0", "false",
+)
+
+
+def arm_sanitizers() -> None:
+    """Enable the runtime sanitizers (chunk-view poisoning, worker
+    payload pickling, checkpoint atomicity snapshots).
+
+    Unlike :func:`arm`, sanitizers are not free when idle: armed
+    backends wrap every yielded chunk and :func:`exception_atomic`
+    deep-copies checkpoints, so they are meant for tests and debugging
+    sessions, not production loops.
+    """
+    global _SANITIZERS
+    _SANITIZERS = True
+
+
+def disarm_sanitizers() -> None:
+    """Disable the runtime sanitizers (the production default)."""
+    global _SANITIZERS
+    _SANITIZERS = False
+
+
+def sanitizers_armed() -> bool:
+    """Whether the runtime sanitizers are currently active."""
+    return _SANITIZERS
+
+
+@contextmanager
+def exception_atomic(obj: Any, label: str | None = None) -> Iterator[Any]:
+    """Assert ``obj``'s checkpointed state survives a failing body.
+
+    The dynamic twin of demonlint DML018: on entry (armed only) the
+    object's ``state_dict()`` is deep-copied; if the body raises and
+    the live ``state_dict()`` no longer matches the snapshot, the
+    original exception is chained into a :class:`SanitizerViolation` —
+    the failed operation corrupted state the next checkpoint would
+    persist.  Disarmed, the body runs bare.
+    """
+    if not _SANITIZERS:
+        yield obj
+        return
+    name = label or type(obj).__name__
+    before = copy.deepcopy(obj.state_dict())
+    try:
+        yield obj
+    except SanitizerViolation:
+        raise
+    except BaseException as exc:
+        if obj.state_dict() != before:
+            raise SanitizerViolation(
+                f"{name}.state_dict() changed across a raising operation "
+                f"({type(exc).__name__}: {exc}); checkpointed state must "
+                f"be clone-before-commit (DML018)"
+            ) from exc
+        raise
+
+
+def worker_entry(fn: TMethod) -> TMethod:
+    """Mark (and, armed, sanitize) a function shipped to worker processes.
+
+    The ``__demonlint_worker_entry__`` tag lets the static pass
+    (DML017) audit the function's transitive captures even when no
+    submit site is visible.  When sanitizers are armed, each call
+    round-trips its arguments through :mod:`pickle` first — the same
+    boundary ``spawn`` workers cross — so an unpicklable payload fails
+    loudly at the call site instead of deep inside a pool.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if _SANITIZERS:
+            try:
+                pickle.dumps((args, kwargs))
+            except Exception as exc:
+                raise SanitizerViolation(
+                    f"worker entry {fn.__name__}() received a payload "
+                    f"that cannot cross the process boundary "
+                    f"({type(exc).__name__}: {exc}); pass picklable "
+                    f"state and rebuild handles inside the worker "
+                    f"(DML017)"
+                ) from exc
+        return fn(*args, **kwargs)
+
+    wrapper.__demonlint_worker_entry__ = True  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]
 
 
 #: The paper's ``A_M`` interface: method name -> required parameter

@@ -249,8 +249,6 @@ class MiningSession(Generic[TModel, T]):
         before = self.telemetry.snapshot()
         report = MonitorReport(t=block.block_id)
         with self.telemetry.phase("session.observe"):
-            if self.snapshot is not None:
-                self.snapshot.extend(block)
             if self._engine is not None:
                 selection_before = self.current_selection()
                 if isinstance(self._engine, GEMM):
@@ -260,6 +258,12 @@ class MiningSession(Generic[TModel, T]):
                 report.model_updated = self.current_selection() != selection_before
             if self.pattern_miner is not None:
                 report.patterns = self.pattern_miner.observe(block)
+            # Commit to the snapshot only after every observer accepted
+            # the block: a rejected block (duplicate id, bad shape)
+            # must not leave the session's checkpointed state mutated
+            # (exception atomicity, DML018).
+            if self.snapshot is not None:
+                self.snapshot.extend(block)
         self.telemetry.increment("session.blocks")
         # Record count comes from backend metadata — no materialization.
         self.telemetry.increment("session.records", block.num_records)
@@ -454,6 +458,7 @@ class MiningSession(Generic[TModel, T]):
             # Format-1 checkpoints written before backends existed have
             # no "backend" entry; they restore onto the ambient default.
             backend = payload.get("backend")
+        owns_backend = not isinstance(backend, BlockBackend)
         session: MiningSession[Any, Any] = cls(
             maintainer=maintainer,
             span=payload["span"],
@@ -464,9 +469,20 @@ class MiningSession(Generic[TModel, T]):
             backend=backend,
             name=name,
         )
-        with session.telemetry.phase("session.restore"):
-            # Continue checkpointed telemetry totals only on a fresh
-            # spine (an explicitly supplied spine is left untouched).
-            session.load_state_dict(payload, restore_telemetry=telemetry is None)
+        try:
+            with session.telemetry.phase("session.restore"):
+                # Continue checkpointed telemetry totals only on a fresh
+                # spine (an explicitly supplied spine is left untouched).
+                session.load_state_dict(
+                    payload, restore_telemetry=telemetry is None
+                )
+        except BaseException:
+            # A corrupt payload must not leak the backend this restore
+            # built from the checkpoint spec (an mmap backend holds a
+            # temp directory until closed).  Caller-owned backends are
+            # left alone.
+            if owns_backend and session.backend is not None:
+                session.backend.close()
+            raise
         session.telemetry.increment("session.restores")
         return session

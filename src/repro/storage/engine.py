@@ -51,6 +51,7 @@ from typing import Any, Generic, TypeVar
 
 import numpy as np
 
+from repro.contracts import SanitizerViolation, sanitizers_armed
 from repro.core.blocks import (
     FLOAT_BYTES,
     INT_BYTES,
@@ -161,6 +162,52 @@ def _fresh(value: Any) -> Any:
 
 def _fresh_records(records: Iterable[T]) -> Iterator[T]:
     return (_fresh(record) for record in records)
+
+
+# ----------------------------------------------------------------------
+# Runtime sanitizer views (the dynamic half of DML014/DML015)
+# ----------------------------------------------------------------------
+
+
+class ChunkView(list):
+    """A chunk that knows when its backing buffers were released.
+
+    Armed backends yield these instead of plain lists.  When the
+    owning data's :meth:`MmapBlockData.close` runs, every live view is
+    *poisoned*: element access afterwards raises
+    :class:`~repro.contracts.SanitizerViolation` — the dynamic
+    counterpart of demonlint DML015 (a chunk view stored past its
+    block's lifetime is a dangling pointer once the backend unmaps).
+    """
+
+    __slots__ = ("_poisoned", "__weakref__")
+
+    #: Identity hash (plain lists are unhashable) so the owning data
+    #: can hold poisoning targets in a WeakSet without pinning them.
+    __hash__ = object.__hash__
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        super().__init__(items)
+        self._poisoned = False
+
+    def _poison(self) -> None:
+        self._poisoned = True
+
+    def _guard(self) -> None:
+        if self._poisoned:
+            raise SanitizerViolation(
+                "chunk view used after its backend was closed; the "
+                "backing buffers are unmapped — copy chunks you need "
+                "to keep (DML015)"
+            )
+
+    def __iter__(self) -> Iterator[Any]:
+        self._guard()
+        return super().__iter__()
+
+    def __getitem__(self, index: Any) -> Any:
+        self._guard()
+        return super().__getitem__(index)
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +390,8 @@ class MmapBlockData(Generic[T]):
         "_chunk_size",
         "_stats",
         "_cache",
+        "_views",
+        "_sealed",
         "__weakref__",
     )
 
@@ -364,6 +413,8 @@ class MmapBlockData(Generic[T]):
         self._chunk_size = chunk_size
         self._stats = stats
         self._cache: Any = None
+        self._views: "weakref.WeakSet[ChunkView]" = weakref.WeakSet()
+        self._sealed = False
 
     @property
     def num_records(self) -> int:
@@ -378,8 +429,32 @@ class MmapBlockData(Generic[T]):
         self._stats = stats
 
     def close(self) -> None:
-        """Release the lazily opened arrays; access reopens them."""
+        """Release the lazily opened arrays; access reopens them.
+
+        With sanitizers armed the release is also *enforced*: every
+        chunk view handed out so far is poisoned and the data is
+        sealed, so both use-after-close on the block (DML014) and
+        stale stored views (DML015) raise instead of silently
+        re-mapping the files.
+        """
         self._cache = None
+        for view in list(self._views):
+            view._poison()
+        self._views = weakref.WeakSet()
+        if sanitizers_armed():
+            self._sealed = True
+
+    def reopen(self) -> None:
+        """Lift the sanitizer seal after an explicit ``backend.open()``."""
+        self._sealed = False
+
+    def _ensure_unsealed(self) -> None:
+        if self._sealed:
+            raise SanitizerViolation(
+                f"block data at {self.path} is used after its backend "
+                f"was closed; call backend.open() to reopen or move "
+                f"the access before close() (DML014)"
+            )
 
     # -- lazy array handles --------------------------------------------
 
@@ -416,9 +491,17 @@ class MmapBlockData(Generic[T]):
         size = chunk_size if chunk_size is not None else self._default_size()
         if size < 1:
             raise ValueError(f"chunk size must be >= 1, got {size}")
+        self._ensure_unsealed()
+        armed = sanitizers_armed()
         for chunk, nbytes in self._chunks_with_sizes(size):
+            self._ensure_unsealed()
             self._charge(nbytes)
-            yield chunk
+            if armed:
+                view = ChunkView(chunk)
+                self._views.add(view)
+                yield view
+            else:
+                yield chunk
 
     def _chunks_with_sizes(
         self, size: int
@@ -468,6 +551,7 @@ class MmapBlockData(Generic[T]):
     # -- eager views ----------------------------------------------------
 
     def materialize(self) -> tuple[T, ...]:
+        self._ensure_unsealed()
         records: list[T] = []
         for chunk, _nbytes in self._chunks_with_sizes(self._default_size()):
             records.extend(chunk)
@@ -475,6 +559,7 @@ class MmapBlockData(Generic[T]):
         return tuple(records)
 
     def as_array(self, dtype: Any = float) -> Any:
+        self._ensure_unsealed()
         self._charge(self._nbytes)
         if self.schema.kind == KIND_DENSE:
             columns = self._arrays()
@@ -562,7 +647,17 @@ class BlockBackend(ABC):
         )
 
     def open(self) -> None:
-        """Re-enable ingest after :meth:`close`."""
+        """Re-enable ingest after :meth:`close`.
+
+        Sanitizer seals on the backend's block data are lifted too —
+        reopening is the sanctioned way to use a handle again
+        (typestate ``closed -> open``); already-poisoned chunk views
+        stay poisoned because their buffers were really released.
+        """
+        for data in list(self._datas):
+            reopen = getattr(data, "reopen", None)
+            if reopen is not None:
+                reopen()
         self._closed = False
 
     def close(self) -> None:
@@ -689,8 +784,12 @@ def ambient_backend() -> BlockBackend | None:
     backend = _AMBIENT.get(name)
     if backend is None:
         root = tempfile.mkdtemp(prefix="demon-ambient-blocks-")
-        atexit.register(shutil.rmtree, root, ignore_errors=True)
         backend = MmapBackend(root=root)
+        # destroy() closes every live mmap view before removing the
+        # tree — registering a bare rmtree would delete the files out
+        # from under still-open handles at interpreter exit
+        # (close-before-delete, DML014).
+        atexit.register(backend.destroy)
         _AMBIENT[name] = backend
     return backend
 

@@ -346,3 +346,71 @@ class TestTelemetryAcrossRestore:
         # BORDERS charges its block scan to the maintainer's registry,
         # which the session attached to the spine.
         assert report.telemetry.io_totals().bytes_read > 0
+
+
+class TestLifecycleHygiene:
+    """The fixes demonlint DML014/DML018 demanded, held by behavior."""
+
+    def test_rejected_block_leaves_checkpoint_state_unchanged(self):
+        # Exception atomicity (DML018): an out-of-order block raises,
+        # and nothing of it may reach the checkpointed snapshot.
+        session = itemset_session(keep_snapshot=True)
+        blocks = stream(seed=5400)
+        session.observe(blocks[0])
+        before = session.state_dict()
+        with pytest.raises(ValueError, match="systematic evolution"):
+            session.observe(blocks[2])  # id 3 while expecting 2
+        assert len(session.snapshot) == 1
+        assert session.t == 1
+        after = session.state_dict()
+        # Telemetry legitimately recorded the failed phase; the data
+        # the checkpoint round-trips must be untouched.
+        assert after["snapshot"] == before["snapshot"]
+        assert after["engine"] == before["engine"]
+
+    def test_failed_restore_closes_the_backend_it_built(
+        self, monkeypatch, tmp_path
+    ):
+        # Handle lifecycle (DML014): a restore that builds its own
+        # backend from the checkpointed spec must close it when the
+        # payload turns out to be corrupt.
+        session = itemset_session(
+            vault=ModelVault(), backend=MmapBackend(root=str(tmp_path / "bk"))
+        )
+        for block in stream(seed=5500)[:2]:
+            session.observe(block)
+        session.checkpoint()
+        payload = session.vault.get(checkpoint_key("session"))
+        payload["engine"]["state"] = {"corrupt": True}
+        session.vault.put(checkpoint_key("session"), payload)
+        closed: list[str] = []
+        original_close = MmapBackend.close
+
+        def recording_close(self):
+            closed.append(self.root)
+            original_close(self)
+
+        monkeypatch.setattr(MmapBackend, "close", recording_close)
+        with pytest.raises(Exception):
+            MiningSession.restore(session.vault)
+        assert closed, "restore left its self-built backend open"
+
+    def test_failed_restore_leaves_a_caller_supplied_backend_open(
+        self, tmp_path
+    ):
+        session = itemset_session(
+            vault=ModelVault(), backend=MmapBackend(root=str(tmp_path / "bk"))
+        )
+        for block in stream(seed=5600)[:2]:
+            session.observe(block)
+        session.checkpoint()
+        payload = session.vault.get(checkpoint_key("session"))
+        payload["engine"]["state"] = {"corrupt": True}
+        session.vault.put(checkpoint_key("session"), payload)
+        mine = MmapBackend(root=str(tmp_path / "mine"))
+        with pytest.raises(Exception):
+            MiningSession.restore(session.vault, backend=mine)
+        # The caller's handle is still theirs: ingest must still work.
+        block = mine.ingest(1, [(1, 2), (3,)])
+        assert block.num_records == 2
+        mine.destroy()

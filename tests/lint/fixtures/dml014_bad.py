@@ -1,0 +1,30 @@
+"""DML014 fixture: backend handles leaked, used after close, deleted open.
+
+Each function is executable against a real :class:`MmapBackend` so the
+agreement suite can assert the armed runtime sanitizers catch the same
+bugs the typestate rule reports statically.
+"""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+import shutil
+
+from repro.storage.engine import MmapBackend
+
+
+def leak_handle(root, records):
+    backend = MmapBackend(root=root)
+    backend.ingest(1, records)
+    return None
+
+
+def use_after_close(root, records):
+    backend = MmapBackend(root=root)
+    block = backend.ingest(1, records)
+    backend.close()
+    return sum(len(chunk) for chunk in block.iter_chunks())
+
+
+def delete_before_close(root, records):
+    backend = MmapBackend(root=root)
+    backend.ingest(1, records)
+    shutil.rmtree(backend.root)

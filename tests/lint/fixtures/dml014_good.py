@@ -1,0 +1,33 @@
+"""DML014 fixture: handles closed on every path, deleted only once closed."""
+
+import shutil
+
+from repro.storage.engine import MmapBackend
+
+
+def managed(root, records):
+    with MmapBackend(root=root) as backend:
+        block = backend.ingest(1, records)
+        return sum(len(chunk) for chunk in block.iter_chunks())
+
+
+def close_then_delete(root, records):
+    backend = MmapBackend(root=root)
+    backend.ingest(1, records)
+    backend.close()
+    shutil.rmtree(backend.root)
+
+
+def reopen_after_close(root, records):
+    backend = MmapBackend(root=root)
+    backend.ingest(1, records)
+    backend.close()
+    backend.open()
+    block = backend.ingest(2, records)
+    backend.close()
+    return block.num_records
+
+
+def build_handle(root):
+    backend = MmapBackend(root=root)
+    return backend

@@ -1,0 +1,46 @@
+"""DML015 fixture: chunk views escaping the loop that yields them.
+
+Executable: the agreement suite runs these against an armed backend
+and asserts the stored views are poisoned once the backend closes.
+"""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+HISTORY = []
+SEEN = []
+
+
+class ChunkCache:
+    def __init__(self):
+        self.last = None
+        self.history = []
+
+    def scan(self, block):
+        for chunk in block.iter_chunks():
+            self.last = chunk
+            self.history.append(chunk)
+
+
+def stash_global(block):
+    for chunk in block.iter_chunks():
+        HISTORY.append(chunk)
+
+
+def return_view(block):
+    for chunk in block.iter_chunks():
+        if chunk:
+            return chunk
+    return None
+
+
+def stash_into(sink, block):
+    for chunk in block.iter_chunks():
+        sink.append(chunk)
+
+
+def _remember(item):
+    SEEN.append(item)
+
+
+def stash_via_helper(block):
+    for chunk in block.iter_chunks():
+        _remember(chunk)

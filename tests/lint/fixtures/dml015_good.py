@@ -1,0 +1,23 @@
+"""DML015 fixture: chunks copied or re-yielded, never stored raw."""
+
+TOTALS = []
+
+
+def copy_out(block):
+    out = []
+    for chunk in block.iter_chunks():
+        out.append(list(chunk))
+    return out
+
+
+def stream(block):
+    for chunk in block.iter_chunks():
+        yield chunk
+
+
+def reduce_locally(block):
+    total = 0
+    for chunk in block.iter_chunks():
+        total += len(chunk)
+    TOTALS.append(total)
+    return total

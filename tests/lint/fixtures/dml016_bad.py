@@ -1,0 +1,29 @@
+"""DML016 fixture: full materialization inside chunk loops."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+def quadratic_scan(block):
+    seen = 0
+    for chunk in block.iter_chunks():
+        snapshot = block.materialize()
+        seen += len(snapshot) - len(chunk)
+    return seen
+
+
+def per_chunk_records(block):
+    out = []
+    for chunk in block.iter_chunks():
+        out.append(list(block.iter_records()))
+    return out
+
+
+def raw_records_inside(block):
+    total = 0
+    for chunk in block.iter_chunks():
+        for record in block.tuples:
+            total += len(record)
+    return total
+
+
+def count_by_materializing(block):
+    return len(list(block.iter_records()))

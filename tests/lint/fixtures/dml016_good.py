@@ -1,0 +1,21 @@
+"""DML016 fixture: chunk loops stream; block-level data is hoisted."""
+
+
+def hoisted_scan(block):
+    snapshot = block.materialize()
+    seen = 0
+    for chunk in block.iter_chunks():
+        seen += len(chunk)
+    return seen + len(snapshot)
+
+
+def stream_totals(block):
+    total = 0
+    for chunk in block.iter_chunks():
+        for record in chunk:
+            total += len(record)
+    return total
+
+
+def count(block):
+    return block.num_records

@@ -1,0 +1,42 @@
+"""DML017 fixture: worker payloads carrying unpicklable or shared state."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+SHARED_LOCK = threading.Lock()
+
+
+def count_shard(shard, log=open("counts.log", "a")):
+    with SHARED_LOCK:
+        return len(shard)
+
+
+def fan_out(shards):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(count_shard, shards))
+
+
+def inline_lambda(pool, shards):
+    for shard in shards:
+        pool.submit(lambda s: len(s), shard)
+
+
+def nested_entry(pool, shard):
+    def work(s):
+        return len(s)
+
+    pool.submit(work, shard)
+
+
+class ShardRunner:
+    def __init__(self):
+        self.lock = threading.Lock()
+
+    def launch(self, pool, shards):
+        for shard in shards:
+            pool.submit(self._work, shard)
+
+    def _work(self, shard):
+        with self.lock:
+            return len(shard)

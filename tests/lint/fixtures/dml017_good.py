@@ -1,0 +1,27 @@
+"""DML017 fixture: worker payloads are picklable and process-local."""
+
+from repro.contracts import worker_entry
+
+
+@worker_entry
+def count_shard(shard, floor=0):
+    total = 0
+    for record in shard:
+        if len(record) > floor:
+            total += 1
+    return total
+
+
+def fan_out(pool, shards):
+    return list(pool.map(count_shard, shards))
+
+
+class ShardRunner:
+    def __init__(self, floor):
+        self.floor = floor
+
+    def launch(self, pool, shards):
+        return [pool.submit(self._work, shard) for shard in shards]
+
+    def _work(self, shard):
+        return count_shard(shard, self.floor)

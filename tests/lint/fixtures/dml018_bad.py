@@ -1,0 +1,23 @@
+"""DML018 fixture: checkpointed counts mutated in place before a raise.
+
+Executable: the agreement suite drives :class:`DriftCounter` under
+:func:`repro.contracts.exception_atomic` and asserts the armed
+sanitizer reports the same corruption the rule proves statically.
+"""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+class DriftCounter:
+    def __init__(self):
+        self.counts = {}
+
+    def state_dict(self):
+        return {"counts": dict(self.counts)}
+
+    def load_state_dict(self, state):
+        self.counts = dict(state["counts"])
+
+    def observe(self, key, weight):
+        self.counts[key] = self.counts.get(key, 0) + weight
+        if weight < 0:
+            raise ValueError("negative weight observed after commit")

@@ -1,0 +1,19 @@
+"""DML018 fixture: clone-before-commit around every raise path."""
+
+
+class DriftCounter:
+    def __init__(self):
+        self.counts = {}
+
+    def state_dict(self):
+        return {"counts": dict(self.counts)}
+
+    def load_state_dict(self, state):
+        self.counts = dict(state["counts"])
+
+    def observe(self, key, weight):
+        if weight < 0:
+            raise ValueError("negative weight rejected before commit")
+        updated = dict(self.counts)
+        updated[key] = updated.get(key, 0) + weight
+        self.counts = updated

@@ -1,0 +1,164 @@
+"""Static/dynamic agreement: demonlint's verdicts match the sanitizers.
+
+Each DML014/015/018 bad fixture is both *linted* (the static verdict)
+and *executed* against a real armed backend (the dynamic verdict); the
+suite asserts the two agree — every statically flagged function trips a
+:class:`~repro.contracts.SanitizerViolation` at run time, and the good
+fixtures run clean under the same armed sanitizers.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from repro.contracts import (  # noqa: E402
+    SanitizerViolation,
+    arm_sanitizers,
+    disarm_sanitizers,
+    exception_atomic,
+    sanitizers_armed,
+)
+from repro.storage.engine import MmapBackend  # noqa: E402
+from tools.demonlint import run  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RECORDS = [(1, 2), (3, 4, 5), (6,)]
+
+
+def _load(name: str):
+    """Import a fixture module by path (fixtures are not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        f"demonlint_agreement_{name}", FIXTURES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _findings(name: str, rule_id: str) -> set[str]:
+    result = run(
+        [FIXTURES / f"{name}.py"],
+        root=ROOT,
+        select=[rule_id],
+        respect_suppressions=False,
+    )
+    return {v.message for v in result.violations}
+
+
+@pytest.fixture
+def armed():
+    arm_sanitizers()
+    yield
+    disarm_sanitizers()
+
+
+@pytest.fixture
+def backend(tmp_path):
+    handle = MmapBackend(root=str(tmp_path / "blocks"), chunk_size=2)
+    yield handle
+    handle.destroy()
+
+
+# ----------------------------------------------------------------------
+# DML014 — use-after-close is a static finding AND a runtime error
+# ----------------------------------------------------------------------
+
+
+def test_dml014_agreement_use_after_close(armed, backend, tmp_path):
+    fixture = _load("dml014_bad")
+    assert any("used after close()" in m for m in _findings("dml014_bad", "DML014"))
+    with pytest.raises(SanitizerViolation, match="after its backend was closed"):
+        fixture.use_after_close(str(tmp_path / "b14"), RECORDS)
+
+
+def test_dml014_agreement_good_paths_run_clean(armed, tmp_path):
+    fixture = _load("dml014_good")
+    assert not _findings("dml014_good", "DML014")
+    assert fixture.managed(str(tmp_path / "g1"), RECORDS) == len(RECORDS)
+    fixture.close_then_delete(str(tmp_path / "g2"), RECORDS)
+    assert fixture.reopen_after_close(str(tmp_path / "g3"), RECORDS) == len(RECORDS)
+    fixture.build_handle(str(tmp_path / "g4")).destroy()
+
+
+# ----------------------------------------------------------------------
+# DML015 — stored views are poisoned once the backend closes
+# ----------------------------------------------------------------------
+
+
+def test_dml015_agreement_stored_views_are_poisoned(armed, backend):
+    fixture = _load("dml015_bad")
+    assert len(_findings("dml015_bad", "DML015")) >= 5
+    block = backend.ingest(1, RECORDS)
+    cache = fixture.ChunkCache()
+    cache.scan(block)
+    fixture.stash_global(block)
+    backend.close()
+    with pytest.raises(SanitizerViolation, match="copy chunks"):
+        list(cache.last)
+    with pytest.raises(SanitizerViolation, match="copy chunks"):
+        list(fixture.HISTORY[0])
+
+
+def test_dml015_agreement_copies_survive_close(armed, backend):
+    fixture = _load("dml015_good")
+    assert not _findings("dml015_good", "DML015")
+    block = backend.ingest(1, RECORDS)
+    copies = fixture.copy_out(block)
+    assert fixture.reduce_locally(block) == len(RECORDS)
+    backend.close()
+    # Copies made inside the loop stay readable after close.
+    assert sorted(len(c) for chunk in copies for c in chunk) == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# DML018 — commit-before-validate corrupts checkpoints; the armed
+# exception_atomic guard reports exactly that
+# ----------------------------------------------------------------------
+
+
+def test_dml018_agreement_commit_before_validate(armed):
+    fixture = _load("dml018_bad")
+    assert any(
+        "'DriftCounter.counts'" in m for m in _findings("dml018_bad", "DML018")
+    )
+    counter = fixture.DriftCounter()
+    with pytest.raises(SanitizerViolation, match="clone-before-commit"):
+        with exception_atomic(counter):
+            counter.observe("a", -1)
+
+
+def test_dml018_agreement_clone_before_commit_is_atomic(armed):
+    fixture = _load("dml018_good")
+    assert not _findings("dml018_good", "DML018")
+    counter = fixture.DriftCounter()
+    counter.observe("a", 2)
+    with pytest.raises(ValueError):
+        with exception_atomic(counter):
+            counter.observe("a", -1)
+    assert counter.state_dict() == {"counts": {"a": 2}}
+
+
+# ----------------------------------------------------------------------
+# Arming is scoped: the suite-wide default stays disarmed
+# ----------------------------------------------------------------------
+
+
+def test_sanitizers_disarmed_by_default():
+    assert not sanitizers_armed()
+
+
+def test_disarmed_backend_yields_plain_chunks(backend):
+    block = backend.ingest(1, RECORDS)
+    chunks = list(block.iter_chunks())
+    backend.close()
+    # No sealing, no poisoning: the lazy arrays simply reopen.
+    assert sorted(len(r) for chunk in chunks for r in chunk) == [1, 2, 3]
+    assert block.num_records == len(RECORDS)

@@ -166,3 +166,117 @@ def test_cli_sarif_format_on_stdout(capsys):
     assert code == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["runs"][0]["tool"]["driver"]["name"] == "demonlint"
+
+
+# ----------------------------------------------------------------------
+# Determinism: report bytes do not depend on --jobs
+# ----------------------------------------------------------------------
+
+
+def test_cli_report_is_byte_identical_across_jobs(capsys):
+    args = ["--no-cache", "--no-suppress", str(FIXTURES)]
+    status_serial = main(["--jobs", "1", *args])
+    serial = capsys.readouterr().out
+    status_parallel = main(["--jobs", "4", *args])
+    parallel = capsys.readouterr().out
+    assert status_serial == status_parallel == 1
+    assert "DML" in serial  # the fixture tree is full of findings
+    assert parallel == serial
+
+
+def test_run_orders_findings_by_path_line_rule():
+    result = run([FIXTURES], root=ROOT, respect_suppressions=False)
+    keys = [(v.path, v.line, v.rule_id) for v in result.violations]
+    assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# Baselines x --select/--ignore
+# ----------------------------------------------------------------------
+
+TWO_RULES = DIRTY + "\ndef g(block):\n    return len(list(block.iter_records()))\n"
+
+
+def test_update_baseline_with_select_preserves_other_rules(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text(TWO_RULES)
+    baseline = tmp_path / "baseline.json"
+    common = ["--no-cache", "--baseline", str(baseline), str(module)]
+
+    assert main(["--update-baseline", *common]) == 0
+    rules = {key[1] for key in load_baseline(baseline)}
+    assert rules == {"DML004", "DML016"}
+
+    # A narrowed refresh must not drop the deselected rule's entries.
+    assert main(["--update-baseline", "--select", "DML004", *common]) == 0
+    rules = {key[1] for key in load_baseline(baseline)}
+    assert rules == {"DML004", "DML016"}
+
+    assert main(["--update-baseline", "--ignore", "DML004", *common]) == 0
+    rules = {key[1] for key in load_baseline(baseline)}
+    assert rules == {"DML004", "DML016"}
+
+
+def test_update_baseline_without_narrowing_still_drops_fixed(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text(TWO_RULES)
+    baseline = tmp_path / "baseline.json"
+    common = ["--no-cache", "--baseline", str(baseline), str(module)]
+    assert main(["--update-baseline", *common]) == 0
+    # The DML016 finding is fixed; a FULL refresh forgets it.
+    module.write_text(DIRTY)
+    assert main(["--update-baseline", *common]) == 0
+    rules = {key[1] for key in load_baseline(baseline)}
+    assert rules == {"DML004"}
+
+
+def test_baseline_with_select_does_not_resurrect(tmp_path, capsys):
+    module = tmp_path / "m.py"
+    module.write_text(TWO_RULES)
+    baseline = tmp_path / "baseline.json"
+    common = ["--no-cache", "--baseline", str(baseline), str(module)]
+    assert main(["--update-baseline", *common]) == 0
+    capsys.readouterr()
+    # Narrowed runs stay clean: each rule's findings are baselined and
+    # the deselected rule's entries sit unused without resurrecting.
+    assert main(["--select", "DML004", *common]) == 0
+    assert main(["--select", "DML016", *common]) == 0
+    assert main(["--ignore", "DML004", *common]) == 0
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# --telemetry-json
+# ----------------------------------------------------------------------
+
+
+def test_cli_telemetry_json_counts_rule_hits(tmp_path, capsys):
+    module = tmp_path / "m.py"
+    module.write_text(TWO_RULES)
+    sink = tmp_path / "telemetry.json"
+    assert (
+        main(["--no-cache", "--telemetry-json", str(sink), str(module)]) == 1
+    )
+    capsys.readouterr()
+    document = json.loads(sink.read_text())
+    assert document["schema"] == 1
+    (row,) = document["rows"]
+    assert row["bench"] == "demonlint"
+    assert row["demonlint.files"] == 1
+    assert row["demonlint.rule.DML004"] == 1
+    assert row["demonlint.rule.DML016"] == 1
+    assert row["demonlint.violations"] == 2
+    assert row["seconds"] > 0
+
+
+def test_cli_telemetry_json_on_a_clean_tree(tmp_path, capsys):
+    module = tmp_path / "m.py"
+    module.write_text("def f():\n    return 1\n")
+    sink = tmp_path / "telemetry.json"
+    assert (
+        main(["--no-cache", "--telemetry-json", str(sink), str(module)]) == 0
+    )
+    capsys.readouterr()
+    (row,) = json.loads(sink.read_text())["rows"]
+    assert row["demonlint.violations"] == 0
+    assert not any(key.startswith("demonlint.rule.") for key in row)

@@ -23,7 +23,10 @@ if str(ROOT) not in sys.path:
 from tools.demonlint import run  # noqa: E402
 
 FIXTURES = Path(__file__).parent / "fixtures"
-FLOW_RULES = ("DML008", "DML009", "DML010", "DML011", "DML012")
+FLOW_RULES = (
+    "DML008", "DML009", "DML010", "DML011", "DML012",
+    "DML014", "DML015", "DML016", "DML017", "DML018",
+)
 
 
 def lint_bad(path: Path, rule_id: str):
@@ -242,6 +245,197 @@ def test_dml012_live_miners_are_clean():
         "itemsets/fup.py",
         "clustering/birch_plus.py",
         "trees/maintain.py",
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML014 — backend handle typestate
+# ----------------------------------------------------------------------
+
+
+def test_dml014_reports_every_lifecycle_failure():
+    result = lint_bad(FIXTURES / "dml014_bad.py", "DML014")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "not closed on every return path" in messages
+    assert "used after close()" in messages
+    assert "deleted while the handle is still open" in messages
+    assert len(result.violations) == 3
+
+
+def test_dml014_with_blocks_and_escaping_handles_are_exempt():
+    result = run(
+        [FIXTURES / "dml014_good.py"], root=ROOT, select=["DML014"]
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+def test_dml014_detects_a_leak_behind_a_branch(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        """
+        from repro.storage.engine import MmapBackend
+
+        def count(root, records, keep):
+            backend = MmapBackend(root=root)
+            block = backend.ingest(1, records)
+            if keep:
+                backend.close()
+                return 0
+            return block.num_records
+        """,
+        "DML014",
+    )
+    messages = " | ".join(v.message for v in result.violations)
+    assert "'backend' is not closed on every return path" in messages
+
+
+def test_dml014_live_storage_and_session_are_clean():
+    result = lint_live("DML014", "storage/engine.py", "core/session.py")
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML015 — chunk view escapes
+# ----------------------------------------------------------------------
+
+
+def test_dml015_reports_every_escape_kind():
+    result = lint_bad(FIXTURES / "dml015_bad.py", "DML015")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "self" in messages and "module global" in messages
+    assert "caller receives a view" in messages
+    assert "caller's container" in messages
+    # The interprocedural leg: _remember(chunk) stores into SEEN.
+    assert "_remember" in messages or "callee stores" in messages
+    assert len(result.violations) >= 5
+
+
+def test_dml015_copies_and_yields_are_exempt():
+    result = run(
+        [FIXTURES / "dml015_good.py"], root=ROOT, select=["DML015"]
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+def test_dml015_live_consumers_are_clean():
+    result = lint_live(
+        "DML015",
+        "core/session.py",
+        "core/gemm.py",
+        "patterns/compact.py",
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML016 — streaming discipline
+# ----------------------------------------------------------------------
+
+
+def test_dml016_reports_every_materialization_kind():
+    result = lint_bad(FIXTURES / "dml016_bad.py", "DML016")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "materializes the whole block every iteration" in messages
+    assert "materializes every record per chunk" in messages
+    assert "pulls the whole record set" in messages
+    assert "use num_records" in messages
+    assert len(result.violations) == 4
+
+
+def test_dml016_hoisted_and_streaming_access_is_exempt():
+    result = run(
+        [FIXTURES / "dml016_good.py"], root=ROOT, select=["DML016"]
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML017 — worker payload safety
+# ----------------------------------------------------------------------
+
+
+def test_dml017_reports_every_payload_hazard():
+    result = lint_bad(FIXTURES / "dml017_bad.py", "DML017")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "default argument" in messages
+    assert "module global 'SHARED_LOCK'" in messages
+    assert "lambda worker payloads" in messages
+    assert "nested function 'work'" in messages
+    assert "self.lock holds Lock(...)" in messages
+    assert len(result.violations) == 5
+
+
+def test_dml017_picklable_payloads_are_exempt():
+    result = run(
+        [FIXTURES / "dml017_good.py"], root=ROOT, select=["DML017"]
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+def test_dml017_live_benchmarks_are_clean():
+    result = run([ROOT / "benchmarks"], root=ROOT, select=["DML017"])
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML018 — exception atomicity of checkpointed state
+# ----------------------------------------------------------------------
+
+
+def test_dml018_reports_the_commit_before_validate_shape():
+    result = lint_bad(FIXTURES / "dml018_bad.py", "DML018")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "'DriftCounter.counts' is checkpoint state" in messages
+    assert "raise reachable afterwards" in messages
+
+
+def test_dml018_clone_before_commit_is_exempt():
+    result = run(
+        [FIXTURES / "dml018_good.py"], root=ROOT, select=["DML018"]
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+def test_dml018_detects_the_prefix_session_observe(tmp_path):
+    # The shape MiningSession.observe had before the fix: the snapshot
+    # was extended before the engine accepted the block, so a rejected
+    # block corrupted the next checkpoint.
+    result = lint_snippet(
+        tmp_path,
+        """
+        class MiniSession:
+            def __init__(self):
+                self.snapshot = []
+                self.total = 0
+
+            def state_dict(self):
+                return {"snapshot": list(self.snapshot), "total": self.total}
+
+            def load_state_dict(self, state):
+                self.snapshot = list(state["snapshot"])
+                self.total = state["total"]
+
+            def observe(self, block):
+                self.snapshot.append(block)
+                self.total += 1
+                if block is None:
+                    raise ValueError("engine rejected the block")
+        """,
+        "DML018",
+    )
+    messages = " | ".join(v.message for v in result.violations)
+    assert "'MiniSession.snapshot'" in messages
+    assert "'MiniSession.total'" in messages
+
+
+def test_dml018_live_session_and_engines_are_clean():
+    result = lint_live(
+        "DML018",
+        "core/session.py",
+        "core/gemm.py",
+        "core/maintainer.py",
+        "patterns/compact.py",
     )
     assert result.ok, "\n".join(v.render() for v in result.violations)
 

@@ -30,9 +30,21 @@ def fingerprint(violation: Violation) -> tuple[str, str, str]:
     return (violation.path, violation.rule_id, message_hash)
 
 
-def write_baseline(path: Path | str, violations: list[Violation]) -> int:
-    """Persist the given findings as the new baseline; returns the count."""
+def write_baseline(
+    path: Path | str,
+    violations: list[Violation],
+    preserved: Counter | None = None,
+) -> int:
+    """Persist the given findings as the new baseline; returns the count.
+
+    ``preserved`` carries entries forward from a previous baseline —
+    an ``--update-baseline`` run narrowed by ``--select``/``--ignore``
+    produced no findings for the deselected rules, but their accepted
+    entries must not silently vanish from the file.
+    """
     counts = Counter(fingerprint(v) for v in violations)
+    for key, count in (preserved or {}).items():
+        counts.setdefault(key, count)
     payload = {
         "version": BASELINE_VERSION,
         "entries": [

@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Any
 
 #: Bump to invalidate caches on layout changes not visible in sources.
-CACHE_LAYOUT_VERSION = 1
+CACHE_LAYOUT_VERSION = 2
 
 #: Default cache location (kept out of the package tree).
 DEFAULT_CACHE_DIR = Path(".demonlint_cache")

@@ -31,6 +31,7 @@ SARIF
 from __future__ import annotations
 
 import argparse
+from collections import Counter
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -46,8 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
             "maintainer contracts, BSS bit-hygiene, clone-before-mutate "
             "discipline, timing hygiene (DML001-DML007), plus "
             "flow-sensitive checkpoint/span/taint/vault/purity analyses "
-            "(DML008-DML012).  See docs/STATIC_ANALYSIS.md for the rule "
-            "catalog."
+            "(DML008-DML012), and typestate/escape lifecycle, streaming, "
+            "worker-safety, and exception-atomicity rules (DML014-DML018). "
+            "See docs/STATIC_ANALYSIS.md for the rule catalog."
         ),
     )
     parser.add_argument(
@@ -118,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a SARIF 2.1.0 report to PATH",
     )
     parser.add_argument(
+        "--telemetry-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "emit per-rule hit counters and run timing through the "
+            "repro telemetry spine as a schema-1 JSON document"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="also list suppressed findings in the text report",
@@ -128,6 +139,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the registered rules and exit",
     )
     return parser
+
+
+def _load_telemetry_spine():
+    """A fresh repro :class:`Telemetry` spine, found from this checkout.
+
+    demonlint is stdlib-only by design; ``--telemetry-json`` is its one
+    integration point with the reproduction's observability layer, so
+    the import is guarded and falls back to putting ``<repo>/src`` on
+    ``sys.path`` (the layout this tool ships in).
+    """
+    try:
+        from repro.storage.telemetry import Telemetry
+    except ImportError:
+        import sys
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        if str(src) not in sys.path:
+            sys.path.insert(0, str(src))
+        from repro.storage.telemetry import Telemetry
+    return Telemetry()
+
+
+def _write_telemetry_json(path: str, telemetry, result) -> None:
+    """Emit one schema-1 row of rule-hit counters and run timing.
+
+    The document matches the benchmark emitters in
+    ``benchmarks/common.py`` (see docs/OBSERVABILITY.md): a ``bench``
+    key naming the producer plus flat counter fields, so CI dashboards
+    ingest lint telemetry through the same pipeline as perf rows.
+    """
+    import json
+
+    telemetry.increment("demonlint.files", result.files_checked)
+    telemetry.increment("demonlint.violations", len(result.violations))
+    telemetry.increment("demonlint.suppressed", len(result.suppressed))
+    for violation in result.violations:
+        telemetry.increment(f"demonlint.rule.{violation.rule_id}")
+    snapshot = telemetry.snapshot()
+    row: dict = {
+        "bench": "demonlint",
+        "seconds": round(snapshot.phase_seconds("demonlint.run"), 6),
+    }
+    row.update(sorted(telemetry.counters.items()))
+    document = {"schema": 1, "rows": [row]}
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -161,25 +219,60 @@ def main(argv: Sequence[str] | None = None) -> int:
             Path(args.cache_dir) if args.cache_dir else DEFAULT_CACHE_DIR
         )
 
+    telemetry = None
+    if args.telemetry_json is not None:
+        telemetry = _load_telemetry_spine()
+
     try:
-        result = run(
-            args.paths,
-            select=args.select,
-            ignore=args.ignore,
-            respect_suppressions=not args.no_suppress,
-            jobs=args.jobs,
-            cache=cache,
-        )
+        if telemetry is not None:
+            with telemetry.phase("demonlint.run"):
+                result = run(
+                    args.paths,
+                    select=args.select,
+                    ignore=args.ignore,
+                    respect_suppressions=not args.no_suppress,
+                    jobs=args.jobs,
+                    cache=cache,
+                )
+        else:
+            result = run(
+                args.paths,
+                select=args.select,
+                ignore=args.ignore,
+                respect_suppressions=not args.no_suppress,
+                jobs=args.jobs,
+                cache=cache,
+            )
     except FileNotFoundError as exc:
         parser.error(str(exc))  # exits with status 2
+
+    if telemetry is not None:
+        _write_telemetry_json(args.telemetry_json, telemetry, result)
 
     baseline_path = args.baseline or (
         ".demonlint_baseline.json" if args.update_baseline else None
     )
     if args.update_baseline:
-        from tools.demonlint.baseline import write_baseline
+        from tools.demonlint.baseline import load_baseline, write_baseline
 
-        count = write_baseline(baseline_path, result.violations)
+        preserved = None
+        if (args.select or args.ignore) and Path(baseline_path).exists():
+            # A narrowed run saw no findings for the deselected rules;
+            # carry their accepted entries over instead of dropping them.
+            active = (
+                {rule.upper() for rule in args.select}
+                if args.select
+                else set(known)
+            )
+            active -= {rule.upper() for rule in (args.ignore or [])}
+            preserved = Counter(
+                {
+                    key: count
+                    for key, count in load_baseline(baseline_path).items()
+                    if key[1] not in active
+                }
+            )
+        count = write_baseline(baseline_path, result.violations, preserved)
         print(
             f"demonlint: baseline {baseline_path} updated "
             f"({count} finding(s) recorded)"

@@ -440,9 +440,14 @@ def run(
                     suppressed.append(violation)
                 else:
                     kept.append(violation)
+    # Explicit (path, line, rule) ordering: the report must be
+    # byte-for-byte identical whatever --jobs parsed the files in
+    # whatever order (the determinism regression test diffs stdout of
+    # --jobs 1 against --jobs 4).
+    order = lambda v: (v.path, v.line, v.rule_id, v.col, v.message)  # noqa: E731
     result = LintResult(
-        violations=sorted(set(kept)),
-        suppressed=sorted(set(suppressed)),
+        violations=sorted(set(kept), key=order),
+        suppressed=sorted(set(suppressed), key=order),
         files_checked=len(modules),
     )
     if cache is not None and run_key is not None:

@@ -1,0 +1,420 @@
+"""Interprocedural escape analysis for demonlint.
+
+Answers one question for the flow rules: *can this local value outlive
+the function that borrowed it?*  A value **escapes** when it is stored
+on ``self``, written into a module-level global, pushed into a
+caller-owned container, returned, or handed to a function whose own
+summary says the corresponding parameter escapes.
+
+Two layers:
+
+* :func:`function_escapes` — the intraprocedural scan.  Given a
+  function and a set of tracked local names it yields
+  :class:`EscapeSite` records.  Sanitizer calls (``list(x)``,
+  ``x.copy()``, ``copy.deepcopy(x)``, ``np.array(x)``...) launder a
+  borrowed value into an owned copy, so values routed through them do
+  not count as carried.
+* :func:`escape_summaries` — the interprocedural fixpoint over the
+  project call graph: for every project function, the set of
+  positional-parameter indices whose argument may escape the call.
+  Summaries let :func:`function_escapes` flag
+  ``helper(chunk)`` when ``helper`` stows its parameter somewhere
+  persistent, without the rule having to look inside ``helper``.
+
+Resolution is name-based and conservative, like the rest of demonlint:
+calls that do not resolve to a project function contribute no summary
+edge (rules opt into treating them as escaping via
+``unknown_call_args_escape`` when suppressing leak reports is the safe
+direction).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from tools.demonlint.graph import FunctionNode, ProjectGraph, module_dotted_name
+
+#: Call targets (matched on their trailing dotted component) that copy
+#: their argument into a fresh, owned container.
+SANITIZER_CALLS = frozenset(
+    {"list", "tuple", "set", "frozenset", "sorted", "dict", "bytes",
+     "bytearray", "copy", "deepcopy", "array", "asarray_copy"}
+)
+#: Zero-argument methods that copy their receiver.
+SANITIZER_METHODS = frozenset({"copy", "tolist", "to_list"})
+#: Container methods that store their argument into the receiver.
+STORING_MUTATORS = frozenset(
+    {"add", "append", "appendleft", "extend", "insert", "update",
+     "setdefault", "put", "push"}
+)
+
+
+@dataclass(frozen=True)
+class EscapeSite:
+    """One place where a tracked value outlives its borrow."""
+
+    var: str
+    kind: str  # "self" | "global" | "param" | "return" | "yield" | "arg"
+    lineno: int
+    col: int
+    detail: str
+
+
+def positional_params(fn: FunctionNode) -> list[str]:
+    """Positional parameter names, ``self``/``cls`` stripped for methods."""
+    args = fn.node.args
+    params = [a.arg for a in args.posonlyargs + args.args]
+    if fn.is_method and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    return params
+
+
+def resolve_call_target(
+    graph: ProjectGraph, fn: FunctionNode, call: ast.Call
+) -> str | None:
+    """Qualname of the project function ``call`` dispatches to, if any.
+
+    Mirrors the call-graph construction: ``self.method()`` resolves
+    within the receiver class hierarchy, bare and imported names
+    resolve through the module import table.
+    """
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+        and fn.cls is not None
+    ):
+        resolved = graph.resolve_method(fn.cls, func.attr)
+        return resolved.qualname if resolved is not None else None
+    dotted = fn.module.resolve_call(func)
+    if dotted is None:
+        return None
+    candidates = [dotted]
+    if "." not in dotted:
+        candidates.append(f"{module_dotted_name(fn.module.relpath)}.{dotted}")
+    for candidate in candidates:
+        if candidate in graph.functions:
+            return candidate
+    return None
+
+
+def _call_name(func: ast.expr) -> str:
+    """Trailing dotted component of a call target (``np.array`` -> ``array``)."""
+    while isinstance(func, ast.Attribute):
+        if isinstance(func.value, (ast.Name, ast.Attribute)):
+            return func.attr
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def is_sanitizer(call: ast.Call) -> bool:
+    """Does ``call`` produce an owned copy of its argument/receiver?"""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in SANITIZER_METHODS:
+        return True
+    return _call_name(func) in SANITIZER_CALLS
+
+
+def carried_names(expr: ast.expr | None, tracked: frozenset[str]) -> set[str]:
+    """Tracked names whose referent may alias the value of ``expr``.
+
+    Carries through containers, conditionals, boolean short-circuits,
+    and slice views; stops at calls (copies or unknown) and attribute
+    loads (``chunk.shape`` is metadata, not the buffer).
+    """
+    if expr is None:
+        return set()
+    if isinstance(expr, ast.Name):
+        return {expr.id} & tracked
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        out: set[str] = set()
+        for elt in expr.elts:
+            out |= carried_names(elt, tracked)
+        return out
+    if isinstance(expr, ast.Dict):
+        out = set()
+        for key in expr.keys:
+            out |= carried_names(key, tracked)
+        for value in expr.values:
+            out |= carried_names(value, tracked)
+        return out
+    if isinstance(expr, ast.Starred):
+        return carried_names(expr.value, tracked)
+    if isinstance(expr, ast.IfExp):
+        return carried_names(expr.body, tracked) | carried_names(
+            expr.orelse, tracked
+        )
+    if isinstance(expr, ast.NamedExpr):
+        return carried_names(expr.value, tracked)
+    if isinstance(expr, ast.Await):
+        return carried_names(expr.value, tracked)
+    if isinstance(expr, ast.BoolOp):
+        out = set()
+        for value in expr.values:
+            out |= carried_names(value, tracked)
+        return out
+    if isinstance(expr, ast.Subscript):
+        # ``chunk[1:]`` is a view over the same buffer; ``chunk[0]``
+        # extracts an element and is treated as owned.
+        if isinstance(expr.slice, ast.Slice):
+            return carried_names(expr.value, tracked)
+        return set()
+    return set()
+
+
+def _body_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[ast.AST]:
+    """All nodes of ``func``'s body, excluding nested function scopes."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _global_decls(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    return {
+        name
+        for node in _body_nodes(func)
+        if isinstance(node, (ast.Global, ast.Nonlocal))
+        for name in node.names
+    }
+
+
+def _store_root(target: ast.expr) -> ast.expr:
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    return target
+
+
+def _self_attr_name(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def function_escapes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    tracked: frozenset[str],
+    *,
+    graph: ProjectGraph | None = None,
+    fn: FunctionNode | None = None,
+    module_constants: frozenset[str] = frozenset(),
+    summaries: dict[str, frozenset[int]] | None = None,
+    param_names: frozenset[str] = frozenset(),
+    unknown_call_args_escape: bool = False,
+) -> list[EscapeSite]:
+    """Every :class:`EscapeSite` in ``func`` for the ``tracked`` names.
+
+    ``module_constants`` are the module-level names of the enclosing
+    module (stores into them are global escapes); ``param_names`` are
+    the function's own parameters (stores *into* them hand the value to
+    the caller).  When ``graph``/``fn``/``summaries`` are given,
+    arguments passed to project functions are checked against the
+    callee's escape summary; with ``unknown_call_args_escape`` any
+    argument position of an *unresolved* call counts as escaping too
+    (the conservative direction when the caller uses escapes to
+    suppress leak reports).
+    """
+    globals_decl = _global_decls(func)
+    sites: dict[tuple[str, str, int, int], EscapeSite] = {}
+
+    def record(var: str, kind: str, node: ast.AST, detail: str) -> None:
+        key = (var, kind, node.lineno, node.col_offset)
+        sites.setdefault(
+            key, EscapeSite(var, kind, node.lineno, node.col_offset, detail)
+        )
+
+    def store_kind(target: ast.expr, root: ast.expr) -> tuple[str, str] | None:
+        attr = _self_attr_name(root)
+        if attr is not None:
+            return "self", f"stored on self.{attr}"
+        if isinstance(root, ast.Name):
+            name = root.id
+            if name in globals_decl or (
+                isinstance(target, ast.Subscript) and name in module_constants
+            ):
+                return "global", f"stored in module global '{name}'"
+            if isinstance(target, ast.Subscript) and name in param_names:
+                return "param", f"stored into caller-owned '{name}'"
+        return None
+
+    for node in _body_nodes(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = node.value
+            carried = carried_names(value, tracked)
+            if not carried:
+                continue
+            targets = (
+                list(node.targets)
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                flat = (
+                    list(target.elts)
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for part in flat:
+                    verdict = store_kind(part, _store_root(part))
+                    if verdict is None:
+                        continue
+                    kind, detail = verdict
+                    for var in sorted(carried):
+                        record(var, kind, node, detail)
+        elif isinstance(node, ast.Return):
+            for var in sorted(carried_names(node.value, tracked)):
+                record(var, "return", node, "returned to the caller")
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            for var in sorted(carried_names(node.value, tracked)):
+                record(var, "yield", node, "yielded to the caller")
+        elif isinstance(node, ast.Call):
+            yield_sites = _call_escapes(
+                node,
+                tracked,
+                graph=graph,
+                fn=fn,
+                summaries=summaries,
+                module_constants=module_constants,
+                param_names=param_names,
+                globals_decl=globals_decl,
+                unknown_call_args_escape=unknown_call_args_escape,
+            )
+            for var, kind, detail in yield_sites:
+                record(var, kind, node, detail)
+    return sorted(
+        sites.values(), key=lambda s: (s.lineno, s.col, s.var, s.kind)
+    )
+
+
+def _call_escapes(
+    call: ast.Call,
+    tracked: frozenset[str],
+    *,
+    graph: ProjectGraph | None,
+    fn: FunctionNode | None,
+    summaries: dict[str, frozenset[int]] | None,
+    module_constants: frozenset[str],
+    param_names: frozenset[str],
+    globals_decl: set[str],
+    unknown_call_args_escape: bool,
+) -> list[tuple[str, str, str]]:
+    out: list[tuple[str, str, str]] = []
+    func = call.func
+    # ``receiver.append(x)``-style stores into persistent containers.
+    if isinstance(func, ast.Attribute) and func.attr in STORING_MUTATORS:
+        receiver = func.value
+        attr = _self_attr_name(receiver)
+        kind = detail = None
+        if attr is not None:
+            kind, detail = "self", f"stored via self.{attr}.{func.attr}()"
+        elif isinstance(receiver, ast.Name) and (
+            receiver.id in module_constants or receiver.id in globals_decl
+        ):
+            kind = "global"
+            detail = f"stored via module global '{receiver.id}.{func.attr}()'"
+        elif isinstance(receiver, ast.Name) and receiver.id in param_names:
+            kind = "param"
+            detail = f"stored into caller-owned '{receiver.id}.{func.attr}()'"
+        if kind is not None:
+            for arg in call.args:
+                for var in sorted(carried_names(arg, tracked)):
+                    out.append((var, kind, detail))
+    if is_sanitizer(call):
+        return out
+    # Arguments that escape through the callee.
+    target = (
+        resolve_call_target(graph, fn, call)
+        if graph is not None and fn is not None
+        else None
+    )
+    arg_exprs = list(call.args) + [kw.value for kw in call.keywords]
+    if target is not None and summaries is not None:
+        escaping = summaries.get(target, frozenset())
+        for index, arg in enumerate(call.args):
+            if index not in escaping:
+                continue
+            for var in sorted(carried_names(arg, tracked)):
+                out.append(
+                    (var, "arg", f"passed to {target}() which lets it escape")
+                )
+    elif target is None and unknown_call_args_escape:
+        for arg in arg_exprs:
+            for var in sorted(carried_names(arg, tracked)):
+                out.append((var, "arg", "passed to an unresolved call"))
+    return out
+
+
+#: Escape-site kinds that make a *parameter* escape its callee.
+_SUMMARY_KINDS = frozenset({"self", "global", "param", "arg"})
+
+
+def escape_summaries(graph: ProjectGraph) -> dict[str, frozenset[int]]:
+    """Escaping positional-parameter indices for every project function.
+
+    Computed once per lint run (cached on the graph): a direct
+    intraprocedural pass seeds the summaries, then escape facts
+    propagate backwards over call-argument edges to a fixpoint.
+    """
+    cached = getattr(graph, "_demonlint_escape_summaries", None)
+    if cached is not None:
+        return cached
+
+    summaries: dict[str, set[int]] = {}
+    #: caller qualname -> [(caller param index, callee qualname, callee
+    #: argument index)] for arguments that carry a caller parameter.
+    arg_edges: dict[str, list[tuple[int, str, int]]] = {}
+
+    for qualname, fn in graph.functions.items():
+        params = positional_params(fn)
+        summaries[qualname] = set()
+        if not params:
+            continue
+        tracked = frozenset(params)
+        consts = frozenset(
+            graph.constants.get(module_dotted_name(fn.module.relpath), ())
+        )
+        for site in function_escapes(
+            fn.node,
+            tracked,
+            module_constants=consts,
+            param_names=tracked,
+        ):
+            if site.kind in _SUMMARY_KINDS:
+                summaries[qualname].add(params.index(site.var))
+        edges = arg_edges.setdefault(qualname, [])
+        for node in _body_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(graph, fn, node)
+            if target is None or is_sanitizer(node):
+                continue
+            for index, arg in enumerate(node.args):
+                for var in carried_names(arg, tracked):
+                    edges.append((params.index(var), target, index))
+
+    changed = True
+    while changed:
+        changed = False
+        for caller, edges in arg_edges.items():
+            for caller_index, callee, callee_index in edges:
+                if callee_index in summaries.get(callee, ()) and (
+                    caller_index not in summaries[caller]
+                ):
+                    summaries[caller].add(caller_index)
+                    changed = True
+
+    frozen = {q: frozenset(s) for q, s in summaries.items()}
+    graph._demonlint_escape_summaries = frozen
+    return frozen

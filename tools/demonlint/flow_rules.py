@@ -31,6 +31,34 @@ DEMON reproduction's correctness story depends on:
   the runtime contracts govern callers), so only ``self`` is policed;
   method calls like ``self.telemetry.phase(...)`` and storage
   registration are the permitted side channels.
+
+DML014-DML018 ride on the typestate/escape layers
+(:mod:`tools.demonlint.typestate`, :mod:`tools.demonlint.escape`):
+
+* **DML014** — backend/mmap handle lifecycle: a handle acquired from a
+  backend factory must not be used after ``close()``/``destroy()``,
+  its backing files must not be deleted while it is open, and on every
+  return path it is either closed, ``with``-managed, or escapes to a
+  longer-lived owner.
+* **DML015** — chunk-view escape: arrays yielded by
+  ``iter_chunks()``/``chunks()`` are views into buffers the backend
+  can unmap; they must not be stored on ``self``, in globals, in
+  caller-owned containers, or returned without an explicit copy
+  sanitizer (``list(...)``, ``.copy()``, ``np.array``).
+* **DML016** — streaming discipline: chunk loops must stream — no
+  ``materialize()``/``as_array()``/``.tuples`` inside them outside
+  ``storage/``+``datagen/``, and ``len(list(...iter_records()))`` is
+  always ``num_records`` in disguise.  Tightens DML013 from "where"
+  to "while iterating".
+* **DML017** — worker payload safety: functions marked
+  ``@worker_entry`` or shipped to a pool/executor must not capture
+  unpicklable state (locks, open handles, telemetry registries, live
+  backend handles) via bound ``self`` attributes, defaults, or module
+  globals — under spawn each worker re-imports its own copy.
+* **DML018** — exception atomicity: attributes named in a class's
+  checkpoint ``state_dict`` must not be mutated in place when a raise
+  is forward-reachable; clone-before-commit keeps a failed operation
+  from corrupting the next checkpoint.
 """
 
 from __future__ import annotations
@@ -42,7 +70,20 @@ from dataclasses import dataclass
 from tools.demonlint.cfg import RAISE, RETURN, Block, block_statements, build_cfg
 from tools.demonlint.core import ModuleInfo, Project, Rule, Violation, register
 from tools.demonlint.dataflow import SetUnionAnalysis, solve
+from tools.demonlint.escape import (
+    escape_summaries,
+    function_escapes,
+    positional_params,
+    resolve_call_target,
+)
 from tools.demonlint.graph import FunctionNode, ProjectGraph, module_dotted_name
+from tools.demonlint.typestate import (
+    Op,
+    TypestateDriver,
+    TypestateSpec,
+    analyze,
+    leaks,
+)
 
 # ----------------------------------------------------------------------
 # Shared AST helpers
@@ -1256,3 +1297,948 @@ class TransitivePurity(Rule):
                         f"slots — keep it on the model, in storage, or in a "
                         f"diagnostics side-channel",
                     )
+
+
+# ----------------------------------------------------------------------
+# Shared helpers for the typestate/escape rules (DML014-DML018)
+# ----------------------------------------------------------------------
+
+
+def _analysis_exempt(relpath: str, allowed_dirs: tuple[str, ...] = ()) -> bool:
+    """Path gating shared by DML014-DML018.
+
+    Fixture directories are always linted (that is what they are for);
+    tests and examples are exempt; ``allowed_dirs`` marks subsystems
+    the rule's invariant does not apply to (e.g. ``storage`` may hold
+    raw views by construction).
+    """
+    parts = relpath.replace("\\", "/").split("/")
+    if "fixtures" in parts:
+        return False
+    if any(part in ("tests", "examples") for part in parts):
+        return True
+    return any(d in parts[:-1] for d in allowed_dirs)
+
+
+def _nodes_excluding_defs(stmts: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Every AST node under ``stmts``, not descending into nested defs."""
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """``backend.root`` / ``paths[0]`` -> the underlying local name."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _flat_target_names(target: ast.expr) -> list[str]:
+    out: list[str] = []
+    stack: list[ast.expr] = [target]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            stack.append(node.value)
+    return out
+
+
+def _module_functions(
+    graph: ProjectGraph, module: ModuleInfo
+) -> Iterator[FunctionNode]:
+    for _, node in sorted(graph.functions.items()):
+        if node.module is module:
+            yield node
+
+
+# ----------------------------------------------------------------------
+# DML014 — backend/mmap handle lifecycle
+# ----------------------------------------------------------------------
+
+#: Factory calls (matched on the trailing dotted component) whose
+#: result is a backend handle the caller owns.
+BACKEND_FACTORIES = frozenset(
+    {"MmapBackend", "InMemoryBackend", "resolve_backend", "backend_from_spec"}
+)
+#: Methods on the handle itself that require it to be open.
+BACKEND_USE_METHODS = frozenset({"ingest", "adopt"})
+#: Methods on handles *derived* from a backend (blocks, block data)
+#: that dereference the backend's buffers.
+DERIVED_USE_METHODS = frozenset(
+    {"iter_chunks", "iter_records", "chunks", "materialize", "as_array"}
+)
+#: Calls that delete files out from under an open handle.
+FILE_DELETERS = frozenset(
+    {"shutil.rmtree", "os.remove", "os.unlink", "os.rmdir"}
+)
+
+_BACKEND_SPEC = TypestateSpec(
+    name="backend-handle",
+    initial="open",
+    transitions={
+        ("open", "use"): "open",
+        ("open", "open"): "open",
+        ("open", "close"): "closed",
+        ("closed", "close"): "closed",
+        ("closed", "open"): "open",
+        ("open", "destroy"): "destroyed",
+        ("closed", "destroy"): "destroyed",
+        ("closed", "delete_files"): "destroyed",
+        ("destroyed", "close"): "destroyed",
+        ("destroyed", "destroy"): "destroyed",
+    },
+    errors={
+        ("closed", "use"): (
+            "backend handle '{var}' is used after close(); reopen it with "
+            "{var}.open() or move the access before close()",
+            "closed",
+        ),
+        ("destroyed", "use"): (
+            "backend handle '{var}' is used after destroy(); its backing "
+            "files are gone",
+            "destroyed",
+        ),
+        ("destroyed", "open"): (
+            "backend handle '{var}' is reopened after destroy(); its "
+            "backing files are gone",
+            "destroyed",
+        ),
+        ("open", "delete_files"): (
+            "files of backend '{var}' are deleted while the handle is "
+            "still open; close() first so mmap views are released",
+            "destroyed",
+        ),
+    },
+    accepting=frozenset({"closed", "destroyed"}),
+)
+
+
+class _BackendDriver(TypestateDriver):
+    """Syntax layer of DML014: factories, derived blocks, protocol ops."""
+
+    spec = _BACKEND_SPEC
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+
+    def acquires(self, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        dotted = self.module.resolve_call(value.func) or ""
+        return dotted.split(".")[-1] in BACKEND_FACTORIES
+
+    def derives(self, value: ast.expr) -> str | None:
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in BACKEND_USE_METHODS
+            and isinstance(value.func.value, ast.Name)
+        ):
+            return value.func.value.id
+        return None
+
+    def ops(self, stmt: ast.stmt) -> list[Op]:
+        out: list[Op] = []
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                receiver = func.value.id
+                if (
+                    func.attr in BACKEND_USE_METHODS
+                    or func.attr in DERIVED_USE_METHODS
+                ):
+                    out.append(
+                        Op(receiver, "use", node.lineno, node.col_offset)
+                    )
+                elif func.attr in ("close", "open", "destroy"):
+                    out.append(
+                        Op(receiver, func.attr, node.lineno, node.col_offset)
+                    )
+            dotted = self.module.resolve_call(func)
+            if dotted in FILE_DELETERS and node.args:
+                root = _base_name(node.args[0])
+                if root is not None:
+                    out.append(
+                        Op(root, "delete_files", node.lineno, node.col_offset)
+                    )
+        return out
+
+
+@register
+class BackendLifecycle(Rule):
+    """Typestate of backend handles: open -> closed -> destroyed."""
+
+    rule_id = "DML014"
+    title = "backend handles: no use-after-close, close before delete, close on all paths"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath):
+            return
+        graph: ProjectGraph = project.graph()
+        driver = _BackendDriver(module)
+        summaries = escape_summaries(graph)
+        consts = frozenset(
+            graph.constants.get(module_dotted_name(module.relpath), ())
+        )
+        for fn in _module_functions(graph, module):
+            result = analyze(fn.node, driver)
+            for error in result.errors:
+                yield Violation(
+                    module.relpath, error.lineno, error.col, self.rule_id,
+                    error.message,
+                )
+            if not result.acquire_sites:
+                continue
+            tracked = frozenset(result.acquire_sites)
+            params = frozenset(positional_params(fn))
+            # A handle that escapes (stored, returned, or passed on) is
+            # someone else's to close; unknown-call arguments count as
+            # escapes because suppressing a leak report is the safe
+            # direction.
+            escaping = frozenset(
+                site.var
+                for site in function_escapes(
+                    fn.node,
+                    tracked,
+                    graph=graph,
+                    fn=fn,
+                    module_constants=consts,
+                    summaries=summaries,
+                    param_names=params,
+                    unknown_call_args_escape=True,
+                )
+            )
+            for leak in leaks(result, driver.spec, escaping=escaping):
+                yield Violation(
+                    module.relpath, leak.lineno, leak.col, self.rule_id,
+                    f"backend handle '{leak.var}' is not closed on every "
+                    f"return path; close()/destroy() it, use 'with', or "
+                    f"hand it to a longer-lived owner",
+                )
+
+
+# ----------------------------------------------------------------------
+# DML015 — chunk/view escape
+# ----------------------------------------------------------------------
+
+#: Iterator methods whose items are views into backend-owned buffers.
+CHUNK_ITER_METHODS = frozenset({"iter_chunks", "chunks"})
+
+
+def _chunk_loop_targets(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, int]:
+    """Loop variables bound to chunk views, plus plain-name aliases."""
+    targets: dict[str, int] = {}
+    for node in _nodes_excluding_defs(func.body):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            it = node.iter
+            if (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Attribute)
+                and it.func.attr in CHUNK_ITER_METHODS
+            ):
+                for name in _flat_target_names(node.target):
+                    targets.setdefault(name, node.lineno)
+    changed = bool(targets)
+    while changed:
+        changed = False
+        for node in _nodes_excluding_defs(func.body):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in targets
+                and node.targets[0].id not in targets
+            ):
+                targets[node.targets[0].id] = node.lineno
+                changed = True
+    return targets
+
+
+@register
+class ChunkViewEscape(Rule):
+    """Chunk views must not outlive the block that yielded them."""
+
+    rule_id = "DML015"
+    title = "chunk views must be copied before they outlive the chunk loop"
+
+    _KIND_HINTS = {
+        "self": "an attribute outlives the loop and the backend can unmap "
+        "the buffer underneath it",
+        "global": "a module global outlives every backend",
+        "param": "the caller's container outlives the chunk loop",
+        "return": "the caller receives a view into a buffer the backend "
+        "can unmap",
+        "arg": "the callee stores it somewhere persistent",
+    }
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath, ("storage", "datagen")):
+            return
+        graph: ProjectGraph = project.graph()
+        summaries = escape_summaries(graph)
+        consts = frozenset(
+            graph.constants.get(module_dotted_name(module.relpath), ())
+        )
+        for fn in _module_functions(graph, module):
+            chunk_vars = _chunk_loop_targets(fn.node)
+            if not chunk_vars:
+                continue
+            params = frozenset(positional_params(fn))
+            for site in function_escapes(
+                fn.node,
+                frozenset(chunk_vars),
+                graph=graph,
+                fn=fn,
+                module_constants=consts,
+                summaries=summaries,
+                param_names=params,
+            ):
+                if site.kind == "yield":
+                    continue  # re-yielding keeps the streaming contract
+                hint = self._KIND_HINTS.get(site.kind, "")
+                yield Violation(
+                    module.relpath, site.lineno, site.col, self.rule_id,
+                    f"chunk view '{site.var}' escapes its block: "
+                    f"{site.detail} — {hint}; copy it first "
+                    f"(list(...), .copy(), np.array) or keep it local",
+                )
+
+
+# ----------------------------------------------------------------------
+# DML016 — streaming discipline inside chunk loops
+# ----------------------------------------------------------------------
+
+#: Methods that materialize a whole block at once.
+MATERIALIZING_METHODS = frozenset({"materialize", "as_array"})
+#: Record-level iterators (streaming when consumed lazily).
+RECORD_ITER_METHODS = frozenset({"iter_records", "iter_chunks", "chunks"})
+#: Attribute loads that pull the whole record set (DML013's set).
+RAW_MATERIALIZING_ATTRS = frozenset({"tuples", "records"})
+
+
+def _chunk_loops(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.For | ast.AsyncFor]:
+    for node in _nodes_excluding_defs(func.body):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            it = node.iter
+            if (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Attribute)
+                and it.func.attr in RECORD_ITER_METHODS
+            ):
+                yield node
+
+
+def _list_of_records(call: ast.Call) -> ast.Call | None:
+    """``list(X.iter_records())`` -> the inner iterator call."""
+    if (
+        isinstance(call.func, ast.Name)
+        and call.func.id in ("list", "tuple", "sorted")
+        and len(call.args) == 1
+        and isinstance(call.args[0], ast.Call)
+        and isinstance(call.args[0].func, ast.Attribute)
+        and call.args[0].func.attr in RECORD_ITER_METHODS
+    ):
+        return call.args[0]
+    return None
+
+
+@register
+class StreamingDiscipline(Rule):
+    """Chunk loops stream; they never re-materialize the block."""
+
+    rule_id = "DML016"
+    title = "no full materialization inside chunk loops"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath, ("storage", "datagen")):
+            return
+        seen: set[tuple[int, int, str]] = set()
+
+        def emit(node: ast.AST, message: str) -> Iterator[Violation]:
+            site = (node.lineno, node.col_offset, message)
+            if site not in seen:
+                seen.add(site)
+                yield Violation(
+                    module.relpath, node.lineno, node.col_offset,
+                    self.rule_id, message,
+                )
+
+        for func in _functions_in(module):
+            for loop in _chunk_loops(func):
+                iter_name = loop.iter.func.attr  # type: ignore[union-attr]
+                for node in _nodes_excluding_defs(loop.body):
+                    if isinstance(node, ast.Call) and isinstance(
+                        node.func, ast.Attribute
+                    ):
+                        if node.func.attr in MATERIALIZING_METHODS:
+                            yield from emit(
+                                node,
+                                f"{node.func.attr}() inside a "
+                                f"{iter_name}() loop materializes the "
+                                f"whole block every iteration; hoist it "
+                                f"or stream chunk-wise",
+                            )
+                    if isinstance(node, ast.Call):
+                        inner = _list_of_records(node)
+                        if inner is not None:
+                            yield from emit(
+                                node,
+                                f"list({_render(inner)}) inside a "
+                                f"{iter_name}() loop materializes every "
+                                f"record per chunk; stream instead",
+                            )
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.attr in RAW_MATERIALIZING_ATTRS
+                    ):
+                        yield from emit(
+                            node,
+                            f".{node.attr} inside a {iter_name}() loop "
+                            f"pulls the whole record set while "
+                            f"streaming it; use the chunk contents",
+                        )
+            # len(list(...iter_records())) anywhere is num_records in
+            # disguise — it materializes the block just to count it.
+            for node in _nodes_excluding_defs(func.body):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "len"
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Call)
+                ):
+                    inner = _list_of_records(node.args[0])
+                    if inner is not None:
+                        yield from emit(
+                            node,
+                            f"len(list({_render(inner)})) materializes "
+                            f"the whole block just to count it; use "
+                            f"num_records",
+                        )
+
+
+# ----------------------------------------------------------------------
+# DML017 — worker payload safety
+# ----------------------------------------------------------------------
+
+#: Pool/executor methods that ship their first argument to a worker.
+WORKER_SUBMIT_METHODS = frozenset(
+    {"submit", "map", "starmap", "apply", "apply_async", "imap",
+     "imap_unordered"}
+)
+#: Factory calls whose results do not survive pickling (or, for the
+#: registries, must not be shared across process boundaries).
+UNPICKLABLE_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore",
+     "BoundedSemaphore", "Barrier", "open", "socket",
+     "Telemetry", "DiagnosticsLog", "IOStatsRegistry",
+     "ProcessPoolExecutor", "ThreadPoolExecutor"}
+)
+#: Live backend handles: picklable in principle, wrong in practice —
+#: each worker must rebuild from the spec.
+BACKEND_HANDLE_FACTORIES = frozenset(
+    {"MmapBackend", "InMemoryBackend", "resolve_backend",
+     "backend_from_spec", "ambient_backend"}
+)
+
+
+def _unpicklable_factory(
+    expr: ast.expr, module: ModuleInfo
+) -> tuple[str, bool] | None:
+    """``(factory name, is_backend)`` when ``expr`` builds unpicklable
+    (or unshippable) state."""
+    if not isinstance(expr, ast.Call):
+        return None
+    dotted = module.resolve_call(expr.func) or ""
+    last = dotted.split(".")[-1]
+    if last in UNPICKLABLE_FACTORIES:
+        return last, False
+    if last in BACKEND_HANDLE_FACTORIES:
+        return last, True
+    return None
+
+
+def _pool_receiver(expr: ast.expr) -> bool:
+    rendered = _render(expr).lower()
+    return "pool" in rendered or "executor" in rendered
+
+
+@register
+class WorkerPayloadSafety(Rule):
+    """Worker entry points must ship only picklable, process-local state."""
+
+    rule_id = "DML017"
+    title = "worker payloads must not capture unpicklable or shared state"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath):
+            return
+        graph: ProjectGraph = project.graph()
+        # Entries declared in this module via @worker_entry.
+        for fn in _module_functions(graph, module):
+            if "worker_entry" in _decorator_names(fn.node):
+                yield from self._audit_entry(
+                    module, graph, fn, fn.node.lineno, fn.node.col_offset
+                )
+        # Entries shipped from this module's submit sites.
+        for fn in _module_functions(graph, module):
+            yield from self._check_submit_sites(module, graph, fn)
+
+    # -- submit-site handling ---------------------------------------------
+
+    def _check_submit_sites(
+        self, module: ModuleInfo, graph: ProjectGraph, fn: FunctionNode
+    ) -> Iterator[Violation]:
+        nested_defs = {
+            node.name
+            for stmt in fn.node.body
+            for node in ast.walk(stmt)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in _nodes_excluding_defs(fn.node.body):
+            if not isinstance(node, ast.Call):
+                continue
+            entry_expr: ast.expr | None = None
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in WORKER_SUBMIT_METHODS
+                and _pool_receiver(node.func.value)
+                and node.args
+            ):
+                entry_expr = node.args[0]
+            else:
+                dotted = module.resolve_call(node.func) or ""
+                if dotted.split(".")[-1] == "Process":
+                    for keyword in node.keywords:
+                        if keyword.arg == "target":
+                            entry_expr = keyword.value
+            if entry_expr is None:
+                continue
+            if isinstance(entry_expr, ast.Lambda):
+                yield Violation(
+                    module.relpath, node.lineno, node.col_offset,
+                    self.rule_id,
+                    "lambda worker payloads are not picklable under "
+                    "spawn; use a module-level function",
+                )
+                continue
+            if (
+                isinstance(entry_expr, ast.Name)
+                and entry_expr.id in nested_defs
+            ):
+                yield Violation(
+                    module.relpath, node.lineno, node.col_offset,
+                    self.rule_id,
+                    f"nested function '{entry_expr.id}' is not picklable "
+                    f"under spawn; move the worker entry to module level",
+                )
+                continue
+            entry = self._resolve_entry(module, graph, fn, entry_expr)
+            if entry is not None:
+                yield from self._audit_entry(
+                    module, graph, entry, node.lineno, node.col_offset
+                )
+
+    def _resolve_entry(
+        self,
+        module: ModuleInfo,
+        graph: ProjectGraph,
+        fn: FunctionNode,
+        expr: ast.expr,
+    ) -> FunctionNode | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in ("self", "cls")
+            and fn.cls is not None
+        ):
+            return graph.resolve_method(fn.cls, expr.attr)
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            fake = ast.Call(func=expr, args=[], keywords=[])
+            target = resolve_call_target(graph, fn, fake)
+            if target is not None:
+                return graph.functions.get(target)
+        return None
+
+    # -- entry auditing ----------------------------------------------------
+
+    def _audit_entry(
+        self,
+        module: ModuleInfo,
+        graph: ProjectGraph,
+        entry: FunctionNode,
+        lineno: int,
+        col: int,
+    ) -> Iterator[Violation]:
+        reported: set[str] = set()
+
+        def emit(symbol: str, message: str) -> Iterator[Violation]:
+            key = f"{entry.qualname}:{symbol}"
+            if key not in reported:
+                reported.add(key)
+                yield Violation(
+                    module.relpath, lineno, col, self.rule_id, message
+                )
+
+        # Unpicklable default arguments evaluate once at import time
+        # and ride along with the function object.
+        args = entry.node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            found = _unpicklable_factory(default, entry.module)
+            if found is not None:
+                factory, _ = found
+                yield from emit(
+                    f"default:{default.lineno}",
+                    f"worker entry {entry.node.name}() binds "
+                    f"{factory}(...) as a default argument; it cannot "
+                    f"cross the process boundary",
+                )
+
+        # A bound method ships its whole instance.
+        if entry.is_method and entry.cls is not None:
+            init = graph.resolve_method(entry.cls, "__init__")
+            if init is not None:
+                for stmt in ast.walk(init.node):
+                    if not isinstance(stmt, ast.Assign):
+                        continue
+                    found = _unpicklable_factory(stmt.value, init.module)
+                    if found is None:
+                        continue
+                    factory, is_backend = found
+                    for target in stmt.targets:
+                        attr = _self_attr(target)
+                        if attr is None:
+                            continue
+                        hint = (
+                            "pass backend.spec() and rebuild inside the "
+                            "worker"
+                            if is_backend
+                            else "create it inside the worker instead"
+                        )
+                        yield from emit(
+                            f"attr:{attr}",
+                            f"worker entry {entry.cls.name}."
+                            f"{entry.node.name}() ships self, and "
+                            f"self.{attr} holds {factory}(...) from "
+                            f"__init__; {hint}",
+                        )
+
+        # Module globals read by the entry (or anything it reaches)
+        # that hold locks/handles/registries: under spawn every worker
+        # re-imports its own copy, so the state is silently not shared.
+        members = [entry] + [
+            node
+            for qualname in sorted(graph.transitive_callees(entry.qualname))
+            if (node := graph.functions.get(qualname)) is not None
+        ]
+        for member in members:
+            consts = graph.constants.get(
+                module_dotted_name(member.module.relpath), {}
+            )
+            loaded = {
+                n.id
+                for n in _nodes_excluding_defs(member.node.body)
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            }
+            for name in sorted(loaded):
+                if name not in consts:
+                    continue
+                found = _unpicklable_factory(consts[name], member.module)
+                if found is None:
+                    continue
+                factory, _ = found
+                via = (
+                    ""
+                    if member is entry
+                    else f" (via {member.node.name}())"
+                )
+                yield from emit(
+                    f"global:{name}",
+                    f"worker entry {entry.node.name}() reads module "
+                    f"global '{name}' = {factory}(...){via}; under "
+                    f"spawn each worker gets its own copy, so the "
+                    f"state is not shared — pass it explicitly or "
+                    f"rebuild per worker",
+                )
+
+
+# ----------------------------------------------------------------------
+# DML018 — exception atomicity of checkpointed state
+# ----------------------------------------------------------------------
+
+
+def _direct_raisers(graph: ProjectGraph) -> frozenset[str]:
+    """Project functions whose own body contains an explicit ``raise``."""
+    cached = getattr(graph, "_demonlint_raisers", None)
+    if cached is not None:
+        return cached
+    raisers = frozenset(
+        qualname
+        for qualname, fn in graph.functions.items()
+        if any(
+            isinstance(node, ast.Raise)
+            for node in _nodes_excluding_defs(fn.node.body)
+        )
+    )
+    graph._demonlint_raisers = raisers
+    return raisers
+
+
+def _self_attr_classes(
+    graph: ProjectGraph, cls_node: ast.ClassDef
+) -> dict[str, list[ast.ClassDef]]:
+    """Constructor-derived types of ``self.X`` attributes.
+
+    ``self._engine = GEMM(...)`` in ``__init__`` types ``_engine`` as
+    (possibly one of several) project classes, which lets
+    ``self._engine.observe(...)`` resolve through each candidate class
+    — enough to see that a method called *after* an in-place mutation
+    can raise.
+    """
+    cache = getattr(graph, "_demonlint_attr_classes", None)
+    if cache is None:
+        cache = {}
+        graph._demonlint_attr_classes = cache
+    key = id(cls_node)
+    if key in cache:
+        return cache[key]
+    types: dict[str, list[ast.ClassDef]] = {}
+    init = graph.resolve_method(cls_node, "__init__")
+    if init is not None:
+        module = init.module
+        for node in _nodes_excluding_defs(init.node.body):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            dotted = module.resolve_call(node.value.func) or ""
+            name = dotted.split(".")[-1]
+            if not name:
+                continue
+            resolved = graph.resolve_class(name, module)
+            if resolved is None:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None and resolved not in types.setdefault(attr, []):
+                    types[attr].append(resolved)
+    cache[key] = types
+    return types
+
+
+def _inplace_mutations(
+    stmt: ast.stmt, checkpointed: set[str]
+) -> list[_Store]:
+    """In-place mutations of checkpointed ``self`` attributes in one
+    statement.  Plain rebinds (``self.x = new``) are the *commit* step
+    of clone-before-commit and are allowed; subscript stores, augmented
+    assigns, deletes, and structural mutator calls are not."""
+    out: list[_Store] = []
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Delete)):
+            for target in _store_targets(node):
+                root = _subscript_root(target)
+                attr = _self_attr(root)
+                if attr is None or attr not in checkpointed:
+                    continue
+                if isinstance(node, ast.Delete):
+                    kind = "del"
+                elif isinstance(target, ast.Subscript):
+                    kind = "subscript"
+                elif isinstance(node, ast.AugAssign):
+                    kind = "augassign"
+                else:
+                    continue  # plain rebind: the commit step
+                out.append(_Store(attr, target.lineno, target.col_offset, kind))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+        ):
+            attr = _self_attr(node.func.value)
+            if attr is not None and attr in checkpointed:
+                out.append(_Store(attr, node.lineno, node.col_offset, "call"))
+    return out
+
+
+@register
+class ExceptionAtomicity(Rule):
+    """Checkpointed attributes are clone-before-commit on raise paths."""
+
+    rule_id = "DML018"
+    title = "checkpointed state must not be mutated in place before a reachable raise"
+
+    _SKIP = ("__init__", "state_dict", "load_state_dict")
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath):
+            return
+        graph: ProjectGraph = project.graph()
+        raisers = _direct_raisers(graph)
+        mod_name = module_dotted_name(module.relpath)
+        for cls_node in ast.walk(module.tree):
+            if not isinstance(cls_node, ast.ClassDef):
+                continue
+            methods = {
+                item.name: item
+                for item in cls_node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "state_dict" not in methods:
+                continue
+            start = graph.functions.get(
+                f"{mod_name}.{cls_node.name}.state_dict"
+            )
+            if start is None:
+                continue
+            checkpointed: set[str] = set()
+            for member in _class_closure(graph, start):
+                checkpointed |= _self_attr_mentions(member.node)
+            if not checkpointed:
+                continue
+            for name, fn_node in sorted(methods.items()):
+                if name in self._SKIP:
+                    continue
+                owner = graph.functions.get(
+                    f"{mod_name}.{cls_node.name}.{name}"
+                )
+                attr_types = _self_attr_classes(graph, cls_node)
+                yield from self._check_method(
+                    module, cls_node, fn_node, owner, checkpointed,
+                    graph, raisers, attr_types,
+                )
+
+    def _check_method(
+        self,
+        module: ModuleInfo,
+        cls_node: ast.ClassDef,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        owner: FunctionNode | None,
+        checkpointed: set[str],
+        graph: ProjectGraph,
+        raisers: frozenset[str],
+        attr_types: dict[str, list[ast.ClassDef]],
+    ) -> Iterator[Violation]:
+        if not any(
+            _inplace_mutations(stmt, checkpointed) for stmt in ast.walk(func)
+            if isinstance(stmt, ast.stmt)
+        ):
+            return
+        cfg = build_cfg(func)
+        # Per block: mutation sites and raising statements, by index.
+        mutations: dict[int, list[tuple[int, _Store]]] = {}
+        raise_marks: dict[int, list[tuple[int, int]]] = {}
+        for block in cfg.blocks.values():
+            stmts = block_statements(block)
+            for index, stmt in enumerate(stmts):
+                for store in _inplace_mutations(stmt, checkpointed):
+                    mutations.setdefault(block.block_id, []).append(
+                        (index, store)
+                    )
+                raise_line = self._stmt_raise_line(
+                    stmt, owner, graph, raisers, attr_types
+                )
+                if raise_line is not None:
+                    raise_marks.setdefault(block.block_id, []).append(
+                        (index, raise_line)
+                    )
+        if not mutations:
+            return
+        reported: set[tuple[str, int]] = set()
+        for block_id, sites in sorted(mutations.items()):
+            for index, store in sites:
+                raise_line = self._reachable_raise(
+                    cfg, block_id, index, raise_marks
+                )
+                if raise_line is None:
+                    continue
+                key = (store.attr, store.lineno)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield Violation(
+                    module.relpath, store.lineno, store.col, self.rule_id,
+                    f"'{cls_node.name}.{store.attr}' is checkpoint state "
+                    f"(named in state_dict) but {func.name}() mutates it "
+                    f"in place at line {store.lineno} with a raise "
+                    f"reachable afterwards (line {raise_line}); "
+                    f"clone-before-commit so a failed call cannot "
+                    f"corrupt the next checkpoint",
+                )
+
+    def _stmt_raise_line(
+        self,
+        stmt: ast.stmt,
+        owner: FunctionNode | None,
+        graph: ProjectGraph,
+        raisers: frozenset[str],
+        attr_types: dict[str, list[ast.ClassDef]],
+    ) -> int | None:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return node.lineno
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                owner is not None
+                and resolve_call_target(graph, owner, node) in raisers
+            ):
+                return node.lineno
+            # ``self.X.method(...)`` through the constructor-derived
+            # type(s) of ``self.X``.
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    for candidate in attr_types.get(attr, ()):
+                        resolved = graph.resolve_method(candidate, func.attr)
+                        if (
+                            resolved is not None
+                            and resolved.qualname in raisers
+                        ):
+                            return node.lineno
+        return None
+
+    def _reachable_raise(
+        self,
+        cfg,
+        block_id: int,
+        index: int,
+        raise_marks: dict[int, list[tuple[int, int]]],
+    ) -> int | None:
+        # Same block, later statement.
+        for mark_index, line in raise_marks.get(block_id, ()):
+            if mark_index > index:
+                return line
+        # Any transitively reachable block with a raising statement.
+        seen = {block_id}
+        stack = list(cfg.blocks[block_id].successors)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            marks = raise_marks.get(current)
+            if marks:
+                return marks[0][1]
+            stack.extend(cfg.blocks[current].successors)
+        return None

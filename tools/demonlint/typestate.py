@@ -1,0 +1,327 @@
+"""Generic typestate automata over demonlint's per-function CFGs.
+
+A typestate analysis tracks *which protocol state* each resource-like
+local is in at every program point: a backend handle is ``open`` until
+``close()`` moves it to ``closed``; using it afterwards is a protocol
+error, and reaching a ``return`` while still ``open`` is a leak.  The
+machinery here is rule-agnostic:
+
+* :class:`TypestateSpec` — the automaton: states, ``(state, op)``
+  transitions, ``(state, op)`` error productions (with a recovery state
+  so one bug yields one diagnostic, not a cascade), and the accepting
+  states a value may legally die in.
+* a **driver** (duck-typed, see :class:`TypestateDriver`) — the
+  rule-specific syntax layer: which expressions acquire a fresh
+  resource, which produce *derived* handles that share their source's
+  lifetime (``backend.ingest(...)`` returns a block whose views die
+  with the backend), and which calls are protocol ops.
+* :func:`analyze` — runs the automaton as a may-analysis over the CFG
+  (facts are ``(var, state)`` pairs), including the RAISE edges, so an
+  error is reported when it happens on *any* path.  ``with``-bound
+  resources are tracked but marked *managed*: the context manager
+  releases them, so they are exempt from leak reports.
+
+Leak detection is split out into :func:`leaks` so rules can first
+compute which acquired variables escape (via
+:mod:`tools.demonlint.escape`) — a handle stored on ``self`` or
+returned to the caller is someone else's to close.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from tools.demonlint.cfg import CFG, RETURN, Block, _HeaderStmt, build_cfg
+from tools.demonlint.dataflow import SetUnionAnalysis, Solution, solve
+
+
+@dataclass(frozen=True)
+class TypestateSpec:
+    """One protocol automaton.
+
+    ``transitions`` maps ``(state, op)`` to the next state; ops with no
+    entry leave the state unchanged.  ``errors`` maps ``(state, op)``
+    to ``(message, recovery_state)`` — the message may reference
+    ``{var}``/``{state}``/``{op}``.
+    """
+
+    name: str
+    initial: str
+    transitions: Mapping[tuple[str, str], str]
+    errors: Mapping[tuple[str, str], tuple[str, str]]
+    accepting: frozenset[str]
+
+
+@dataclass(frozen=True)
+class Op:
+    """A candidate protocol operation on a (possibly untracked) name."""
+
+    var: str
+    op: str
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class TypestateError:
+    var: str
+    op: str
+    state: str
+    lineno: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class TypestateLeak:
+    """A resource still in a non-accepting state on a return path."""
+
+    var: str
+    state: str
+    lineno: int  # acquisition site
+    col: int
+
+
+class TypestateDriver:
+    """Duck-typed interface a typestate rule supplies (documented base).
+
+    Drivers may subclass this or just implement the same three methods.
+    """
+
+    spec: TypestateSpec
+
+    def acquires(self, value: ast.expr) -> bool:
+        """Does evaluating ``value`` produce a fresh tracked resource?"""
+        return False
+
+    def derives(self, value: ast.expr) -> str | None:
+        """Name of the tracked source when ``value`` yields a dependent
+        handle sharing its source's lifetime, else ``None``."""
+        return None
+
+    def ops(self, stmt: ast.stmt) -> Iterable[Op]:
+        """Candidate protocol ops on *any* name within one statement;
+        the machine filters to tracked variables."""
+        return ()
+
+
+@dataclass
+class TypestateResult:
+    """Everything a rule needs to turn automaton runs into findings."""
+
+    cfg: CFG
+    solution: Solution
+    errors: list[TypestateError]
+    #: variable -> (lineno, col) of its first acquisition.
+    acquire_sites: dict[str, tuple[int, int]]
+    #: ``with``-bound variables (released by the context manager).
+    managed: frozenset[str]
+    #: derived handle name -> root resource variable.
+    aliases: dict[str, str] = field(default_factory=dict)
+
+
+class _Machine(SetUnionAnalysis):
+    """The automaton as a forward may-analysis.
+
+    Facts are frozensets of ``(var, state)`` pairs.  The alias table
+    (derived handles) and acquisition metadata are flow-insensitive
+    side state — monotone over the fixpoint, so errors recorded during
+    iteration remain valid at convergence.
+    """
+
+    def __init__(self, driver: TypestateDriver) -> None:
+        self.driver = driver
+        self.spec = driver.spec
+        self.acquire_sites: dict[str, tuple[int, int]] = {}
+        self.managed: set[str] = set()
+        self.aliases: dict[str, str] = {}
+        self.errors: dict[tuple[str, str, int, int, str], TypestateError] = {}
+
+    # -- dataflow interface ------------------------------------------------
+
+    def transfer(self, block: Block, fact: frozenset) -> frozenset:
+        states: dict[str, set[str]] = {}
+        for var, state in fact:
+            states.setdefault(var, set()).add(state)
+        for raw in block.statements:
+            self._statement(raw, states)
+        return frozenset(
+            (var, state) for var, group in states.items() for state in group
+        )
+
+    # -- per-statement interpretation --------------------------------------
+
+    def _statement(self, raw: ast.stmt, states: dict[str, set[str]]) -> None:
+        if isinstance(raw, _HeaderStmt):
+            self._header(raw, states)
+            return
+        # Ops first: the RHS of an assignment evaluates before binding.
+        self._apply_ops(raw, states)
+        if isinstance(raw, ast.Delete):
+            for target in raw.targets:
+                if isinstance(target, ast.Name):
+                    self._kill(target.id, states)
+            return
+        value, targets = _binding_of(raw)
+        if value is None:
+            return
+        acquired = self.driver.acquires(value)
+        source = None if acquired else self.driver.derives(value)
+        for name in _bound_names(targets):
+            if acquired:
+                self._bind(name, states, raw)
+            elif source is not None and self._root_of(source, states) is not None:
+                self._kill(name, states)
+                self.aliases[name] = self._root_of(source, states)
+            else:
+                self._kill(name, states)
+
+    def _header(self, raw: _HeaderStmt, states: dict[str, set[str]]) -> None:
+        owner = raw.owner
+        if isinstance(owner, (ast.With, ast.AsyncWith)):
+            for item in owner.items:
+                probe = ast.Expr(value=item.context_expr)
+                probe.lineno = item.context_expr.lineno
+                probe.col_offset = item.context_expr.col_offset
+                self._apply_ops(probe, states)
+                if isinstance(
+                    item.optional_vars, ast.Name
+                ) and self.driver.acquires(item.context_expr):
+                    name = item.optional_vars.id
+                    self._bind(name, states, owner)
+                    self.managed.add(name)
+            return
+        if raw.header is not None:
+            probe = ast.Expr(value=raw.header)
+            probe.lineno = raw.lineno
+            probe.col_offset = raw.col_offset
+            self._apply_ops(probe, states)
+        if isinstance(owner, (ast.For, ast.AsyncFor)):
+            for name in _bound_names([owner.target]):
+                self._kill(name, states)
+
+    def _apply_ops(self, stmt: ast.stmt, states: dict[str, set[str]]) -> None:
+        for op in self.driver.ops(stmt):
+            var = self.aliases.get(op.var, op.var)
+            if var not in states:
+                continue
+            after: set[str] = set()
+            for state in states[var]:
+                key = (state, op.op)
+                if key in self.spec.errors:
+                    template, recovery = self.spec.errors[key]
+                    error = TypestateError(
+                        var=op.var,
+                        op=op.op,
+                        state=state,
+                        lineno=op.lineno,
+                        col=op.col,
+                        message=template.format(
+                            var=op.var, state=state, op=op.op
+                        ),
+                    )
+                    self.errors.setdefault(
+                        (op.var, op.op, op.lineno, op.col, state), error
+                    )
+                    after.add(recovery)
+                else:
+                    after.add(self.spec.transitions.get(key, state))
+            states[var] = after
+
+    # -- binding helpers ---------------------------------------------------
+
+    def _bind(
+        self, name: str, states: dict[str, set[str]], node: ast.stmt
+    ) -> None:
+        self._kill(name, states)
+        states[name] = {self.spec.initial}
+        self.acquire_sites.setdefault(name, (node.lineno, node.col_offset))
+
+    def _kill(self, name: str, states: dict[str, set[str]]) -> None:
+        states.pop(name, None)
+        self.aliases.pop(name, None)
+
+    def _root_of(
+        self, source: str, states: dict[str, set[str]]
+    ) -> str | None:
+        root = self.aliases.get(source, source)
+        if root in states or root in self.acquire_sites:
+            return root
+        return None
+
+
+def _binding_of(
+    stmt: ast.stmt,
+) -> tuple[ast.expr | None, list[ast.expr]]:
+    """The bound value and target list of a simple assignment."""
+    if isinstance(stmt, ast.Assign):
+        return stmt.value, list(stmt.targets)
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        return stmt.value, [stmt.target]
+    return None, []
+
+
+def _bound_names(targets: list[ast.expr]) -> list[str]:
+    out: list[str] = []
+    stack = list(targets)
+    while stack:
+        target = stack.pop()
+        if isinstance(target, ast.Name):
+            out.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            stack.append(target.value)
+    return out
+
+
+def analyze(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, driver: TypestateDriver
+) -> TypestateResult:
+    """Run ``driver``'s automaton over ``func`` and collect errors."""
+    cfg = build_cfg(func)
+    machine = _Machine(driver)
+    solution = solve(cfg, machine)
+    errors = sorted(
+        machine.errors.values(), key=lambda e: (e.lineno, e.col, e.var, e.op)
+    )
+    return TypestateResult(
+        cfg=cfg,
+        solution=solution,
+        errors=errors,
+        acquire_sites=machine.acquire_sites,
+        managed=frozenset(machine.managed),
+        aliases=dict(machine.aliases),
+    )
+
+
+def leaks(
+    result: TypestateResult,
+    spec: TypestateSpec,
+    *,
+    escaping: frozenset[str] = frozenset(),
+) -> list[TypestateLeak]:
+    """Resources alive in a non-accepting state on some return path.
+
+    RAISE exits are deliberately not reported — error paths that drop a
+    handle are the exception-cleanup rules' concern, and reporting them
+    here would flag every helper that lets exceptions propagate.
+    """
+    found: dict[str, TypestateLeak] = {}
+    for block in result.cfg.exit_predecessors():
+        if block.terminator != RETURN:
+            continue
+        for var, state in result.solution.at_exit(block.block_id):
+            if state in spec.accepting:
+                continue
+            if var in result.managed or var in escaping:
+                continue
+            site = result.acquire_sites.get(var)
+            if site is None:
+                continue
+            found.setdefault(
+                var, TypestateLeak(var=var, state=state, lineno=site[0], col=site[1])
+            )
+    return sorted(found.values(), key=lambda l: (l.lineno, l.col, l.var))
