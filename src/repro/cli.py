@@ -82,6 +82,12 @@ def _add_monitor(subparsers) -> None:
         "(default: DEMON_BLOCK_BACKEND or plain in-memory blocks)",
     )
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for sharded maintenance "
+        "(default: DEMON_WORKERS or 1 = serial); results are "
+        "byte-identical to a serial run",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit one JSON document (benchmark row format) instead of text",
     )
@@ -192,6 +198,7 @@ def cmd_monitor(args, out) -> int:
         span=span,
         bss=bss,
         backend=args.backend,
+        workers=args.workers,
     )
     params = QuestParams(
         n_transactions=args.block_size,
@@ -215,6 +222,9 @@ def cmd_monitor(args, out) -> int:
                 {
                     "bench": "cli_monitor",
                     "t": block_id,
+                    # Per-worker attribution rides inside "telemetry"
+                    # as parallel.w{id}.* phase/counter entries.
+                    "workers": session.workers,
                     "selection": session.current_selection(),
                     "frequent": len(model.frequent),
                     "border": len(model.border),

@@ -41,6 +41,7 @@ from repro.storage.persist import (
 from repro.storage.telemetry import Telemetry
 
 if TYPE_CHECKING:
+    from repro.parallel.pool import WorkerPool
     from repro.storage.persist import ModelVault
 
 TModel = TypeVar("TModel")
@@ -142,6 +143,22 @@ class GEMM(Generic[TModel, T]):
         # deleted individually (never via a vault-wide retain) so other
         # tenants of the same vault — e.g. session checkpoints — survive.
         self._spilled: set[ModelKey] = set()
+        # Execution wiring, never persisted: checkpoint bytes must not
+        # depend on the worker count (see bind_pool).
+        self._pool: WorkerPool | None = None
+
+    def bind_pool(self, pool: "WorkerPool | None") -> None:
+        """Attach a worker pool for §3.2.3's off-line updates.
+
+        With more than one worker, :meth:`observe` fans the off-line
+        slot updates out across processes (each slot's ``A_M``
+        invocation is independent given the shared new block) and
+        adopts the returned model pickles byte-for-byte.  The critical
+        update always runs in-process — it is the response-time path.
+        ``None`` detaches.  The pool is deliberately not part of
+        :meth:`state_dict`.
+        """
+        self._pool = pool
 
     @property
     def t(self) -> int:
@@ -242,8 +259,15 @@ class GEMM(Generic[TModel, T]):
         self.telemetry.increment("gemm.invocations.critical", invocations)
 
         with self.telemetry.phase("gemm.offline") as offline_span:
-            for plan in plans[1:]:
-                report.offline_invocations += self._realize(plan, block, new_models)
+            if self._pool is not None and self._pool.workers > 1:
+                report.offline_invocations = self._realize_offline_parallel(
+                    plans[1:], block, new_models
+                )
+            else:
+                for plan in plans[1:]:
+                    report.offline_invocations += self._realize(
+                        plan, block, new_models
+                    )
         report.offline_seconds = offline_span.seconds
         self.telemetry.increment("gemm.invocations.offline", report.offline_invocations)
 
@@ -319,10 +343,135 @@ class GEMM(Generic[TModel, T]):
         return 1
 
     # ------------------------------------------------------------------
+    # Parallel off-line updates (repro.parallel)
+    # ------------------------------------------------------------------
+
+    def _worker_token(self) -> tuple[str, Any] | None:
+        """How to reconstruct ``A_M`` inside a worker, if at all.
+
+        Maintainers exposing ``worker_payload()`` ship a small spec
+        (workers rebuild and cache a replica, registering history
+        blocks zero-copy from their refs); anything else ships its full
+        pickle.  ``None`` — e.g. an unpicklable test double — keeps the
+        observe serial.
+        """
+        payload_fn = getattr(self.maintainer, "worker_payload", None)
+        if callable(payload_fn):
+            spec = payload_fn()
+            if spec is not None:
+                return ("spec", spec)
+        try:
+            return ("blob", save_model(self.maintainer))
+        except Exception:
+            return None
+
+    def _history_refs(self, source_key: ModelKey) -> "list[Any] | None":
+        """Zero-copy refs for a source model's selected blocks."""
+        refs_fn = getattr(self.maintainer, "worker_block_refs", None)
+        if not callable(refs_fn):
+            return None
+        return cast("list[Any] | None", refs_fn(sorted(source_key)))
+
+    def _realize_offline_parallel(
+        self,
+        plans: list[_SlotPlan],
+        block: Block[T],
+        new_models: dict[ModelKey, TModel],
+    ) -> int:
+        """Fan the off-line slot updates out to the worker pool.
+
+        Carry-over plans (no ``A_M`` invocation) are realized inline;
+        each extending plan becomes one worker task shipping the
+        maintainer token, the pickled source model, and block refs.
+        Workers return model pickles that are adopted verbatim, so the
+        resulting collection is byte-identical to the serial loop's.
+
+        Parent-side state that the serial loop would have touched is
+        mirrored exactly once: the first invoking plan's block
+        registration (TID-lists, block store, and — for ECUT+ — pair
+        materialization) happens here with the same model argument the
+        serial ``A_M`` call would have used, and each task's changed
+        diagnostics entries are re-recorded in plan order.
+
+        Returns the off-line ``A_M`` invocation count (equal to the
+        serial loop's by construction).
+        """
+        from repro.parallel.shards import block_ref, maintain_shard
+
+        pool = self._pool
+        assert pool is not None
+        token = self._worker_token()
+        pending: dict[ModelKey, _SlotPlan] = {}
+        history: dict[ModelKey, tuple[Any, ...]] = {}
+        invocations = 0
+        if token is not None:
+            for plan in plans:
+                if plan.new_key in new_models or plan.new_key in pending:
+                    continue
+                if not plan.extend:
+                    invocations += self._realize(plan, block, new_models)
+                    continue
+                if token[0] == "spec":
+                    refs = self._history_refs(plan.source_key)
+                    if refs is None:
+                        # Block handles unavailable (e.g. right after a
+                        # restore): replicas cannot be fed, go serial.
+                        token = None
+                        break
+                    history[plan.new_key] = tuple(refs)
+                pending[plan.new_key] = plan
+        if token is None:
+            # Serial fallback; carry-overs realized above are skipped
+            # again by _realize's new_models guard, so nothing repeats.
+            for plan in plans:
+                invocations += self._realize(plan, block, new_models)
+            return invocations
+        if not pending:
+            return invocations
+        loaded: dict[ModelKey, TModel] = {}
+
+        def load_once(key: ModelKey) -> TModel:
+            if key not in loaded:
+                loaded[key] = self._load(key)
+            return loaded[key]
+
+        # Mirror the serial loop's first A_M-invoking registration of
+        # the new block (add_block registers with its incoming source
+        # model; build registers bare, then pairs use the built model).
+        register = getattr(self.maintainer, "register_block", None)
+        first_plan = next(iter(pending.values()))
+        first_builds = first_plan.source_key == EMPTY_KEY
+        if callable(register):
+            if first_builds:
+                register(block)
+            else:
+                register(block, model=load_once(first_plan.source_key))
+        new_ref = block_ref(block)
+        payloads = []
+        for key, plan in pending.items():
+            source_blob = (
+                None
+                if plan.source_key == EMPTY_KEY
+                else save_model(load_once(plan.source_key))
+            )
+            payloads.append((token, source_blob, new_ref, history.get(key, ())))
+        results = pool.run(maintain_shard, payloads)
+        diagnostics = getattr(self.maintainer, "diagnostics", None)
+        for (key, _plan), (blob, diag_entries) in zip(pending.items(), results):
+            new_models[key] = cast("TModel", load_model(blob))
+            invocations += 1
+            if diagnostics is not None:
+                for channel, entry in diag_entries.items():
+                    diagnostics.record(channel, entry)
+        if callable(register) and first_builds:
+            register(block, model=new_models[first_plan.new_key])
+        return invocations
+
+    # ------------------------------------------------------------------
     # Checkpointing (the session layer's engine contract)
     # ------------------------------------------------------------------
 
-    def state_dict(self) -> dict[str, Any]:
+    def state_dict(self) -> dict[str, Any]:  # demonlint: disable=DML008 (``_pool`` is a live process-pool handle and never rides in a checkpoint; load_state_dict resets it to None and the owning session rebinds)
         """Serializable snapshot of the whole collection of models.
 
         Every distinct model (including the empty model and any
@@ -351,6 +500,9 @@ class GEMM(Generic[TModel, T]):
         the rest are re-spilled.
         """
         self._t = cast(int, state["t"])
+        # Live pool handles never ride in a checkpoint: a restored
+        # engine runs serial until the owning session rebinds one.
+        self._pool = None
         self._slots = [frozenset(ids) for ids in cast("list[list[int]]", state["slots"])]
         blobs = cast("dict[tuple[int, ...], bytes]", state["models"])
         revived: dict[ModelKey, TModel] = {

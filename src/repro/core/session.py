@@ -39,6 +39,7 @@ from repro.core.maintainer import (
     UnrestrictedWindowMaintainer,
 )
 from repro.core.windows import MostRecentWindow, UnrestrictedWindow
+from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.storage.engine import BlockBackend, resolve_backend
 from repro.storage.persist import register_vault_namespace
 from repro.storage.telemetry import Telemetry, TelemetrySnapshot, bind_telemetry
@@ -130,6 +131,14 @@ class MiningSession(Generic[TModel, T]):
             defers to the ambient ``DEMON_BLOCK_BACKEND`` toggle (plain
             in-memory blocks by default).  Checkpoints record the
             backend spec so :meth:`restore` resumes onto it.
+        workers: Process count for sharded maintenance
+            (:mod:`repro.parallel`).  ``None`` defers to the
+            ``DEMON_WORKERS`` environment toggle (default 1 = fully
+            serial).  More than one worker shards ECUT counting by
+            block and GEMM's off-line updates by model; results are
+            byte-identical to a serial run.  The setting is execution
+            config, not state: checkpoints never record it, and
+            :meth:`restore` takes its own ``workers``.
         name: Checkpoint name — sessions with distinct names can share
             one vault.
     """
@@ -144,6 +153,7 @@ class MiningSession(Generic[TModel, T]):
         vault: ModelVault | None = None,
         telemetry: Telemetry | None = None,
         backend: BlockBackend | str | dict[str, Any] | None = None,
+        workers: int | None = None,
         name: str = "session",
     ) -> None:
         self.span: SpanOption = span if span is not None else UnrestrictedWindow()
@@ -167,6 +177,12 @@ class MiningSession(Generic[TModel, T]):
         self.backend: BlockBackend | None = resolve_backend(backend)
         self.name = name
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.workers = resolve_workers(workers)
+        self._pool: WorkerPool | None = (
+            WorkerPool(self.workers, telemetry=self.telemetry)
+            if self.workers > 1
+            else None
+        )
 
         self._engine: GEMM[TModel, T] | UnrestrictedWindowMaintainer[TModel, T] | None
         if maintainer is None:
@@ -207,6 +223,16 @@ class MiningSession(Generic[TModel, T]):
             self.telemetry.attach_io("vault", self.vault.registry)
         if self.backend is not None:
             self.telemetry.attach_io("backend", self.backend.registry)
+        if self._pool is not None:
+            # Sharded execution rides the same wiring pass: GEMM fans
+            # off-line updates out per model, and a poolable counter
+            # (ECUT) shards count_batch by block.
+            if isinstance(self._engine, GEMM):
+                self._engine.bind_pool(self._pool)
+            counter = getattr(self.maintainer, "counter", None)
+            bind = getattr(counter, "bind_pool", None)
+            if callable(bind):
+                bind(self._pool)
 
     # ------------------------------------------------------------------
     # Observation
@@ -377,6 +403,10 @@ class MiningSession(Generic[TModel, T]):
         engine_state = state["engine"]["state"]
         if self._engine is not None and engine_state is not None:
             self._engine.load_state_dict(engine_state)
+            # load_state_dict drops any live pool handle (checkpoints
+            # never carry one); a parallel session rebinds its own.
+            if self._pool is not None and isinstance(self._engine, GEMM):
+                self._engine.bind_pool(self._pool)
         if restore_telemetry:
             self.telemetry.load_state_dict(state["telemetry"])
 
@@ -415,6 +445,7 @@ class MiningSession(Generic[TModel, T]):
         name: str = "session",
         telemetry: Telemetry | None = None,
         backend: BlockBackend | str | dict[str, Any] | None = None,
+        workers: int | None = None,
     ) -> "MiningSession[Any, Any]":
         """Rebuild a session from its checkpoint and resume mid-stream.
 
@@ -428,6 +459,10 @@ class MiningSession(Generic[TModel, T]):
         by default the session is restored onto a backend rebuilt from
         that spec (and any retained snapshot is re-adopted onto it).
         Pass ``backend=...`` to restore onto a different one.
+
+        ``workers`` is execution config and is never checkpointed:
+        the restored session uses the value given here (or the
+        ``DEMON_WORKERS`` ambient default).
         """
         key = checkpoint_key(name)
         if key not in vault:
@@ -467,6 +502,7 @@ class MiningSession(Generic[TModel, T]):
             vault=vault,
             telemetry=telemetry,
             backend=backend,
+            workers=workers,
             name=name,
         )
         try:

@@ -25,7 +25,9 @@ expansion for ``κ' < κ``).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.contracts import maintainer_contract, pure_unless_cloned
 from repro.core.blocks import Block
@@ -195,6 +197,51 @@ class BordersMaintainer(
             budget_bytes=self.pair_budget_bytes,
             base_tid=base,
         )
+
+    # ------------------------------------------------------------------
+    # Worker-pool sharding support (repro.parallel)
+    # ------------------------------------------------------------------
+
+    def worker_payload(self) -> dict[str, Any] | None:
+        """A small spec from which a worker can rebuild this maintainer.
+
+        Only the stock counters are describable by name; a custom
+        :class:`SupportCounter` instance (or subclass) may carry state a
+        spec cannot reproduce, so ``None`` tells the pool integration to
+        fall back to shipping the whole pickled maintainer.
+        """
+        counter_type = type(self.counter)
+        if counter_type is ECUTCounter:
+            kind = "ecut"
+        elif counter_type is ECUTPlusCounter:
+            kind = "ecut+"
+        elif counter_type is PTScanCounter:
+            kind = "ptscan"
+        else:
+            return None
+        return {
+            "maintainer": "borders",
+            "minsup": self.minsup,
+            "counter": kind,
+            "pair_budget_bytes": self.pair_budget_bytes,
+        }
+
+    def worker_block_refs(self, block_ids: Sequence[int]) -> list[Any] | None:
+        """Zero-copy refs for the given history blocks, if available.
+
+        ``None`` when any block's source handle is gone (checkpoint
+        restore rebuilds TID-lists but not handles), which sends the
+        caller down the serial path.
+        """
+        from repro.parallel.shards import block_ref
+
+        refs: list[Any] = []
+        for block_id in block_ids:
+            block = self.context.tidlists.source_block(block_id)
+            if block is None:
+                return None
+            refs.append(block_ref(block))
+        return refs
 
     # ------------------------------------------------------------------
     # IncrementalModelMaintainer interface

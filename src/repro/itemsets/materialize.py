@@ -208,6 +208,19 @@ class PairTidListStore:
         self._base_tids.pop(block_id, None)
         self._packed.pop(block_id, None)
 
+    def __getstate__(self) -> dict[str, object]:
+        # The packed-row cache is derived from ``_lists`` and rebuilt
+        # lazily; persisting it would make checkpoint bytes depend on
+        # which process happened to count which block (the sharded
+        # counting path packs rows worker-side).
+        state = dict(self.__dict__)
+        state["_packed"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        state.setdefault("_packed", {})
+        self.__dict__.update(state)
+
 
 def plan_cover(
     itemset: Itemset, available_pairs: Collection[Pair]

@@ -28,6 +28,7 @@ fetched list would otherwise silently corrupt every later count.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -94,6 +95,7 @@ class TidListStore:
         self._base_tids: dict[int, int] = {}
         self._catalogs: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._packed: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._sources: dict[int, Block[Transaction]] = {}
         self._next_tid = 0
 
     @property
@@ -139,6 +141,7 @@ class TidListStore:
         self._lists[block.block_id] = block_lists
         self._block_sizes[block.block_id] = size
         self._base_tids[block.block_id] = base
+        self._sources[block.block_id] = block
 
     def has_block(self, block_id: int) -> bool:
         """Whether TID-lists for this block have been materialized."""
@@ -159,6 +162,40 @@ class TidListStore:
         self._base_tids.pop(block_id, None)
         self._catalogs.pop(block_id, None)
         self._packed.pop(block_id, None)
+        self._sources.pop(block_id, None)
+
+    def source_block(self, block_id: int) -> Block[Transaction] | None:
+        """The block handle this store materialized ``block_id`` from.
+
+        The sharded counting path (:mod:`repro.parallel`) uses the
+        handle to build a zero-copy ref for workers.  ``None`` when the
+        block was never materialized here or the store was restored
+        from a checkpoint (handles are execution state, not model
+        state — see ``__getstate__`` — so a freshly restored session
+        counts serially until new blocks arrive).
+        """
+        return self._sources.get(block_id)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Block handles are backend-bound execution state: pickling
+        # them would materialize every block into the checkpoint (and
+        # make its bytes depend on registration order of live handles).
+        # The packed-row catalogs are lazy caches derived from
+        # ``_lists`` — persisting them would make checkpoint bytes
+        # depend on which process happened to count which block (the
+        # sharded path builds them worker-side).  The TID-lists
+        # themselves are self-contained and are what persists.
+        state = dict(self.__dict__)
+        state["_sources"] = {}
+        state["_catalogs"] = {}
+        state["_packed"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        state.setdefault("_sources", {})
+        state.setdefault("_catalogs", {})
+        state.setdefault("_packed", {})
+        self.__dict__.update(state)
 
     def _block_lists(self, block_id: int) -> dict[int, TidList]:
         block_lists = self._lists.get(block_id)

@@ -1,0 +1,210 @@
+"""Process-pool execution layer for sharded maintenance (the tentpole).
+
+DEMON's maintenance hot paths are embarrassingly parallel: the TID-list
+additivity/0-1 properties (§2.2) mean per-block ECUT counting partitions
+cleanly by block, and GEMM's ``w`` overlapping-window models (§3.2.3)
+are independent given the shared new block.  :class:`WorkerPool` is the
+one dispatch point both paths share.
+
+Design constraints, in order:
+
+* **Byte-identical results.**  A parallel run must produce exactly the
+  models a serial run produces — the sharded paths in
+  :mod:`repro.itemsets.counting` and :mod:`repro.core.gemm` merge by
+  additivity and key-disjointness respectively, never by approximation.
+* **Zero-copy payloads.**  Tasks ship ``(spec, block id, args)``
+  tuples; workers reopen mmap-backed blocks from their on-disk paths
+  (see :mod:`repro.parallel.shards`) instead of pickling block data
+  through the pipe.  Payloads cross :func:`repro.contracts.worker_entry`
+  so demonlint rule DML017 and the pickle-probe sanitizer audit them.
+* **Serial fallback.**  At ``workers=1`` tasks run in-process with the
+  same envelope protocol, so every sharded code path is exercised by
+  the default test tier without any subprocess machinery.
+
+Telemetry: each task runs under a private :class:`Telemetry` whose
+``state_dict`` rides back in the result envelope.  The parent merges it
+twice — once bare, so aggregate phase/counter totals stay comparable
+with a serial run, and once under ``parallel.w{id}.`` for per-worker
+attribution (see docs/OBSERVABILITY.md).  Worker-side I/O byte
+accounting stays in the worker (``state_dict`` deliberately omits the
+attached registries); parallel runs therefore under-report I/O relative
+to serial, which docs/PERFORMANCE.md calls out.
+
+Executors are process-wide and shared across sessions (keyed by worker
+count): fork start-up is cheap but spawn is not, and benchmarks create
+many short-lived sessions.  :func:`shutdown_workers` tears them down
+explicitly when needed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.contracts import SanitizerViolation, sanitizers_armed, worker_entry
+from repro.storage.telemetry import Telemetry
+
+WORKERS_ENV = "DEMON_WORKERS"
+
+#: Worker-process identity: 0 in the parent (and in the ``workers=1``
+#: in-process fallback), 1..N inside pool workers.  Assigned once per
+#: worker by :func:`_init_worker`.
+_WORKER_ID = 0
+
+#: The telemetry of the task currently executing in this process (set
+#: by :func:`_run_task` for the duration of one task).
+_TASK_TELEMETRY: Telemetry | None = None
+
+#: Shared executors, keyed by worker count.  Never stored on a
+#: :class:`WorkerPool` instance so pools stay trivially picklable.
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+
+
+def resolve_workers(value: int | None = None) -> int:
+    """The effective worker count: explicit value, else ``DEMON_WORKERS``.
+
+    ``None`` falls through to the :data:`WORKERS_ENV` environment
+    variable (default 1, i.e. fully serial).  Anything below 1 is a
+    configuration error, not a request for zero parallelism.
+    """
+    if value is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        value = int(raw) if raw else 1
+    if value < 1:
+        raise ValueError(f"workers must be >= 1, got {value}")
+    return value
+
+
+def _mp_context() -> Any:
+    """Prefer ``fork`` (cheap start-up, inherited armed contracts)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _init_worker(counter: Any) -> None:
+    """Executor initializer: assign this worker a stable 1-based id."""
+    global _WORKER_ID
+    with counter.get_lock():
+        counter.value += 1
+        _WORKER_ID = int(counter.value)
+
+
+def _shared_executor(workers: int) -> ProcessPoolExecutor:
+    executor = _EXECUTORS.get(workers)
+    if executor is None:
+        context = _mp_context()
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(context.Value("i", 0),),
+        )
+        _EXECUTORS[workers] = executor
+    return executor
+
+
+def shutdown_workers() -> None:
+    """Tear down every shared executor (idempotent)."""
+    while _EXECUTORS:
+        _, executor = _EXECUTORS.popitem()
+        executor.shutdown(wait=True)
+
+
+def task_telemetry() -> Telemetry:
+    """The telemetry of the task currently running in this process.
+
+    Worker entries (:mod:`repro.parallel.shards`) record their phases
+    and counters here; :func:`_run_task` ships it back to the parent in
+    the result envelope.  Outside a task (e.g. a worker entry invoked
+    directly by a unit test) a throwaway instance is returned so the
+    entry still runs, it just reports to nobody.
+    """
+    return _TASK_TELEMETRY if _TASK_TELEMETRY is not None else Telemetry()
+
+
+@worker_entry
+def _run_task(entry: Callable[..., Any], args: Sequence[Any]) -> Any:
+    """Execute one task and envelope ``(value, telemetry, worker id)``.
+
+    This is the single function ever submitted to the executor; the
+    real entry rides inside the payload (module-level functions pickle
+    by reference).  A fresh :class:`Telemetry` scopes the task so the
+    envelope carries exactly one task's cost.
+    """
+    global _TASK_TELEMETRY
+    telemetry = Telemetry()
+    _TASK_TELEMETRY = telemetry
+    try:
+        with telemetry.phase("parallel.task"):
+            value = entry(*args)
+    finally:
+        _TASK_TELEMETRY = None
+    return value, telemetry.state_dict(), _WORKER_ID
+
+
+class WorkerPool:
+    """Dispatch ``@worker_entry`` tasks across ``workers`` processes.
+
+    A thin, picklable facade: the instance holds only the worker count
+    and a parent telemetry reference — the executor itself is a shared
+    module-level resource (see :data:`_EXECUTORS`).  ``workers=1`` runs
+    every task in-process through the identical envelope protocol.
+    """
+
+    def __init__(self, workers: int, telemetry: Telemetry | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self.telemetry = telemetry
+
+    def run(
+        self, entry: Callable[..., Any], payloads: Iterable[Sequence[Any]]
+    ) -> list[Any]:
+        """Run ``entry(*payload)`` for each payload; results in order.
+
+        ``entry`` must be decorated :func:`~repro.contracts.worker_entry`
+        (DML017's static audit keys off the tag, and the tag is the
+        author's promise the payload protocol was designed for the
+        process boundary).  With sanitizers armed, every payload is
+        pickle-probed parent-side so an unpicklable argument fails at
+        the call site even on the fork path, where no real pickling
+        would otherwise happen.
+        """
+        if not getattr(entry, "__demonlint_worker_entry__", False):
+            raise TypeError(
+                f"{getattr(entry, '__name__', entry)!r} is not a "
+                f"@worker_entry function; WorkerPool only dispatches "
+                f"audited entries (DML017)"
+            )
+        tasks = [tuple(payload) for payload in payloads]
+        if sanitizers_armed():
+            for payload in tasks:
+                try:
+                    pickle.dumps(payload)
+                except Exception as exc:
+                    raise SanitizerViolation(
+                        f"WorkerPool payload for {entry.__name__}() cannot "
+                        f"cross the process boundary "
+                        f"({type(exc).__name__}: {exc}); ship specs and "
+                        f"block ids, rebuild handles in the worker (DML017)"
+                    ) from exc
+        if self.workers <= 1:
+            envelopes = [_run_task(entry, payload) for payload in tasks]
+        else:
+            executor = _shared_executor(self.workers)
+            futures: list[Future[Any]] = [
+                executor.submit(_run_task, entry, payload) for payload in tasks
+            ]
+            envelopes = [future.result() for future in futures]
+        values: list[Any] = []
+        for value, state, worker_id in envelopes:
+            if self.telemetry is not None:
+                self.telemetry.merge_state_dict(state)
+                self.telemetry.merge_state_dict(
+                    state, prefix=f"parallel.w{worker_id}."
+                )
+                self.telemetry.increment("parallel.tasks")
+                self.telemetry.increment(f"parallel.w{worker_id}.tasks")
+            values.append(value)
+        return values

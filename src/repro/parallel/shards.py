@@ -1,0 +1,250 @@
+"""Worker-side shard tasks: zero-copy block refs, counting, maintenance.
+
+The payload protocol (DML017-audited via :func:`worker_entry`) ships
+*descriptions*, never live handles:
+
+* a **block ref** is ``("mmap", id, label, metadata, path)`` for a
+  block whose records live in an on-disk block directory — the worker
+  re-maps the npy/CSR columns from ``path`` zero-copy — or
+  ``("inline", id, label, metadata, records)`` when the block only
+  exists in parent memory (no backend, or the in-memory backend) and
+  its records must ride the pipe;
+* a **maintainer token** is ``("spec", {...})`` for maintainers that
+  can be rebuilt from a small config (:meth:`BordersMaintainer
+  .worker_payload`), else ``("blob", pickle-bytes)``.
+
+Workers cache what is safe to cache: single-block TID-list stores
+keyed by mmap path (:func:`count_shard`) and spec-built maintainer
+replicas keyed by their spec with a ``block id -> path`` registration
+map (:func:`maintain_shard`).  Inline refs are never cached — the
+parent's records may differ between calls under the same block id —
+which is one of the "when workers lose" cases in docs/PERFORMANCE.md.
+
+Byte-identity: count vectors merge by TID-list additivity (§2.2);
+maintenance results are pickled models whose bytes the parent adopts
+verbatim, so a parallel run's models are exactly a serial run's.
+Worker-side I/O accounting intentionally stays in the worker (replica
+stats are unbound); only phases and counters ride back through the
+:func:`~repro.parallel.pool.task_telemetry` envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Any, Sequence
+
+from repro.contracts import worker_entry
+from repro.core.blocks import Block
+from repro.parallel.pool import task_telemetry
+from repro.storage.engine import BlockSchema, MmapBlockData
+from repro.storage.persist import load_model, save_model
+from repro.storage.telemetry import bind_telemetry
+
+#: Ref kinds (index 0 of a block ref tuple).
+REF_MMAP = "mmap"
+REF_INLINE = "inline"
+
+#: Worker-resident single-block TID-list stores, keyed by mmap path.
+#: Bounded: cleared wholesale when it grows past the cap (workers are
+#: long-lived across many observes; stores hold materialized lists).
+_COUNT_STORES: dict[str, Any] = {}
+_COUNT_STORE_CAP = 64
+
+#: Spec-built maintainer replicas, keyed by the pickled spec, carrying
+#: a ``block id -> mmap path`` map of what the replica has registered.
+_SPEC_REPLICAS: dict[bytes, tuple[Any, dict[int, str]]] = {}
+
+#: Blob-built maintainer replicas, keyed by the blob bytes.  Blobs
+#: embed telemetry, so the key churns every observe — the cap keeps
+#: the effectively-uncacheable path from leaking worker memory.
+_BLOB_REPLICAS: dict[bytes, Any] = {}
+_BLOB_REPLICA_CAP = 8
+
+
+def block_ref(block: Block[Any]) -> tuple[Any, ...]:
+    """A picklable, zero-copy-where-possible description of ``block``.
+
+    Mmap-backed blocks ship only their directory path.  Everything else
+    ships materialized records — extracted through the *unbound*
+    ``InMemoryBlockData.materialize`` so the metered in-memory backend
+    does not charge a phantom read for payload construction (I/O
+    accounting must stay comparable across backends under any worker
+    count).
+    """
+    from repro.core.blocks import InMemoryBlockData
+
+    data = block.data
+    if isinstance(data, MmapBlockData):
+        return (REF_MMAP, block.block_id, block.label, dict(block.metadata), data.path)
+    records = InMemoryBlockData.materialize(data)  # type: ignore[arg-type]
+    return (REF_INLINE, block.block_id, block.label, dict(block.metadata), records)
+
+
+def resolve_block(ref: Sequence[Any]) -> Block[Any]:
+    """Rebuild a :class:`Block` handle from a ref, inside the worker.
+
+    Mmap refs re-read the block directory's ``meta.json`` and map the
+    columns lazily; the data's stats stay unbound, so worker reads are
+    never charged to any parent registry.
+    """
+    kind, block_id, label, metadata, payload = ref
+    if kind == REF_INLINE:
+        return Block(block_id, tuples=payload, label=label, metadata=metadata)
+    if kind != REF_MMAP:
+        raise ValueError(f"unknown block ref kind {kind!r}")
+    with open(os.path.join(payload, "meta.json"), "r", encoding="utf-8") as fh:
+        meta = json.load(fh)
+    data: MmapBlockData[Any] = MmapBlockData(
+        path=payload,
+        schema=BlockSchema.from_dict(meta["schema"]),
+        num_records=int(meta["num_records"]),
+        nbytes=int(meta["nbytes"]),
+        chunk_rows=meta["chunks"],
+        chunk_size=meta["chunk_size"],
+    )
+    return Block(block_id, label=label, metadata=metadata, data=data)
+
+
+def _count_store(ref: Sequence[Any]) -> Any:
+    """A TID-list store holding exactly this ref's block, cached by path."""
+    from repro.itemsets.tidlist import TidListStore
+
+    if ref[0] == REF_MMAP:
+        path = ref[4]
+        store = _COUNT_STORES.get(path)
+        if store is None:
+            if len(_COUNT_STORES) >= _COUNT_STORE_CAP:
+                _COUNT_STORES.clear()
+            store = TidListStore()
+            store.materialize_block(resolve_block(ref))
+            _COUNT_STORES[path] = store
+        return store
+    store = TidListStore()
+    store.materialize_block(resolve_block(ref))
+    return store
+
+
+@worker_entry
+def count_shard(
+    targets: Sequence[tuple[int, ...]], refs: Sequence[Sequence[Any]]
+) -> list[int]:
+    """Exact supports of ``targets`` over one shard of blocks.
+
+    Returns one count vector aligned with ``targets``; the parent sums
+    vectors across shards (TID-list additivity, §2.2) to recover
+    exactly the serial ``count_batch`` result.
+    """
+    from repro.itemsets.counting import ECUTCounter
+
+    telemetry = task_telemetry()
+    totals = [0] * len(targets)
+    with telemetry.phase("parallel.count_shard"):
+        itemsets = [tuple(target) for target in targets]
+        for ref in refs:
+            store = _count_store(ref)
+            counts = ECUTCounter(store).count_batch(itemsets, [ref[1]])
+            for index, itemset in enumerate(itemsets):
+                totals[index] += counts[itemset]
+        telemetry.increment("parallel.blocks_counted", len(refs))
+    return totals
+
+
+def _build_from_spec(spec: dict[str, Any]) -> Any:
+    """Instantiate a fresh maintainer replica from its worker spec."""
+    if spec.get("maintainer") == "borders":
+        from repro.itemsets.borders import BordersMaintainer
+
+        return BordersMaintainer(
+            spec["minsup"],
+            counter=spec["counter"],
+            pair_budget_bytes=spec["pair_budget_bytes"],
+        )
+    raise ValueError(f"unknown maintainer spec {spec!r}")
+
+
+def _replica(
+    token: tuple[str, Any],
+    history_refs: Sequence[Sequence[Any]],
+    new_ref: Sequence[Any],
+) -> Any:
+    """The worker-resident maintainer replica for one task.
+
+    Spec replicas register the history blocks named by the refs and are
+    cached — but only when every ref is mmap-backed, because a path is
+    a stable identity for a block's contents while inline records are
+    not.  A cached replica whose registration map disagrees with the
+    incoming refs (same block id, different path: the parent moved on
+    to another backend root) is discarded and rebuilt.
+    """
+    kind, payload = token
+    if kind == "blob":
+        replica = _BLOB_REPLICAS.get(payload)
+        if replica is None:
+            if len(_BLOB_REPLICAS) >= _BLOB_REPLICA_CAP:
+                _BLOB_REPLICAS.clear()
+            replica = load_model(payload)
+            _BLOB_REPLICAS[payload] = replica
+        return replica
+    refs = [*history_refs, new_ref]
+    cacheable = all(ref[0] == REF_MMAP for ref in refs)
+    spec_key = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if cacheable:
+        entry = _SPEC_REPLICAS.get(spec_key)
+        if entry is not None:
+            replica, registered = entry
+            if all(registered.get(ref[1], ref[4]) == ref[4] for ref in refs):
+                for ref in history_refs:
+                    if ref[1] not in registered:
+                        replica.register_block(resolve_block(ref))
+                        registered[ref[1]] = ref[4]
+                registered.setdefault(new_ref[1], new_ref[4])
+                return replica
+            del _SPEC_REPLICAS[spec_key]
+    replica = _build_from_spec(payload)
+    registered = {}
+    for ref in history_refs:
+        replica.register_block(resolve_block(ref))
+        registered[ref[1]] = ref[4]
+    registered[new_ref[1]] = new_ref[4]
+    if cacheable:
+        _SPEC_REPLICAS[spec_key] = (replica, registered)
+    return replica
+
+
+@worker_entry
+def maintain_shard(
+    token: tuple[str, Any],
+    source_blob: bytes | None,
+    new_ref: Sequence[Any],
+    history_refs: Sequence[Sequence[Any]],
+) -> tuple[bytes, dict[str, Any]]:
+    """Run one ``A_M`` invocation (build or add_block) in a worker.
+
+    ``source_blob is None`` means the GEMM plan builds from scratch on
+    the new block alone; otherwise the blob is the source model and the
+    invocation extends it.  Returns the resulting model's pickle —
+    adopted byte-for-byte by the parent — plus the diagnostics entries
+    this operation recorded (only the *changed* channels: a cached
+    replica's log may still hold entries from earlier tasks).
+    """
+    telemetry = task_telemetry()
+    with telemetry.phase("parallel.maintain_shard"):
+        replica = _replica(token, history_refs, new_ref)
+        bind_telemetry(replica, telemetry)
+        diagnostics = getattr(replica, "diagnostics", None)
+        before = diagnostics.entries() if diagnostics is not None else {}
+        block = resolve_block(new_ref)
+        if source_blob is None:
+            model = replica.build([block])
+        else:
+            model = replica.add_block(load_model(source_blob), block)
+        after = diagnostics.entries() if diagnostics is not None else {}
+        changed = {
+            channel: entry
+            for channel, entry in after.items()
+            if before.get(channel) is not entry
+        }
+        telemetry.increment("parallel.models_maintained")
+    return save_model(model), changed

@@ -788,10 +788,20 @@ def ambient_backend() -> BlockBackend | None:
         # destroy() closes every live mmap view before removing the
         # tree — registering a bare rmtree would delete the files out
         # from under still-open handles at interpreter exit
-        # (close-before-delete, DML014).
-        atexit.register(backend.destroy)
+        # (close-before-delete, DML014).  The registration is guarded
+        # on the creating pid: forked workers inherit both the
+        # _AMBIENT entry and the atexit hook, and a child running the
+        # parent's destroy would rmtree block directories the parent
+        # (and its sibling workers) are still reading.
+        atexit.register(_destroy_if_owner, backend, os.getpid())
         _AMBIENT[name] = backend
     return backend
+
+
+def _destroy_if_owner(backend: MmapBackend, owner_pid: int) -> None:
+    """Run an ambient backend's atexit destroy only in its creator."""
+    if os.getpid() == owner_pid:
+        backend.destroy()
 
 
 def resolve_backend(

@@ -258,6 +258,26 @@ class Telemetry:  # demonlint: disable=DML008 (attached ``_io`` registries are l
         }
         self.counters = dict(state["counters"])
 
+    def merge_state_dict(
+        self, state: dict[str, Any], prefix: str = ""
+    ) -> None:
+        """Fold another telemetry's :meth:`state_dict` into this one.
+
+        This is how worker-process telemetry flows back to the parent
+        spine: the worker serializes its private instance, the parent
+        merges the envelope twice — once bare (so aggregate phase and
+        counter totals stay comparable with a serial run) and once under
+        a ``parallel.w{id}.`` prefix for per-worker attribution.  Phase
+        seconds and calls add; counters add; attached I/O never crosses
+        (``state_dict`` deliberately omits it).
+        """
+        for name, (seconds, calls) in state["phases"].items():
+            stats = self.phases.setdefault(prefix + name, PhaseStats())
+            stats.seconds += seconds
+            stats.calls += calls
+        for name, value in state["counters"].items():
+            self.increment(prefix + name, value)
+
 
 class DiagnosticsLog:
     """Latest-value log for "what did the last operation cost" records.
@@ -281,6 +301,15 @@ class DiagnosticsLog:
     def latest(self, channel: str, default: Any = None) -> Any:
         """The most recent entry on ``channel`` (or ``default``)."""
         return self._latest.get(channel, default)
+
+    def entries(self) -> dict[str, Any]:
+        """A snapshot of every channel's most recent entry.
+
+        Worker shards diff this before/after an operation to ship back
+        only the diagnostics that operation actually recorded (see
+        :mod:`repro.parallel.shards`).
+        """
+        return dict(self._latest)
 
 
 def bind_telemetry(component: object, telemetry: Telemetry) -> None:

@@ -4,7 +4,10 @@
 import threading
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.storage.engine import MmapBackend
+
 SHARED_LOCK = threading.Lock()
+SHARED_BACKEND = MmapBackend(root="/tmp/dml017-blocks")
 
 
 def count_shard(shard, log=open("counts.log", "a")):
@@ -27,6 +30,14 @@ def nested_entry(pool, shard):
         return len(s)
 
     pool.submit(work, shard)
+
+
+def rescan_shard(block_id):
+    return SHARED_BACKEND.num_records(block_id)
+
+
+def fan_out_worker_pool(pool, block_ids):
+    return pool.run(rescan_shard, [(block_id,) for block_id in block_ids])
 
 
 class ShardRunner:

@@ -16,6 +16,13 @@ def fan_out(pool, shards):
     return list(pool.map(count_shard, shards))
 
 
+def fan_out_worker_pool(shards):
+    from repro.parallel.pool import WorkerPool
+
+    pool = WorkerPool(workers=2)
+    return pool.run(count_shard, [(shard,) for shard in shards])
+
+
 class ShardRunner:
     def __init__(self, floor):
         self.floor = floor

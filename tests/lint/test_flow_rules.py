@@ -360,10 +360,11 @@ def test_dml017_reports_every_payload_hazard():
     messages = " | ".join(v.message for v in result.violations)
     assert "default argument" in messages
     assert "module global 'SHARED_LOCK'" in messages
+    assert "module global 'SHARED_BACKEND'" in messages
     assert "lambda worker payloads" in messages
     assert "nested function 'work'" in messages
     assert "self.lock holds Lock(...)" in messages
-    assert len(result.violations) == 5
+    assert len(result.violations) == 6
 
 
 def test_dml017_picklable_payloads_are_exempt():

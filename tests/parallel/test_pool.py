@@ -1,0 +1,164 @@
+"""WorkerPool unit behaviour: dispatch, envelopes, telemetry, auditing.
+
+Everything here runs at ``workers=1`` (the in-process fallback) unless
+the test explicitly asks for real processes — the envelope protocol is
+identical on both paths, which is exactly what the fallback is for.
+"""
+
+import pytest
+
+from repro.contracts import SanitizerViolation, worker_entry
+from repro.parallel.pool import (
+    WORKERS_ENV,
+    WorkerPool,
+    resolve_workers,
+    shutdown_workers,
+    task_telemetry,
+)
+from repro.storage.telemetry import Telemetry
+
+
+@worker_entry
+def _double(x):
+    telemetry = task_telemetry()
+    with telemetry.phase("test.double"):
+        telemetry.increment("test.doubled")
+        return 2 * x
+
+
+@worker_entry
+def _add(a, b):
+    return a + b
+
+
+def _undecorated(x):
+    return x
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert resolve_workers(2) == 2
+
+    def test_blank_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "  ")
+        assert resolve_workers() == 1
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_below_one_rejected(self, bad):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            resolve_workers(bad)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+
+class TestWorkerPool:
+    def test_results_in_payload_order(self):
+        pool = WorkerPool(workers=1)
+        assert pool.run(_double, [(3,), (1,), (2,)]) == [6, 2, 4]
+
+    def test_multi_argument_payloads(self):
+        pool = WorkerPool(workers=1)
+        assert pool.run(_add, [(1, 2), (10, 20)]) == [3, 30]
+
+    def test_empty_payloads(self):
+        assert WorkerPool(workers=1).run(_double, []) == []
+
+    def test_rejects_unaudited_entries(self):
+        pool = WorkerPool(workers=1)
+        with pytest.raises(TypeError, match="worker_entry"):
+            pool.run(_undecorated, [(1,)])
+
+    def test_unpicklable_payload_fails_at_the_call_site(self):
+        # With sanitizers armed, the parent-side pickle probe runs even
+        # on the in-process path, where nothing would otherwise be
+        # pickled — an unpicklable payload fails fast at the call site.
+        from repro import contracts
+
+        already = contracts.sanitizers_armed()
+        contracts.arm_sanitizers()
+        try:
+            pool = WorkerPool(workers=1)
+            with pytest.raises(SanitizerViolation, match="process boundary"):
+                pool.run(_double, [(lambda: None,)])
+        finally:
+            if not already:
+                contracts.disarm_sanitizers()
+
+    def test_sane_payloads_pass_the_armed_probe(self):
+        from repro import contracts
+
+        already = contracts.sanitizers_armed()
+        contracts.arm_sanitizers()
+        try:
+            assert WorkerPool(workers=1).run(_double, [(4,)]) == [8]
+        finally:
+            if not already:
+                contracts.disarm_sanitizers()
+
+    def test_telemetry_merged_bare_and_per_worker(self):
+        telemetry = Telemetry()
+        pool = WorkerPool(workers=1, telemetry=telemetry)
+        pool.run(_double, [(1,), (2,)])
+        # Bare merge keeps aggregate totals comparable with serial...
+        assert telemetry.counters["test.doubled"] == 2
+        assert telemetry.phases["test.double"].calls == 2
+        assert telemetry.phases["parallel.task"].calls == 2
+        assert telemetry.counters["parallel.tasks"] == 2
+        # ...and the prefixed mirror attributes the same cost to the
+        # in-process pseudo-worker (id 0 on the fallback path).
+        assert telemetry.counters["parallel.w0.test.doubled"] == 2
+        assert telemetry.phases["parallel.w0.parallel.task"].calls == 2
+        assert telemetry.counters["parallel.w0.tasks"] == 2
+
+    def test_no_telemetry_is_fine(self):
+        assert WorkerPool(workers=1).run(_double, [(5,)]) == [10]
+
+    def test_task_telemetry_outside_a_task_is_a_throwaway(self):
+        a, b = task_telemetry(), task_telemetry()
+        assert isinstance(a, Telemetry)
+        assert a is not b  # nothing leaks between calls
+
+    def test_pool_is_picklable(self):
+        import pickle
+
+        pool = WorkerPool(workers=2, telemetry=Telemetry())
+        clone = pickle.loads(pickle.dumps(pool))
+        assert clone.workers == 2
+
+
+class TestRealProcesses:
+    def test_two_worker_round_trip(self):
+        telemetry = Telemetry()
+        pool = WorkerPool(workers=2, telemetry=telemetry)
+        try:
+            assert pool.run(_double, [(i,) for i in range(6)]) == [
+                0, 2, 4, 6, 8, 10,
+            ]
+            # All six tasks were attributed to real workers (ids >= 1).
+            attributed = sum(
+                value
+                for name, value in telemetry.counters.items()
+                if name.startswith("parallel.w") and name.endswith(".tasks")
+            )
+            assert attributed == 6
+            assert "parallel.w0.tasks" not in telemetry.counters
+            assert telemetry.counters["test.doubled"] == 6
+        finally:
+            shutdown_workers()
+
+    def test_shutdown_is_idempotent(self):
+        shutdown_workers()
+        shutdown_workers()

@@ -1741,9 +1741,10 @@ class StreamingDiscipline(Rule):
 # ----------------------------------------------------------------------
 
 #: Pool/executor methods that ship their first argument to a worker.
+#: ``run`` is ``repro.parallel.pool.WorkerPool.run(entry, payloads)``.
 WORKER_SUBMIT_METHODS = frozenset(
     {"submit", "map", "starmap", "apply", "apply_async", "imap",
-     "imap_unordered"}
+     "imap_unordered", "run"}
 )
 #: Factory calls whose results do not survive pickling (or, for the
 #: registries, must not be shared across process boundaries).
