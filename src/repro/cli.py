@@ -77,9 +77,10 @@ def _add_monitor(subparsers) -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--backend", choices=["memory", "mmap"], default=None,
+        "--backend", choices=["memory", "mmap", "tiered"], default=None,
         help="block storage backend the session ingests onto "
-        "(default: DEMON_BLOCK_BACKEND or plain in-memory blocks)",
+        "(tiered = mmap with compressed cold blocks; "
+        "default: DEMON_BLOCK_BACKEND or plain in-memory blocks)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,

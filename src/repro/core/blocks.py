@@ -40,7 +40,12 @@ def default_chunk_size() -> int:
     raw = os.environ.get("DEMON_BLOCK_CHUNK", "").strip()
     if not raw:
         return FALLBACK_CHUNK_SIZE
-    size = int(raw)
+    try:
+        size = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"DEMON_BLOCK_CHUNK must be a positive integer, got {raw!r}"
+        ) from None
     if size < 1:
         raise ValueError(f"DEMON_BLOCK_CHUNK must be >= 1, got {size}")
     return size

@@ -222,7 +222,16 @@ class MiningSession(Generic[TModel, T]):
         if self.vault is not None:
             self.telemetry.attach_io("vault", self.vault.registry)
         if self.backend is not None:
+            bind_telemetry(self.backend, self.telemetry)
             self.telemetry.attach_io("backend", self.backend.registry)
+            # A backend that compresses its cold tier also lends its
+            # byte codec to GEMM's vault spill, so disk-resident models
+            # ride the same tiering discipline (§3.2.3).
+            spill = getattr(self.backend, "spill_codec", None)
+            if spill is not None and self.vault is not None:
+                enable = getattr(self.vault, "enable_codec", None)
+                if callable(enable):
+                    enable(spill)
         if self._pool is not None:
             # Sharded execution rides the same wiring pass: GEMM fans
             # off-line updates out per model, and a poolable counter
@@ -290,11 +299,38 @@ class MiningSession(Generic[TModel, T]):
             # (exception atomicity, DML018).
             if self.snapshot is not None:
                 self.snapshot.extend(block)
+            self._expire_cold(block.block_id)
         self.telemetry.increment("session.blocks")
         # Record count comes from backend metadata — no materialization.
         self.telemetry.increment("session.records", block.num_records)
         report.telemetry = self.telemetry.delta_since(before)
         return report
+
+    def _expire_cold(self, block_id: int) -> None:
+        """Tier down the block that just slid out of an MRW window.
+
+        Under the most recent window option block ``t - w`` can no
+        longer enter any selection, so its dense columns are demoted to
+        the compressed tier (tiered backend only) and its TID-lists are
+        re-encoded in place (every backend — the counting kernels work
+        directly on the compressed forms, so byte accounting stays
+        backend-independent).  Both steps are deterministic functions
+        of block content, keeping checkpoints byte-identical across
+        placements.
+        """
+        if not isinstance(self.span, MostRecentWindow):
+            return
+        expired = block_id - self.span.w
+        if expired < 1:
+            return
+        notify = getattr(self.backend, "notify_expired", None)
+        if callable(notify):
+            notify([expired])
+        context = getattr(self.maintainer, "context", None)
+        tidlists = getattr(context, "tidlists", None)
+        compress = getattr(tidlists, "compress_block", None)
+        if callable(compress):
+            compress(expired)
 
     def ingest(
         self,

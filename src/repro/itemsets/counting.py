@@ -41,7 +41,10 @@ from repro.itemsets.itemset import Itemset, Transaction
 from repro.itemsets.kernels import (
     TID_BYTES,
     BitmapTidList,
+    ChunkedTidList,
+    DeltaVarintTidList,
     TidList,
+    as_array,
     count_pair,
     count_segments,
     intersect_many,
@@ -115,6 +118,16 @@ class PTScanCounter(SupportCounter):
 #: free of per-edge tuple allocation.
 _FetchKey = Union[int, Pair]
 
+#: Compressed lists up to this many tids are decoded once per
+#: (batch, block) pass when first fetched: a trie walk touches each
+#: hot list many times, and re-decoding per intersection costs more
+#: than the one bounded array (at most 512 KB) the decode produces.
+#: Longer lists stay compressed and intersect through the
+#: segment-skipping kernels, which only decode what a probe overlaps.
+#: The threshold depends only on list length, so counting stays
+#: deterministic across backends, workers, and restarts.
+DECODE_AT_FETCH_MAX = 1 << 16
+
 
 class _BlockFetchCache:
     """Per-(batch, block) read-through cache over the TID-list stores.
@@ -124,9 +137,12 @@ class _BlockFetchCache:
     recorded as a cache hit on the same I/O counter — each distinct
     physical list is charged exactly once per block, exactly what a
     buffer pool large enough for one block's working set would do.
+    Short compressed lists are decoded on that first fetch (see
+    :data:`DECODE_AT_FETCH_MAX`); hits keep charging the *fetched*
+    (compressed) bytes, because that is what was read from the store.
     """
 
-    __slots__ = ("cached", "_tidlists", "_pairs", "_block_id")
+    __slots__ = ("cached", "_tidlists", "_pairs", "_block_id", "_fetched_nbytes")
 
     def __init__(
         self,
@@ -137,6 +153,7 @@ class _BlockFetchCache:
         self._tidlists = tidlists
         self._pairs = pairs
         self._block_id = block_id
+        self._fetched_nbytes: dict[_FetchKey, int] = {}
         #: Key → list map; the engines probe this dict directly on their
         #: hot path and only call :meth:`fetch_new` / :meth:`record_hit`
         #: on a miss / hit.
@@ -149,6 +166,12 @@ class _BlockFetchCache:
             tids = self._pairs.fetch(self._block_id, key)
         else:
             tids = self._tidlists.fetch_list(self._block_id, key)
+        self._fetched_nbytes[key] = list_nbytes(tids)
+        if (
+            isinstance(tids, (ChunkedTidList, DeltaVarintTidList))
+            and len(tids) <= DECODE_AT_FETCH_MAX
+        ):
+            tids = as_array(tids)
         self.cached[key] = tids
         return tids
 
@@ -156,7 +179,7 @@ class _BlockFetchCache:
         """Account one re-use of an already-fetched list."""
         store = self._pairs if type(key) is tuple else self._tidlists
         assert store is not None
-        store.stats.record_cached_read(list_nbytes(tids))
+        store.stats.record_cached_read(self._fetched_nbytes[key])
 
     def get(self, key: _FetchKey) -> TidList:
         tids = self.cached.get(key)
@@ -230,9 +253,10 @@ def _count_trie(
             # stopped fetching at this point too).
             _zero_descendants(node, counts)
             continue
-        running_is_array = running is not None and not isinstance(
-            running, BitmapTidList
-        )
+        # The segmented sibling-leaf kernel needs plain ndarrays on
+        # both sides; bitmap and compressed lists go through the
+        # representation-aware pair kernels instead.
+        running_is_array = isinstance(running, np.ndarray)
         leaves: list[tuple[list[Itemset], TidList]] | None = None
         for key, child in node.children.items():
             tids = cache.get(key)
@@ -246,7 +270,7 @@ def _count_trie(
                 support = len(tids)
                 for itemset in child.terminals:
                     counts[itemset] = support
-            elif running_is_array and not isinstance(tids, BitmapTidList):
+            elif running_is_array and isinstance(tids, np.ndarray):
                 if leaves is None:
                     leaves = []
                 leaves.append((child.terminals, tids))
@@ -539,6 +563,12 @@ class ECUTCounter(SupportCounter):
         for block_id in block_ids:
             block_size = self._tidlists.block_size(block_id)
             if (len(items) + n) * block_size > DENSE_MAX_CELLS:
+                # Oversized blocks fall back to the per-node trie DFS
+                # for scratch-size reasons.  Compressed (cold) blocks
+                # take the dense path like hot ones: the packed catalog
+                # decodes each list at most once per block while the
+                # accountant keeps charging the compressed physical
+                # sizes, so byte accounting stays placement-independent.
                 self._count_block_trie(targets, block_id, supports)
                 continue
             # Rank items by (per-block count, item): `items` is sorted,

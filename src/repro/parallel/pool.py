@@ -72,7 +72,15 @@ def resolve_workers(value: int | None = None) -> int:
     """
     if value is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
-        value = int(raw) if raw else 1
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+                ) from None
+        else:
+            value = 1
     if value < 1:
         raise ValueError(f"workers must be >= 1, got {value}")
     return value

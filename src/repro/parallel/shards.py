@@ -5,10 +5,14 @@ The payload protocol (DML017-audited via :func:`worker_entry`) ships
 
 * a **block ref** is ``("mmap", id, label, metadata, path)`` for a
   block whose records live in an on-disk block directory — the worker
-  re-maps the npy/CSR columns from ``path`` zero-copy — or
-  ``("inline", id, label, metadata, records)`` when the block only
-  exists in parent memory (no backend, or the in-memory backend) and
-  its records must ride the pipe;
+  re-maps the npy/CSR columns from ``path`` zero-copy —
+  ``("packed", id, label, metadata, path, codec)`` for a tiered
+  block demoted to its compressed cold form (the worker memory-maps
+  ``packed.bin`` and decodes chunk-at-a-time; the codec field names
+  the integer codec so the worker need not trust ``meta.json``
+  alone), or ``("inline", id, label, metadata, records)`` when the
+  block only exists in parent memory (no backend, or the in-memory
+  backend) and its records must ride the pipe;
 * a **maintainer token** is ``("spec", {...})`` for maintainers that
   can be rebuilt from a small config (:meth:`BordersMaintainer
   .worker_payload`), else ``("blob", pickle-bytes)``.
@@ -38,13 +42,25 @@ from typing import Any, Sequence
 from repro.contracts import worker_entry
 from repro.core.blocks import Block
 from repro.parallel.pool import task_telemetry
-from repro.storage.engine import BlockSchema, MmapBlockData
+from repro.storage.engine import (
+    TIER_COLD,
+    BlockSchema,
+    MmapBlockData,
+    TieredBlockData,
+    load_block_data,
+)
 from repro.storage.persist import load_model, save_model
 from repro.storage.telemetry import bind_telemetry
 
 #: Ref kinds (index 0 of a block ref tuple).
 REF_MMAP = "mmap"
 REF_INLINE = "inline"
+REF_PACKED = "packed"
+
+#: Ref kinds addressed by an on-disk block directory path (index 4) —
+#: a stable identity for the block's immutable contents, so stores and
+#: replicas built from them are cacheable worker-side.
+_PATH_REF_KINDS = (REF_MMAP, REF_PACKED)
 
 #: Worker-resident single-block TID-list stores, keyed by mmap path.
 #: Bounded: cleared wholesale when it grows past the cap (workers are
@@ -76,6 +92,19 @@ def block_ref(block: Block[Any]) -> tuple[Any, ...]:
     from repro.core.blocks import InMemoryBlockData
 
     data = block.data
+    # TieredBlockData subclasses MmapBlockData, so the tier check must
+    # come first: a cold block's dense columns no longer exist and only
+    # the packed form can be reopened.  Hot tiered blocks are plain
+    # mmap directories and ship as such.
+    if isinstance(data, TieredBlockData) and data.tier == TIER_COLD:
+        return (
+            REF_PACKED,
+            block.block_id,
+            block.label,
+            dict(block.metadata),
+            data.path,
+            data.codec,
+        )
     if isinstance(data, MmapBlockData):
         return (REF_MMAP, block.block_id, block.label, dict(block.metadata), data.path)
     records = InMemoryBlockData.materialize(data)  # type: ignore[arg-type]
@@ -86,12 +115,28 @@ def resolve_block(ref: Sequence[Any]) -> Block[Any]:
     """Rebuild a :class:`Block` handle from a ref, inside the worker.
 
     Mmap refs re-read the block directory's ``meta.json`` and map the
-    columns lazily; the data's stats stay unbound, so worker reads are
-    never charged to any parent registry.
+    columns lazily; packed refs reopen the compressed cold form through
+    :func:`~repro.storage.engine.load_block_data` (no promoter is bound
+    worker-side, so a worker's reads never re-inflate the parent's cold
+    block).  Either way the data's stats stay unbound, so worker reads
+    are never charged to any parent registry.
     """
-    kind, block_id, label, metadata, payload = ref
+    kind, block_id, label, metadata, payload = ref[0], ref[1], ref[2], ref[3], ref[4]
     if kind == REF_INLINE:
         return Block(block_id, tuples=payload, label=label, metadata=metadata)
+    if kind == REF_PACKED:
+        packed = load_block_data(payload)
+        if not (isinstance(packed, TieredBlockData) and packed.tier == TIER_COLD):
+            raise ValueError(
+                f"packed ref for block {block_id} points at {payload!r}, "
+                "which holds no cold-tier data"
+            )
+        if ref[5] != packed.codec:
+            raise ValueError(
+                f"packed ref for block {block_id} names codec {ref[5]!r} "
+                f"but {payload!r} was written with {packed.codec!r}"
+            )
+        return Block(block_id, label=label, metadata=metadata, data=packed)
     if kind != REF_MMAP:
         raise ValueError(f"unknown block ref kind {kind!r}")
     with open(os.path.join(payload, "meta.json"), "r", encoding="utf-8") as fh:
@@ -111,7 +156,7 @@ def _count_store(ref: Sequence[Any]) -> Any:
     """A TID-list store holding exactly this ref's block, cached by path."""
     from repro.itemsets.tidlist import TidListStore
 
-    if ref[0] == REF_MMAP:
+    if ref[0] in _PATH_REF_KINDS:
         path = ref[4]
         store = _COUNT_STORES.get(path)
         if store is None:
@@ -172,9 +217,9 @@ def _replica(
     """The worker-resident maintainer replica for one task.
 
     Spec replicas register the history blocks named by the refs and are
-    cached — but only when every ref is mmap-backed, because a path is
-    a stable identity for a block's contents while inline records are
-    not.  A cached replica whose registration map disagrees with the
+    cached — but only when every ref is path-addressed (mmap or
+    packed), because a block directory path is a stable identity for a
+    block's contents while inline records are not.  A cached replica whose registration map disagrees with the
     incoming refs (same block id, different path: the parent moved on
     to another backend root) is discarded and rebuilt.
     """
@@ -188,7 +233,7 @@ def _replica(
             _BLOB_REPLICAS[payload] = replica
         return replica
     refs = [*history_refs, new_ref]
-    cacheable = all(ref[0] == REF_MMAP for ref in refs)
+    cacheable = all(ref[0] in _PATH_REF_KINDS for ref in refs)
     spec_key = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     if cacheable:
         entry = _SPEC_REPLICAS.get(spec_key)

@@ -8,7 +8,7 @@ stream into a :class:`~repro.core.blocks.BlockData` that the
 iterates chunk-wise through the handle, never touching raw record
 lists (demonlint DML013).
 
-Two backends ship:
+Three backends ship:
 
 * :class:`InMemoryBackend` — the historical behaviour: records live as
   one materialized tuple, now with chunked iteration and byte metering.
@@ -18,6 +18,11 @@ Two backends ship:
   anything else falls back to per-chunk pickles.  Arrays are lazily
   opened with ``numpy`` memory mapping and released by :meth:`close`,
   so resident memory stays bounded by the chunk size, not the block.
+* :class:`TieredBackend` — mmap storage plus a hot/cold lifecycle:
+  blocks expired from the most recent window compact to compressed
+  per-chunk blobs (``storage/codecs.py``) in one ``packed.bin``,
+  cutting disk and resident bytes severalfold; a cold block that keeps
+  being scanned promotes itself back to the dense layout.
 
 Byte accounting is *logical* and backend-independent (4 bytes per
 integer field, 8 per coordinate, pickled size otherwise — see
@@ -749,6 +754,633 @@ class MmapBackend(BlockBackend):
 
 
 # ----------------------------------------------------------------------
+# The tiered hot/cold lifecycle
+# ----------------------------------------------------------------------
+
+#: Block temperature tiers.
+TIER_HOT = "hot"
+TIER_COLD = "cold"
+
+#: A cold block promotes back to the dense layout when it has served
+#: more than this many compressed scans — repeated access means the MRW
+#: expiry call was wrong about the block's temperature.
+PROMOTE_AFTER_READS = 2
+
+#: During demotion the lazily mapped dense arrays are re-opened every
+#: this many packed chunks, so the resident set stays bounded by a few
+#: chunks instead of the whole block's touched pages.
+_DEMOTE_RECYCLE_CHUNKS = 16
+
+#: Codec recorded for the byte-payload (dense float / pickle) layouts.
+DEFLATE_CODEC = "deflate"
+
+
+def _dense_file_names(schema: BlockSchema, chunk_rows: list[dict[str, int]]) -> list[str]:
+    """The dense-layout files a block directory holds for ``schema``."""
+    if schema.kind == KIND_CSR:
+        return ["values.npy", "offsets.npy"]
+    if schema.kind == KIND_DENSE:
+        return [f"col_{j:03d}.npy" for j in range(schema.width)]
+    return [f"chunk_{index:05d}.pkl" for index in range(len(chunk_rows))]
+
+
+class TieredBlockData(MmapBlockData[T]):
+    """Block data that can live dense (hot) or compressed (cold).
+
+    Hot blocks are plain :class:`MmapBlockData` directories.
+    :meth:`demote` compacts the dense columns into one ``packed.bin``
+    of per-chunk codec blobs (delta+varint for CSR offset columns,
+    raw ``uint16`` for value runs that fit it — they are unsorted, so
+    delta-varint buys no bytes there and raw decodes branch-free —
+    deflate for float rows and pickled chunks), rewrites ``meta.json``
+    with the tier, codec, and packed chunk index, and deletes the dense
+    files; :meth:`promote` is the exact inverse.  Readers never notice:
+    chunk boundaries and logical byte charges are identical in both
+    tiers, so :class:`~repro.storage.iostats.IOStats` and checkpoint
+    bytes stay backend- and tier-independent.
+
+    Cold reads go through one lazily opened ``uint8`` memory map of
+    ``packed.bin`` that participates in the same close/reopen/seal
+    lifecycle as the dense handles (DML014/DML015).
+    """
+
+    __slots__ = ("tier", "codec", "_packed_rows", "_cold_reads", "_promoter")
+
+    def __init__(
+        self,
+        path: str,
+        schema: BlockSchema,
+        num_records: int,
+        nbytes: int,
+        chunk_rows: list[dict[str, int]],
+        chunk_size: int | None = None,
+        stats: IOStats | None = None,
+        tier: str = TIER_HOT,
+        codec: str | None = None,
+        packed_rows: list[dict[str, Any]] | None = None,
+    ) -> None:
+        super().__init__(
+            path=path,
+            schema=schema,
+            num_records=num_records,
+            nbytes=nbytes,
+            chunk_rows=chunk_rows,
+            chunk_size=chunk_size,
+            stats=stats,
+        )
+        self.tier = tier
+        self.codec = codec
+        self._packed_rows = packed_rows or []
+        self._cold_reads = 0
+        self._promoter: Any = None
+
+    @classmethod
+    def from_mmap(cls, data: MmapBlockData[T]) -> "TieredBlockData[T]":
+        """Wrap a freshly written dense block directory (hot tier)."""
+        return cls(
+            path=data.path,
+            schema=data.schema,
+            num_records=data._num_records,
+            nbytes=data._nbytes,
+            chunk_rows=data._chunk_rows,
+            chunk_size=data._chunk_size,
+            stats=data._stats,
+        )
+
+    # -- tier bookkeeping ----------------------------------------------
+
+    @property
+    def packed_path(self) -> str:
+        return os.path.join(self.path, "packed.bin")
+
+    def compressed_nbytes(self) -> int:
+        """Bytes of ``packed.bin`` currently holding this block (0 if hot)."""
+        if self.tier != TIER_COLD:
+            return 0
+        return sum(
+            int(span[1])
+            for entry in self._packed_rows
+            for span in entry["spans"]
+        )
+
+    def _write_meta(self) -> None:
+        meta: dict[str, Any] = {
+            "format": BLOCK_DIR_FORMAT,
+            "schema": self.schema.to_dict(),
+            "num_records": self._num_records,
+            "nbytes": self._nbytes,
+            "chunk_size": self._chunk_size,
+            "chunks": self._chunk_rows,
+            "tier": self.tier,
+        }
+        if self.tier == TIER_COLD:
+            meta["codec"] = self.codec
+            meta["packed"] = self._packed_rows
+        with open(os.path.join(self.path, "meta.json"), "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+
+    # -- demotion (hot -> cold) ----------------------------------------
+
+    def demote(self, int_codec: str = "delta-varint") -> int:
+        """Compact the dense layout to compressed form; idempotent.
+
+        Returns the number of dense bytes removed from disk (0 when the
+        block was already cold).  Tier maintenance is *not* charged to
+        the backend's I/O counter: logical reads and writes are
+        placement-independent, and a background compaction is neither.
+        """
+        from repro.storage.codecs import deflate, resolve_codec
+
+        if self.tier == TIER_COLD:
+            return 0
+        codec_name = int_codec if self.schema.kind == KIND_CSR else DEFLATE_CODEC
+        codec = resolve_codec(int_codec) if self.schema.kind == KIND_CSR else None
+        dense_files = [
+            os.path.join(self.path, name)
+            for name in _dense_file_names(self.schema, self._chunk_rows)
+        ]
+        reclaimed = sum(os.path.getsize(f) for f in dense_files if os.path.exists(f))
+        size = self._default_size()
+        entries: list[dict[str, Any]] = []
+        offset = 0
+        with open(self.packed_path, "wb") as out:
+            if self.schema.kind == KIND_CSR:
+                offset = self._demote_csr(out, codec, size, entries)
+            elif self.schema.kind == KIND_DENSE:
+                offset = self._demote_dense(out, deflate, size, entries)
+            else:
+                offset = self._demote_pickle(out, deflate, entries)
+        self._cache = None
+        for f in dense_files:
+            if os.path.exists(f):
+                os.remove(f)
+        self.tier = TIER_COLD
+        self.codec = codec_name
+        self._packed_rows = entries
+        self._cold_reads = 0
+        self._write_meta()
+        return reclaimed
+
+    def _demote_csr(
+        self,
+        out: Any,
+        codec: Any,
+        size: int,
+        entries: list[dict[str, Any]],
+    ) -> int:
+        from repro.storage.codecs import resolve_codec
+
+        offset = 0
+        for index, start in enumerate(range(0, self._num_records, size)):
+            values, offsets = self._arrays()
+            stop = min(start + size, self._num_records)
+            offs = np.asarray(offsets[start : stop + 1], dtype=np.int64)
+            vals = np.asarray(values[int(offs[0]) : int(offs[-1])], dtype=np.int64)
+            # Chunk-local cumulative offsets, not per-record lengths:
+            # the codec's delta stream is then exactly the (non-negative)
+            # lengths, and decoding hands back ready-to-slice offsets
+            # without a second cumsum on the read path.
+            offsets_blob = codec.encode(offs[1:] - offs[0])
+            # Value runs are unsorted (they restart at every record),
+            # so delta-varint earns nothing over two raw bytes when the
+            # ids fit uint16 — and raw decodes with one frombuffer.
+            vcodec_name = None
+            if len(vals) == 0 or (
+                int(vals.min()) >= 0 and int(vals.max()) <= 0xFFFF
+            ):
+                vcodec_name = "raw-u16"
+            vcodec = resolve_codec(vcodec_name) if vcodec_name else codec
+            values_blob = vcodec.encode(vals)
+            out.write(offsets_blob)
+            out.write(values_blob)
+            entry: dict[str, Any] = {
+                "count": stop - start,
+                "values": int(len(vals)),
+                "spans": [
+                    [offset, len(offsets_blob)],
+                    [offset + len(offsets_blob), len(values_blob)],
+                ],
+            }
+            if vcodec_name:
+                entry["vcodec"] = vcodec_name
+            entries.append(entry)
+            offset += len(offsets_blob) + len(values_blob)
+            if (index + 1) % _DEMOTE_RECYCLE_CHUNKS == 0:
+                self._cache = None
+        return offset
+
+    def _demote_dense(
+        self,
+        out: Any,
+        deflate: Any,
+        size: int,
+        entries: list[dict[str, Any]],
+    ) -> int:
+        offset = 0
+        width = self.schema.width
+        for index, start in enumerate(range(0, self._num_records, size)):
+            columns = self._arrays()
+            stop = min(start + size, self._num_records)
+            rows = np.column_stack(
+                [np.asarray(column[start:stop]) for column in columns]
+            ).astype(np.float64, copy=False)
+            blob = deflate(rows.tobytes())
+            out.write(blob)
+            entries.append({"count": stop - start, "spans": [[offset, len(blob)]]})
+            offset += len(blob)
+            if (index + 1) % _DEMOTE_RECYCLE_CHUNKS == 0:
+                self._cache = None
+        return offset
+
+    def _demote_pickle(
+        self, out: Any, deflate: Any, entries: list[dict[str, Any]]
+    ) -> int:
+        offset = 0
+        for index, row in enumerate(self._chunk_rows):
+            with open(
+                os.path.join(self.path, f"chunk_{index:05d}.pkl"), "rb"
+            ) as fh:
+                raw = fh.read()
+            blob = deflate(raw)
+            out.write(blob)
+            entries.append({"count": row["count"], "spans": [[offset, len(blob)]]})
+            offset += len(blob)
+        return offset
+
+    # -- promotion (cold -> hot) ---------------------------------------
+
+    def promote(self) -> int:
+        """Rebuild the dense layout from ``packed.bin``; idempotent.
+
+        Returns the compressed bytes removed (0 when already hot).  The
+        rebuilt dense files are byte-identical to the pre-demotion ones
+        (codecs round-trip exactly; pickle chunks inflate to their
+        original bytes), so a demote/promote cycle is invisible to
+        checkpoints and the parallel shard path.
+        """
+        if self.tier != TIER_COLD:
+            return 0
+        freed = self.compressed_nbytes()
+        if self.schema.kind == KIND_CSR:
+            self._promote_csr()
+        elif self.schema.kind == KIND_DENSE:
+            self._promote_dense()
+        else:
+            self._promote_pickle()
+        self._cache = None
+        if os.path.exists(self.packed_path):
+            os.remove(self.packed_path)
+        self.tier = TIER_HOT
+        self.codec = None
+        self._packed_rows = []
+        self._cold_reads = 0
+        self._write_meta()
+        return freed
+
+    def _promote_csr(self) -> None:
+        from repro.storage.codecs import resolve_codec
+
+        codec = resolve_codec(self.codec or "delta-varint")
+        packed = self._packed()
+        length_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        for entry in self._packed_rows:
+            (l_off, l_len), (v_off, v_len) = entry["spans"]
+            local = codec.decode(packed[l_off : l_off + l_len], int(entry["count"]))
+            length_parts.append(np.diff(local, prepend=0))
+            vcodec = (
+                resolve_codec(entry["vcodec"]) if "vcodec" in entry else codec
+            )
+            value_parts.append(
+                vcodec.decode(packed[v_off : v_off + v_len], int(entry["values"]))
+            )
+        lengths = (
+            np.concatenate(length_parts)
+            if length_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        values = (
+            np.concatenate(value_parts)
+            if value_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        offsets = np.zeros(self._num_records + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        self._cache = None
+        np.save(os.path.join(self.path, "values.npy"), values)
+        np.save(os.path.join(self.path, "offsets.npy"), offsets)
+
+    def _promote_dense(self) -> None:
+        from repro.storage.codecs import inflate
+
+        packed = self._packed()
+        width = self.schema.width
+        parts: list[np.ndarray] = []
+        for entry in self._packed_rows:
+            (off, length) = entry["spans"][0]
+            rows = np.frombuffer(
+                inflate(packed[off : off + length]), dtype=np.float64
+            ).reshape(int(entry["count"]), width)
+            parts.append(rows)
+        matrix = (
+            np.concatenate(parts)
+            if parts
+            else np.empty((0, width), dtype=np.float64)
+        )
+        self._cache = None
+        for j in range(width):
+            np.save(os.path.join(self.path, f"col_{j:03d}.npy"), matrix[:, j].copy())
+
+    def _promote_pickle(self) -> None:
+        from repro.storage.codecs import inflate
+
+        packed = self._packed()
+        for index, entry in enumerate(self._packed_rows):
+            (off, length) = entry["spans"][0]
+            raw = inflate(packed[off : off + length])
+            self._cache = None
+            with open(
+                os.path.join(self.path, f"chunk_{index:05d}.pkl"), "wb"
+            ) as fh:
+                fh.write(raw)
+
+    # -- cold reads ----------------------------------------------------
+
+    def _packed(self) -> np.ndarray:
+        """The lazily opened ``uint8`` map of ``packed.bin``."""
+        if self._cache is None:
+            if os.path.getsize(self.packed_path) == 0:
+                self._cache = np.empty(0, dtype=np.uint8)
+            else:
+                self._cache = np.memmap(self.packed_path, dtype=np.uint8, mode="r")
+        return self._cache
+
+    def _arrays(self) -> Any:
+        if self.tier == TIER_COLD:
+            return self._packed()
+        return super()._arrays()
+
+    def _note_cold_read(self) -> None:
+        """Count one compressed scan; promote past the threshold."""
+        self._cold_reads += 1
+        if self._promoter is not None and self._cold_reads > PROMOTE_AFTER_READS:
+            self._promoter(self)
+
+    def chunks(self, chunk_size: int | None = None) -> Iterator[Sequence[T]]:
+        if self.tier == TIER_COLD:
+            self._note_cold_read()
+        return super().chunks(chunk_size)
+
+    def materialize(self) -> tuple[T, ...]:
+        if self.tier == TIER_COLD:
+            self._note_cold_read()
+        return super().materialize()
+
+    def _chunks_with_sizes(self, size: int) -> Iterator[tuple[Sequence[T], int]]:
+        if self.tier != TIER_COLD:
+            yield from super()._chunks_with_sizes(size)
+            return
+        pending: list[T] = []
+        pending_nbytes = 0
+        for records, nbytes in self._cold_record_chunks():
+            if not pending and len(records) == size:
+                # Packed chunks line up with the requested size (the
+                # common case: both use the block's default), so the
+                # charge comes straight from the decode metadata
+                # instead of an O(records) re-walk.
+                yield records, nbytes
+                continue
+            pending.extend(records)
+            pending_nbytes += nbytes
+            while len(pending) >= size:
+                chunk, pending = pending[:size], pending[size:]
+                chunk_nbytes = records_nbytes(chunk)
+                pending_nbytes -= chunk_nbytes
+                yield chunk, chunk_nbytes
+        if pending:
+            yield pending, pending_nbytes
+
+    def _cold_record_chunks(self) -> Iterator[tuple[list[T], int]]:
+        """Decode the packed chunks one at a time, never the whole block."""
+        from repro.storage.codecs import inflate, resolve_codec
+
+        if self.schema.kind == KIND_CSR:
+            codec = resolve_codec(self.codec or "delta-varint")
+            for entry in self._packed_rows:
+                packed = self._packed()
+                (l_off, l_len), (v_off, v_len) = entry["spans"]
+                count = int(entry["count"])
+                # The offsets blob decodes straight to chunk-local
+                # cumulative offsets; only the leading zero is missing.
+                offs = codec.decode(packed[l_off : l_off + l_len], count)
+                vcodec = (
+                    resolve_codec(entry["vcodec"])
+                    if "vcodec" in entry
+                    else codec
+                )
+                vals = vcodec.decode(
+                    packed[v_off : v_off + v_len], int(entry["values"])
+                )
+                flat = vals.tolist()
+                rel_list = [0] + offs.tolist()
+                yield (
+                    [
+                        tuple(flat[rel_list[i] : rel_list[i + 1]])
+                        for i in range(count)
+                    ],
+                    INT_BYTES * int(entry["values"]),
+                )
+        elif self.schema.kind == KIND_DENSE:
+            width = self.schema.width
+            for entry in self._packed_rows:
+                packed = self._packed()
+                (off, length) = entry["spans"][0]
+                rows = np.frombuffer(
+                    inflate(packed[off : off + length]), dtype=np.float64
+                ).reshape(int(entry["count"]), width)
+                yield (
+                    [tuple(row) for row in rows.tolist()],
+                    FLOAT_BYTES * width * int(entry["count"]),
+                )
+        else:
+            for entry in self._packed_rows:
+                packed = self._packed()
+                (off, length) = entry["spans"][0]
+                records = pickle.loads(inflate(packed[off : off + length]))
+                yield records, records_nbytes(records)
+
+    def as_array(self, dtype: Any = float) -> Any:
+        if self.tier != TIER_COLD:
+            return super().as_array(dtype)
+        self._note_cold_read()
+        if self.tier != TIER_COLD:  # the read itself tripped a promotion
+            return super().as_array(dtype)
+        self._ensure_unsealed()
+        self._charge(self._nbytes)
+        records: list[T] = []
+        for chunk, _nbytes in self._cold_record_chunks():
+            records.extend(chunk)
+        return np.asarray(records, dtype=dtype)
+
+
+def load_block_data(path: str, stats: IOStats | None = None) -> MmapBlockData[Any]:
+    """Rebuild block data from an on-disk block directory's ``meta.json``.
+
+    Hot (or plain mmap) directories come back as :class:`MmapBlockData`;
+    directories carrying a cold tier come back as
+    :class:`TieredBlockData` reading ``packed.bin`` in place — this is
+    how parallel workers reopen compressed columns zero-copy.
+    """
+    with open(os.path.join(path, "meta.json"), "r", encoding="utf-8") as fh:
+        meta = json.load(fh)
+    schema = BlockSchema.from_dict(meta["schema"])
+    common = dict(
+        path=path,
+        schema=schema,
+        num_records=int(meta["num_records"]),
+        nbytes=int(meta["nbytes"]),
+        chunk_rows=meta.get("chunks", []),
+        chunk_size=meta.get("chunk_size"),
+        stats=stats,
+    )
+    if meta.get("tier", TIER_HOT) == TIER_COLD:
+        return TieredBlockData(
+            tier=TIER_COLD,
+            codec=meta.get("codec"),
+            packed_rows=meta.get("packed", []),
+            **common,
+        )
+    return MmapBlockData(**common)
+
+
+class TieredBackend(MmapBackend):
+    """Mmap storage with a hot/cold block lifecycle.
+
+    Freshly ingested blocks are hot: plain dense columnar directories.
+    :meth:`notify_expired` — driven by the session when a block leaves
+    the most recent window — demotes blocks to the cold tier
+    (``packed.bin`` of codec blobs, dense files deleted); a cold block
+    that keeps getting scanned promotes itself back on access.  Logical
+    I/O accounting is tier-independent, so models, telemetry (modulo
+    ``storage.tier.*``), and checkpoint bytes match the other backends
+    exactly regardless of where each block currently lives.
+
+    GEMM's disk-resident model spill rides the same policy: the session
+    routes the vault through :attr:`spill_codec` when the backend
+    carries one (see ``ModelVault.enable_codec``).
+
+    Args:
+        int_codec: Codec for integer CSR columns (``"delta-varint"`` or
+            any registered :class:`~repro.storage.codecs.ColumnCodec`).
+        root / registry / chunk_size / counter_name: see
+            :class:`MmapBackend`.
+    """
+
+    kind = "tiered"
+
+    #: Codec the session routes GEMM's vault spill through.
+    spill_codec = DEFLATE_CODEC
+
+    def __init__(
+        self,
+        root: str | None = None,
+        registry: IOStatsRegistry | None = None,
+        chunk_size: int | None = None,
+        counter_name: str = BACKEND_COUNTER,
+        int_codec: str = "delta-varint",
+    ) -> None:
+        super().__init__(
+            root=root,
+            registry=registry,
+            chunk_size=chunk_size,
+            counter_name=counter_name,
+        )
+        self.int_codec = int_codec
+        self.telemetry: Any = None
+        self._by_id: "weakref.WeakValueDictionary[int, TieredBlockData[Any]]" = (
+            weakref.WeakValueDictionary()
+        )
+
+    def _create_data(self, records: Iterable[T]) -> TieredBlockData[T]:
+        data = TieredBlockData.from_mmap(super()._create_data(records))
+        data._promoter = self._on_promote
+        self._datas.add(data)
+        return data
+
+    def ingest(
+        self,
+        block_id: int,
+        records: Iterable[T],
+        label: str = "",
+        metadata: dict[str, Any] | None = None,
+    ) -> Block[T]:
+        block = super().ingest(block_id, records, label=label, metadata=metadata)
+        self._by_id[block.block_id] = block.data
+        return block
+
+    # -- the tiering policy --------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.telemetry is not None and n:
+            self.telemetry.increment(name, n)
+
+    def demote_block(self, block_id: int) -> bool:
+        """Compact one block to the cold tier; ``False`` if unknown/cold."""
+        data = self._by_id.get(block_id)
+        if data is None or data.tier == TIER_COLD:
+            return False
+        reclaimed = data.demote(self.int_codec)
+        self._count("storage.tier.demotions")
+        self._count("storage.tier.compressed_bytes", data.compressed_nbytes())
+        self._count("storage.tier.reclaimed_bytes", reclaimed)
+        return True
+
+    def notify_expired(self, block_ids: Iterable[int]) -> int:
+        """Demote every listed block; returns how many actually moved.
+
+        The session calls this as blocks fall out of the most recent
+        window — the MRW expiry *is* the temperature signal.
+        """
+        return sum(1 for block_id in block_ids if self.demote_block(block_id))
+
+    def promote_block(self, block_id: int) -> bool:
+        """Rebuild one block's dense layout; ``False`` if unknown/hot."""
+        data = self._by_id.get(block_id)
+        if data is None or data.tier != TIER_COLD:
+            return False
+        self._on_promote(data)
+        return True
+
+    def _on_promote(self, data: TieredBlockData[Any]) -> None:
+        freed = data.promote()
+        if freed:
+            self._count("storage.tier.promotions")
+
+    def tier_stats(self) -> dict[str, int]:
+        """Live tier occupancy: block counts and compressed bytes."""
+        hot = cold = compressed = 0
+        for data in list(self._datas):
+            if getattr(data, "tier", TIER_HOT) == TIER_COLD:
+                cold += 1
+                compressed += data.compressed_nbytes()
+            else:
+                hot += 1
+        return {
+            "hot_blocks": hot,
+            "cold_blocks": cold,
+            "compressed_bytes": compressed,
+        }
+
+    def spec(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "root": self.root,
+            "chunk_size": self.chunk_size,
+            "int_codec": self.int_codec,
+        }
+
+
+# ----------------------------------------------------------------------
 # Backend resolution (specs, names, the ambient environment toggle)
 # ----------------------------------------------------------------------
 
@@ -762,6 +1394,12 @@ def backend_from_spec(spec: dict[str, Any]) -> BlockBackend:
     chunk_size = spec.get("chunk_size")
     if kind == InMemoryBackend.kind:
         return InMemoryBackend(chunk_size=chunk_size)
+    if kind == TieredBackend.kind:
+        return TieredBackend(
+            root=spec.get("root"),
+            chunk_size=chunk_size,
+            int_codec=spec.get("int_codec", "delta-varint"),
+        )
     if kind == MmapBackend.kind:
         return MmapBackend(root=spec.get("root"), chunk_size=chunk_size)
     raise ValueError(f"unknown block backend kind {kind!r}")
@@ -777,14 +1415,19 @@ def ambient_backend() -> BlockBackend | None:
     name = os.environ.get("DEMON_BLOCK_BACKEND", "").strip().lower()
     if name in ("", InMemoryBackend.kind):
         return None
-    if name != MmapBackend.kind:
+    if name not in (MmapBackend.kind, TieredBackend.kind):
         raise ValueError(
-            f"DEMON_BLOCK_BACKEND must be 'memory' or 'mmap', got {name!r}"
+            f"DEMON_BLOCK_BACKEND must be 'memory', 'mmap', or 'tiered', "
+            f"got {name!r}"
         )
     backend = _AMBIENT.get(name)
     if backend is None:
         root = tempfile.mkdtemp(prefix="demon-ambient-blocks-")
-        backend = MmapBackend(root=root)
+        backend = (
+            TieredBackend(root=root)
+            if name == TieredBackend.kind
+            else MmapBackend(root=root)
+        )
         # destroy() closes every live mmap view before removing the
         # tree — registering a bare rmtree would delete the files out
         # from under still-open handles at interpreter exit
@@ -819,6 +1462,8 @@ def resolve_backend(
     if isinstance(value, str):
         if value == InMemoryBackend.kind:
             return InMemoryBackend()
+        if value == TieredBackend.kind:
+            return TieredBackend()
         if value == MmapBackend.kind:
             return MmapBackend()
         raise ValueError(f"unknown block backend name {value!r}")

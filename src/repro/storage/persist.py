@@ -14,6 +14,15 @@ model and the empty model live in memory.
 
 Serialization uses :mod:`pickle`; an optional size budget rejects
 models that would not plausibly "fit on the disk" of the simulation.
+
+A vault can additionally deflate its stored blobs
+(:meth:`ModelVault.enable_codec`): a session running on the tiered
+block backend lends the backend's spill codec to its vault so
+disk-resident models ride the same compression discipline as cold
+blocks.  Compression is transparent to byte accounting — stores and
+fetches keep charging the *logical* (pickled) size, so telemetry and
+checkpoint sizes stay identical whether or not a codec is enabled;
+only the budget is checked against the (smaller) stored bytes.
 """
 
 from __future__ import annotations
@@ -79,6 +88,8 @@ class ModelVault:
             one is created when omitted.
         counter_name: Counter name within the registry.
         budget_bytes: Optional total-size budget; ``None`` = unbounded.
+        codec: Optional byte codec name for stored blobs (currently
+            ``"deflate"``); equivalent to calling :meth:`enable_codec`.
     """
 
     def __init__(
@@ -86,11 +97,38 @@ class ModelVault:
         registry: IOStatsRegistry | None = None,
         counter_name: str = "model_vault",
         budget_bytes: int | None = None,
+        codec: str | None = None,
     ):
         self.registry = registry if registry is not None else IOStatsRegistry()
         self._stats = self.registry.get(counter_name)
         self.budget_bytes = budget_bytes
         self._slots: dict[Hashable, bytes] = {}
+        #: Logical (pickled) size per key — what accounting reports.
+        self._logical: dict[Hashable, int] = {}
+        #: Keys whose stored blob is codec-encoded.
+        self._encoded: set[Hashable] = set()
+        self._codec: str | None = None
+        if codec is not None:
+            self.enable_codec(codec)
+
+    @property
+    def codec(self) -> str | None:
+        """Active byte codec name, or ``None`` when storing raw pickles."""
+        return self._codec
+
+    def enable_codec(self, name: str) -> None:
+        """Deflate-store future puts; existing slots are left as-is.
+
+        Enabling a codec never changes what callers observe: ``get``
+        returns the same objects, and every charge is the logical
+        pickled size.  Only the resident footprint (and therefore how
+        much fits under ``budget_bytes``) shrinks.
+        """
+        if name != "deflate":
+            raise ValueError(
+                f"unknown vault codec {name!r} (supported: 'deflate')"
+            )
+        self._codec = name
 
     @property
     def stats(self) -> IOStats:
@@ -108,46 +146,74 @@ class ModelVault:
         return list(self._slots)
 
     def total_nbytes(self) -> int:
-        """Total serialized bytes currently stored."""
+        """Total logical (pickled) bytes currently stored."""
+        return sum(self._logical.values())
+
+    def stored_nbytes(self) -> int:
+        """Total resident bytes — less than :meth:`total_nbytes` when a
+        codec is active and compressing."""
         return sum(len(blob) for blob in self._slots.values())
 
     def nbytes(self, key: Hashable) -> int:
-        """Serialized size of one stored model."""
-        return len(self._slots[key])
+        """Logical (pickled) size of one stored model."""
+        return self._logical[key]
 
     def put(self, key: Hashable, model: Any) -> int:
-        """Serialize and store a model; returns its byte size.
+        """Serialize and store a model; returns its logical byte size.
 
-        Overwrites any previous model under the same key.
+        Overwrites any previous model under the same key.  With a codec
+        enabled the blob is stored deflated when that is smaller, but
+        the charge and return value remain the pickled size.
 
         Raises:
             VaultFullError: if the budget would be exceeded.
         """
         blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        logical = len(blob)
+        stored = blob
+        encoded = False
+        if self._codec is not None:
+            from repro.storage.codecs import deflate
+
+            packed = deflate(blob)
+            if len(packed) < len(blob):
+                stored = packed
+                encoded = True
         if self.budget_bytes is not None:
             projected = (
-                self.total_nbytes()
+                self.stored_nbytes()
                 - len(self._slots.get(key, b""))
-                + len(blob)
+                + len(stored)
             )
             if projected > self.budget_bytes:
                 raise VaultFullError(
-                    f"storing {len(blob)} bytes under {key!r} would exceed "
+                    f"storing {len(stored)} bytes under {key!r} would exceed "
                     f"the vault budget of {self.budget_bytes} bytes"
                 )
-        self._slots[key] = blob
-        self._stats.record_write(len(blob))
-        return len(blob)
+        self._slots[key] = stored
+        self._logical[key] = logical
+        if encoded:
+            self._encoded.add(key)
+        else:
+            self._encoded.discard(key)
+        self._stats.record_write(logical)
+        return logical
 
     def get(self, key: Hashable) -> Any:
         """Fetch and deserialize one model (a fresh private copy)."""
         blob = self._slots[key]
+        if key in self._encoded:
+            from repro.storage.codecs import inflate
+
+            blob = inflate(blob)
         self._stats.record_read(len(blob))
         return pickle.loads(blob)
 
     def delete(self, key: Hashable) -> None:
         """Drop one stored model (idempotent)."""
         self._slots.pop(key, None)
+        self._logical.pop(key, None)
+        self._encoded.discard(key)
 
     def retain_only(self, keys) -> None:
         """Drop every stored model whose key is not in ``keys``."""
@@ -155,6 +221,8 @@ class ModelVault:
         for key in list(self._slots):
             if key not in wanted:
                 del self._slots[key]
+                self._logical.pop(key, None)
+                self._encoded.discard(key)
 
 
 def save_model(model: Any) -> bytes:

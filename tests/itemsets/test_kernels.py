@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.itemsets.kernels import (
     TID_BYTES,
@@ -199,3 +201,91 @@ class TestPackRows:
             for i in range(0, len(arrays), 3)
         ]
         assert np.concatenate(parts).tolist() == whole.tolist()
+
+
+class TestCompressedDomain:
+    """The cold-tier representations are invisible to counting.
+
+    Every pairwise combination of representations — raw array, packed
+    bitmap, segmented delta+varint, roaring chunked — must intersect
+    and count exactly like ``np.intersect1d`` on the decompressed
+    arrays; hypothesis drives the tid sets so the property holds for
+    arbitrary block contents, not just the directed cases above.
+    """
+
+    SIZE = 4096
+
+    @staticmethod
+    def reps(tids):
+        from repro.itemsets.kernels import ChunkedTidList, DeltaVarintTidList
+
+        return [
+            tids,
+            BitmapTidList.from_array(tids, base=0, size=TestCompressedDomain.SIZE),
+            DeltaVarintTidList.from_array(tids, base=0, size=TestCompressedDomain.SIZE),
+            ChunkedTidList.from_array(tids, base=0, size=TestCompressedDomain.SIZE),
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_all_combos_match_intersect1d(self, data):
+        from repro.itemsets.kernels import as_array
+
+        tid = st.lists(st.integers(0, self.SIZE - 1), max_size=120).map(
+            lambda v: np.asarray(sorted(set(v)), dtype=TID_DTYPE)
+        )
+        left, right = data.draw(tid), data.draw(tid)
+        expected = np.intersect1d(left, right).tolist()  # demonlint: disable=DML006 (reference oracle)
+        for a in self.reps(left):
+            for b in self.reps(right):
+                assert as_array(intersect_pair(a, b)).tolist() == expected
+                assert count_pair(a, b) == len(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tids=st.lists(st.integers(0, 4095), max_size=200).map(
+            lambda v: np.asarray(sorted(set(v)), dtype=TID_DTYPE)
+        )
+    )
+    def test_compressed_round_trip_and_len(self, tids):
+        from repro.itemsets.kernels import as_array, compress_list, list_len
+
+        for rep in self.reps(tids):
+            assert list_len(rep) == len(tids)
+            assert as_array(rep).tolist() == tids.tolist()
+        packed = compress_list(tids, base=0, size=self.SIZE)
+        assert as_array(packed).tolist() == tids.tolist()
+
+    def test_compress_list_never_grows(self):
+        from repro.itemsets.kernels import compress_list, list_nbytes
+
+        for tids in [
+            arr(),
+            arr(5),
+            arr(*range(0, 4096, 3)),
+            arr(*range(2048)),
+        ]:
+            packed = compress_list(tids, base=0, size=self.SIZE)
+            assert list_nbytes(packed) <= list_nbytes(tids)
+
+    def test_dense_runs_actually_shrink(self):
+        from repro.itemsets.kernels import compress_list, list_nbytes
+
+        tids = arr(*range(3000))
+        packed = compress_list(tids, base=0, size=self.SIZE)
+        assert list_nbytes(packed) < list_nbytes(tids) / 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_intersect_many_mixed_representations(self, data):
+        from repro.itemsets.kernels import as_array
+
+        tid = st.lists(st.integers(0, self.SIZE - 1), max_size=80).map(
+            lambda v: np.asarray(sorted(set(v)), dtype=TID_DTYPE)
+        )
+        arrays = [data.draw(tid) for _ in range(3)]
+        expected = arrays[0]
+        for other in arrays[1:]:
+            expected = np.intersect1d(expected, other)  # demonlint: disable=DML006 (reference oracle)
+        mixed = [self.reps(tids)[i % 4] for i, tids in enumerate(arrays)]
+        assert as_array(intersect_many(mixed)).tolist() == expected.tolist()

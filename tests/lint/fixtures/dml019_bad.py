@@ -1,0 +1,26 @@
+"""DML019 fixture: full-column decodes inside chunk loops."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+def redecoded_column(block, codec, blob, count):
+    totals = []
+    for chunk in block.iter_chunks():
+        column = codec.decode(blob, count)
+        totals.append(len(chunk) + len(column))
+    return totals
+
+
+def reinflated_payload(block, payload):
+    out = 0
+    for chunk in block.chunks(64):
+        raw = zlib.inflate(payload)
+        out += len(chunk) + len(raw)
+    return out
+
+
+def tidlist_decoded_per_chunk(block, store, item):
+    hits = 0
+    for records in block.iter_chunks():
+        tids = store.get(item).to_array()
+        hits += len(records) + len(tids)
+    return hits

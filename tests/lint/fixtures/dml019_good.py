@@ -1,0 +1,24 @@
+"""DML019 fixture: decodes hoisted out of chunk loops, or per-chunk."""
+
+
+def hoisted_column(block, codec, blob, count):
+    column = codec.decode(blob, count)
+    totals = []
+    for chunk in block.iter_chunks():
+        totals.append(len(chunk) + len(column))
+    return totals
+
+
+def per_chunk_decode(block, codec):
+    # Decoding what the loop itself yields is chunk-at-a-time work.
+    out = 0
+    for blob in block.iter_chunks():
+        out += len(codec.decode(blob.payload, blob.count))
+    return out
+
+
+def streaming_scan(block):
+    seen = 0
+    for chunk in block.iter_chunks():
+        seen += len(chunk)
+    return seen

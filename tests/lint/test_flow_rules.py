@@ -25,7 +25,7 @@ from tools.demonlint import run  # noqa: E402
 FIXTURES = Path(__file__).parent / "fixtures"
 FLOW_RULES = (
     "DML008", "DML009", "DML010", "DML011", "DML012",
-    "DML014", "DML015", "DML016", "DML017", "DML018",
+    "DML014", "DML015", "DML016", "DML017", "DML018", "DML019",
 )
 
 
@@ -437,6 +437,37 @@ def test_dml018_live_session_and_engines_are_clean():
         "core/gemm.py",
         "core/maintainer.py",
         "patterns/compact.py",
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML019 — compressed-column streaming
+# ----------------------------------------------------------------------
+
+
+def test_dml019_reports_every_redecoded_column():
+    result = lint_bad(FIXTURES / "dml019_bad.py", "DML019")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "decode() inside a iter_chunks() loop" in messages
+    assert "inflate() inside a chunks() loop" in messages
+    assert "to_array() inside a iter_chunks() loop" in messages
+    assert len(result.violations) == 3
+
+
+def test_dml019_hoisted_and_per_chunk_decodes_are_exempt():
+    result = run(
+        [FIXTURES / "dml019_good.py"], root=ROOT, select=["DML019"]
+    )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+def test_dml019_live_counting_and_kernels_are_clean():
+    result = lint_live(
+        "DML019",
+        "itemsets/counting.py",
+        "itemsets/kernels.py",
+        "itemsets/tidlist.py",
     )
     assert result.ok, "\n".join(v.render() for v in result.violations)
 

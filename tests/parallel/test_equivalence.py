@@ -31,7 +31,7 @@ from repro.clustering.birch_plus import BirchPlusMaintainer
 from repro.core.session import MiningSession
 from repro.core.windows import MostRecentWindow
 from repro.itemsets.borders import BordersMaintainer
-from repro.storage.engine import MmapBackend
+from repro.storage.engine import MmapBackend, TieredBackend
 from repro.storage.iostats import IOStats
 from repro.storage.persist import ModelVault, load_model, save_model
 from repro.storage.telemetry import Telemetry
@@ -82,18 +82,22 @@ def scrub_execution(obj, _seen=None):
     """Strip execution residue from an object graph, in place.
 
     Zeroes every ``*seconds`` dataclass field and every
-    :class:`IOStats` counter, and drops ``parallel.*`` entries from
-    every :class:`Telemetry` — the three signal families that encode
-    *how* a run executed rather than *what* it computed.
+    :class:`IOStats` counter, and drops ``parallel.*`` and
+    ``storage.tier.*`` entries from every :class:`Telemetry` — the
+    signal families that encode *how* a run executed rather than
+    *what* it computed (worker attribution is scheduling-dependent;
+    tier promotions depend on which side of the pool touched a cold
+    block).
     """
     seen = _seen if _seen is not None else set()
     if id(obj) in seen:
         return obj
     seen.add(id(obj))
     if isinstance(obj, Telemetry):
-        for name in [n for n in obj.phases if n.startswith("parallel.")]:
+        scrubbed = ("parallel.", "storage.tier.")
+        for name in [n for n in obj.phases if n.startswith(scrubbed)]:
             del obj.phases[name]
-        for name in [n for n in obj.counters if n.startswith("parallel.")]:
+        for name in [n for n in obj.counters if n.startswith(scrubbed)]:
             del obj.counters[name]
         for stats in obj.phases.values():
             stats.seconds = 0.0
@@ -135,7 +139,7 @@ def logical_counters(telemetry):
     return {
         name: value
         for name, value in telemetry.counters.items()
-        if not name.startswith("parallel.")
+        if not name.startswith(("parallel.", "storage.tier."))
     }
 
 
@@ -143,16 +147,19 @@ def logical_phase_calls(telemetry):
     return {
         name: stats.calls
         for name, stats in telemetry.phases.items()
-        if not name.startswith("parallel.")
+        if not name.startswith(("parallel.", "storage.tier."))
     }
 
 
 # -- harness ------------------------------------------------------------
 
 
-def run_session(make_session, workers, block_streams, tmp_dir, span=None):
+def run_session(
+    make_session, workers, block_streams, tmp_dir, span=None,
+    backend_cls=MmapBackend,
+):
     session = make_session(
-        backend=MmapBackend(root=str(tmp_dir)), workers=workers, span=span
+        backend=backend_cls(root=str(tmp_dir)), workers=workers, span=span
     )
     for records in block_streams:
         session.ingest(iter(records))
@@ -160,7 +167,8 @@ def run_session(make_session, workers, block_streams, tmp_dir, span=None):
 
 
 def assert_workers_equivalent(
-    make_session, block_streams, tmp_path_factory, span=None
+    make_session, block_streams, tmp_path_factory, span=None,
+    backend_cls=MmapBackend,
 ):
     serial, parallel = (
         run_session(
@@ -169,6 +177,7 @@ def assert_workers_equivalent(
             block_streams,
             tmp_path_factory.mktemp(f"w{workers}"),
             span=span,
+            backend_cls=backend_cls,
         )
         for workers in WORKERS
     )
@@ -234,6 +243,23 @@ class TestSerialParallelEquivalence:
             block_streams,
             tmp_path_factory,
             span=MostRecentWindow(2),
+        )
+
+    @settings(**SETTINGS)
+    @given(block_streams=streams(transactions))
+    def test_borders_windowed_on_tiered_backend(
+        self, block_streams, tmp_path_factory
+    ):
+        # Under MRW on the tiered backend every expired block is
+        # demoted as the window slides, so the serial and sharded runs
+        # both execute on a mix of hot and cold placements — byte
+        # parity must survive the compressed tier.
+        assert_workers_equivalent(
+            borders_ecut_session,
+            block_streams,
+            tmp_path_factory,
+            span=MostRecentWindow(2),
+            backend_cls=TieredBackend,
         )
 
     @settings(**SETTINGS)

@@ -60,7 +60,9 @@ class TestResolveWorkers:
 
     def test_garbage_env_rejected(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "lots")
-        with pytest.raises(ValueError):
+        with pytest.raises(
+            ValueError, match="DEMON_WORKERS must be a positive integer"
+        ):
             resolve_workers()
 
 

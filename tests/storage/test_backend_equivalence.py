@@ -27,7 +27,8 @@ from repro.deviation.focus import ItemsetDeviation
 from repro.deviation.similarity import BlockSimilarity
 from repro.itemsets.borders import BordersMaintainer
 from repro.patterns.compact import CompactSequenceMiner
-from repro.storage.engine import InMemoryBackend, MmapBackend
+from repro.core.windows import MostRecentWindow
+from repro.storage.engine import InMemoryBackend, MmapBackend, TieredBackend
 from repro.storage.persist import ModelVault, load_model, save_model
 from repro.storage.telemetry import Telemetry
 from repro.trees.maintain import (
@@ -71,6 +72,12 @@ def streams(records):
     return st.lists(records, min_size=2, max_size=4)
 
 
+#: Telemetry families that are not comparable across backends/runs:
+#: per-worker attribution is scheduling-dependent and tier traffic is
+#: placement-dependent by construction.
+SCRUBBED_PREFIXES = ("parallel.", "storage.tier.")
+
+
 # -- harness ------------------------------------------------------------
 
 
@@ -90,16 +97,18 @@ def scrub_wall_clock(obj, _seen=None):
     Per-worker ``parallel.*`` telemetry entries are dropped outright:
     worker-id attribution is scheduling-dependent, so under
     DEMON_WORKERS>1 their call counts (not just seconds) vary run to
-    run.
+    run.  ``storage.tier.*`` entries are dropped too: tier traffic is
+    placement, which is exactly what must not influence anything else
+    being compared here (only the tiered backend emits them).
     """
     seen = _seen if _seen is not None else set()
     if id(obj) in seen:
         return obj
     seen.add(id(obj))
     if isinstance(obj, Telemetry):
-        for name in [n for n in obj.phases if n.startswith("parallel.")]:
+        for name in [n for n in obj.phases if n.startswith(SCRUBBED_PREFIXES)]:
             del obj.phases[name]
-        for name in [n for n in obj.counters if n.startswith("parallel.")]:
+        for name in [n for n in obj.counters if n.startswith(SCRUBBED_PREFIXES)]:
             del obj.counters[name]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         for field in dataclasses.fields(obj):
@@ -132,55 +141,63 @@ def normalized_checkpoint(session):
 
 def assert_sessions_equivalent(make_session, block_streams, tmp_dir):
     memory = run_on(make_session, InMemoryBackend(), block_streams)
-    mmap = run_on(make_session, MmapBackend(root=str(tmp_dir)), block_streams)
+    mmap = run_on(make_session, MmapBackend(root=str(tmp_dir / "mmap")), block_streams)
+    tiered = run_on(
+        make_session, TieredBackend(root=str(tmp_dir / "tiered")), block_streams
+    )
+    sessions = [memory, mmap, tiered]
 
     # Identical telemetry shape: same phases, same logical counters.
     # ``parallel.*`` entries are excluded: which worker processes which
     # shard is scheduling-dependent (and the suite may run under
-    # DEMON_WORKERS>1 in CI), so per-worker attribution is the one
-    # telemetry family that is not comparable across runs.
-    a, b = memory.telemetry.state_dict(), mmap.telemetry.state_dict()
-
+    # DEMON_WORKERS>1 in CI), so per-worker attribution is not
+    # comparable across runs.  ``storage.tier.*`` entries are excluded
+    # because only the tiered backend emits them — tier traffic is
+    # placement, the very thing the property quantifies over.
     def logical(state):
         phases = {
             name: calls
             for name, (_s, calls) in state["phases"].items()
-            if not name.startswith("parallel.")
+            if not name.startswith(SCRUBBED_PREFIXES)
         }
         counters = {
             name: value
             for name, value in state["counters"].items()
-            if not name.startswith("parallel.")
+            if not name.startswith(SCRUBBED_PREFIXES)
         }
         return phases, counters
 
-    (a_phases, a_counters), (b_phases, b_counters) = logical(a), logical(b)
-    assert a_phases == b_phases
-    assert a_counters == b_counters
+    a_phases, a_counters = logical(memory.telemetry.state_dict())
+    for other in sessions[1:]:
+        b_phases, b_counters = logical(other.telemetry.state_dict())
+        assert a_phases == b_phases
+        assert a_counters == b_counters
     assert a_counters["session.records"] == sum(map(len, block_streams))
 
     # Identical logical I/O charged to the backend counter.
     mem_io = memory.backend.stats
-    mmap_io = mmap.backend.stats
-    assert mem_io == mmap_io
+    for other in sessions[1:]:
+        assert mem_io == other.backend.stats
     assert mem_io.bytes_written > 0 or all(not s for s in block_streams)
 
-    # Byte-identical model state and checkpoint payloads.
+    # Byte-identical model state and checkpoint payloads.  Every
+    # artifact is derived exactly once per session: serializing a
+    # checkpoint materializes blocks through the session's backend and
+    # charges reads, so deriving one leg's payload twice would skew
+    # its I/O counters relative to the other legs.
     if memory.maintainer is not None:
-        assert save_model(memory.current_model()) == save_model(
-            mmap.current_model()
-        )
+        models = [save_model(s.current_model()) for s in sessions]
+        assert all(blob == models[0] for blob in models[1:])
     if memory.pattern_miner is not None:
         # The miner's deviation matrix records per-comparison seconds;
         # scrub clones so only wall-clock may differ.
-        assert save_model(
-            scrub_wall_clock(load_model(save_model(memory.pattern_miner)))
-        ) == save_model(
-            scrub_wall_clock(load_model(save_model(mmap.pattern_miner)))
-        )
-    assert pickle.dumps(normalized_checkpoint(memory)) == pickle.dumps(
-        normalized_checkpoint(mmap)
-    )
+        miners = [
+            save_model(scrub_wall_clock(load_model(save_model(s.pattern_miner))))
+            for s in sessions
+        ]
+        assert all(blob == miners[0] for blob in miners[1:])
+    payloads = [pickle.dumps(normalized_checkpoint(s)) for s in sessions]
+    assert all(blob == payloads[0] for blob in payloads[1:])
 
 
 # -- the four model classes --------------------------------------------
@@ -207,6 +224,18 @@ def focus_session(**kwargs):
         BlockSimilarity(ItemsetDeviation(minsup=0.3, max_size=2), method="chi2")
     )
     return MiningSession(pattern_miner=miner, **kwargs)
+
+
+def borders_mrw_session(**kwargs):
+    """Borders under a w=2 most recent window: with 3+ blocks the
+    session demotes expired blocks (tiered backend) and compresses
+    their TID-lists (every backend), so this factory exercises the
+    cold-tier paths the unrestricted-window factories never reach."""
+    return MiningSession(
+        BordersMaintainer(0.25, counter="ecut"),
+        span=MostRecentWindow(2),
+        **kwargs,
+    )
 
 
 class TestModelEquivalence:
@@ -244,6 +273,38 @@ class TestModelEquivalence:
         assert_sessions_equivalent(
             focus_session, block_streams, tmp_path_factory.mktemp("focus")
         )
+
+    @settings(**SETTINGS)
+    @given(block_streams=streams(transactions))
+    def test_borders_under_mrw_demotes_and_stays_equivalent(
+        self, block_streams, tmp_path_factory
+    ):
+        """Demote-then-count: blocks slide out of the window, the
+        tiered backend compresses them, and everything observable —
+        models, logical I/O, checkpoints — still matches the other
+        backends byte for byte."""
+        assert_sessions_equivalent(
+            borders_mrw_session, block_streams, tmp_path_factory.mktemp("mrw")
+        )
+
+    @settings(**SETTINGS)
+    @given(block_streams=st.lists(transactions, min_size=3, max_size=5))
+    def test_mrw_actually_demotes_on_tiered(self, block_streams, tmp_path_factory):
+        root = tmp_path_factory.mktemp("demote")
+        session = run_on(
+            borders_mrw_session, TieredBackend(root=str(root)), block_streams
+        )
+        expected_cold = len(block_streams) - 2
+        stats = session.backend.tier_stats()
+        assert stats["cold_blocks"] == expected_cold
+        assert session.telemetry.counters["storage.tier.demotions"] == expected_cold
+        # The maintainer's TID-lists went cold in lockstep.
+        tidlists = session.maintainer.context.tidlists
+        assert all(
+            tidlists.block_compressed(block_id)
+            for block_id in range(1, expected_cold + 1)
+        )
+        session.backend.close()
 
 
 class TestCheckpointAcrossBackends:
@@ -312,3 +373,45 @@ class TestCheckpointAcrossBackends:
         assert save_model(restored.current_model()) == save_model(
             truth.current_model()
         )
+
+    @settings(**SETTINGS)
+    @given(block_streams=st.lists(transactions, min_size=4, max_size=5))
+    def test_demote_then_restore_round_trip(self, block_streams, tmp_path_factory):
+        """Checkpoint a tiered MRW session after demotions, restore
+        onto a fresh tiered backend, keep streaming: models track an
+        uninterrupted in-memory run and the restored TID-list store
+        comes back compressed."""
+        split = len(block_streams) - 1
+        truth = run_on(borders_mrw_session, InMemoryBackend(), block_streams)
+
+        session = borders_mrw_session(
+            backend=TieredBackend(root=str(tmp_path_factory.mktemp("tier-src"))),
+            vault=ModelVault(),
+        )
+        for records in block_streams[:split]:
+            session.ingest(iter(records))
+        # w=2, so after `split` blocks the first `split - 2` are cold.
+        assert session.backend.tier_stats()["cold_blocks"] == split - 2
+        # The tiered backend lends its spill codec to the vault.
+        assert session.vault.codec == "deflate"
+        session.checkpoint()
+        assert session.vault.stored_nbytes() <= session.vault.total_nbytes()
+
+        revived_vault = load_model(save_model(session.vault))
+        restored = MiningSession.restore(
+            revived_vault,
+            backend=TieredBackend(root=str(tmp_path_factory.mktemp("tier-dst"))),
+        )
+        tidlists = restored.maintainer.context.tidlists
+        assert all(
+            tidlists.block_compressed(block_id)
+            for block_id in range(1, split - 1)
+        )
+        for records in block_streams[split:]:
+            restored.ingest(iter(records))
+        assert restored.t == truth.t == len(block_streams)
+        assert save_model(restored.current_model()) == save_model(
+            truth.current_model()
+        )
+        session.backend.close()
+        restored.backend.close()

@@ -330,6 +330,16 @@ class TestChunkSizeKnobs:
         with pytest.raises(ValueError, match="DEMON_BLOCK_CHUNK"):
             default_chunk_size()
 
+    @pytest.mark.parametrize("garbage", ["lots", "4.5", "0x10", "4k"])
+    def test_non_integer_env_chunk_names_the_variable(
+        self, monkeypatch, garbage
+    ):
+        monkeypatch.setenv("DEMON_BLOCK_CHUNK", garbage)
+        with pytest.raises(
+            ValueError, match="DEMON_BLOCK_CHUNK must be a positive integer"
+        ):
+            default_chunk_size()
+
 
 class TestRecordNbytes:
     def test_int_tuples_cost_four_bytes_per_item(self):

@@ -32,7 +32,7 @@ DEMON reproduction's correctness story depends on:
   method calls like ``self.telemetry.phase(...)`` and storage
   registration are the permitted side channels.
 
-DML014-DML018 ride on the typestate/escape layers
+DML014-DML019 ride on the typestate/escape layers
 (:mod:`tools.demonlint.typestate`, :mod:`tools.demonlint.escape`):
 
 * **DML014** — backend/mmap handle lifecycle: a handle acquired from a
@@ -59,6 +59,12 @@ DML014-DML018 ride on the typestate/escape layers
   checkpoint ``state_dict`` must not be mutated in place when a raise
   is forward-reachable; clone-before-commit keeps a failed operation
   from corrupting the next checkpoint.
+* **DML019** — compressed-column streaming: ``decode()``/``inflate()``
+  /``to_array()`` inside a chunk-iteration loop re-inflates a full
+  compressed column every iteration; hoist the decode or use the
+  block's streaming read path (cold blocks already decode
+  chunk-at-a-time).  The storage engine itself is exempt — its loops
+  decode per-chunk blobs by construction.
 """
 
 from __future__ import annotations
@@ -2243,3 +2249,59 @@ class ExceptionAtomicity(Rule):
                 return marks[0][1]
             stack.extend(cfg.blocks[current].successors)
         return None
+
+
+# ----------------------------------------------------------------------
+# DML019 — compressed-column streaming inside chunk loops
+# ----------------------------------------------------------------------
+
+#: Calls that inflate a full compressed column into memory at once.
+DECODING_METHODS = frozenset({"decode", "inflate", "to_array"})
+
+
+@register
+class CompressedColumnStreaming(Rule):
+    """Chunk loops must not re-inflate whole compressed columns."""
+
+    rule_id = "DML019"
+    title = "no full-column decode inside chunk loops"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        # The storage engine's own loops decode per-chunk blobs by
+        # construction (that *is* the streaming read path).
+        if _analysis_exempt(module.relpath, ("storage",)):
+            return
+        seen: set[tuple[int, int]] = set()
+        for func in _functions_in(module):
+            for loop in _chunk_loops(func):
+                iter_name = loop.iter.func.attr  # type: ignore[union-attr]
+                loop_vars = frozenset(_flat_target_names(loop.target))
+                for node in _nodes_excluding_defs(loop.body):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in DECODING_METHODS
+                    ):
+                        continue
+                    # Decoding something the loop itself yielded —
+                    # as the receiver or as an argument — is per-chunk
+                    # work, not a repeated full-column pass.
+                    sources = [node.func.value, *node.args]
+                    sources += [kw.value for kw in node.keywords]
+                    if any(
+                        _base_name(src) in loop_vars for src in sources
+                    ):
+                        continue
+                    site = (node.lineno, node.col_offset)
+                    if site in seen:
+                        continue
+                    seen.add(site)
+                    yield Violation(
+                        module.relpath, node.lineno, node.col_offset,
+                        self.rule_id,
+                        f"{node.func.attr}() inside a {iter_name}() loop "
+                        f"re-inflates a full compressed column every "
+                        f"iteration; hoist the decode before the loop or "
+                        f"read through the block's streaming path (cold "
+                        f"blocks already decode chunk-at-a-time)",
+                    )
