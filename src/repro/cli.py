@@ -334,8 +334,17 @@ def cmd_info(out) -> int:
 
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.storage.engine import ambient_backend_name
+
     out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        # Fail a DEMON_BLOCK_BACKEND typo here, at parse time, not deep
+        # inside the first ingest of a long run.
+        ambient_backend_name()
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.command == "generate":
         return cmd_generate(args, out)
     if args.command == "monitor":

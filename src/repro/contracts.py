@@ -34,7 +34,7 @@ import pickle
 import weakref
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
-from typing import Any, TypeVar
+from typing import Any, TypeVar, overload
 
 
 class ContractViolation(TypeError):
@@ -160,6 +160,198 @@ def worker_entry(fn: TMethod) -> TMethod:
 
     wrapper.__demonlint_worker_entry__ = True  # type: ignore[attr-defined]
     return wrapper  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Interleaving sanitizer: critical sections, ownership, write barrier
+# ----------------------------------------------------------------------
+
+TMethodVar = TypeVar("TMethodVar", bound=Callable[..., Any])
+
+#: Labels of the critical sections the current thread of control has
+#: entered, innermost last.  Maintained unconditionally (one list
+#: append) so arming the sanitizers mid-region still sees the region.
+_CRITICAL: list[str] = []
+
+#: Depth of :func:`worker_scope` nesting in this process: > 0 while a
+#: worker task body runs (including the ``workers=1`` inline path).
+_WORKER_SCOPE: int = 0
+
+#: Ownership tags for backend handles: handle -> (scope, claiming pid).
+#: Weak so a tag never outlives (or pins) its handle; handles with
+#: ``__slots__`` participate as long as they keep ``__weakref__``.
+_OWNERS: "weakref.WeakKeyDictionary[Any, tuple[str, int]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class _CriticalRegion:
+    """One named wait-free region; context manager and decorator."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __enter__(self) -> "_CriticalRegion":
+        _CRITICAL.append(self.label)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        _CRITICAL.pop()
+
+    def __call__(self, fn: TMethodVar) -> TMethodVar:
+        label = self.label
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            _CRITICAL.append(label)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _CRITICAL.pop()
+
+        wrapper.__demonlint_critical_section__ = label  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+
+@overload
+def critical_section(arg: str) -> _CriticalRegion: ...
+
+
+@overload
+def critical_section(arg: TMethodVar) -> TMethodVar: ...
+
+
+def critical_section(arg: "str | Callable[..., Any]") -> Any:
+    """Mark a wait-free region — the static anchor for demonlint DML024.
+
+    Usable three ways::
+
+        @critical_section                      # label = function name
+        def _publish_tier(self): ...
+
+        @critical_section("tier-map")          # explicit label
+        def _publish_tier(self): ...
+
+        with critical_section("tier-map"):     # statement form
+            ...
+
+    Inside a marked region, DML024 statically rejects reachable
+    blocking operations (tier moves, compression, vault spill,
+    executor waits), and :func:`blocking_call` raises at run time when
+    the sanitizers are armed.  The marker itself does **not** take a
+    lock — it names a region the author promises is wait-free so both
+    halves of the toolchain can hold them to it.
+    """
+    if callable(arg):
+        return _CriticalRegion(getattr(arg, "__name__", "critical"))(arg)
+    return _CriticalRegion(str(arg))
+
+
+def in_critical_section() -> str | None:
+    """The innermost active critical-section label, or ``None``."""
+    return _CRITICAL[-1] if _CRITICAL else None
+
+
+def blocking_call(name: str) -> None:
+    """Declare that the caller is about to block (the DML024 twin).
+
+    Tier demotions/promotions, whole-column compression, and model
+    spill call this before doing the slow work.  Disarmed it is one
+    boolean test; armed it raises :class:`SanitizerViolation` when the
+    declaration happens inside a :func:`critical_section` region —
+    the dynamic counterpart of demonlint DML024.
+    """
+    if _SANITIZERS and _CRITICAL:
+        raise SanitizerViolation(
+            f"blocking operation {name}() entered inside critical "
+            f"section '{_CRITICAL[-1]}'; tier moves, compression, and "
+            f"spill must run outside wait-free regions (DML024)"
+        )
+
+
+@contextmanager
+def worker_scope() -> Iterator[None]:
+    """Mark the dynamic extent of one worker task body.
+
+    :func:`repro.parallel.pool._run_task` wraps every task in this
+    scope — including the ``workers=1`` inline path, which is how the
+    tier-1 suite exercises the :func:`write_barrier` single-writer
+    check without spawning subprocesses.
+    """
+    global _WORKER_SCOPE
+    _WORKER_SCOPE += 1
+    try:
+        yield
+    finally:
+        _WORKER_SCOPE -= 1
+
+
+def in_worker_scope() -> bool:
+    """Whether a worker task body is executing in this process."""
+    return _WORKER_SCOPE > 0
+
+
+def claim_ownership(handle: Any, scope: str | None = None) -> None:
+    """Tag ``handle`` with its owning scope and pid (armed only).
+
+    Backends claim themselves at construction: a handle built inside a
+    :func:`worker_scope` is worker-owned (the worker rebuilt it from a
+    spec — the sanctioned pattern), anything else is parent-owned.
+    Un-weak-referenceable handles silently opt out, mirroring
+    :class:`_IdentitySet`.
+    """
+    if not _SANITIZERS:
+        return
+    if scope is None:
+        scope = "worker" if _WORKER_SCOPE else "parent"
+    try:
+        _OWNERS[handle] = (scope, os.getpid())
+    except TypeError:
+        pass
+
+
+def ownership_of(handle: Any) -> tuple[str, int] | None:
+    """The ``(scope, pid)`` tag of ``handle``, or ``None`` if untagged."""
+    try:
+        return _OWNERS.get(handle)
+    except TypeError:
+        return None
+
+
+def write_barrier(handle: Any, operation: str) -> None:
+    """Assert single-writer discipline before mutating ``handle``.
+
+    The dynamic twin of demonlint DML020/DML021: a parent-owned handle
+    must not be written from inside a worker task body (the mutation
+    happens on a per-process copy and silently never reaches the
+    parent), and no handle may be written from a process other than
+    the one that claimed it (a forked child inheriting the parent's
+    handle).  Disarmed, one boolean test.
+    """
+    if not _SANITIZERS:
+        return
+    tag = ownership_of(handle)
+    if tag is None:
+        return
+    scope, owner_pid = tag
+    if scope == "parent" and _WORKER_SCOPE:
+        raise SanitizerViolation(
+            f"{type(handle).__name__}.{operation}() mutates a "
+            f"parent-owned handle inside a worker task body; the write "
+            f"lands on the worker's copy and never reaches the parent "
+            f"— ship a spec, rebuild in the worker, return deltas "
+            f"(DML020, single-writer)"
+        )
+    if owner_pid != os.getpid():
+        raise SanitizerViolation(
+            f"{type(handle).__name__}.{operation}() mutates a handle "
+            f"claimed by pid {owner_pid} from pid {os.getpid()}; a "
+            f"forked process inherited a handle it does not own — "
+            f"re-check os.getpid() and rebuild per process (DML021, "
+            f"single-writer)"
+        )
 
 
 #: The paper's ``A_M`` interface: method name -> required parameter

@@ -53,6 +53,20 @@ class FrequentItemsetModel:
             selected_block_ids=sorted(block_ids),
         )
 
+    def __getstate__(self) -> dict[str, object]:
+        """Canonical pickle state for byte-identical checkpoints.
+
+        Set iteration order follows the hash-table layout its insertion
+        history produced, and serial vs sharded maintenance insert into
+        ``items`` in different orders — equal models would pickle to
+        different bytes.  Rebuilding the set from its sorted elements
+        makes the layout a function of the contents alone (the same
+        reason ``selected_block_ids`` is kept sorted).
+        """
+        state = dict(self.__dict__)
+        state["items"] = set(sorted(self.items))
+        return state
+
     @property
     def min_count(self) -> int:
         """The absolute count threshold at the current dataset size."""

@@ -44,7 +44,15 @@ import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.contracts import SanitizerViolation, sanitizers_armed, worker_entry
+from repro.contracts import (
+    SanitizerViolation,
+    arm,
+    arm_sanitizers,
+    contracts_armed,
+    sanitizers_armed,
+    worker_entry,
+    worker_scope,
+)
 from repro.storage.telemetry import Telemetry
 
 WORKERS_ENV = "DEMON_WORKERS"
@@ -58,9 +66,17 @@ _WORKER_ID = 0
 #: by :func:`_run_task` for the duration of one task).
 _TASK_TELEMETRY: Telemetry | None = None
 
-#: Shared executors, keyed by worker count.  Never stored on a
-#: :class:`WorkerPool` instance so pools stay trivially picklable.
-_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+#: Shared executors, keyed by (worker count, start method).  Never
+#: stored on a :class:`WorkerPool` instance so pools stay trivially
+#: picklable.
+_EXECUTORS: dict[tuple[int, str], ProcessPoolExecutor] = {}
+
+#: Pid that populated :data:`_EXECUTORS`.  A forked child inherits the
+#: dict by memory copy, but the executors' processes and pipes belong
+#: to the parent — :func:`_shared_executor` re-checks ``os.getpid()``
+#: and discards (without shutdown: the workers are not ours to join)
+#: any entries created by another process (DML021).
+_EXECUTORS_PID: int = os.getpid()
 
 
 def resolve_workers(value: int | None = None) -> int:
@@ -86,31 +102,75 @@ def resolve_workers(value: int | None = None) -> int:
     return value
 
 
-def _mp_context() -> Any:
-    """Prefer ``fork`` (cheap start-up, inherited armed contracts)."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+def resolve_start_method(method: str | None = None) -> str:
+    """The multiprocessing start method the pool will actually use.
+
+    ``None`` prefers ``fork`` (cheap start-up, inherited armed
+    contracts) and falls back cleanly to ``spawn`` on platforms without
+    it (macOS default, Windows).  An explicit request for an
+    unavailable method is a configuration error, not a silent
+    substitution.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if method is None:
+        return "fork" if "fork" in available else "spawn"
+    if method not in available:
+        raise ValueError(
+            f"start method {method!r} is not available on this platform "
+            f"(available: {', '.join(available)})"
+        )
+    return method
 
 
-def _init_worker(counter: Any) -> None:
-    """Executor initializer: assign this worker a stable 1-based id."""
+def _mp_context(method: str | None = None) -> Any:
+    return multiprocessing.get_context(resolve_start_method(method))
+
+
+def _init_worker(counter: Any, armed: bool, sanitizers: bool) -> None:
+    """Executor initializer: assign this worker a stable 1-based id.
+
+    ``armed``/``sanitizers`` carry the parent's runtime arming state
+    across the process boundary: fork children inherit it for free, but
+    spawn children start from a fresh interpreter where only the
+    environment variables survive — a parent that armed at runtime
+    would otherwise silently lose its checks in the workers.
+    """
     global _WORKER_ID
     with counter.get_lock():
         counter.value += 1
         _WORKER_ID = int(counter.value)
+    if armed:
+        arm()
+    if sanitizers:
+        arm_sanitizers()
 
 
-def _shared_executor(workers: int) -> ProcessPoolExecutor:
-    executor = _EXECUTORS.get(workers)
+def _shared_executor(
+    workers: int, start_method: str | None = None
+) -> ProcessPoolExecutor:
+    global _EXECUTORS_PID
+    if os.getpid() != _EXECUTORS_PID:
+        # Inherited via fork: the executors' worker processes belong to
+        # the forking parent.  Drop the handles (no shutdown — joining
+        # another process's children deadlocks) and start fresh.
+        _EXECUTORS.clear()
+        _EXECUTORS_PID = os.getpid()
+    method = resolve_start_method(start_method)
+    key = (workers, method)
+    executor = _EXECUTORS.get(key)
     if executor is None:
-        context = _mp_context()
+        context = _mp_context(method)
         executor = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(context.Value("i", 0),),
+            initargs=(
+                context.Value("i", 0),
+                contracts_armed(),
+                sanitizers_armed(),
+            ),
         )
-        _EXECUTORS[workers] = executor
+        _EXECUTORS[key] = executor
     return executor
 
 
@@ -146,7 +206,7 @@ def _run_task(entry: Callable[..., Any], args: Sequence[Any]) -> Any:
     telemetry = Telemetry()
     _TASK_TELEMETRY = telemetry
     try:
-        with telemetry.phase("parallel.task"):
+        with telemetry.phase("parallel.task"), worker_scope():
             value = entry(*args)
     finally:
         _TASK_TELEMETRY = None
@@ -162,9 +222,15 @@ class WorkerPool:
     every task in-process through the identical envelope protocol.
     """
 
-    def __init__(self, workers: int, telemetry: Telemetry | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        telemetry: Telemetry | None = None,
+        start_method: str | None = None,
+    ) -> None:
         self.workers = resolve_workers(workers)
         self.telemetry = telemetry
+        self.start_method = resolve_start_method(start_method)
 
     def run(
         self, entry: Callable[..., Any], payloads: Iterable[Sequence[Any]]
@@ -200,7 +266,7 @@ class WorkerPool:
         if self.workers <= 1:
             envelopes = [_run_task(entry, payload) for payload in tasks]
         else:
-            executor = _shared_executor(self.workers)
+            executor = _shared_executor(self.workers, self.start_method)
             futures: list[Future[Any]] = [
                 executor.submit(_run_task, entry, payload) for payload in tasks
             ]

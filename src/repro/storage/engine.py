@@ -56,7 +56,15 @@ from typing import Any, Generic, TypeVar
 
 import numpy as np
 
-from repro.contracts import SanitizerViolation, sanitizers_armed
+from repro.contracts import (
+    SanitizerViolation,
+    blocking_call,
+    claim_ownership,
+    critical_section,
+    sanitizers_armed,
+    write_barrier,
+)
+from repro.storage.atomic import atomic_json, atomic_save, atomic_writer
 from repro.core.blocks import (
     FLOAT_BYTES,
     INT_BYTES,
@@ -280,8 +288,7 @@ def _write_block_dir(
         "chunk_size": chunk_size,
         "chunks": chunk_rows,
     }
-    with open(os.path.join(path, "meta.json"), "w", encoding="utf-8") as fh:
-        json.dump(meta, fh)
+    atomic_json(os.path.join(path, "meta.json"), meta)
     return MmapBlockData(
         path=path,
         schema=schema,
@@ -330,8 +337,8 @@ def _write_csr(
     )
     offsets = np.zeros(num_records + 1, dtype=np.int64)
     np.cumsum(lengths, out=offsets[1:])
-    np.save(os.path.join(path, "values.npy"), values)
-    np.save(os.path.join(path, "offsets.npy"), offsets)
+    atomic_save(os.path.join(path, "values.npy"), values)
+    atomic_save(os.path.join(path, "offsets.npy"), offsets)
     return num_records, INT_BYTES * int(values.shape[0])
 
 
@@ -353,7 +360,7 @@ def _write_dense(
             if columns[j]
             else np.empty(0, dtype=np.float64)
         )
-        np.save(os.path.join(path, f"col_{j:03d}.npy"), column)
+        atomic_save(os.path.join(path, f"col_{j:03d}.npy"), column)
     return num_records, FLOAT_BYTES * width * num_records
 
 
@@ -364,7 +371,7 @@ def _write_pickle(
     num_records = 0
     nbytes = 0
     for index, chunk in enumerate(_prepend(first, rest)):
-        with open(os.path.join(path, f"chunk_{index:05d}.pkl"), "wb") as fh:
+        with atomic_writer(os.path.join(path, f"chunk_{index:05d}.pkl")) as fh:
             # Canonicalized records keep the stored bytes free of
             # caller-side object aliasing (see _fresh).
             pickle.dump(
@@ -607,6 +614,9 @@ class BlockBackend(ABC):
         self.chunk_size = chunk_size
         self._datas: "weakref.WeakSet[Any]" = weakref.WeakSet()
         self._closed = False
+        # Ownership tag for the interleaving sanitizer: a backend built
+        # in the parent must not be mutated from a worker task body.
+        claim_ownership(self)
 
     @property
     def stats(self) -> IOStats:
@@ -631,6 +641,7 @@ class BlockBackend(ABC):
         """
         if self._closed:
             raise RuntimeError(f"{self.kind} backend is closed")
+        write_barrier(self, "ingest")
         data = self._create_data(records)
         self._datas.add(data)
         self._stats.record_write(data.nbytes)
@@ -876,8 +887,7 @@ class TieredBlockData(MmapBlockData[T]):
         if self.tier == TIER_COLD:
             meta["codec"] = self.codec
             meta["packed"] = self._packed_rows
-        with open(os.path.join(self.path, "meta.json"), "w", encoding="utf-8") as fh:
-            json.dump(meta, fh)
+        atomic_json(os.path.join(self.path, "meta.json"), meta)
 
     # -- demotion (hot -> cold) ----------------------------------------
 
@@ -893,6 +903,7 @@ class TieredBlockData(MmapBlockData[T]):
 
         if self.tier == TIER_COLD:
             return 0
+        blocking_call("demote")
         codec_name = int_codec if self.schema.kind == KIND_CSR else DEFLATE_CODEC
         codec = resolve_codec(int_codec) if self.schema.kind == KIND_CSR else None
         dense_files = [
@@ -903,7 +914,13 @@ class TieredBlockData(MmapBlockData[T]):
         size = self._default_size()
         entries: list[dict[str, Any]] = []
         offset = 0
-        with open(self.packed_path, "wb") as out:
+        # Crash-safe ordering: publish packed.bin atomically, flip the
+        # in-memory tier, publish meta.json atomically, and only then
+        # delete the dense files.  A crash at any point leaves either a
+        # fully hot block (meta still dense, orphaned packed scratch) or
+        # a fully cold block (meta packed, orphaned dense files) — both
+        # readable; orphans are overwritten by the next transition.
+        with atomic_writer(self.packed_path) as out:
             if self.schema.kind == KIND_CSR:
                 offset = self._demote_csr(out, codec, size, entries)
             elif self.schema.kind == KIND_DENSE:
@@ -911,14 +928,14 @@ class TieredBlockData(MmapBlockData[T]):
             else:
                 offset = self._demote_pickle(out, deflate, entries)
         self._cache = None
-        for f in dense_files:
-            if os.path.exists(f):
-                os.remove(f)
         self.tier = TIER_COLD
         self.codec = codec_name
         self._packed_rows = entries
         self._cold_reads = 0
         self._write_meta()
+        for f in dense_files:
+            if os.path.exists(f):
+                os.remove(f)
         return reclaimed
 
     def _demote_csr(
@@ -1020,7 +1037,12 @@ class TieredBlockData(MmapBlockData[T]):
         """
         if self.tier != TIER_COLD:
             return 0
+        blocking_call("promote")
         freed = self.compressed_nbytes()
+        # Mirror of demote's crash-safe ordering: dense files are
+        # published atomically first, meta.json flips the block hot, and
+        # packed.bin is removed last (an orphaned packed.bin under a hot
+        # meta is unreferenced and inert).
         if self.schema.kind == KIND_CSR:
             self._promote_csr()
         elif self.schema.kind == KIND_DENSE:
@@ -1028,13 +1050,13 @@ class TieredBlockData(MmapBlockData[T]):
         else:
             self._promote_pickle()
         self._cache = None
-        if os.path.exists(self.packed_path):
-            os.remove(self.packed_path)
         self.tier = TIER_HOT
         self.codec = None
         self._packed_rows = []
         self._cold_reads = 0
         self._write_meta()
+        if os.path.exists(self.packed_path):
+            os.remove(self.packed_path)
         return freed
 
     def _promote_csr(self) -> None:
@@ -1067,8 +1089,8 @@ class TieredBlockData(MmapBlockData[T]):
         offsets = np.zeros(self._num_records + 1, dtype=np.int64)
         np.cumsum(lengths, out=offsets[1:])
         self._cache = None
-        np.save(os.path.join(self.path, "values.npy"), values)
-        np.save(os.path.join(self.path, "offsets.npy"), offsets)
+        atomic_save(os.path.join(self.path, "values.npy"), values)
+        atomic_save(os.path.join(self.path, "offsets.npy"), offsets)
 
     def _promote_dense(self) -> None:
         from repro.storage.codecs import inflate
@@ -1089,7 +1111,9 @@ class TieredBlockData(MmapBlockData[T]):
         )
         self._cache = None
         for j in range(width):
-            np.save(os.path.join(self.path, f"col_{j:03d}.npy"), matrix[:, j].copy())
+            atomic_save(
+                os.path.join(self.path, f"col_{j:03d}.npy"), matrix[:, j].copy()
+            )
 
     def _promote_pickle(self) -> None:
         from repro.storage.codecs import inflate
@@ -1099,8 +1123,8 @@ class TieredBlockData(MmapBlockData[T]):
             (off, length) = entry["spans"][0]
             raw = inflate(packed[off : off + length])
             self._cache = None
-            with open(
-                os.path.join(self.path, f"chunk_{index:05d}.pkl"), "wb"
+            with atomic_writer(
+                os.path.join(self.path, f"chunk_{index:05d}.pkl")
             ) as fh:
                 fh.write(raw)
 
@@ -1315,7 +1339,11 @@ class TieredBackend(MmapBackend):
         metadata: dict[str, Any] | None = None,
     ) -> Block[T]:
         block = super().ingest(block_id, records, label=label, metadata=metadata)
-        self._by_id[block.block_id] = block.data
+        # The id index is shared with the promoter callback; keep the
+        # update inside a critical region so the sanitizer (and DML024)
+        # can check that nothing blocking runs while it is held.
+        with critical_section("tier-index"):
+            self._by_id[block.block_id] = block.data
         return block
 
     # -- the tiering policy --------------------------------------------
@@ -1405,12 +1433,14 @@ def backend_from_spec(spec: dict[str, Any]) -> BlockBackend:
     raise ValueError(f"unknown block backend kind {kind!r}")
 
 
-def ambient_backend() -> BlockBackend | None:
-    """The process-wide backend selected by ``DEMON_BLOCK_BACKEND``.
+def ambient_backend_name() -> str | None:
+    """Parse and validate ``DEMON_BLOCK_BACKEND`` without side effects.
 
-    Returns ``None`` in the default in-memory mode, where plain blocks
-    need no backend at all; the mmap mode shares one backend rooted in
-    a temporary directory that is removed at interpreter exit.
+    Returns the normalized backend kind, or ``None`` for the default
+    in-memory mode.  Entry points call this at argument-parse time so a
+    typo in the environment fails immediately with an actionable
+    message (matching ``DEMON_WORKERS`` / ``DEMON_BLOCK_CHUNK``)
+    instead of deep inside the first ingest.
     """
     name = os.environ.get("DEMON_BLOCK_BACKEND", "").strip().lower()
     if name in ("", InMemoryBackend.kind):
@@ -1420,6 +1450,19 @@ def ambient_backend() -> BlockBackend | None:
             f"DEMON_BLOCK_BACKEND must be 'memory', 'mmap', or 'tiered', "
             f"got {name!r}"
         )
+    return name
+
+
+def ambient_backend() -> BlockBackend | None:
+    """The process-wide backend selected by ``DEMON_BLOCK_BACKEND``.
+
+    Returns ``None`` in the default in-memory mode, where plain blocks
+    need no backend at all; the mmap mode shares one backend rooted in
+    a temporary directory that is removed at interpreter exit.
+    """
+    name = ambient_backend_name()
+    if name is None:
+        return None
     backend = _AMBIENT.get(name)
     if backend is None:
         root = tempfile.mkdtemp(prefix="demon-ambient-blocks-")

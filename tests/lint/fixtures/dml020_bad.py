@@ -1,0 +1,45 @@
+"""DML020 fixture: worker task bodies mutating parent-owned state."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+from repro.contracts import worker_entry
+
+#: Written by parent-context code below, so parent-owned.
+_RESULTS = {}
+
+
+def record_result(key, value):
+    _RESULTS[key] = value
+
+
+@worker_entry
+def count_shard(spec, key):
+    # Leg A: the write lands in the forked child's copy of the module
+    # dict; the parent's _RESULTS never sees it.
+    _RESULTS[key] = len(spec)
+    return key
+
+
+@worker_entry
+def maintain_shard(backend, block_id, records):
+    # Leg C: the backend handle crossed the process boundary by value;
+    # ingesting into it updates a copy the parent never observes.
+    backend.ingest(block_id, records)
+    return block_id
+
+
+class Session:
+    def __init__(self, pool):
+        self.pool = pool
+        self.seen = 0
+
+    def _task(self, spec):
+        self.seen += 1
+        return spec
+
+    def run_all(self, specs):
+        # Leg B: a bound method ships a pickled copy of self; the
+        # self.seen increments are silently dropped.
+        futures = []
+        for spec in specs:
+            futures.append(self.pool.submit(self._task, spec))
+        return futures

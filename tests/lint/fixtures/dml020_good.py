@@ -1,0 +1,32 @@
+"""DML020 fixture: worker deltas ride the result envelope."""
+
+from repro.contracts import worker_entry
+
+#: Touched only from worker context — a per-process replica cache,
+#: safe by construction (OWNER_WORKER on the ownership lattice).
+_REPLICAS = {}
+
+
+@worker_entry
+def count_shard(spec, key):
+    store = _REPLICAS.get(spec)
+    if store is None:
+        store = dict(enumerate(spec))
+        _REPLICAS[spec] = store
+    # Deltas return in the envelope instead of mutating shared state.
+    return key, len(store)
+
+
+class Session:
+    def __init__(self, pool):
+        self.pool = pool
+        self.seen = 0
+
+    def run_all(self, specs):
+        results = self.pool.run(count_shard, [(spec, i) for i, spec in enumerate(specs)])
+        merged = {}
+        for key, count in results:
+            # The parent applies worker deltas on its own side.
+            merged[key] = count
+            self.seen += 1
+        return merged

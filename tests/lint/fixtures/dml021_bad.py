@@ -1,0 +1,29 @@
+"""DML021 fixture: fork-unsafe module-global caches and atexit hooks."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+
+_EXECUTORS = {}
+_SESSIONS = []
+
+
+def shared_executor(workers):
+    # A forked child inherits this entry and would submit work to the
+    # parent's pool (whose worker pipes it does not own).
+    executor = _EXECUTORS.get(workers)
+    if executor is None:
+        executor = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTORS[workers] = executor
+    return executor
+
+
+def cache_session(workers):
+    _SESSIONS.append(ProcessPoolExecutor(max_workers=workers))
+    return _SESSIONS[-1]
+
+
+def install_cleanup(backend):
+    # Runs in every forked child too: the child tears down block files
+    # the parent is still reading.
+    atexit.register(backend.destroy)

@@ -1,0 +1,33 @@
+"""DML021 fixture: pid-guarded caches and owner-checked atexit hooks."""
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+_EXECUTORS = {}
+_EXECUTORS_PID = os.getpid()
+
+
+def shared_executor(workers):
+    global _EXECUTORS_PID
+    if os.getpid() != _EXECUTORS_PID:
+        # Inherited via fork: the handles belong to the parent.  Drop
+        # them (no shutdown — the workers are not ours) and rebuild.
+        _EXECUTORS.clear()
+        _EXECUTORS_PID = os.getpid()
+    executor = _EXECUTORS.get(workers)
+    if executor is None:
+        executor = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTORS[workers] = executor
+    return executor
+
+
+def _destroy_if_owner(backend, owner_pid):
+    if os.getpid() == owner_pid:
+        backend.destroy()
+
+
+def install_cleanup(backend):
+    # The registration captures the creating pid; forked children
+    # re-check it and leave the parent's files alone.
+    atexit.register(_destroy_if_owner, backend, os.getpid())

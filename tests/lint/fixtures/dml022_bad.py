@@ -1,0 +1,24 @@
+"""DML022 fixture: torn-file publications in a storage write path."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+import json
+import os
+import pickle
+
+import numpy as np
+
+
+def write_meta(path, meta):
+    # A reader (or a crash) mid-dump observes half a JSON document.
+    with open(os.path.join(path, "meta.json"), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh)
+
+
+def write_columns(path, values, offsets):
+    np.save(os.path.join(path, "values.npy"), values)
+    np.save(os.path.join(path, "offsets.npy"), offsets)
+
+
+def write_chunk(path, index, records):
+    with open(os.path.join(path, f"chunk_{index:05d}.pkl"), "wb") as fh:
+        pickle.dump(records, fh)

@@ -1,0 +1,30 @@
+"""DML022 fixture: write-new-then-``os.replace`` publication."""
+
+import json
+import os
+
+import numpy as np
+
+from repro.storage.atomic import atomic_save, atomic_writer
+
+
+def write_meta(path, meta):
+    # Scratch path + os.replace: readers see the old complete file or
+    # the new complete file, never a torn one.
+    dest = os.path.join(path, "meta.json")
+    scratch = dest + ".tmp"
+    with open(scratch, "w", encoding="utf-8") as fh:
+        json.dump(meta, fh)
+    os.replace(scratch, dest)
+
+
+def write_columns(path, values):
+    atomic_save(os.path.join(path, "values.npy"), values)
+
+
+def write_packed(path, blob):
+    # np.save into an already-open (atomic) handle is not a raw
+    # publication — the replace step still guards the destination.
+    with atomic_writer(os.path.join(path, "packed.bin")) as out:
+        out.write(blob)
+        np.save(out, np.frombuffer(blob, dtype=np.uint8))

@@ -1,0 +1,16 @@
+"""DML023 fixture: telemetry merges that drop or double-count deltas."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+
+def merge_twice(telemetry, envelopes):
+    for value, state, worker_id in envelopes:
+        telemetry.merge_state_dict(state)
+        # Same state merged bare twice: every counter doubles.
+        telemetry.merge_state_dict(state)
+
+
+def merge_prefixed_only(telemetry, envelopes):
+    for value, state, worker_id in envelopes:
+        # Attribution without aggregation: phase/counter totals never
+        # see the worker's deltas.
+        telemetry.merge_state_dict(state, prefix=f"parallel.w{worker_id}.")

@@ -1,0 +1,17 @@
+"""DML023 fixture: the envelope merge discipline — once bare, once per
+distinct prefix."""
+
+
+def merge_envelopes(telemetry, envelopes):
+    for value, state, worker_id in envelopes:
+        telemetry.merge_state_dict(state)
+        telemetry.merge_state_dict(state, prefix=f"parallel.w{worker_id}.")
+        telemetry.increment("parallel.tasks")
+
+
+def restore_snapshot(telemetry, snapshot, sessions):
+    for session in sessions:
+        # Loop-invariant state (a session restore replaying one
+        # snapshot) is not a worker-delta merge.
+        telemetry.merge_state_dict(snapshot)
+        session.attach(telemetry)

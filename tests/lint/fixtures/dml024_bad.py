@@ -1,0 +1,25 @@
+"""DML024 fixture: blocking work inside critical sections."""
+# demonlint: disable-file=all (bad fixture: linted with respect_suppressions=False by the rule tests; the disable keeps whole-tree CI runs clean)
+
+from repro.contracts import critical_section
+
+
+class TierIndex:
+    def __init__(self):
+        self._by_id = {}
+
+    @critical_section
+    def register(self, block):
+        self._by_id[block.block_id] = block
+        # Direct blocking call inside the decorated region: every other
+        # thread stalls behind the compression.
+        block.demote()
+
+    def swap(self, block):
+        with critical_section("tier-index"):
+            self._by_id[block.block_id] = block
+            # Indirect: _compact() reaches demote() transitively.
+            self._compact(block)
+
+    def _compact(self, block):
+        return block.demote()

@@ -1,0 +1,21 @@
+"""DML024 fixture: stage the decision inside the lock, block outside."""
+
+from repro.contracts import critical_section
+
+
+class TierIndex:
+    def __init__(self):
+        self._by_id = {}
+
+    def register(self, block):
+        with critical_section("tier-index"):
+            self._by_id[block.block_id] = block
+
+    def swap(self, block):
+        with critical_section("tier-index"):
+            stale = self._by_id.get(block.block_id)
+            self._by_id[block.block_id] = block
+        # The blocking work runs after release, on state the region
+        # already published.
+        if stale is not None:
+            stale.demote()

@@ -10,6 +10,7 @@ fixtures run clean under the same armed sanitizers.
 from __future__ import annotations
 
 import importlib.util
+import os
 import sys
 from pathlib import Path
 
@@ -22,9 +23,11 @@ if str(ROOT) not in sys.path:
 from repro.contracts import (  # noqa: E402
     SanitizerViolation,
     arm_sanitizers,
+    blocking_call,
     disarm_sanitizers,
     exception_atomic,
     sanitizers_armed,
+    worker_scope,
 )
 from repro.storage.engine import MmapBackend  # noqa: E402
 from tools.demonlint import run  # noqa: E402
@@ -34,11 +37,17 @@ RECORDS = [(1, 2), (3, 4, 5), (6,)]
 
 
 def _load(name: str):
-    """Import a fixture module by path (fixtures are not a package)."""
+    """Import a fixture module by path (fixtures are not a package).
+
+    The module registers under its spec name so pickling its functions
+    by reference works (the armed WorkerPool probe round-trips worker
+    entries through pickle).
+    """
     spec = importlib.util.spec_from_file_location(
         f"demonlint_agreement_{name}", FIXTURES / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
     spec.loader.exec_module(module)
     return module
 
@@ -147,10 +156,127 @@ def test_dml018_agreement_clone_before_commit_is_atomic(armed):
 
 
 # ----------------------------------------------------------------------
+# DML020 — worker-scope mutation of a parent-owned handle is a static
+# finding AND trips the write barrier at run time
+# ----------------------------------------------------------------------
+
+
+def test_dml020_agreement_worker_mutation_of_parent_handle(armed, backend):
+    fixture = _load("dml020_bad")
+    assert len(_findings("dml020_bad", "DML020")) == 3
+    with worker_scope():
+        # Defense in depth: the DML017 pickle probe rejects the handle
+        # payload before the task even runs...
+        with pytest.raises(SanitizerViolation, match="DML017"):
+            fixture.maintain_shard(backend, 1, RECORDS)
+        # ...and had the handle crossed anyway (fork inherits it), the
+        # write barrier catches the mutation inside the task body.
+        with pytest.raises(SanitizerViolation, match="single-writer"):
+            fixture.maintain_shard.__wrapped__(backend, 1, RECORDS)
+
+
+def test_dml020_agreement_envelope_discipline_runs_clean(armed, backend):
+    from repro.parallel.pool import WorkerPool
+
+    fixture = _load("dml020_good")
+    assert not _findings("dml020_good", "DML020")
+    # Parent-side mutation of the parent-owned handle is fine...
+    backend.ingest(1, RECORDS)
+    # ...and the envelope pattern runs clean end-to-end: the inline
+    # workers=1 path wraps the entry in a real worker scope.
+    session = fixture.Session(WorkerPool(workers=1))
+    merged = session.run_all(["ab", "cde"])
+    assert merged == {0: 2, 1: 3}
+    assert session.seen == 2
+
+
+def test_dml020_agreement_worker_built_handle_is_mutable(armed, tmp_path):
+    # A handle the worker rebuilt from a spec is worker-owned — the
+    # sanctioned pattern stays violation-free.
+    with worker_scope():
+        handle = MmapBackend(root=str(tmp_path / "wblocks"))
+        handle.ingest(1, RECORDS)
+        handle.destroy()
+
+
+# ----------------------------------------------------------------------
+# DML022 — the statically flagged write path really tears files on a
+# crash; the atomic path preserves the old document
+# ----------------------------------------------------------------------
+
+
+def test_dml022_agreement_crash_mid_write(tmp_path):
+    import json
+
+    bad = _load("dml022_bad")
+    good = _load("dml022_good")
+    assert len(_findings("dml022_bad", "DML022")) == 4
+    assert not _findings("dml022_good", "DML022")
+
+    poison = {"tier": "cold", "packed": object()}  # json.dump raises mid-stream
+    old = {"tier": "hot"}
+    for module, writer in ((bad, bad.write_meta), (good, good.write_meta)):
+        root = tmp_path / module.__name__
+        root.mkdir()
+        (root / "meta.json").write_text(json.dumps(old))
+        with pytest.raises(TypeError):
+            writer(str(root), poison)
+
+    # The torn path truncated the old document before crashing...
+    bad_meta = (tmp_path / bad.__name__ / "meta.json").read_text()
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(bad_meta)
+    # ...the atomic path left it untouched (the scratch file absorbed
+    # the crash).
+    good_meta = (tmp_path / good.__name__ / "meta.json").read_text()
+    assert json.loads(good_meta) == old
+
+
+# ----------------------------------------------------------------------
+# DML024 — the statically flagged region raises when the sanitizer is
+# armed; the staged variant runs clean
+# ----------------------------------------------------------------------
+
+
+class _StubBlock:
+    """Minimal block: demote() declares itself the way the engine does."""
+
+    block_id = 7
+
+    def demote(self):
+        blocking_call("demote")
+
+
+def test_dml024_agreement_blocking_inside_region_raises(armed):
+    fixture = _load("dml024_bad")
+    assert len(_findings("dml024_bad", "DML024")) == 2
+    index = fixture.TierIndex()
+    with pytest.raises(SanitizerViolation, match="critical section 'register'"):
+        index.register(_StubBlock())
+    with pytest.raises(SanitizerViolation, match="critical section 'tier-index'"):
+        index.swap(_StubBlock())
+
+
+def test_dml024_agreement_staged_swap_runs_clean(armed):
+    fixture = _load("dml024_good")
+    assert not _findings("dml024_good", "DML024")
+    index = fixture.TierIndex()
+    first, second = _StubBlock(), _StubBlock()
+    index.register(first)
+    # The stale block demotes after the region releases — no violation.
+    index.swap(second)
+    assert index._by_id[7] is second
+
+
+# ----------------------------------------------------------------------
 # Arming is scoped: the suite-wide default stays disarmed
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SANITIZERS", "") not in ("", "0", "false"),
+    reason="suite is running with REPRO_SANITIZERS armed (CI sanitizer leg)",
+)
 def test_sanitizers_disarmed_by_default():
     assert not sanitizers_armed()
 

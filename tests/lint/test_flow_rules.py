@@ -26,6 +26,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 FLOW_RULES = (
     "DML008", "DML009", "DML010", "DML011", "DML012",
     "DML014", "DML015", "DML016", "DML017", "DML018", "DML019",
+    "DML020", "DML021", "DML022", "DML023", "DML024",
 )
 
 
@@ -469,6 +470,166 @@ def test_dml019_live_counting_and_kernels_are_clean():
         "itemsets/kernels.py",
         "itemsets/tidlist.py",
     )
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML020 — worker-context mutation of parent-owned state
+# ----------------------------------------------------------------------
+
+
+def test_dml020_reports_all_three_legs():
+    result = lint_bad(FIXTURES / "dml020_bad.py", "DML020")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "mutates parent-owned module global '_RESULTS'" in messages
+    assert "mutates its argument 'backend' via .ingest()" in messages
+    assert "bound method 'self._task'" in messages
+    assert "mutates self.seen" in messages
+    assert len(result.violations) == 3
+
+
+def test_dml020_detects_the_prefix_executor_cache_shape(tmp_path):
+    # The pre-fix pool.py shape: a worker-context function writing a
+    # module global the parent also populates.
+    result = lint_snippet(
+        tmp_path,
+        """
+        from repro.contracts import worker_entry
+
+        _SEEN = {}
+
+        def parent_record(key):
+            _SEEN[key] = True
+
+        @worker_entry
+        def shard_task(spec, key):
+            _SEEN[key] = len(spec)
+            return key
+        """,
+        "DML020",
+    )
+    assert any("parent-owned" in v.message for v in result.violations)
+
+
+def test_dml020_live_parallel_layer_is_clean():
+    result = lint_live("DML020", "parallel/pool.py", "parallel/shards.py")
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML021 — fork-unsafe module-global caches
+# ----------------------------------------------------------------------
+
+
+def test_dml021_reports_caches_and_atexit():
+    result = lint_bad(FIXTURES / "dml021_bad.py", "DML021")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "'_EXECUTORS' caches a live ProcessPoolExecutor" in messages
+    assert "'_SESSIONS' caches a live ProcessPoolExecutor" in messages
+    assert "destructive atexit callback 'backend.destroy'" in messages
+    assert len(result.violations) == 3
+
+
+def test_dml021_detects_the_prefix_shared_executor(tmp_path):
+    # The exact pre-fix _shared_executor: populate-on-miss with no
+    # os.getpid() re-check anywhere in the function.
+    result = lint_snippet(
+        tmp_path,
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        _EXECUTORS = {}
+
+        def shared_executor(workers):
+            executor = _EXECUTORS.get(workers)
+            if executor is None:
+                executor = ProcessPoolExecutor(max_workers=workers)
+                _EXECUTORS[workers] = executor
+            return executor
+        """,
+        "DML021",
+    )
+    assert any("os.getpid() re-check" in v.message for v in result.violations)
+
+
+def test_dml021_live_pool_and_engine_are_clean():
+    result = lint_live("DML021", "parallel/pool.py", "storage/engine.py")
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML022 — atomic file publication
+# ----------------------------------------------------------------------
+
+
+def test_dml022_reports_every_torn_publication():
+    result = lint_bad(FIXTURES / "dml022_bad.py", "DML022")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "open(..., 'w')" in messages
+    assert "np.save" in messages
+    assert "meta.json" in messages
+    assert len(result.violations) == 4
+
+
+def test_dml022_detects_the_prefix_write_meta(tmp_path):
+    # Storage-scoped module (the rule only patrols storage/ paths).
+    storage = tmp_path / "storage"
+    storage.mkdir()
+    module = storage / "prefix_engine.py"
+    module.write_text(
+        textwrap.dedent(
+            """
+            import json
+            import os
+
+            def write_meta(path, meta):
+                with open(os.path.join(path, "meta.json"), "w") as fh:
+                    json.dump(meta, fh)
+            """
+        )
+    )
+    result = run([module], root=tmp_path, select=["DML022"])
+    assert any("torn file" in v.message for v in result.violations)
+
+
+def test_dml022_live_storage_engine_is_clean():
+    result = lint_live("DML022", "storage/engine.py", "storage/atomic.py")
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML023 — telemetry merge discipline
+# ----------------------------------------------------------------------
+
+
+def test_dml023_reports_double_count_and_drop():
+    result = lint_bad(FIXTURES / "dml023_bad.py", "DML023")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "double-counted" in messages
+    assert "merges only under prefix" in messages
+    assert len(result.violations) == 2
+
+
+def test_dml023_live_pool_merge_is_clean():
+    result = lint_live("DML023", "parallel/pool.py")
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# DML024 — blocking calls inside critical sections
+# ----------------------------------------------------------------------
+
+
+def test_dml024_reports_direct_and_transitive_blocking():
+    result = lint_bad(FIXTURES / "dml024_bad.py", "DML024")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "blocking call demote() inside critical section" in messages
+    assert "may block (demote()" in messages
+    assert len(result.violations) == 2
+
+
+def test_dml024_live_tiered_index_is_clean():
+    result = lint_live("DML024", "storage/engine.py")
     assert result.ok, "\n".join(v.render() for v in result.violations)
 
 

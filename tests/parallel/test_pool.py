@@ -5,12 +5,17 @@ the test explicitly asks for real processes — the envelope protocol is
 identical on both paths, which is exactly what the fallback is for.
 """
 
+import multiprocessing
+import os
+
 import pytest
 
+import repro.parallel.pool as pool_module
 from repro.contracts import SanitizerViolation, worker_entry
 from repro.parallel.pool import (
     WORKERS_ENV,
     WorkerPool,
+    resolve_start_method,
     resolve_workers,
     shutdown_workers,
     task_telemetry,
@@ -164,3 +169,55 @@ class TestRealProcesses:
     def test_shutdown_is_idempotent(self):
         shutdown_workers()
         shutdown_workers()
+
+
+class TestStartMethod:
+    def test_default_prefers_fork_when_available(self):
+        expected = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        assert resolve_start_method() == expected
+
+    def test_spawn_is_always_available(self):
+        # The spawn-only-platform fallback: every platform has spawn.
+        assert resolve_start_method("spawn") == "spawn"
+
+    def test_unavailable_method_rejected(self):
+        with pytest.raises(ValueError, match="not available"):
+            resolve_start_method("tape")
+
+    def test_spawn_round_trip(self):
+        # The clean fallback for platforms without fork: fresh
+        # interpreters, worker ids assigned by the initializer, the
+        # same envelope protocol.
+        telemetry = Telemetry()
+        pool = WorkerPool(workers=2, telemetry=telemetry, start_method="spawn")
+        try:
+            assert pool.run(_double, [(i,) for i in range(4)]) == [0, 2, 4, 6]
+            attributed = sum(
+                value
+                for name, value in telemetry.counters.items()
+                if name.startswith("parallel.w") and name.endswith(".tasks")
+            )
+            assert attributed == 4
+            assert "parallel.w0.tasks" not in telemetry.counters
+        finally:
+            shutdown_workers()
+
+    def test_forked_child_discards_inherited_executors(self):
+        # Simulate a forked child: the cache holds an entry created by
+        # another pid.  _shared_executor must drop it (not shut it
+        # down — the workers belong to the parent) and rebuild.
+        shutdown_workers()
+        sentinel = object()
+        key = (1, resolve_start_method())
+        pool_module._EXECUTORS[key] = sentinel
+        pool_module._EXECUTORS_PID = os.getpid() - 1
+        try:
+            executor = pool_module._shared_executor(1)
+            assert executor is not sentinel
+            assert pool_module._EXECUTORS_PID == os.getpid()
+        finally:
+            shutdown_workers()

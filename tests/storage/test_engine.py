@@ -34,6 +34,7 @@ from repro.storage.engine import (
     MmapBlockData,
     SchemaError,
     ambient_backend,
+    ambient_backend_name,
     backend_from_spec,
     infer_schema,
     resolve_backend,
@@ -297,6 +298,25 @@ class TestResolution:
         monkeypatch.setenv("DEMON_BLOCK_BACKEND", "tape")
         with pytest.raises(ValueError, match="DEMON_BLOCK_BACKEND"):
             ambient_backend()
+
+    def test_ambient_name_parses_without_side_effects(self, monkeypatch):
+        monkeypatch.setenv("DEMON_BLOCK_BACKEND", "  Tiered ")
+        assert ambient_backend_name() == "tiered"
+        monkeypatch.setenv("DEMON_BLOCK_BACKEND", "memory")
+        assert ambient_backend_name() is None
+        monkeypatch.delenv("DEMON_BLOCK_BACKEND")
+        assert ambient_backend_name() is None
+
+    def test_ambient_name_rejects_unknown_names_at_parse_time(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("DEMON_BLOCK_BACKEND", "tape")
+        with pytest.raises(
+            ValueError,
+            match="DEMON_BLOCK_BACKEND must be 'memory', 'mmap', or "
+            "'tiered', got 'tape'",
+        ):
+            ambient_backend_name()
 
     def test_ambient_mmap_is_shared_and_routes_make_block(self, monkeypatch):
         monkeypatch.setenv("DEMON_BLOCK_BACKEND", "mmap")

@@ -24,6 +24,22 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert excinfo.value.code == 0
 
+    def test_bad_block_backend_env_fails_at_parse_time(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("DEMON_BLOCK_BACKEND", "tape")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["info"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "DEMON_BLOCK_BACKEND must be 'memory', 'mmap', or 'tiered'" in err
+        assert "'tape'" in err
+
+    def test_valid_block_backend_env_is_accepted(self, monkeypatch):
+        monkeypatch.setenv("DEMON_BLOCK_BACKEND", "memory")
+        code, output = run_cli(["info"])
+        assert code == 0
+
 
 class TestInfo:
     def test_lists_subsystems(self):

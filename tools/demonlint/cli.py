@@ -47,8 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
             "maintainer contracts, BSS bit-hygiene, clone-before-mutate "
             "discipline, timing hygiene (DML001-DML007), plus "
             "flow-sensitive checkpoint/span/taint/vault/purity analyses "
-            "(DML008-DML012), and typestate/escape lifecycle, streaming, "
-            "worker-safety, and exception-atomicity rules (DML014-DML018). "
+            "(DML008-DML012), typestate/escape lifecycle, streaming, "
+            "worker-safety, and exception-atomicity rules (DML014-DML018), "
+            "and interprocedural effect-and-ownership concurrency rules — "
+            "worker mutation, fork safety, atomic publication, telemetry "
+            "merge, critical-section blocking (DML020-DML024). "
             "See docs/STATIC_ANALYSIS.md for the rule catalog."
         ),
     )

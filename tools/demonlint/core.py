@@ -156,6 +156,7 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 def registered_rules() -> dict[str, type[Rule]]:
     """The registry, keyed by rule id (import side effect fills it)."""
+    import tools.demonlint.effect_rules  # noqa: F401  (registers on import)
     import tools.demonlint.flow_rules  # noqa: F401  (registers on import)
     import tools.demonlint.rules  # noqa: F401  (registers on import)
 

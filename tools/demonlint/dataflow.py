@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Generic, TypeVar
 
@@ -100,6 +101,51 @@ def solve(cfg: CFG, analysis: ForwardAnalysis[Fact]) -> Solution[Fact]:
                 cfg.blocks[block_id], in_facts[block_id]
             )
     return Solution(in_facts=in_facts, out_facts=out_facts)
+
+
+def callgraph_fixpoint(
+    calls: dict[str, set[str]],
+    absorb: Callable[[str, str], bool],
+) -> int:
+    """Propagate summaries bottom-up over a call graph to a fixpoint.
+
+    ``absorb(caller, callee)`` folds the callee's current summary into
+    the caller's and returns ``True`` when the caller's summary grew.
+    The worklist re-queues a function's callers whenever its summary
+    changes, so convergence cost is proportional to actual propagation
+    work, not to (passes x edges).  Cycles (recursion) converge because
+    summaries only grow over a finite domain.  Returns the number of
+    absorb calls that reported a change, which doubles as a converged
+    sanity signal for tests.
+    """
+    reverse: dict[str, set[str]] = {}
+    for caller, callees in calls.items():
+        for callee in callees:
+            reverse.setdefault(callee, set()).add(caller)
+
+    worklist = deque(calls)
+    queued = set(calls)
+    changes = 0
+    # Defensive bound, mirroring ``solve``: a buggy absorb that always
+    # reports growth must not hang the linter.
+    budget = 64 * max(1, len(calls)) ** 2
+    while worklist and budget > 0:
+        budget -= 1
+        caller = worklist.popleft()
+        queued.discard(caller)
+        grew = False
+        for callee in calls.get(caller, ()):
+            if callee == caller or callee not in calls:
+                continue
+            if absorb(caller, callee):
+                changes += 1
+                grew = True
+        if grew:
+            for parent in reverse.get(caller, ()):
+                if parent not in queued:
+                    worklist.append(parent)
+                    queued.add(parent)
+    return changes
 
 
 class SetUnionAnalysis(ForwardAnalysis[frozenset]):

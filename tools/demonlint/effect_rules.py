@@ -1,0 +1,526 @@
+"""Concurrency rules built on the effect-and-ownership analysis.
+
+DML020-DML024 guard the properties the parallel engine and the tiered
+backend rely on but cannot check locally:
+
+* **DML020** — a worker task body must not mutate parent-owned state.
+  Writes made after the fork never reach the parent (or race it under
+  threads); deltas belong in the task's result envelope.
+* **DML021** — module-global caches of live executors/handles must
+  re-check ``os.getpid()``.  A forked child inherits the parent's
+  cache entry; using (or tearing down) the parent's handle from the
+  child corrupts both processes.
+* **DML022** — storage write paths publish files atomically: write a
+  temp file, then ``os.replace`` it into place.  A reader (or a crash)
+  meeting a half-written ``meta.json`` or ``packed.bin`` sees a torn
+  block.
+* **DML023** — worker telemetry merges follow the envelope discipline:
+  each worker state merges exactly once bare (aggregate totals) plus
+  optionally once per distinct prefix (attribution).  A prefix-only
+  merge drops deltas from the aggregate; a repeated same-prefix merge
+  double-counts them.
+* **DML024** — no blocking call (tier moves, compression, spill,
+  executor waits) inside a ``@critical_section``-marked region; the
+  marker is the static anchor for the runtime interleaving sanitizer
+  in :mod:`repro.contracts`.
+
+All five report at the offending site and lean on
+:mod:`tools.demonlint.effects` for the interprocedural facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.demonlint.core import ModuleInfo, Project, Rule, Violation, register
+from tools.demonlint.effects import (
+    BLOCKING_CALLS,
+    OWNER_PARENT,
+    DirectEffects,
+    direct_effects,
+    effect_summaries,
+    global_ownership,
+    resolve_entry,
+    submit_sites,
+    worker_context,
+    worker_entries,
+)
+from tools.demonlint.escape import (
+    body_nodes,
+    global_decls,
+    positional_params,
+    resolve_call_target,
+)
+from tools.demonlint.flow_rules import (
+    _analysis_exempt,
+    _decorator_names,
+    _flat_target_names,
+    _module_functions,
+    _nodes_excluding_defs,
+    _render,
+    _unpicklable_factory,
+)
+from tools.demonlint.graph import FunctionNode, ProjectGraph, module_dotted_name
+
+# ----------------------------------------------------------------------
+# DML020 — worker-context mutation of parent-owned state
+# ----------------------------------------------------------------------
+
+#: Backend/handle methods that mutate shared storage state.  A worker
+#: entry calling one of these on its *own argument* is mutating the
+#: parent's copy only in its imagination: the argument crossed the
+#: process boundary by value.
+HANDLE_MUTATORS = frozenset(
+    {"ingest", "adopt", "destroy", "demote", "promote",
+     "demote_block", "promote_block", "notify_expired"}
+)
+
+
+@register
+class WorkerSharedStateMutation(Rule):
+    """Worker task bodies never write state the parent also uses."""
+
+    rule_id = "DML020"
+    title = "worker task bodies must not mutate parent-owned state"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath):
+            return
+        # The sanitizer runtime is the one module that legitimately
+        # flips process-local scope/ownership state on both sides of
+        # the fork — it is this rule's own instrumentation layer.
+        if module_dotted_name(module.relpath) == "repro.contracts":
+            return
+        graph: ProjectGraph = project.graph()
+        wctx = worker_context(graph)
+        direct = direct_effects(graph)
+        entries = worker_entries(graph)
+
+        for fn in _module_functions(graph, module):
+            # Leg A: a worker-context function writes a module global
+            # that parent-context code reads or writes.
+            if fn.qualname in wctx:
+                for write in direct[fn.qualname].global_writes:
+                    owner = global_ownership(graph, write.module, write.name)
+                    if owner == OWNER_PARENT:
+                        yield Violation(
+                            module.relpath, write.lineno, write.col,
+                            self.rule_id,
+                            f"worker-context function '{fn.node.name}' "
+                            f"mutates parent-owned module global "
+                            f"'{write.name}'; writes after the fork never "
+                            f"reach the parent — return deltas in the task "
+                            f"envelope and merge them parent-side",
+                        )
+            # Leg C: a worker entry mutates one of its own arguments
+            # through a storage-mutating method.
+            if fn.qualname in entries:
+                params = set(positional_params(fn))
+                for node in body_nodes(fn.node):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in HANDLE_MUTATORS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in params
+                    ):
+                        continue
+                    yield Violation(
+                        module.relpath, node.lineno, node.col_offset,
+                        self.rule_id,
+                        f"worker entry '{fn.node.name}' mutates its "
+                        f"argument '{node.func.value.id}' via "
+                        f".{node.func.attr}(); arguments cross the process "
+                        f"boundary by value, so the parent's copy is never "
+                        f"updated — ship a spec and return the result "
+                        f"instead",
+                    )
+            # Leg B: a bound method shipped to the pool mutates self.
+            for call, expr in submit_sites(graph, fn):
+                if not (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    continue
+                entry = resolve_entry(graph, fn, expr)
+                if entry is None or entry.cls is None:
+                    continue
+                closure = [entry] + [
+                    graph.functions[q]
+                    for q in graph.transitive_callees(entry.qualname)
+                    if q in graph.functions
+                    and graph.functions[q].cls is entry.cls
+                ]
+                for member in closure:
+                    if direct[member.qualname].self_writes:
+                        site = direct[member.qualname].self_writes[0]
+                        yield Violation(
+                            module.relpath, call.lineno, call.col_offset,
+                            self.rule_id,
+                            f"bound method 'self.{expr.attr}' shipped to a "
+                            f"worker mutates self.{site.attr} (in "
+                            f"{member.node.name}); the worker runs on a "
+                            f"pickled copy of self, so the mutation is "
+                            f"silently dropped",
+                        )
+                        break
+
+
+# ----------------------------------------------------------------------
+# DML021 — fork-unsafe module-global caches
+# ----------------------------------------------------------------------
+
+#: Callback-name fragments that mark an atexit callback as destructive
+#: (it tears down files, handles, or executors).
+_DESTRUCTIVE_HINTS = ("destroy", "shutdown", "cleanup", "remove", "rmtree",
+                      "close", "teardown")
+
+
+def _mentions_getpid(nodes: Iterator[ast.AST]) -> bool:
+    for node in nodes:
+        if isinstance(node, ast.Attribute) and node.attr == "getpid":
+            return True
+        if isinstance(node, ast.Name) and node.id == "getpid":
+            return True
+    return False
+
+
+@register
+class ForkUnsafeGlobalCache(Rule):
+    """Live-handle caches and destructive atexit hooks re-check the pid."""
+
+    rule_id = "DML021"
+    title = "module-global handle caches and atexit hooks must re-check os.getpid()"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath):
+            return
+        graph: ProjectGraph = project.graph()
+        wctx = worker_context(graph)
+        for fn in _module_functions(graph, module):
+            yield from self._check_atexit(module, graph, fn)
+            # Worker-context functions populate per-process caches by
+            # construction: the child's own write fills the child's own
+            # module dict, which is exactly the pid-keying the rule
+            # wants.  Only parent-side caches can leak across a fork.
+            if fn.qualname not in wctx:
+                yield from self._check_cache_population(module, graph, fn)
+
+    # -- leg A: destructive atexit hooks -------------------------------
+
+    def _check_atexit(
+        self, module: ModuleInfo, graph: ProjectGraph, fn: FunctionNode
+    ) -> Iterator[Violation]:
+        for node in body_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve_call(node.func) or ""
+            if dotted != "atexit.register" or not node.args:
+                continue
+            callback = node.args[0]
+            name = _render(callback).lower()
+            if not any(hint in name for hint in _DESTRUCTIVE_HINTS):
+                continue
+            # Guarded when the registration captures os.getpid() in the
+            # arguments, or the callback itself re-checks the pid.
+            if _mentions_getpid(iter(ast.walk(node))):
+                continue
+            fake = ast.Call(func=callback, args=[], keywords=[])
+            target = resolve_call_target(graph, fn, fake)
+            if target is not None and _mentions_getpid(
+                body_nodes(graph.functions[target].node)
+            ):
+                continue
+            yield Violation(
+                module.relpath, node.lineno, node.col_offset,
+                self.rule_id,
+                f"destructive atexit callback {_render(callback)!r} runs "
+                f"in every forked child too; capture os.getpid() at "
+                f"registration and re-check it in the callback so only "
+                f"the creating process tears the resource down",
+            )
+
+    # -- leg B: caches of live executors/handles ------------------------
+
+    def _check_cache_population(
+        self, module: ModuleInfo, graph: ProjectGraph, fn: FunctionNode
+    ) -> Iterator[Violation]:
+        if _mentions_getpid(body_nodes(fn.node)):
+            return
+        from tools.demonlint.graph import module_dotted_name
+
+        mod_name = module_dotted_name(module.relpath)
+        consts = set(graph.constants.get(mod_name, ()))
+        decls = global_decls(fn.node)
+
+        def factory_name(expr: ast.expr) -> str | None:
+            found = _unpicklable_factory(expr, module)
+            if found is not None:
+                return found[0]
+            if isinstance(expr, ast.IfExp):
+                return factory_name(expr.body) or factory_name(expr.orelse)
+            return None
+
+        tainted: dict[str, str] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                factory = factory_name(node.value)
+                if factory is None:
+                    continue
+                for target in node.targets:
+                    for name in _flat_target_names(target):
+                        tainted[name] = factory
+
+        def stored_factory(expr: ast.expr) -> str | None:
+            direct = factory_name(expr)
+            if direct is not None:
+                return direct
+            if isinstance(expr, ast.Name):
+                return tainted.get(expr.id)
+            return None
+
+        for node in body_nodes(fn.node):
+            global_name: str | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    root = target
+                    while isinstance(root, ast.Subscript):
+                        root = root.value
+                    if not isinstance(root, ast.Name):
+                        continue
+                    if root.id in decls or (
+                        isinstance(target, ast.Subscript) and root.id in consts
+                    ):
+                        global_name, value = root.id, node.value
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("setdefault", "append", "add")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in (consts | decls)
+                and node.args
+            ):
+                global_name = node.func.value.id
+                value = node.args[-1]
+            if global_name is None or value is None:
+                continue
+            factory = stored_factory(value)
+            if factory is None:
+                continue
+            yield Violation(
+                module.relpath, node.lineno, node.col_offset,
+                self.rule_id,
+                f"module-global '{global_name}' caches a live {factory} "
+                f"with no os.getpid() re-check; a forked child inherits "
+                f"the parent's entry and would reuse (or tear down) a "
+                f"handle it does not own — key or guard the cache by pid",
+            )
+
+
+# ----------------------------------------------------------------------
+# DML022 — atomic file publication in storage write paths
+# ----------------------------------------------------------------------
+
+#: Rendered-path fragments that mark a scratch file: written first,
+#: published later via ``os.replace``.
+_TEMP_MARKERS = ("tmp", "temp", "part", ".new")
+
+
+@register
+class AtomicFilePublication(Rule):
+    """Storage write paths publish via write-new-then-``os.replace``."""
+
+    rule_id = "DML022"
+    title = "storage files must be published atomically (write temp + os.replace)"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath):
+            return
+        parts = module.relpath.replace("\\", "/").split("/")
+        if "storage" not in parts and "fixtures" not in parts:
+            return
+        graph: ProjectGraph = project.graph()
+        direct = direct_effects(graph)
+        for fn in _module_functions(graph, module):
+            effects = direct[fn.qualname]
+            for fw in effects.file_writes:
+                if self._is_atomic(fw.path, effects):
+                    continue
+                verb = "open(..., 'w')" if fw.via == "open" else "np.save"
+                yield Violation(
+                    module.relpath, fw.lineno, fw.col,
+                    self.rule_id,
+                    f"file published non-atomically via {verb} at "
+                    f"{fw.path}; a reader or crash mid-write observes a "
+                    f"torn file — write to a temp path and os.replace() "
+                    f"it into place (repro.storage.atomic)",
+                )
+
+    @staticmethod
+    def _is_atomic(path: str, effects: DirectEffects) -> bool:
+        lowered = path.lower()
+        if any(marker in lowered for marker in _TEMP_MARKERS):
+            return True
+        return path in effects.replace_srcs
+
+
+# ----------------------------------------------------------------------
+# DML023 — worker telemetry merge discipline
+# ----------------------------------------------------------------------
+
+
+@register
+class TelemetryMergeDiscipline(Rule):
+    """Per-worker state merges once bare plus once per distinct prefix."""
+
+    rule_id = "DML023"
+    title = "worker telemetry merges must neither drop nor double-count deltas"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath):
+            return
+        graph: ProjectGraph = project.graph()
+        for fn in _module_functions(graph, module):
+            for loop in _nodes_excluding_defs(fn.node.body):
+                if not isinstance(loop, ast.For):
+                    continue
+                yield from self._check_loop(module, loop)
+
+    def _check_loop(
+        self, module: ModuleInfo, loop: ast.For
+    ) -> Iterator[Violation]:
+        loop_vars = set(_flat_target_names(loop.target))
+        #: (receiver, argument) -> list of (prefix render or "", call)
+        groups: dict[tuple[str, str], list[tuple[str, ast.Call]]] = {}
+        for node in _nodes_excluding_defs(loop.body):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "merge_state_dict"
+                and node.args
+            ):
+                continue
+            arg = node.args[0]
+            arg_names = {
+                n.id for n in ast.walk(arg) if isinstance(n, ast.Name)
+            }
+            if not arg_names & loop_vars:
+                # Loop-invariant state (e.g. a session restore replaying
+                # one snapshot) is not a worker-delta merge.
+                continue
+            prefix = ""
+            if len(node.args) >= 2:
+                prefix = _render(node.args[1])
+            for keyword in node.keywords:
+                if keyword.arg == "prefix":
+                    prefix = _render(keyword.value)
+            key = (_render(node.func.value), _render(arg))
+            groups.setdefault(key, []).append((prefix, node))
+
+        for (receiver, arg), calls in groups.items():
+            seen: dict[str, ast.Call] = {}
+            for prefix, call in calls:
+                if prefix in seen:
+                    label = f"prefix {prefix}" if prefix else "no prefix"
+                    yield Violation(
+                        module.relpath, call.lineno, call.col_offset,
+                        self.rule_id,
+                        f"{receiver}.merge_state_dict({arg}) runs twice "
+                        f"with {label} in one result loop; the worker's "
+                        f"deltas are double-counted",
+                    )
+                seen[prefix] = call
+            if "" not in seen:
+                prefix, call = calls[0]
+                yield Violation(
+                    module.relpath, call.lineno, call.col_offset,
+                    self.rule_id,
+                    f"{receiver}.merge_state_dict({arg}) merges only "
+                    f"under prefix {prefix}; aggregate counters never "
+                    f"see the worker's deltas — merge once bare as well",
+                )
+
+
+# ----------------------------------------------------------------------
+# DML024 — blocking calls inside critical sections
+# ----------------------------------------------------------------------
+
+
+@register
+class BlockingInCriticalSection(Rule):
+    """``@critical_section`` regions stay wait-free."""
+
+    rule_id = "DML024"
+    title = "no blocking call (tier move, compression, spill) inside a critical section"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if _analysis_exempt(module.relpath):
+            return
+        graph: ProjectGraph = project.graph()
+        summaries = effect_summaries(graph)
+        for fn in _module_functions(graph, module):
+            regions: list[tuple[str, list[ast.stmt]]] = []
+            if "critical_section" in _decorator_names(fn.node):
+                regions.append((fn.node.name, fn.node.body))
+            for node in _nodes_excluding_defs(fn.node.body):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        expr = item.context_expr
+                        target = expr.func if isinstance(expr, ast.Call) else expr
+                        tail = target.attr if isinstance(
+                            target, ast.Attribute
+                        ) else getattr(target, "id", "")
+                        if tail == "critical_section":
+                            regions.append((fn.node.name, node.body))
+                            break
+            for label, body in regions:
+                yield from self._check_region(
+                    module, graph, fn, summaries, label, body
+                )
+
+    def _check_region(
+        self,
+        module: ModuleInfo,
+        graph: ProjectGraph,
+        fn: FunctionNode,
+        summaries: dict,
+        label: str,
+        body: list[ast.stmt],
+    ) -> Iterator[Violation]:
+        for node in _nodes_excluding_defs(body):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            tail = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else getattr(func, "id", "")
+            )
+            if tail in BLOCKING_CALLS:
+                yield Violation(
+                    module.relpath, node.lineno, node.col_offset,
+                    self.rule_id,
+                    f"blocking call {tail}() inside critical section "
+                    f"'{label}'; tier moves, compression, and spill must "
+                    f"run outside the lock — stage the decision inside, "
+                    f"do the work after release",
+                )
+                continue
+            target = resolve_call_target(graph, fn, node)
+            if target is None:
+                continue
+            summary = summaries.get(target)
+            if summary is None or not summary.blocking:
+                continue
+            op, witness = sorted(summary.blocking)[0]
+            via = "" if witness == target else f" via {witness.split('.')[-1]}()"
+            yield Violation(
+                module.relpath, node.lineno, node.col_offset,
+                self.rule_id,
+                f"call to {target.split('.')[-1]}() inside critical "
+                f"section '{label}' may block ({op}(){via}); move it "
+                f"outside the lock",
+            )

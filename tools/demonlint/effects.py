@@ -1,0 +1,534 @@
+"""Interprocedural effect-and-ownership analysis for demonlint.
+
+The concurrency rules (DML020-DML024) need answers the escape and
+typestate layers do not give: *what does this function touch, and in
+which process does that state live?*  This module computes three
+whole-program facts, each cached on the :class:`ProjectGraph`:
+
+* **Direct effects** (:func:`direct_effects`) — per function, the
+  syntactic sites where it writes module globals, reads module
+  globals, writes ``self`` attributes, publishes files (``open`` in a
+  write mode, ``np.save``), deletes files, calls ``os.replace``, and
+  calls known blocking operations.  Sites keep line/column so rules
+  report at the mutation, not at the function header.
+
+* **Effect summaries** (:func:`effect_summaries`) — the transitive
+  closure of the context-insensitive direct effects over the call
+  graph, computed to fixpoint with
+  :func:`tools.demonlint.dataflow.callgraph_fixpoint`: which globals a
+  call to ``f`` may read or write anywhere beneath it, and which
+  blocking operations it may reach (with one witness callee per
+  operation, for ``via g()`` diagnostics).
+
+* **A happens-before / ownership model** over worker dispatch.
+  :func:`worker_entries` collects every function shipped across the
+  process boundary — ``@worker_entry``-decorated functions plus the
+  first argument of ``pool.submit``/``pool.run``/``executor.map``
+  sites; :func:`worker_context` closes them under the call graph.
+  Everything a worker-context function executes happens *after* the
+  fork and *before* the envelope returns, so writes it makes to
+  parent-owned state are invisible to the parent (fork) or racy
+  (threads).  :func:`global_ownership` classifies each module global
+  on the ownership lattice:
+
+  ==================  ==================================================
+  ``OWNER_WORKER``    only worker-context functions touch it (a
+                      worker-side cache — safe by construction)
+  ``OWNER_SHARED``    read on both sides, written by neither or only
+                      the parent (shared-immutable under fork)
+  ``OWNER_PARENT``    written by parent-context code; a worker-context
+                      write to it is the DML020 race
+  ==================  ==================================================
+
+Resolution is name-based and conservative like the rest of demonlint:
+unresolved calls contribute no effects, so rules built on this layer
+only ever reason about edges that are certain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from tools.demonlint.dataflow import callgraph_fixpoint
+from tools.demonlint.escape import (
+    STORING_MUTATORS,
+    body_nodes,
+    global_decls,
+    resolve_call_target,
+)
+from tools.demonlint.graph import FunctionNode, ProjectGraph, module_dotted_name
+
+#: Method names that structurally mutate their receiver (a superset of
+#: the escape layer's storing mutators: removal also mutates).
+MUTATING_METHODS = STORING_MUTATORS | frozenset(
+    {"pop", "popitem", "remove", "discard", "clear", "sort", "reverse"}
+)
+
+#: Trailing call names that block the calling thread/process for an
+#: unbounded or I/O-sized time: tier moves, compression, model spill,
+#: pool synchronization.  DML024 forbids them inside critical sections.
+BLOCKING_CALLS = frozenset(
+    {
+        "demote", "promote", "demote_block", "promote_block",
+        "notify_expired", "deflate", "inflate", "spill", "save_model",
+        "load_model", "checkpoint", "sleep", "fsync", "flush",
+        "shutdown", "shutdown_workers", "join", "wait", "blocking_call",
+    }
+)
+
+#: ``pool.X(entry, ...)`` methods that ship ``entry`` to workers
+#: (kept in sync with DML017's submit-site detection).
+SUBMIT_METHODS = frozenset(
+    {"submit", "map", "starmap", "apply", "apply_async", "imap",
+     "imap_unordered", "run"}
+)
+
+#: Methods that mutate a backend/block handle (DML020 leg for handles
+#: shipped to workers inside payloads).
+HANDLE_MUTATORS = frozenset(
+    {"ingest", "adopt", "open", "close", "destroy", "demote_block",
+     "promote_block", "notify_expired", "demote", "promote"}
+)
+
+#: Ownership lattice values (see module docstring).
+OWNER_PARENT = "parent"
+OWNER_WORKER = "worker"
+OWNER_SHARED = "shared-immutable"
+
+
+@dataclass(frozen=True)
+class GlobalWrite:
+    """One write to a module-level name."""
+
+    module: str
+    name: str
+    lineno: int
+    col: int
+    kind: str  # "assign" | "subscript" | "mutate" | "del"
+
+
+@dataclass(frozen=True)
+class SelfWrite:
+    """One strict store or structural mutation rooted at ``self``."""
+
+    attr: str
+    lineno: int
+    col: int
+    kind: str  # "assign" | "subscript" | "mutate" | "del"
+
+
+@dataclass(frozen=True)
+class FileWrite:
+    """One file publication site (``open`` for writing, ``np.save``)."""
+
+    path: str  # rendered path expression
+    lineno: int
+    col: int
+    via: str  # "open" | "save"
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """One call to a known blocking operation."""
+
+    name: str
+    lineno: int
+    col: int
+
+
+@dataclass
+class DirectEffects:
+    """The syntactic effects of one function body (no callees)."""
+
+    global_writes: list[GlobalWrite] = field(default_factory=list)
+    global_reads: frozenset[tuple[str, str]] = frozenset()
+    self_writes: list[SelfWrite] = field(default_factory=list)
+    file_writes: list[FileWrite] = field(default_factory=list)
+    file_deletes: frozenset[str] = frozenset()
+    replace_dests: frozenset[str] = frozenset()
+    replace_srcs: frozenset[str] = frozenset()
+    blocking: list[BlockingSite] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """Transitive effects of calling one function (sets only)."""
+
+    global_writes: frozenset[tuple[str, str]]
+    global_reads: frozenset[tuple[str, str]]
+    #: blocking operation name -> the direct caller that witnesses it
+    #: (the function itself, or the first callee found to reach it).
+    blocking: frozenset[tuple[str, str]]
+
+
+def _render(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
+
+
+def _call_tail(func: ast.expr) -> str:
+    """Trailing dotted component of a call target expression."""
+    while isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _store_targets(stmt: ast.stmt) -> list[tuple[ast.expr, str]]:
+    """Flattened store targets of one statement, with their kind."""
+    if isinstance(stmt, ast.Assign):
+        targets, kind = list(stmt.targets), "assign"
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets, kind = [stmt.target], "assign"
+    elif isinstance(stmt, ast.Delete):
+        targets, kind = list(stmt.targets), "del"
+    else:
+        return []
+    flat: list[tuple[ast.expr, str]] = []
+    for target in targets:
+        parts = (
+            list(target.elts)
+            if isinstance(target, (ast.Tuple, ast.List))
+            else [target]
+        )
+        for part in parts:
+            part_kind = (
+                "subscript"
+                if kind != "del" and isinstance(part, ast.Subscript)
+                else kind
+            )
+            flat.append((part, part_kind))
+    return flat
+
+
+def _subscript_root(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _write_mode(call: ast.Call) -> bool:
+    """Is this ``open(...)`` call opening for writing?"""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False
+    return (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and ("w" in mode.value or "x" in mode.value)
+    )
+
+
+#: Dotted call names that delete files/trees.
+_FILE_DELETERS = frozenset(
+    {"os.remove", "os.unlink", "os.rmdir", "shutil.rmtree"}
+)
+
+
+def _function_effects(graph: ProjectGraph, fn: FunctionNode) -> DirectEffects:
+    mod_name = module_dotted_name(fn.module.relpath)
+    consts = graph.constants.get(mod_name, {})
+    decls = global_decls(fn.node)
+    effects = DirectEffects()
+    reads: set[tuple[str, str]] = set()
+    deletes: set[str] = set()
+    replace_dests: set[str] = set()
+    replace_srcs: set[str] = set()
+
+    for node in body_nodes(fn.node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Delete)):
+            for target, kind in _store_targets(node):
+                root = _subscript_root(target)
+                attr = _self_attr(root)
+                if attr is not None:
+                    effects.self_writes.append(
+                        SelfWrite(attr, target.lineno, target.col_offset, kind)
+                    )
+                    continue
+                if not isinstance(root, ast.Name):
+                    continue
+                name = root.id
+                is_global = name in decls or (
+                    kind in ("subscript", "del") and name in consts
+                )
+                if is_global:
+                    effects.global_writes.append(
+                        GlobalWrite(
+                            mod_name, name, target.lineno, target.col_offset, kind
+                        )
+                    )
+        elif isinstance(node, ast.Call):
+            tail = _call_tail(node.func)
+            dotted = fn.module.resolve_call(node.func) or tail
+            if isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                if tail in MUTATING_METHODS:
+                    attr = _self_attr(receiver)
+                    if attr is not None:
+                        effects.self_writes.append(
+                            SelfWrite(attr, node.lineno, node.col_offset, "mutate")
+                        )
+                    elif isinstance(receiver, ast.Name) and (
+                        receiver.id in consts or receiver.id in decls
+                    ):
+                        effects.global_writes.append(
+                            GlobalWrite(
+                                mod_name, receiver.id,
+                                node.lineno, node.col_offset, "mutate",
+                            )
+                        )
+            if tail == "open" and dotted in ("open", "io.open") and node.args:
+                if _write_mode(node):
+                    effects.file_writes.append(
+                        FileWrite(
+                            _render(node.args[0]),
+                            node.lineno, node.col_offset, "open",
+                        )
+                    )
+            elif tail == "save" and node.args:
+                # ``np.save(path, arr)`` — only path-like first
+                # arguments count; ``np.save(fh, arr)`` into an
+                # already-open (atomic) handle is not a publication.
+                first = node.args[0]
+                if isinstance(first, (ast.Call, ast.Constant, ast.JoinedStr)):
+                    effects.file_writes.append(
+                        FileWrite(
+                            _render(first), node.lineno, node.col_offset, "save"
+                        )
+                    )
+            elif dotted == "os.replace" and len(node.args) >= 2:
+                replace_srcs.add(_render(node.args[0]))
+                replace_dests.add(_render(node.args[1]))
+            elif dotted in _FILE_DELETERS and node.args:
+                deletes.add(_render(node.args[0]))
+            if tail in BLOCKING_CALLS:
+                effects.blocking.append(
+                    BlockingSite(tail, node.lineno, node.col_offset)
+                )
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in consts:
+                reads.add((mod_name, node.id))
+
+    effects.global_reads = frozenset(reads)
+    effects.file_deletes = frozenset(deletes)
+    effects.replace_dests = frozenset(replace_dests)
+    effects.replace_srcs = frozenset(replace_srcs)
+    return effects
+
+
+def direct_effects(graph: ProjectGraph) -> dict[str, DirectEffects]:
+    """Syntactic effects per project function (cached on the graph)."""
+    cached = getattr(graph, "_demonlint_direct_effects", None)
+    if cached is not None:
+        return cached
+    effects = {
+        qualname: _function_effects(graph, fn)
+        for qualname, fn in graph.functions.items()
+    }
+    graph._demonlint_direct_effects = effects
+    return effects
+
+
+def effect_summaries(graph: ProjectGraph) -> dict[str, EffectSummary]:
+    """Transitive effect summary per function, to call-graph fixpoint."""
+    cached = getattr(graph, "_demonlint_effect_summaries", None)
+    if cached is not None:
+        return cached
+
+    direct = direct_effects(graph)
+    writes: dict[str, set[tuple[str, str]]] = {}
+    reads: dict[str, set[tuple[str, str]]] = {}
+    blocking: dict[str, dict[str, str]] = {}
+    for qualname, eff in direct.items():
+        writes[qualname] = {(w.module, w.name) for w in eff.global_writes}
+        reads[qualname] = set(eff.global_reads)
+        blocking[qualname] = {site.name: qualname for site in eff.blocking}
+
+    def absorb(caller: str, callee: str) -> bool:
+        changed = False
+        if not writes[caller] >= writes[callee]:
+            writes[caller] |= writes[callee]
+            changed = True
+        if not reads[caller] >= reads[callee]:
+            reads[caller] |= reads[callee]
+            changed = True
+        for op in blocking[callee]:
+            if op not in blocking[caller]:
+                # Witness the *direct* callee so diagnostics can say
+                # "via callee()" even when the op is deeper.
+                blocking[caller][op] = callee
+                changed = True
+        return changed
+
+    callgraph_fixpoint(graph.calls, absorb)
+    summaries = {
+        qualname: EffectSummary(
+            global_writes=frozenset(writes[qualname]),
+            global_reads=frozenset(reads[qualname]),
+            blocking=frozenset(blocking[qualname].items()),
+        )
+        for qualname in direct
+    }
+    graph._demonlint_effect_summaries = summaries
+    return summaries
+
+
+# ----------------------------------------------------------------------
+# Worker dispatch: entries, context closure, ownership
+# ----------------------------------------------------------------------
+
+
+def _decorator_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in func.decorator_list:
+        node = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _pool_receiver(expr: ast.expr) -> bool:
+    rendered = _render(expr).lower()
+    return "pool" in rendered or "executor" in rendered
+
+
+def submit_sites(
+    graph: ProjectGraph, fn: FunctionNode
+) -> list[tuple[ast.Call, ast.expr]]:
+    """``(call, entry expression)`` for every worker submission in ``fn``."""
+    sites: list[tuple[ast.Call, ast.expr]] = []
+    for node in body_nodes(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in SUBMIT_METHODS
+            and _pool_receiver(node.func.value)
+            and node.args
+        ):
+            sites.append((node, node.args[0]))
+    return sites
+
+
+def resolve_entry(
+    graph: ProjectGraph, fn: FunctionNode, expr: ast.expr
+) -> FunctionNode | None:
+    """Resolve a submitted entry expression to a project function."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in ("self", "cls")
+        and fn.cls is not None
+    ):
+        return graph.resolve_method(fn.cls, expr.attr)
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        fake = ast.Call(func=expr, args=[], keywords=[])
+        target = resolve_call_target(graph, fn, fake)
+        if target is not None:
+            return graph.functions.get(target)
+    return None
+
+
+def worker_entries(graph: ProjectGraph) -> dict[str, FunctionNode]:
+    """Every function that executes inside a worker task.
+
+    A function qualifies by carrying the ``@worker_entry`` marker, or
+    by being the resolved first argument of a pool/executor submission
+    site anywhere in the project.  Cached on the graph.
+    """
+    cached = getattr(graph, "_demonlint_worker_entries", None)
+    if cached is not None:
+        return cached
+    entries: dict[str, FunctionNode] = {}
+    for qualname, fn in graph.functions.items():
+        if "worker_entry" in _decorator_names(fn.node):
+            entries[qualname] = fn
+    for fn in graph.functions.values():
+        for _call, expr in submit_sites(graph, fn):
+            entry = resolve_entry(graph, fn, expr)
+            if entry is not None:
+                entries.setdefault(entry.qualname, entry)
+    graph._demonlint_worker_entries = entries
+    return entries
+
+
+def worker_context(graph: ProjectGraph) -> frozenset[str]:
+    """Worker entries closed under the call graph (happens-after-fork).
+
+    Everything in this set runs inside a worker task body; the rest of
+    the project is parent context.  (``workers=1`` runs the same
+    functions inline, but the contract is written for the process
+    boundary — the inline path exists so tests exercise it.)
+    """
+    cached = getattr(graph, "_demonlint_worker_context", None)
+    if cached is not None:
+        return cached
+    closure: set[str] = set()
+    for qualname in worker_entries(graph):
+        closure.add(qualname)
+        closure |= graph.transitive_callees(qualname)
+    frozen = frozenset(closure)
+    graph._demonlint_worker_context = frozen
+    return frozen
+
+
+@dataclass
+class GlobalAccess:
+    """Who touches one module global, split by call-graph side."""
+
+    readers: set[str] = field(default_factory=set)
+    writers: set[str] = field(default_factory=set)
+
+
+def global_accessors(graph: ProjectGraph) -> dict[tuple[str, str], GlobalAccess]:
+    """``(module, name) -> readers/writers`` over direct effects."""
+    cached = getattr(graph, "_demonlint_global_accessors", None)
+    if cached is not None:
+        return cached
+    table: dict[tuple[str, str], GlobalAccess] = {}
+    for qualname, eff in direct_effects(graph).items():
+        for write in eff.global_writes:
+            table.setdefault(
+                (write.module, write.name), GlobalAccess()
+            ).writers.add(qualname)
+        for key in eff.global_reads:
+            table.setdefault(key, GlobalAccess()).readers.add(qualname)
+    graph._demonlint_global_accessors = table
+    return table
+
+
+def global_ownership(graph: ProjectGraph, module: str, name: str) -> str:
+    """Place one module global on the ownership lattice."""
+    access = global_accessors(graph).get((module, name))
+    wctx = worker_context(graph)
+    if access is None:
+        return OWNER_SHARED
+    touched = access.readers | access.writers
+    if touched and touched <= wctx:
+        return OWNER_WORKER
+    if any(q not in wctx for q in access.writers) or any(
+        q not in wctx for q in access.readers
+    ):
+        return OWNER_PARENT if access.writers else OWNER_SHARED
+    return OWNER_SHARED

@@ -167,8 +167,12 @@ def carried_names(expr: ast.expr | None, tracked: frozenset[str]) -> set[str]:
     return set()
 
 
-def _body_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[ast.AST]:
-    """All nodes of ``func``'s body, excluding nested function scopes."""
+def body_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[ast.AST]:
+    """All nodes of ``func``'s body, excluding nested function scopes.
+
+    Public because the effect analysis walks function bodies with the
+    exact same scope discipline the escape scan uses.
+    """
     stack: list[ast.AST] = list(func.body)
     while stack:
         node = stack.pop()
@@ -178,13 +182,20 @@ def _body_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[ast.AS
         stack.extend(ast.iter_child_nodes(node))
 
 
-def _global_decls(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+def global_decls(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names declared ``global``/``nonlocal`` anywhere in ``func``."""
     return {
         name
-        for node in _body_nodes(func)
+        for node in body_nodes(func)
         if isinstance(node, (ast.Global, ast.Nonlocal))
         for name in node.names
     }
+
+
+# Historical private aliases (intra-module call sites predate the
+# public names; kept so cached pickled modules keep resolving).
+_body_nodes = body_nodes
+_global_decls = global_decls
 
 
 def _store_root(target: ast.expr) -> ast.expr:

@@ -192,6 +192,37 @@ class ProjectGraph:
     def callees(self, qualname: str) -> set[str]:
         return self.calls.get(qualname, set())
 
+    @property
+    def callers(self) -> dict[str, set[str]]:
+        """Reverse call edges (``callee -> callers``), built lazily.
+
+        The effect analysis walks both directions: forward to close
+        worker-entry reachability, backward to find every parent-side
+        frame whose behaviour depends on a global a worker mutates.
+        """
+        cached = getattr(self, "_demonlint_callers", None)
+        if cached is not None:
+            return cached
+        reverse: dict[str, set[str]] = {q: set() for q in self.functions}
+        for caller, callees in self.calls.items():
+            for callee in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        self._demonlint_callers = reverse
+        return reverse
+
+    def transitive_callers(self, qualname: str) -> set[str]:
+        """All functions from which ``qualname`` is reachable."""
+        reverse = self.callers
+        seen: set[str] = set()
+        stack = list(reverse.get(qualname, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(reverse.get(current, ()))
+        return seen
+
     def transitive_callees(self, qualname: str) -> set[str]:
         """All functions reachable from ``qualname`` (excluding itself
         unless recursive)."""

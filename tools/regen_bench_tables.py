@@ -26,7 +26,9 @@ import sys
 from collections import defaultdict
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+BENCH_DIR = os.environ.get(
+    "DEMON_BENCH_DIR", os.path.join(REPO_ROOT, "benchmarks")
+)
 TABLES_PATH = os.environ.get(
     "DEMON_BENCH_TABLES", os.path.join(REPO_ROOT, "bench_tables.txt")
 )
