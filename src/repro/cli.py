@@ -89,6 +89,24 @@ def _add_monitor(subparsers) -> None:
         "byte-identical to a serial run",
     )
     parser.add_argument(
+        "--scheduler", choices=["eager", "deviation"], default=None,
+        help="maintenance scheduling policy (deviation = defer model "
+        "maintenance while a sampled drift estimate stays below "
+        "threshold; flushed results are byte-identical to eager; "
+        "default: DEMON_SCHEDULER or eager)",
+    )
+    parser.add_argument(
+        "--scheduler-threshold", type=float, default=None,
+        help="drift significance in (0, 1) that triggers catch-up "
+        "under --scheduler deviation "
+        "(default: DEMON_SCHEDULER_THRESHOLD or 0.95)",
+    )
+    parser.add_argument(
+        "--scheduler-max-pending", type=int, default=None,
+        help="staleness bound: catch-up always runs once this many "
+        "blocks are deferred (default: DEMON_SCHEDULER_MAX_PENDING or 8)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit one JSON document (benchmark row format) instead of text",
     )
@@ -177,6 +195,39 @@ def cmd_generate(args, out) -> int:
     return 0
 
 
+def _monitor_scheduler(args):
+    """The scheduler `monitor` runs with — flags over ambient env."""
+    from repro.scheduling import (
+        DEFAULT_MAX_PENDING,
+        DEFAULT_THRESHOLD,
+        DeviationScheduler,
+        ambient_scheduler_max_pending,
+        ambient_scheduler_name,
+        ambient_scheduler_threshold,
+    )
+
+    name = args.scheduler
+    if name is None:
+        name = ambient_scheduler_name() or "eager"
+    if name != "deviation":
+        return "eager"
+    threshold = args.scheduler_threshold
+    if threshold is None:
+        threshold = ambient_scheduler_threshold()
+    max_pending = args.scheduler_max_pending
+    if max_pending is None:
+        max_pending = ambient_scheduler_max_pending()
+    try:
+        return DeviationScheduler(
+            threshold=threshold if threshold is not None else DEFAULT_THRESHOLD,
+            max_pending=(
+                max_pending if max_pending is not None else DEFAULT_MAX_PENDING
+            ),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def cmd_monitor(args, out) -> int:
     from repro import MiningSession, MostRecentWindow
     from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
@@ -200,6 +251,7 @@ def cmd_monitor(args, out) -> int:
         bss=bss,
         backend=args.backend,
         workers=args.workers,
+        scheduler=_monitor_scheduler(args),
     )
     params = QuestParams(
         n_transactions=args.block_size,
@@ -210,12 +262,26 @@ def cmd_monitor(args, out) -> int:
     )
     generator = QuestGenerator(params, seed=args.seed)
     rows = []
+    # The last fully-maintained model summary.  A deferring scheduler
+    # leaves the model intentionally stale between catch-ups; reading
+    # it through current_model() would force a flush per block and
+    # defeat the deferral, so deferred arrivals re-report this summary
+    # (annotated with how many blocks it lags).
+    last = None
     for block_id in range(1, args.blocks + 1):
         # Stream the arriving records through the session's ingest
         # spine; the session assigns block id t+1 and routes storage
         # onto its configured backend.
         report = session.ingest(generator.iter_transactions(args.block_size))
-        model = session.current_model()
+        if report.pending == 0 or last is None:
+            model = session.current_model()
+            last = (
+                session.current_selection(),
+                len(model.frequent),
+                len(model.border),
+                model.n_transactions,
+            )
+        selection, frequent, border, n_transactions = last
         if args.json:
             delta = report.telemetry
             io = delta.io_totals()
@@ -226,10 +292,14 @@ def cmd_monitor(args, out) -> int:
                     # Per-worker attribution rides inside "telemetry"
                     # as parallel.w{id}.* phase/counter entries.
                     "workers": session.workers,
-                    "selection": session.current_selection(),
-                    "frequent": len(model.frequent),
-                    "border": len(model.border),
-                    "n_transactions": model.n_transactions,
+                    "scheduler": session.scheduler.kind,
+                    "decision": report.decision,
+                    "maintained": report.maintained,
+                    "pending": report.pending,
+                    "selection": selection,
+                    "frequent": frequent,
+                    "border": border,
+                    "n_transactions": n_transactions,
                     "model_updated": report.model_updated,
                     "bytes_read": io.bytes_read,
                     "cache_hits": io.cache_hits,
@@ -237,10 +307,33 @@ def cmd_monitor(args, out) -> int:
                 }
             )
         else:
+            lag = f" pending={report.pending}" if report.pending else ""
             print(
-                f"block {block_id}: selection={session.current_selection()} "
-                f"|L|={len(model.frequent)} |NB-|={len(model.border)} "
-                f"N={model.n_transactions}",
+                f"block {block_id}: selection={selection} "
+                f"|L|={frequent} |NB-|={border} "
+                f"N={n_transactions}{lag}",
+                file=out,
+            )
+    flushed = session.flush()
+    if flushed:
+        model = session.current_model()
+        selection = session.current_selection()
+        if args.json:
+            # The final row reflects the flushed (caught-up) model, so
+            # downstream consumers always see the end-of-stream state.
+            rows[-1].update(
+                maintained=rows[-1]["maintained"] + flushed,
+                pending=0,
+                selection=selection,
+                frequent=len(model.frequent),
+                border=len(model.border),
+                n_transactions=model.n_transactions,
+            )
+        else:
+            print(
+                f"flush: caught up {flushed} deferred blocks; "
+                f"selection={selection} |L|={len(model.frequent)} "
+                f"|NB-|={len(model.border)} N={model.n_transactions}",
                 file=out,
             )
     if args.json:
@@ -339,10 +432,13 @@ def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.scheduling import ambient_scheduler_name
+
     try:
-        # Fail a DEMON_BLOCK_BACKEND typo here, at parse time, not deep
-        # inside the first ingest of a long run.
+        # Fail a DEMON_BLOCK_BACKEND / DEMON_SCHEDULER* typo here, at
+        # parse time, not deep inside the first ingest of a long run.
         ambient_backend_name()
+        ambient_scheduler_name()
     except ValueError as exc:
         parser.error(str(exc))
     if args.command == "generate":

@@ -28,7 +28,7 @@ shared a model diverge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generic, TypeVar, cast
+from typing import TYPE_CHECKING, Any, Generic, Sequence, TypeVar, cast
 
 from repro.core.blocks import Block
 from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
@@ -67,7 +67,9 @@ class GEMMUpdateReport:
     Attributes:
         t: Identifier of the block that was just added.
         critical_invocations: ``A_M`` invocations on the response-time
-            critical path (producing the new current model); 0 or 1.
+            critical path (producing the new current model); 0 or 1
+            per :meth:`GEMM.observe`, up to the run length for a
+            batched :meth:`GEMM.observe_run` catch-up.
         offline_invocations: ``A_M`` invocations that can run off-line.
         distinct_models: Number of distinct models stored after the
             update (≤ w thanks to deduplication).
@@ -271,8 +273,25 @@ class GEMM(Generic[TModel, T]):
         report.offline_seconds = offline_span.seconds
         self.telemetry.increment("gemm.invocations.offline", report.offline_invocations)
 
+        self._commit(new_t, [plan.new_key for plan in plans], new_models)
+        report.distinct_models = self.distinct_model_count()
+        return report
+
+    def _commit(
+        self,
+        new_t: int,
+        new_slots: list[ModelKey],
+        new_models: dict[ModelKey, TModel],
+    ) -> None:
+        """Install a fully-materialized new slot table atomically.
+
+        Shared by the per-block :meth:`observe` and the batched
+        :meth:`observe_run`; nothing before this point mutates the slot
+        table or clock, so a failed update leaves the collection on the
+        previous snapshot (DML018).
+        """
         self._t = new_t
-        self._slots = [plan.new_key for plan in plans]
+        self._slots = new_slots
         live_keys = set(self._slots) | {EMPTY_KEY}
         if self.vault is None:
             self._models = {key: new_models[key] for key in live_keys}
@@ -287,8 +306,265 @@ class GEMM(Generic[TModel, T]):
                 self.vault.delete(self._spill_key(key))
             self._spilled = spilled
             self._models = {key: new_models[key] for key in memory_keys}
+
+    # ------------------------------------------------------------------
+    # Batched catch-up (the scheduling layer's deferred-maintenance path)
+    # ------------------------------------------------------------------
+
+    def observe_run(self, blocks: "Sequence[Block[T]]") -> GEMMUpdateReport:
+        """Catch up over a deferred run of blocks in one batched slide.
+
+        Byte-identity with per-block :meth:`observe` calls: every model
+        in the final collection is the product of exactly the
+        ``build``/``add_block`` chain the eager path would have used
+        for that key (a key's chain is a pure function of the BSS and
+        the block ids, independent of *when* it runs).  What the batch
+        saves is the **retired intermediates**: models the eager path
+        materializes for windows that slide entirely past within the
+        run are planned here but never realized — that skipped ``A_M``
+        work is where the deferred-maintenance savings come from.
+
+        The critical phase covers the new current model's chain (it is
+        the longest, so its in-process materialization also registers
+        every selected pending block with the maintainer's storage
+        context); the remaining final slots' chains are off-line work
+        and fan out across the bound worker pool when one is attached.
+
+        Pending blocks that no final model selects (expired within the
+        run, or masked by a 0-bit) are never fed to ``A_M`` at all —
+        but every block is still registered with the maintainer's
+        storage context in arrival order, so block stores, TID-lists,
+        and their tier bookkeeping end up identical to an eager run's.
+        """
+        if not blocks:
+            return GEMMUpdateReport(
+                t=self._t, distinct_models=self.distinct_model_count()
+            )
+        # --- plan: simulate the slot table across the whole run, and
+        # record each fresh key's parentage (source key + the block it
+        # was extended with) so final models can be chained backwards.
+        parents: dict[ModelKey, tuple[ModelKey, Block[T]]] = {}
+        slots = list(self._slots)
+        t = self._t
+        for block in blocks:
+            expected = t + 1
+            if block.block_id != expected:
+                raise ValueError(
+                    f"systematic evolution requires block id {expected}, "
+                    f"got {block.block_id}"
+                )
+            sliding = t >= self.w
+            new_window_start = max(1, block.block_id - self.w + 1)
+            new_slots = []
+            for k in range(self.w):
+                if sliding:
+                    source = slots[k + 1] if k + 1 < self.w else EMPTY_KEY
+                else:
+                    source = slots[k]
+                future_start = new_window_start + k
+                covers = future_start <= block.block_id
+                extend = covers and self._bit_for_slot(
+                    k, block.block_id, new_window_start
+                )
+                new_key = source | {block.block_id} if extend else source
+                if extend and new_key not in parents:
+                    parents[new_key] = (source, block)
+                new_slots.append(new_key)
+            slots = new_slots
+            t = block.block_id
+
+        # Eager maintenance registers every arriving block (its TID-lists
+        # are built when A_M first counts over it).  The batch must match
+        # that even for blocks whose windows slide entirely past within
+        # the run: registration is what lets the expiry path re-encode a
+        # skipped block's TID-lists, and what keeps its data reachable in
+        # the backends' weak indices.  Arrival order, after the whole run
+        # validated — a rejected id mutates nothing (DML018).
+        register = getattr(self.maintainer, "register_block", None)
+        if callable(register):
+            for block in blocks:
+                register(block)
+
+        report = GEMMUpdateReport(t=t)
+        # Chain materialization memo; ancestors realized for one final
+        # slot are shared (cloned at use) by every chain through them.
+        realized: dict[ModelKey, TModel] = {}
+
+        with self.telemetry.phase("gemm.critical") as critical_span:
+            report.critical_invocations = self._materialize_chain(
+                slots[0], parents, realized
+            )
+        report.critical_seconds = critical_span.seconds
+        self.telemetry.increment(
+            "gemm.invocations.critical", report.critical_invocations
+        )
+
+        with self.telemetry.phase("gemm.offline") as offline_span:
+            if self._pool is not None and self._pool.workers > 1:
+                report.offline_invocations = self._offline_chains_parallel(
+                    slots, parents, realized
+                )
+            else:
+                for key in slots[1:]:
+                    report.offline_invocations += self._materialize_chain(
+                        key, parents, realized
+                    )
+        report.offline_seconds = offline_span.seconds
+        self.telemetry.increment(
+            "gemm.invocations.offline", report.offline_invocations
+        )
+
+        new_models: dict[ModelKey, TModel] = {
+            EMPTY_KEY: self._models[EMPTY_KEY]
+        }
+        for key in slots:
+            if key not in new_models:
+                # Carried-over keys (no chain) load from the existing
+                # collection — same object sharing as eager carry-over.
+                new_models[key] = (
+                    realized[key] if key in realized else self._load(key)
+                )
+        self._commit(t, slots, new_models)
         report.distinct_models = self.distinct_model_count()
         return report
+
+    def _unrealized_chain(
+        self,
+        key: ModelKey,
+        parents: dict[ModelKey, tuple[ModelKey, Block[T]]],
+        realized: dict[ModelKey, TModel],
+    ) -> list[ModelKey]:
+        """``key``'s not-yet-realized ancestry, deepest ancestor first.
+
+        Keys in ``parents`` were created during the run being replayed
+        (they contain new block ids), so the walk roots at a realized
+        ancestor, a pre-existing model, or — via a build plan — EMPTY.
+        """
+        chain: list[ModelKey] = []
+        while key in parents and key not in realized:
+            chain.append(key)
+            key = parents[key][0]
+        chain.reverse()
+        return chain
+
+    def _materialize_chain(
+        self,
+        key: ModelKey,
+        parents: dict[ModelKey, tuple[ModelKey, Block[T]]],
+        realized: dict[ModelKey, TModel],
+    ) -> int:
+        """Realize ``key`` by replaying its chain; returns invocations."""
+        invocations = 0
+        for step in self._unrealized_chain(key, parents, realized):
+            source_key, block = parents[step]
+            if source_key == EMPTY_KEY:
+                realized[step] = self.maintainer.build([block])
+            else:
+                if source_key in realized:
+                    # A realized ancestor may feed several chains (and
+                    # may itself be a final slot): clone before the
+                    # possibly-mutating update, exactly as the eager
+                    # path clones in-memory sources.
+                    source = self.maintainer.clone(realized[source_key])
+                else:
+                    source = self._load(source_key)
+                    if source_key in self._models:
+                        source = self.maintainer.clone(source)
+                realized[step] = self.maintainer.add_block(source, block)
+            invocations += 1
+        return invocations
+
+    def _offline_chains_parallel(
+        self,
+        slots: list[ModelKey],
+        parents: dict[ModelKey, tuple[ModelKey, Block[T]]],
+        realized: dict[ModelKey, TModel],
+    ) -> int:
+        """Fan the off-line final chains out to the worker pool.
+
+        Each worker task replays one final slot's whole chain (source
+        model pickle + the pending-block refs to add, in order) and
+        returns the final model's pickle, adopted verbatim.  Ancestors
+        shared by more than one outstanding chain are materialized
+        in-process first so no ``A_M`` invocation runs twice; blocks a
+        worker will add are registered with the parent-side maintainer
+        (idempotently, like the eager parallel path) so later in-process
+        updates can count over them.
+        """
+        from repro.parallel.shards import block_ref, maintain_chain_shard
+
+        pool = self._pool
+        assert pool is not None
+        token = self._worker_token()
+        invocations = 0
+        queued: list[ModelKey] = []
+        for key in slots[1:]:
+            if key in realized or key not in parents or key in queued:
+                continue
+            queued.append(key)
+        if token is None or not queued:
+            for key in slots[1:]:
+                invocations += self._materialize_chain(key, parents, realized)
+            return invocations
+        # Ancestors appearing in more than one chain — including a
+        # queued final sitting on another final's chain — are realized
+        # in-process so workers never duplicate an invocation.
+        uses: dict[ModelKey, int] = {}
+        for key in queued:
+            for step in self._unrealized_chain(key, parents, realized):
+                uses[step] = uses.get(step, 0) + 1
+        shared = [
+            step
+            for step, count in sorted(uses.items(), key=lambda item: len(item[0]))
+            if count > 1
+        ]
+        for step in shared:
+            invocations += self._materialize_chain(step, parents, realized)
+        chains = {
+            key: self._unrealized_chain(key, parents, realized)
+            for key in queued
+            if key not in realized
+        }
+        payloads = []
+        shipped: list[tuple[ModelKey, int]] = []
+        serial: list[ModelKey] = []
+        register = getattr(self.maintainer, "register_block", None)
+        for key, chain in chains.items():
+            root_source = parents[chain[0]][0]
+            history: tuple[Any, ...] = ()
+            if token[0] == "spec":
+                refs = self._history_refs(root_source)
+                if refs is None:
+                    # Source blocks unavailable (e.g. right after a
+                    # restore): this chain cannot feed a replica.
+                    serial.append(key)
+                    continue
+                history = tuple(refs)
+            if root_source == EMPTY_KEY:
+                source_blob = None
+            elif root_source in realized:
+                source_blob = save_model(realized[root_source])
+            else:
+                source_blob = save_model(self._load(root_source))
+            new_refs = tuple(block_ref(parents[step][1]) for step in chain)
+            if callable(register):
+                for step in chain:
+                    register(parents[step][1])
+            payloads.append((token, source_blob, new_refs, history))
+            shipped.append((key, len(chain)))
+        for key in serial:
+            invocations += self._materialize_chain(key, parents, realized)
+        if not payloads:
+            return invocations
+        results = pool.run(maintain_chain_shard, payloads)
+        diagnostics = getattr(self.maintainer, "diagnostics", None)
+        for (key, chain_len), (blob, diag_entries) in zip(shipped, results):
+            realized[key] = cast("TModel", load_model(blob))
+            invocations += chain_len
+            if diagnostics is not None:
+                for channel, entry in diag_entries.items():
+                    diagnostics.record(channel, entry)
+        return invocations
 
     def _plan_slots(
         self, block: Block[T], sliding: bool, new_window_start: int

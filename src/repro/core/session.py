@@ -29,7 +29,14 @@ over this class.  The checkpoint format is documented in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Generic, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Generic,
+    Protocol,
+    TypeVar,
+    runtime_checkable,
+)
 
 from repro.core.blocks import Block, Snapshot, make_block
 from repro.core.bss import WindowIndependentBSS, WindowRelativeBSS
@@ -40,6 +47,7 @@ from repro.core.maintainer import (
 )
 from repro.core.windows import MostRecentWindow, UnrestrictedWindow
 from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.scheduling.policy import MaintenanceScheduler, resolve_scheduler
 from repro.storage.engine import BlockBackend, resolve_backend
 from repro.storage.persist import register_vault_namespace
 from repro.storage.telemetry import Telemetry, TelemetrySnapshot, bind_telemetry
@@ -68,6 +76,20 @@ CHECKPOINT_FORMAT = 1
 CHECKPOINT_NAMESPACE = register_vault_namespace("demon-session")
 
 
+@runtime_checkable
+class SupportsCompressBlock(Protocol):
+    """A TID-list store that can re-encode an expired block in place.
+
+    :meth:`compress_block` must be idempotent and safe for unknown
+    block ids (returning 0 bytes saved), because under deferred
+    maintenance an expired block may never have been materialized.
+    """
+
+    def compress_block(self, block_id: int) -> int:
+        """Re-encode one block's lists; returns bytes saved."""
+        ...
+
+
 class CheckpointError(RuntimeError):
     """A session checkpoint could not be written or restored."""
 
@@ -84,8 +106,17 @@ class MonitorReport:
     Attributes:
         t: Identifier of the block just added.
         model_updated: Whether the current model changed (a 0-bit in
-            the BSS carries the model over unchanged).
-        gemm: GEMM accounting when running under the MRW option.
+            the BSS carries the model over unchanged, and a deferring
+            scheduler leaves it untouched until catch-up).
+        decision: The scheduler's verdict for this arrival (``"eager"``,
+            ``"warmup"``, ``"deviation"``, ``"staleness"``, or
+            ``"deferred"``).
+        maintained: Blocks brought current by this arrival's catch-up
+            (0 when maintenance was deferred; under an eager policy
+            always at least 1).
+        pending: Blocks still awaiting maintenance after this arrival.
+        gemm: GEMM accounting when running under the MRW option (the
+            last catch-up's report; ``None`` while deferred).
         patterns: Pattern-detection accounting when enabled.
         telemetry: This observation's slice of the unified spine —
             phase timings, counter events, and I/O deltas accumulated
@@ -94,6 +125,9 @@ class MonitorReport:
 
     t: int
     model_updated: bool = False
+    decision: str = "eager"
+    maintained: int = 0
+    pending: int = 0
     gemm: GEMMUpdateReport | None = None
     patterns: PatternUpdateReport | None = None
     telemetry: TelemetrySnapshot | None = None
@@ -139,6 +173,17 @@ class MiningSession(Generic[TModel, T]):
             byte-identical to a serial run.  The setting is execution
             config, not state: checkpoints never record it, and
             :meth:`restore` takes its own ``workers``.
+        scheduler: Maintenance scheduling policy — a
+            :class:`~repro.scheduling.MaintenanceScheduler` instance, a
+            name (``"eager"``/``"deviation"``), or a spec dict from
+            :meth:`~repro.scheduling.MaintenanceScheduler.spec`.
+            ``None`` defers to the ambient ``DEMON_SCHEDULER`` toggle
+            (eager by default).  A deferring policy queues arriving
+            blocks after the cheap ingest step and catches up — in
+            arrival order, so a flushed session is byte-identical to an
+            eager one — when drift or staleness demands it; checkpoints
+            record the policy spec and its pending queue so
+            :meth:`restore` resumes mid-deferral.
         name: Checkpoint name — sessions with distinct names can share
             one vault.
     """
@@ -154,6 +199,7 @@ class MiningSession(Generic[TModel, T]):
         telemetry: Telemetry | None = None,
         backend: BlockBackend | str | dict[str, Any] | None = None,
         workers: int | None = None,
+        scheduler: MaintenanceScheduler | str | dict[str, Any] | None = None,
         name: str = "session",
     ) -> None:
         self.span: SpanOption = span if span is not None else UnrestrictedWindow()
@@ -177,6 +223,9 @@ class MiningSession(Generic[TModel, T]):
         self.backend: BlockBackend | None = resolve_backend(backend)
         self.name = name
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.scheduler: MaintenanceScheduler = resolve_scheduler(scheduler)
+        #: Ingested blocks still owed maintenance, in arrival order.
+        self._pending: list[Block[T]] = []
         self.workers = resolve_workers(workers)
         self._pool: WorkerPool | None = (
             WorkerPool(self.workers, telemetry=self.telemetry)
@@ -219,6 +268,7 @@ class MiningSession(Generic[TModel, T]):
                 self.telemetry.attach_io("maintainer", registry)
         if self.pattern_miner is not None:
             bind_telemetry(self.pattern_miner, self.telemetry)
+        bind_telemetry(self.scheduler, self.telemetry)
         if self.vault is not None:
             self.telemetry.attach_io("vault", self.vault.registry)
         if self.backend is not None:
@@ -249,12 +299,24 @@ class MiningSession(Generic[TModel, T]):
 
     @property
     def t(self) -> int:
-        """Identifier of the latest observed block."""
+        """Identifier of the latest *ingested* block.
+
+        Under a deferring scheduler this runs ahead of the engines'
+        clocks: ingested-but-unmaintained blocks count (the stream
+        position is an ingest-side notion; the engines catch up).
+        """
+        if self._pending:
+            return self._pending[-1].block_id
         if self._engine is not None:
             return self._engine.t
         if self.pattern_miner is not None:
             return self.pattern_miner.t
         return 0
+
+    @property
+    def pending_maintenance(self) -> int:
+        """Ingested blocks still awaiting maintenance."""
+        return len(self._pending)
 
     @property
     def engine(
@@ -264,15 +326,30 @@ class MiningSession(Generic[TModel, T]):
         return self._engine
 
     def current_model(self) -> TModel:
-        """The model on the configured span w.r.t. the configured BSS."""
+        """The model on the configured span w.r.t. the configured BSS.
+
+        Reading the model is a synchronization point: any deferred
+        maintenance runs first (:meth:`maintain`), so callers always
+        see the model an eager session would show at this ``t``.
+        """
         if self._engine is None:
             raise RuntimeError("session has no maintainer, so no model")
+        self.maintain()
         if isinstance(self._engine, GEMM):
             return self._engine.current_model()
         return self._engine.model
 
     def current_selection(self) -> list[int]:
-        """Identifiers of the blocks the current model is extracted from."""
+        """Identifiers of the blocks the current model is extracted from.
+
+        Like :meth:`current_model`, a synchronization point: deferred
+        maintenance runs first.
+        """
+        self.maintain()
+        return self._live_selection()
+
+    def _live_selection(self) -> list[int]:
+        """The engine's selection as it stands, without catching up."""
         if self._engine is None:
             return []
         if isinstance(self._engine, GEMM):
@@ -280,57 +357,146 @@ class MiningSession(Generic[TModel, T]):
         return self._engine.selected_block_ids
 
     def observe(self, block: Block[T]) -> MonitorReport:
-        """Feed the next arriving block to every configured objective."""
+        """Feed the next arriving block through ingest and scheduling.
+
+        The arrival always takes the cheap ingest path — snapshot
+        extend and pending-queue append (the backend write happened in
+        :meth:`ingest`, or the caller materialized the block) — and the
+        configured scheduler then decides whether full maintenance runs
+        now or is deferred.  An eager policy (the default) maintains on
+        every arrival, matching the historical behavior exactly.
+        """
         before = self.telemetry.snapshot()
         report = MonitorReport(t=block.block_id)
         with self.telemetry.phase("session.observe"):
-            if self._engine is not None:
-                selection_before = self.current_selection()
-                if isinstance(self._engine, GEMM):
-                    report.gemm = self._engine.observe(block)
-                else:
-                    self._engine.observe(block)
-                report.model_updated = self.current_selection() != selection_before
-            if self.pattern_miner is not None:
-                report.patterns = self.pattern_miner.observe(block)
-            # Commit to the snapshot only after every observer accepted
-            # the block: a rejected block (duplicate id, bad shape)
-            # must not leave the session's checkpointed state mutated
-            # (exception atomicity, DML018).
-            if self.snapshot is not None:
-                self.snapshot.extend(block)
-            self._expire_cold(block.block_id)
+            # Validate stream order before any state mutates: a
+            # rejected block must not leave the session's checkpointed
+            # state touched (exception atomicity, DML018).  Engines
+            # re-validate on replay, but by then the block is already
+            # ingested, so the gate has to sit here.
+            expected = self.t + 1
+            if block.block_id != expected:
+                raise ValueError(
+                    f"systematic evolution requires block id {expected}, "
+                    f"got {block.block_id}"
+                )
+            selection_before = self._live_selection()
+            decision = self.scheduler.decide(block, len(self._pending) + 1)
+            with self.telemetry.phase("session.ingest"):
+                if self.snapshot is not None:
+                    self.snapshot.extend(block)
+                self._pending.append(block)
+            report.decision = decision.reason
+            if decision.maintain:
+                self.telemetry.increment("scheduler.triggered")
+                if decision.reason == "staleness":
+                    self.telemetry.increment("scheduler.staleness_flushes")
+                report.maintained = self.maintain(report)
+            else:
+                self.telemetry.increment("scheduler.deferred")
+            report.pending = len(self._pending)
+            report.model_updated = self._live_selection() != selection_before
         self.telemetry.increment("session.blocks")
         # Record count comes from backend metadata — no materialization.
         self.telemetry.increment("session.records", block.num_records)
         report.telemetry = self.telemetry.delta_since(before)
         return report
 
+    def maintain(self, report: MonitorReport | None = None) -> int:
+        """Run all deferred maintenance now; returns blocks caught up.
+
+        Replays the pending queue in arrival order through every
+        configured engine, so the resulting models are byte-identical
+        to an eager session's at the same ``t``.  A no-op (returning 0)
+        when nothing is pending — reads may call it unconditionally.
+        """
+        if not self._pending:
+            return 0
+        with self.telemetry.phase("session.maintain") as span:
+            maintained = self._drain_pending(report)
+        self.scheduler.notify_maintained(self.t, maintained, span.seconds)
+        return maintained
+
+    def flush(self) -> int:
+        """End-of-stream barrier: alias of :meth:`maintain`."""
+        return self.maintain()
+
+    def _drain_pending(self, report: MonitorReport | None) -> int:
+        """Catch the engines up over the pending run, in order.
+
+        A GEMM-only session takes the batched
+        :meth:`~repro.core.gemm.GEMM.observe_run` path, which skips the
+        retired-intermediate models an eager replay would build (and
+        fans chains across the worker pool when one is bound).  Every
+        other configuration replays block by block; either way a block
+        leaves the queue only after every engine accepted it, so a
+        failed catch-up keeps the unprocessed tail pending and
+        retryable.  Expiry bookkeeping runs *after* maintenance — a
+        block still owed maintenance is never tiered down under it.
+        """
+        maintained = 0
+        if (
+            isinstance(self._engine, GEMM)
+            and self.pattern_miner is None
+            and len(self._pending) > 1
+        ):
+            run = list(self._pending)
+            gemm_report = self._engine.observe_run(run)
+            if report is not None:
+                report.gemm = gemm_report
+            self._pending.clear()
+            for block in run:
+                self._expire_cold(block.block_id)
+            return len(run)
+        while self._pending:
+            block = self._pending[0]
+            if isinstance(self._engine, GEMM):
+                gemm_report = self._engine.observe(block)
+                if report is not None:
+                    report.gemm = gemm_report
+            elif self._engine is not None:
+                self._engine.observe(block)
+            if self.pattern_miner is not None:
+                patterns = self.pattern_miner.observe(block)
+                if report is not None:
+                    report.patterns = patterns
+            # Deliberate partial drain, one popped block per fully
+            # accepted replay: a failure mid-catch-up leaves exactly
+            # the unprocessed tail pending — a consistent, retryable
+            # checkpoint state, not a corrupted one.
+            self._pending.pop(0)  # demonlint: disable=DML018 (popped only after every engine accepted this block; the remaining queue is the well-defined not-yet-maintained tail)
+            self._expire_cold(block.block_id)
+            maintained += 1
+        return maintained
+
     def _expire_cold(self, block_id: int) -> None:
         """Tier down the block that just slid out of an MRW window.
 
-        Under the most recent window option block ``t - w`` can no
-        longer enter any selection, so its dense columns are demoted to
-        the compressed tier (tiered backend only) and its TID-lists are
-        re-encoded in place (every backend — the counting kernels work
-        directly on the compressed forms, so byte accounting stays
-        backend-independent).  Both steps are deterministic functions
-        of block content, keeping checkpoints byte-identical across
-        placements.
+        Under the most recent window option block ``block_id - w`` can
+        no longer enter any selection, so the backend is notified (the
+        tiered backend demotes the block's dense columns to its
+        compressed tier; the base-class default is a no-op) and its
+        TID-lists are re-encoded in place (every backend — the counting
+        kernels work directly on the compressed forms, so byte
+        accounting stays backend-independent).  Both steps are
+        deterministic functions of block content, keeping checkpoints
+        byte-identical across placements.
+
+        Called per block from the catch-up path *after* that block's
+        maintenance, so a deferring scheduler can never tier down a
+        block it still owes maintenance on.
         """
         if not isinstance(self.span, MostRecentWindow):
             return
         expired = block_id - self.span.w
         if expired < 1:
             return
-        notify = getattr(self.backend, "notify_expired", None)
-        if callable(notify):
-            notify([expired])
+        if self.backend is not None:
+            self.backend.notify_expired([expired])
         context = getattr(self.maintainer, "context", None)
         tidlists = getattr(context, "tidlists", None)
-        compress = getattr(tidlists, "compress_block", None)
-        if callable(compress):
-            compress(expired)
+        if isinstance(tidlists, SupportsCompressBlock):
+            tidlists.compress_block(expired)
 
     def ingest(
         self,
@@ -360,9 +526,14 @@ class MiningSession(Generic[TModel, T]):
         return report
 
     def discovered_patterns(self, min_length: int = 2) -> list[CompactSequence]:
-        """Compact sequences found so far (empty without a miner)."""
+        """Compact sequences found so far (empty without a miner).
+
+        A synchronization point: deferred maintenance runs first so the
+        miner has seen every ingested block.
+        """
         if self.pattern_miner is None:
             return []
+        self.maintain()
         return self.pattern_miner.distinct_sequences(min_length=min_length)
 
     # ------------------------------------------------------------------
@@ -375,8 +546,13 @@ class MiningSession(Generic[TModel, T]):
         It embeds the maintainer (with its storage context — the
         reproduction's stand-in for durable block storage), the
         engine's full collection of models, the pattern miner
-        (deviation matrix and sequences), the optional snapshot, and
-        the telemetry totals.
+        (deviation matrix and sequences), the optional snapshot, the
+        scheduler state with its pending (ingested but not yet
+        maintained) blocks, and the telemetry totals.
+
+        Checkpointing does *not* flush deferred maintenance — a killed
+        scheduled session restores with its pending queue intact and
+        catches up on the next trigger or read.
         """
         from repro.storage.persist import save_model
 
@@ -410,6 +586,8 @@ class MiningSession(Generic[TModel, T]):
             "backend": (
                 self.backend.spec() if self.backend is not None else None
             ),
+            "scheduler": self.scheduler.state_dict(),
+            "pending": [save_model(block) for block in self._pending],
             "telemetry": self.telemetry.state_dict(),
         }
 
@@ -443,6 +621,28 @@ class MiningSession(Generic[TModel, T]):
             # never carry one); a parallel session rebinds its own.
             if self._pool is not None and isinstance(self._engine, GEMM):
                 self._engine.bind_pool(self._pool)
+        # Scheduler state transfers only between schedulers of the same
+        # kind: restoring an eager session onto a deviation scheduler
+        # (or vice versa) starts the new policy from scratch, but the
+        # pending queue below is policy-independent and always carries.
+        scheduler_state = state.get("scheduler")
+        if scheduler_state is not None:
+            spec = scheduler_state.get("spec") or {}
+            if spec.get("kind") == self.scheduler.kind:
+                self.scheduler.load_state_dict(scheduler_state)
+        self._pending = []
+        by_id: dict[int, Block[T]] = {}
+        if self.snapshot is not None:
+            by_id = {block.block_id: block for block in self.snapshot}
+        for blob in state.get("pending") or []:
+            pending_block: Block[T] = load_model(blob)
+            if pending_block.block_id in by_id:
+                # The snapshot adoption above already re-homed this
+                # block onto the live backend; reuse that handle.
+                pending_block = by_id[pending_block.block_id]
+            elif self.backend is not None:
+                pending_block = self.backend.adopt(pending_block)
+            self._pending.append(pending_block)
         if restore_telemetry:
             self.telemetry.load_state_dict(state["telemetry"])
 
@@ -482,6 +682,7 @@ class MiningSession(Generic[TModel, T]):
         telemetry: Telemetry | None = None,
         backend: BlockBackend | str | dict[str, Any] | None = None,
         workers: int | None = None,
+        scheduler: MaintenanceScheduler | str | dict[str, Any] | None = None,
     ) -> "MiningSession[Any, Any]":
         """Rebuild a session from its checkpoint and resume mid-stream.
 
@@ -499,6 +700,13 @@ class MiningSession(Generic[TModel, T]):
         ``workers`` is execution config and is never checkpointed:
         the restored session uses the value given here (or the
         ``DEMON_WORKERS`` ambient default).
+
+        The maintenance scheduler *is* checkpointed: by default the
+        session restores the same scheduling policy (and its drift
+        references) the checkpointed run used, along with any blocks
+        ingested but not yet maintained.  Pass ``scheduler=...`` to
+        switch policy on restore — the pending queue still carries
+        over, so no maintenance is ever lost.
         """
         key = checkpoint_key(name)
         if key not in vault:
@@ -529,6 +737,12 @@ class MiningSession(Generic[TModel, T]):
             # Format-1 checkpoints written before backends existed have
             # no "backend" entry; they restore onto the ambient default.
             backend = payload.get("backend")
+        if scheduler is None:
+            # Likewise pre-scheduler checkpoints carry no "scheduler"
+            # entry and restore onto the ambient default policy.
+            scheduler_state = payload.get("scheduler")
+            if scheduler_state is not None:
+                scheduler = scheduler_state.get("spec")
         owns_backend = not isinstance(backend, BlockBackend)
         session: MiningSession[Any, Any] = cls(
             maintainer=maintainer,
@@ -539,6 +753,7 @@ class MiningSession(Generic[TModel, T]):
             telemetry=telemetry,
             backend=backend,
             workers=workers,
+            scheduler=scheduler,
             name=name,
         )
         try:

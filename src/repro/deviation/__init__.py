@@ -1,5 +1,11 @@
 """FOCUS deviation framework, significance estimation, block similarity."""
 
+from repro.deviation.estimate import (
+    BlockSketch,
+    DriftEstimate,
+    SampledDeviationEstimator,
+    estimator_from_spec,
+)
 from repro.deviation.focus import (
     ClusterDeviation,
     DeviationFunction,
@@ -21,4 +27,8 @@ __all__ = [
     "chi2_region_significance",
     "BlockSimilarity",
     "SimilarityResult",
+    "BlockSketch",
+    "DriftEstimate",
+    "SampledDeviationEstimator",
+    "estimator_from_spec",
 ]

@@ -293,3 +293,47 @@ def maintain_shard(
         }
         telemetry.increment("parallel.models_maintained")
     return save_model(model), changed
+
+
+@worker_entry
+def maintain_chain_shard(
+    token: tuple[str, Any],
+    source_blob: bytes | None,
+    new_refs: Sequence[Sequence[Any]],
+    history_refs: Sequence[Sequence[Any]],
+) -> tuple[bytes, dict[str, Any]]:
+    """Replay a whole ``A_M`` chain (deferred catch-up) in one worker.
+
+    The scheduling layer's batched GEMM catch-up
+    (:meth:`repro.core.gemm.GEMM.observe_run`) materializes each final
+    slot by replaying its build/add chain over the pending blocks; this
+    entry runs one such chain end to end so the intermediate models
+    never cross the process boundary.  ``source_blob is None`` starts
+    the chain with a build on the first ref; otherwise the blob is the
+    chain's source model.  Returns the final model's pickle — adopted
+    byte-for-byte by the parent — plus the changed diagnostics entries,
+    exactly like :func:`maintain_shard`.
+    """
+    telemetry = task_telemetry()
+    if not new_refs:
+        raise ValueError("a maintenance chain needs at least one block ref")
+    with telemetry.phase("parallel.maintain_shard"):
+        replica = _replica(token, history_refs, new_refs[0])
+        bind_telemetry(replica, telemetry)
+        diagnostics = getattr(replica, "diagnostics", None)
+        before = diagnostics.entries() if diagnostics is not None else {}
+        model = load_model(source_blob) if source_blob is not None else None
+        for ref in new_refs:
+            block = resolve_block(ref)
+            if model is None:
+                model = replica.build([block])
+            else:
+                model = replica.add_block(model, block)
+        after = diagnostics.entries() if diagnostics is not None else {}
+        changed = {
+            channel: entry
+            for channel, entry in after.items()
+            if before.get(channel) is not entry
+        }
+        telemetry.increment("parallel.models_maintained", len(new_refs))
+    return save_model(model), changed

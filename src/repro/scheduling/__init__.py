@@ -1,0 +1,41 @@
+"""Change-aware maintenance scheduling (the ingest/maintain split).
+
+See :mod:`repro.scheduling.policy` for the policy layer the session
+spine consults on every block arrival.
+"""
+
+from repro.scheduling.policy import (
+    DEFAULT_MAX_PENDING,
+    DEFAULT_THRESHOLD,
+    MAX_PENDING_ENV,
+    SCHEDULER_ENV,
+    SCHEDULER_KINDS,
+    THRESHOLD_ENV,
+    DeviationScheduler,
+    EagerScheduler,
+    MaintenanceDecision,
+    MaintenanceScheduler,
+    ambient_scheduler_max_pending,
+    ambient_scheduler_name,
+    ambient_scheduler_threshold,
+    resolve_scheduler,
+    scheduler_from_spec,
+)
+
+__all__ = [
+    "DEFAULT_MAX_PENDING",
+    "DEFAULT_THRESHOLD",
+    "MAX_PENDING_ENV",
+    "SCHEDULER_ENV",
+    "SCHEDULER_KINDS",
+    "THRESHOLD_ENV",
+    "DeviationScheduler",
+    "EagerScheduler",
+    "MaintenanceDecision",
+    "MaintenanceScheduler",
+    "ambient_scheduler_max_pending",
+    "ambient_scheduler_name",
+    "ambient_scheduler_threshold",
+    "resolve_scheduler",
+    "scheduler_from_spec",
+]

@@ -1,0 +1,375 @@
+"""Maintenance scheduling policies — *when* to run deferred maintenance.
+
+The session spine (:class:`repro.core.session.MiningSession`) splits
+every block arrival into an always-cheap **ingest** step (backend
+write, snapshot extend, pending-queue append) and a deferrable
+**maintain** step (BORDERS/BIRCH+/GEMM/tree model maintenance).  A
+:class:`MaintenanceScheduler` sits between the two and decides, per
+arriving block, whether maintenance runs now or is deferred onto the
+session's pending queue.
+
+Two policies ship:
+
+* :class:`EagerScheduler` — maintain on every arrival (the historical
+  behavior and the default; a scheduled session with this policy is
+  byte-identical to a pre-scheduler session).
+* :class:`DeviationScheduler` — defer while the data looks stationary.
+  Each arrival is sketched (:mod:`repro.deviation.estimate`) and
+  compared against the sketch taken at the last full maintenance; the
+  χ² significance of the sampled FOCUS deviation triggers catch-up when
+  it crosses ``threshold``, and a hard staleness bound (``max_pending``
+  deferred blocks) caps how far the model may lag regardless of the
+  drift signal.  Deferral never changes *what* is computed — catch-up
+  replays the pending run in order, so a flushed scheduled session is
+  byte-identical to an eager one — only *when*.
+
+Ambient configuration mirrors the ``DEMON_BLOCK_BACKEND`` /
+``DEMON_WORKERS`` pattern: ``DEMON_SCHEDULER`` picks the policy by
+name, ``DEMON_SCHEDULER_THRESHOLD`` and ``DEMON_SCHEDULER_MAX_PENDING``
+tune it, and every knob is validated with an actionable error at parse
+time via :func:`ambient_scheduler_name` (the CLI calls it before the
+first block is ever ingested).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.blocks import Block
+from repro.deviation.estimate import (
+    BlockSketch,
+    DriftEstimate,
+    SampledDeviationEstimator,
+    estimator_from_spec,
+)
+from repro.storage.persist import load_model, save_model
+from repro.storage.telemetry import Telemetry
+
+SCHEDULER_ENV = "DEMON_SCHEDULER"
+THRESHOLD_ENV = "DEMON_SCHEDULER_THRESHOLD"
+MAX_PENDING_ENV = "DEMON_SCHEDULER_MAX_PENDING"
+
+#: Policy names accepted by :func:`resolve_scheduler` / the env toggle.
+SCHEDULER_KINDS = ("eager", "deviation")
+
+DEFAULT_THRESHOLD = 0.95
+DEFAULT_MAX_PENDING = 8
+
+
+@dataclass(frozen=True)
+class MaintenanceDecision:
+    """One scheduler verdict for one arriving block.
+
+    Attributes:
+        maintain: Whether the session should run full maintenance now
+            (catching up over every pending block, in order).
+        reason: Why — ``"eager"`` (policy always maintains),
+            ``"warmup"`` (no reference sketch yet), ``"deviation"``
+            (drift significance crossed the threshold), ``"staleness"``
+            (the ``max_pending`` bound was hit), or ``"deferred"``.
+        significance: The drift significance behind the verdict, when
+            one was computed.
+    """
+
+    maintain: bool
+    reason: str
+    significance: float | None = None
+
+
+class MaintenanceScheduler(ABC):
+    """Policy deciding when deferred maintenance runs.
+
+    Schedulers are session components: the owning session rebinds
+    :attr:`telemetry` onto its spine, persists :meth:`state_dict`
+    inside its checkpoint payload, and rebuilds the policy from
+    :meth:`spec` on restore.
+    """
+
+    #: Policy name (stable; rides in specs and checkpoints).
+    kind: str = ""
+
+    def __init__(self) -> None:
+        #: Instrumentation spine; a session rebinds this onto its own.
+        self.telemetry = Telemetry()
+
+    @abstractmethod
+    def decide(self, block: Block[Any], pending: int) -> MaintenanceDecision:
+        """Verdict for ``block``; ``pending`` counts queued blocks
+        *including* this one."""
+
+    def notify_maintained(self, t: int, blocks: int, seconds: float) -> None:
+        """Maintenance just caught up through block ``t``.
+
+        ``blocks`` pending blocks were replayed in ``seconds``.  The
+        base implementation ignores the report; stateful policies use
+        it to advance their reference point and cost model.
+        """
+
+    @abstractmethod
+    def spec(self) -> dict[str, Any]:
+        """Constructor-shaped description (rides in checkpoints)."""
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable snapshot of the policy's run state."""
+        return {"spec": self.spec()}
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore the state saved by :meth:`state_dict`."""
+
+
+class EagerScheduler(MaintenanceScheduler):
+    """Maintain on every arrival — the historical default behavior."""
+
+    kind = "eager"
+
+    def decide(self, block: Block[Any], pending: int) -> MaintenanceDecision:
+        return MaintenanceDecision(maintain=True, reason="eager")
+
+    def spec(self) -> dict[str, Any]:
+        return {"kind": self.kind}
+
+
+class DeviationScheduler(MaintenanceScheduler):
+    """Defer maintenance until the sampled FOCUS deviation says drift.
+
+    Args:
+        threshold: Significance in ``(0, 1)`` above which an arriving
+            block's estimated deviation from the last-maintained
+            reference triggers catch-up.
+        max_pending: Hard staleness bound — catch-up runs whenever this
+            many blocks are queued, drift or not.
+        estimator: The sketching/estimation engine; defaults to a
+            :class:`~repro.deviation.estimate.SampledDeviationEstimator`
+            with stock knobs.
+    """
+
+    kind = "deviation"
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_THRESHOLD,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        estimator: SampledDeviationEstimator | None = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(
+                f"threshold must be strictly between 0 and 1, got {threshold}"
+            )
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.threshold = threshold
+        self.max_pending = max_pending
+        self.estimator = (
+            estimator if estimator is not None else SampledDeviationEstimator()
+        )
+        # The sketch of the newest fully-maintained block (the drift
+        # reference) and of the newest arrival (promoted to reference
+        # by notify_maintained once catch-up passes it).
+        self._reference: BlockSketch | None = None
+        self._latest: BlockSketch | None = None
+        # Running mean of catch-up seconds per replayed block — the
+        # (conservative) estimate of what each deferral saves.
+        self._mean_maintain_seconds = 0.0
+
+    def decide(self, block: Block[Any], pending: int) -> MaintenanceDecision:
+        estimate: DriftEstimate | None = None
+        with self.telemetry.phase("scheduler.estimate"):
+            sketch = self.estimator.sketch(block)
+            self._latest = sketch
+            if self._reference is not None:
+                estimate = self.estimator.estimate(self._reference, sketch)
+        if estimate is None:
+            return MaintenanceDecision(maintain=True, reason="warmup")
+        if estimate.significance >= self.threshold:
+            return MaintenanceDecision(
+                maintain=True,
+                reason="deviation",
+                significance=estimate.significance,
+            )
+        if pending >= self.max_pending:
+            return MaintenanceDecision(
+                maintain=True,
+                reason="staleness",
+                significance=estimate.significance,
+            )
+        if self._mean_maintain_seconds > 0.0:
+            # Phase, not counter: telemetry counters are integers, and
+            # this is a wall-clock estimate of the maintenance this
+            # deferral skipped (conservative — catch-up amortizes, so
+            # its per-block mean undercounts a single eager observe).
+            self.telemetry.record_phase(
+                "scheduler.saved_maintenance", self._mean_maintain_seconds
+            )
+        return MaintenanceDecision(
+            maintain=False,
+            reason="deferred",
+            significance=estimate.significance,
+        )
+
+    def notify_maintained(self, t: int, blocks: int, seconds: float) -> None:
+        if self._latest is not None and self._latest.block_id <= t:
+            self._reference = self._latest
+        if blocks > 0:
+            per_block = seconds / blocks
+            if self._mean_maintain_seconds == 0.0:
+                self._mean_maintain_seconds = per_block
+            else:
+                self._mean_maintain_seconds = 0.5 * (
+                    self._mean_maintain_seconds + per_block
+                )
+
+    def spec(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "threshold": self.threshold,
+            "max_pending": self.max_pending,
+            "estimator": self.estimator.spec(),
+        }
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec(),
+            "reference": (
+                save_model(self._reference)
+                if self._reference is not None
+                else None
+            ),
+            "latest": (
+                save_model(self._latest) if self._latest is not None else None
+            ),
+            "mean_maintain_seconds": self._mean_maintain_seconds,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        reference = state.get("reference")
+        latest = state.get("latest")
+        self._reference = (
+            load_model(reference) if reference is not None else None
+        )
+        self._latest = load_model(latest) if latest is not None else None
+        self._mean_maintain_seconds = float(
+            state.get("mean_maintain_seconds", 0.0)
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient configuration (parse-time validated, like DEMON_BLOCK_BACKEND)
+# ----------------------------------------------------------------------
+
+
+def ambient_scheduler_threshold() -> float | None:
+    """``DEMON_SCHEDULER_THRESHOLD`` as a validated float, or ``None``."""
+    raw = os.environ.get(THRESHOLD_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{THRESHOLD_ENV} must be a number strictly between 0 and 1, "
+            f"got {raw!r}"
+        ) from None
+    if not 0.0 < value < 1.0:
+        raise ValueError(
+            f"{THRESHOLD_ENV} must be strictly between 0 and 1, got {raw!r}"
+        )
+    return value
+
+
+def ambient_scheduler_max_pending() -> int | None:
+    """``DEMON_SCHEDULER_MAX_PENDING`` as a validated int, or ``None``."""
+    raw = os.environ.get(MAX_PENDING_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{MAX_PENDING_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{MAX_PENDING_ENV} must be >= 1, got {raw!r}"
+        )
+    return value
+
+
+def ambient_scheduler_name() -> str | None:
+    """The scheduler selected by ``DEMON_SCHEDULER``, or ``None``.
+
+    Validates the policy name *and* both tuning knobs, so a typo in any
+    of the three fails at argument-parse time with an actionable error
+    instead of deep inside the first ingest of a long run.
+    """
+    ambient_scheduler_threshold()
+    ambient_scheduler_max_pending()
+    raw = os.environ.get(SCHEDULER_ENV, "").strip().lower()
+    if not raw:
+        return None
+    if raw not in SCHEDULER_KINDS:
+        raise ValueError(
+            f"{SCHEDULER_ENV} must be one of "
+            f"{', '.join(SCHEDULER_KINDS)}; got {raw!r}"
+        )
+    return raw
+
+
+def scheduler_from_spec(spec: dict[str, Any]) -> MaintenanceScheduler:
+    """Rebuild a scheduler from :meth:`MaintenanceScheduler.spec`."""
+    kind = spec.get("kind")
+    if kind == EagerScheduler.kind:
+        return EagerScheduler()
+    if kind == DeviationScheduler.kind:
+        estimator_spec = spec.get("estimator")
+        return DeviationScheduler(
+            threshold=float(spec.get("threshold", DEFAULT_THRESHOLD)),
+            max_pending=int(spec.get("max_pending", DEFAULT_MAX_PENDING)),
+            estimator=(
+                estimator_from_spec(estimator_spec)
+                if estimator_spec is not None
+                else None
+            ),
+        )
+    raise ValueError(
+        f"unknown scheduler spec kind {kind!r} "
+        f"(valid: {', '.join(SCHEDULER_KINDS)})"
+    )
+
+
+def resolve_scheduler(
+    value: MaintenanceScheduler | str | dict[str, Any] | None = None,
+) -> MaintenanceScheduler:
+    """The effective scheduler: instance, name, spec, or ambient default.
+
+    ``None`` falls through to the :data:`SCHEDULER_ENV` environment
+    toggle (default: eager).  Name resolution — explicit or ambient —
+    also honors the ambient threshold/staleness knobs; an explicit
+    :class:`DeviationScheduler` instance or spec dict carries its own.
+    """
+    if isinstance(value, MaintenanceScheduler):
+        return value
+    if isinstance(value, dict):
+        return scheduler_from_spec(value)
+    name = value.strip().lower() if value is not None else None
+    if name is None:
+        name = ambient_scheduler_name()
+    if name is None or name == EagerScheduler.kind:
+        return EagerScheduler()
+    if name == DeviationScheduler.kind:
+        threshold = ambient_scheduler_threshold()
+        max_pending = ambient_scheduler_max_pending()
+        return DeviationScheduler(
+            threshold=(
+                threshold if threshold is not None else DEFAULT_THRESHOLD
+            ),
+            max_pending=(
+                max_pending if max_pending is not None else DEFAULT_MAX_PENDING
+            ),
+        )
+    raise ValueError(
+        f"unknown scheduler {name!r} (valid: {', '.join(SCHEDULER_KINDS)})"
+    )

@@ -662,6 +662,19 @@ class BlockBackend(ABC):
             metadata=block.metadata,
         )
 
+    def notify_expired(self, block_ids: Iterable[int]) -> int:
+        """Hint that blocks slid out of every active window.
+
+        The session spine calls this when the most-recent-window option
+        retires a block — *after* any deferred maintenance on it has
+        run, so backends may safely demote the block to a slower tier.
+        The base implementation ignores the hint and reports zero
+        blocks demoted; :class:`TieredBackend` overrides it to compress
+        dense columns down to its cold tier.  Unknown and
+        already-demoted ids must be ignored (the call is idempotent).
+        """
+        return 0
+
     def open(self) -> None:
         """Re-enable ingest after :meth:`close`.
 

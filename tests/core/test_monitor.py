@@ -30,6 +30,10 @@ class TestSpanRouting:
         monitor = DemonMonitor(BagMaintainer(), span=MostRecentWindow(2))
         for i in range(1, 5):
             report = monitor.observe(block(i))
+        if report.gemm is None:
+            # A deferring scheduler parks the GEMM update; catch up so
+            # the report carries the batched slide instead.
+            monitor.maintain(report)
         assert report.gemm is not None
         assert model_ids(monitor.current_model()) == {3, 4}
 
@@ -65,8 +69,13 @@ class TestBSSValidation:
 
 class TestReports:
     def test_model_updated_flag(self):
+        # Per-arrival flag semantics are the eager scheduler's: a
+        # deferring scheduler reports model_updated=False until
+        # catch-up (covered by tests/core/test_scheduler_session.py).
         monitor = DemonMonitor(
-            BagMaintainer(), bss=WindowIndependentBSS([1, 0, 1])
+            BagMaintainer(),
+            bss=WindowIndependentBSS([1, 0, 1]),
+            scheduler="eager",
         )
         assert monitor.observe(block(1)).model_updated
         assert not monitor.observe(block(2)).model_updated

@@ -1,0 +1,257 @@
+"""Maintenance scheduling policies and the sampled drift estimator.
+
+The contract under test: an :class:`EagerScheduler` reproduces the
+historical maintain-on-every-arrival behavior bit for bit, and a
+:class:`DeviationScheduler` defers exactly while its sampled FOCUS
+estimate stays below threshold — bounded by the ``max_pending``
+staleness cap — with every ambient knob validated at parse time.
+"""
+
+import pytest
+
+from repro.core.blocks import Block, make_block
+from repro.deviation.estimate import (
+    SampledDeviationEstimator,
+    estimator_from_spec,
+)
+from repro.scheduling import (
+    DEFAULT_MAX_PENDING,
+    DEFAULT_THRESHOLD,
+    MAX_PENDING_ENV,
+    SCHEDULER_ENV,
+    THRESHOLD_ENV,
+    DeviationScheduler,
+    EagerScheduler,
+    ambient_scheduler_max_pending,
+    ambient_scheduler_name,
+    ambient_scheduler_threshold,
+    resolve_scheduler,
+    scheduler_from_spec,
+)
+from repro.storage.persist import load_model, save_model
+from tests.conftest import random_transactions
+
+
+def stationary_block(block_id, seed=7, size=80):
+    """Blocks drawn from one fixed sample — no drift signal at all."""
+    return make_block(block_id, random_transactions(size, seed=seed))
+
+
+def drifted_block(block_id, size=80):
+    """A block from a visibly different distribution."""
+    return make_block(
+        block_id,
+        random_transactions(
+            size, n_items=60, seed=900 + block_id, planted=((4, 5, 6), 0.6)
+        ),
+    )
+
+
+class TestEagerScheduler:
+    def test_always_maintains(self):
+        scheduler = EagerScheduler()
+        for pending in (1, 2, 17):
+            decision = scheduler.decide(stationary_block(1), pending)
+            assert decision.maintain
+            assert decision.reason == "eager"
+
+    def test_spec_round_trips(self):
+        rebuilt = scheduler_from_spec(EagerScheduler().spec())
+        assert isinstance(rebuilt, EagerScheduler)
+
+    def test_state_dict_carries_the_spec(self):
+        assert EagerScheduler().state_dict() == {"spec": {"kind": "eager"}}
+
+
+class TestDeviationScheduler:
+    def test_first_block_is_warmup(self):
+        scheduler = DeviationScheduler()
+        decision = scheduler.decide(stationary_block(1), 1)
+        assert decision.maintain
+        assert decision.reason == "warmup"
+
+    def test_stationary_stream_defers(self):
+        scheduler = DeviationScheduler(threshold=0.9, max_pending=10)
+        scheduler.decide(stationary_block(1), 1)
+        scheduler.notify_maintained(1, 1, 0.01)
+        for block_id in (2, 3, 4):
+            decision = scheduler.decide(stationary_block(block_id), block_id - 1)
+            assert not decision.maintain
+            assert decision.reason == "deferred"
+            assert decision.significance == pytest.approx(0.0)
+
+    def test_drift_triggers_catch_up(self):
+        scheduler = DeviationScheduler(threshold=0.9, max_pending=10)
+        scheduler.decide(stationary_block(1), 1)
+        scheduler.notify_maintained(1, 1, 0.01)
+        assert not scheduler.decide(stationary_block(2), 1).maintain
+        decision = scheduler.decide(drifted_block(3), 2)
+        assert decision.maintain
+        assert decision.reason == "deviation"
+        assert decision.significance >= 0.9
+
+    def test_staleness_bound_caps_deferral(self):
+        scheduler = DeviationScheduler(threshold=0.9, max_pending=3)
+        scheduler.decide(stationary_block(1), 1)
+        scheduler.notify_maintained(1, 1, 0.01)
+        assert not scheduler.decide(stationary_block(2), 1).maintain
+        assert not scheduler.decide(stationary_block(3), 2).maintain
+        decision = scheduler.decide(stationary_block(4), 3)
+        assert decision.maintain
+        assert decision.reason == "staleness"
+
+    def test_reference_only_advances_past_maintained_blocks(self):
+        scheduler = DeviationScheduler(threshold=0.9, max_pending=10)
+        scheduler.decide(stationary_block(1), 1)
+        # Catch-up through t=0 (nothing) must not promote block 1's
+        # sketch to the reference.
+        scheduler.notify_maintained(0, 0, 0.0)
+        assert scheduler.decide(stationary_block(2), 2).reason == "warmup"
+        scheduler.notify_maintained(2, 2, 0.01)
+        assert scheduler.decide(stationary_block(3), 1).reason == "deferred"
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_out_of_range_threshold(self, threshold):
+        with pytest.raises(ValueError, match="threshold"):
+            DeviationScheduler(threshold=threshold)
+
+    @pytest.mark.parametrize("max_pending", [0, -3])
+    def test_rejects_non_positive_max_pending(self, max_pending):
+        with pytest.raises(ValueError, match="max_pending"):
+            DeviationScheduler(max_pending=max_pending)
+
+    def test_spec_round_trips(self):
+        scheduler = DeviationScheduler(
+            threshold=0.8,
+            max_pending=5,
+            estimator=SampledDeviationEstimator(sample_size=64),
+        )
+        rebuilt = scheduler_from_spec(scheduler.spec())
+        assert isinstance(rebuilt, DeviationScheduler)
+        assert rebuilt.threshold == 0.8
+        assert rebuilt.max_pending == 5
+        assert rebuilt.estimator.sample_size == 64
+
+    def test_state_dict_round_trips_the_reference(self):
+        scheduler = DeviationScheduler(threshold=0.9, max_pending=10)
+        scheduler.decide(stationary_block(1), 1)
+        scheduler.notify_maintained(1, 1, 0.25)
+        state = load_model(save_model(scheduler.state_dict()))
+        revived = DeviationScheduler(threshold=0.9, max_pending=10)
+        revived.load_state_dict(state)
+        # The revived policy defers the same stationary arrival the
+        # original would — its drift reference survived the round trip.
+        assert revived.decide(stationary_block(2), 1).reason == "deferred"
+        assert revived.decide(drifted_block(2), 1).reason == "deviation"
+
+
+class TestSampledEstimator:
+    def test_sketch_is_deterministic(self):
+        estimator = SampledDeviationEstimator(sample_size=32)
+        block = stationary_block(1)
+        a, b = estimator.sketch(block), estimator.sketch(block)
+        assert save_model(a) == save_model(b)
+
+    def test_identical_blocks_have_zero_significance(self):
+        estimator = SampledDeviationEstimator()
+        reference = estimator.sketch(stationary_block(1))
+        arrived = estimator.sketch(stationary_block(2))
+        estimate = estimator.estimate(reference, arrived)
+        assert estimate.significance == pytest.approx(0.0)
+
+    def test_drifted_blocks_have_high_significance(self):
+        estimator = SampledDeviationEstimator()
+        reference = estimator.sketch(stationary_block(1))
+        arrived = estimator.sketch(drifted_block(2))
+        estimate = estimator.estimate(reference, arrived)
+        assert estimate.significance >= 0.9
+
+    def test_numeric_blocks_use_the_cluster_deviation(self):
+        estimator = SampledDeviationEstimator(k=2)
+        a = make_block(1, [(0.0, 0.0), (0.1, 0.2), (5.0, 5.0), (5.1, 4.9)])
+        b = make_block(2, [(0.0, 0.1), (0.2, 0.1), (5.0, 5.1), (4.9, 5.0)])
+        estimate = estimator.estimate(estimator.sketch(a), estimator.sketch(b))
+        assert 0.0 <= estimate.significance <= 1.0
+
+    def test_unmodelable_records_force_maximum_drift(self):
+        # Labelled tree points fit neither FOCUS model family; the
+        # estimator must degrade to "certain drift" (maintain every
+        # block, i.e. eager behavior) instead of crashing.
+        estimator = SampledDeviationEstimator()
+        labelled = [((float(i), float(i)), i % 2) for i in range(20)]
+        reference = estimator.sketch(Block(1, tuples=tuple(labelled)))
+        arrived = estimator.sketch(Block(2, tuples=tuple(labelled)))
+        estimate = estimator.estimate(reference, arrived)
+        assert estimate.significance == 1.0
+        assert estimate.value == 1.0
+
+    def test_empty_block_forces_maximum_drift(self):
+        estimator = SampledDeviationEstimator()
+        reference = estimator.sketch(stationary_block(1))
+        empty = estimator.sketch(Block(2, tuples=[]))
+        assert estimator.estimate(reference, empty).significance == 1.0
+
+    def test_spec_round_trips(self):
+        estimator = SampledDeviationEstimator(
+            sample_size=64, minsup=0.1, max_size=3, k=6
+        )
+        rebuilt = estimator_from_spec(estimator.spec())
+        assert rebuilt.spec() == estimator.spec()
+
+
+class TestAmbientConfiguration:
+    def test_default_is_eager(self, monkeypatch):
+        monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+        assert ambient_scheduler_name() is None
+        assert isinstance(resolve_scheduler(None), EagerScheduler)
+
+    def test_env_selects_the_deviation_policy(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "deviation")
+        scheduler = resolve_scheduler(None)
+        assert isinstance(scheduler, DeviationScheduler)
+        assert scheduler.threshold == DEFAULT_THRESHOLD
+        assert scheduler.max_pending == DEFAULT_MAX_PENDING
+
+    def test_env_knobs_tune_the_policy(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "deviation")
+        monkeypatch.setenv(THRESHOLD_ENV, "0.75")
+        monkeypatch.setenv(MAX_PENDING_ENV, "3")
+        scheduler = resolve_scheduler(None)
+        assert scheduler.threshold == 0.75
+        assert scheduler.max_pending == 3
+
+    def test_unknown_name_is_an_actionable_error(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "tape")
+        with pytest.raises(ValueError) as excinfo:
+            ambient_scheduler_name()
+        message = str(excinfo.value)
+        assert "DEMON_SCHEDULER" in message
+        assert "eager" in message and "deviation" in message
+        assert "'tape'" in message
+
+    @pytest.mark.parametrize("raw", ["nope", "1.5", "0", "1", "-0.2"])
+    def test_bad_threshold_fails_at_parse_time(self, monkeypatch, raw):
+        monkeypatch.setenv(THRESHOLD_ENV, raw)
+        with pytest.raises(ValueError, match="DEMON_SCHEDULER_THRESHOLD"):
+            ambient_scheduler_threshold()
+        # A knob typo fails even when only the policy name is read.
+        monkeypatch.setenv(SCHEDULER_ENV, "eager")
+        with pytest.raises(ValueError, match="DEMON_SCHEDULER_THRESHOLD"):
+            ambient_scheduler_name()
+
+    @pytest.mark.parametrize("raw", ["soon", "0", "-1", "2.5"])
+    def test_bad_max_pending_fails_at_parse_time(self, monkeypatch, raw):
+        monkeypatch.setenv(MAX_PENDING_ENV, raw)
+        with pytest.raises(ValueError, match="DEMON_SCHEDULER_MAX_PENDING"):
+            ambient_scheduler_max_pending()
+
+    def test_resolve_passes_instances_and_specs_through(self):
+        scheduler = DeviationScheduler(threshold=0.5)
+        assert resolve_scheduler(scheduler) is scheduler
+        rebuilt = resolve_scheduler({"kind": "deviation", "threshold": 0.5})
+        assert isinstance(rebuilt, DeviationScheduler)
+        assert rebuilt.threshold == 0.5
+
+    def test_resolve_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            resolve_scheduler("lazy")

@@ -75,7 +75,10 @@ class TestMonitoringWithPatternDetection:
         )
         for block in blocks:
             report = monitor.observe(block)
-            assert report.patterns is not None
+            if report.pending == 0:
+                # Deferred arrivals carry their pattern update in the
+                # later catch-up report; an eager run asserts every one.
+                assert report.patterns is not None
         # The model is the UW itemset model over all 10 blocks.
         truth = mine_blocks(blocks, 0.02)
         assert monitor.current_model().frequent == truth.frequent

@@ -129,6 +129,11 @@ def normalized_checkpoint(session):
     payload = session.state_dict()
     payload["telemetry"] = None  # wall-clock and worker attribution
     payload["backend"] = None  # distinct mmap roots by construction
+    if payload.get("scheduler") is not None:
+        # The deviation scheduler's catch-up-cost mean is wall-clock.
+        scheduler = dict(payload["scheduler"])
+        scheduler.pop("mean_maintain_seconds", None)
+        payload["scheduler"] = scheduler
     for key in ("maintainer", "pattern_miner", "snapshot"):
         if payload[key] is not None:
             payload[key] = save_model(scrub_execution(load_model(payload[key])))

@@ -2,9 +2,8 @@
 
 The script's whole reason to exist is that the human tables and the
 JSON baselines can never drift apart — so the strongest test is the
-golden one: regenerating from the four checked-in ``BENCH_*.json``
-files must reproduce the checked-in ``bench_tables.txt`` byte for
-byte.  The remaining tests cover the degraded inputs a fresh checkout
+golden one: regenerating from the checked-in ``BENCH_*.json`` files
+must reproduce the checked-in ``bench_tables.txt`` byte for byte.  The remaining tests cover the degraded inputs a fresh checkout
 or a single-module benchmark run produces: no baselines at all, and a
 partial set.
 """
@@ -38,7 +37,7 @@ def test_golden_regeneration_matches_checked_in_tables(monkeypatch, tmp_path):
     )
 
 
-def test_all_four_baselines_are_checked_in():
+def test_all_baselines_are_checked_in():
     for filename, _renderer in regen.SOURCES:
         assert (ROOT / "benchmarks" / filename).exists(), filename
 
@@ -76,11 +75,12 @@ def test_partial_baselines_render_only_their_tables(
     assert text.startswith(regen.HEADER)
     assert "Ingest spine, quest (1000 transactions)" in text
     assert "12.3" in text and "4.5" in text
-    # The other three sources are reported missing, not silently skipped.
+    # The other sources are reported missing, not silently skipped.
     err = capsys.readouterr().err
     assert "(no rows: BENCH_counting.json)" in err
     assert "(no rows: BENCH_parallel.json)" in err
     assert "(no rows: BENCH_compression.json)" in err
+    assert "(no rows: BENCH_scheduler.json)" in err
 
 
 def test_render_table_layout_matches_print_table():

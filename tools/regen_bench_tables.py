@@ -256,11 +256,35 @@ def compression_tables(grouped: dict[str, list[dict]]) -> list[str]:
     return tables
 
 
+def scheduler_tables(grouped: dict[str, list[dict]]) -> list[str]:
+    tables = []
+    for row in grouped.get("scheduler", []):
+        drift_at = row["max_pending"] + 1  # stationary prefix length + 1
+        tables.append(
+            render_table(
+                f"Deferred maintenance on a drifting stream "
+                f"({row['blocks']} blocks x {row['per_block']}, "
+                f"drift at {drift_at})",
+                ["scheduler", "maintain (ms)", "A_M calls", "deferred",
+                 "estimate (ms)"],
+                [
+                    ["eager", fmt_ms(row["eager_maintain_seconds"]),
+                     row["eager_invocations"], 0, "-"],
+                    ["deviation", fmt_ms(row["deviation_maintain_seconds"]),
+                     row["deviation_invocations"], row["deferred"],
+                     fmt_ms(row["estimate_seconds"])],
+                ],
+            )
+        )
+    return tables
+
+
 SOURCES = [
     ("BENCH_ingest.json", ingest_tables),
     ("BENCH_counting.json", counting_tables),
     ("BENCH_parallel.json", parallel_tables),
     ("BENCH_compression.json", compression_tables),
+    ("BENCH_scheduler.json", scheduler_tables),
 ]
 
 
